@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section on a scaled-down workload (so the whole suite runs in minutes on a
+laptop) and checks the *shape* of the result — who wins, what gets harder —
+rather than absolute numbers.  The workload sizes can be raised to the paper's
+scale through the environment variables below.
+
+Environment variables
+---------------------
+REPRO_BENCH_RUNS        number of editing runs per configuration (default 2)
+REPRO_BENCH_EDITS       number of edits per run (default 20)
+REPRO_BENCH_SCHEMA_SIZE size of the initial schema (default 15)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _int_env(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> dict:
+    """Scaled-down workload parameters (overridable via environment variables)."""
+    return {
+        "runs": _int_env("REPRO_BENCH_RUNS", 2),
+        "num_edits": _int_env("REPRO_BENCH_EDITS", 20),
+        "schema_size": _int_env("REPRO_BENCH_SCHEMA_SIZE", 15),
+        "seed": 2006,
+    }

@@ -1,0 +1,54 @@
+"""Ablation benchmark: contribution of the individual design choices.
+
+DESIGN.md calls out three design decisions of the algorithm beyond the
+paper's headline configurations: the left-compose step (the paper's new
+technique), the best-effort retry of leftover symbols, and the output
+simplification.  This benchmark measures the editing workload with each of
+them toggled and checks that none of the ablations *improves* the
+symbol-eliminating power (i.e. each feature pays its way or is neutral).
+"""
+
+from repro.compose.config import ComposerConfig
+from repro.evolution.scenarios import run_editing_scenario
+
+
+def _total_fraction(composer_config: ComposerConfig, retry_leftovers: bool, params) -> float:
+    eliminated = 0
+    attempted = 0
+    for run_index in range(params["runs"]):
+        result = run_editing_scenario(
+            schema_size=params["schema_size"],
+            num_edits=params["num_edits"],
+            seed=params["seed"] + run_index,
+            composer_config=composer_config,
+            retry_leftovers=retry_leftovers,
+        )
+        for record in result.records:
+            attempted += len(record.consumed_symbols)
+            eliminated += len(record.consumed_eliminated)
+    return eliminated / attempted if attempted else 1.0
+
+
+def test_bench_ablation(benchmark, bench_params):
+    def workload():
+        return {
+            "full": _total_fraction(ComposerConfig.default(), True, bench_params),
+            "no left compose": _total_fraction(
+                ComposerConfig.no_left_compose(), True, bench_params
+            ),
+            "no retry of leftovers": _total_fraction(
+                ComposerConfig.default(), False, bench_params
+            ),
+            "no output simplification": _total_fraction(
+                ComposerConfig(simplify_output=False), True, bench_params
+            ),
+        }
+
+    fractions = benchmark.pedantic(workload, rounds=1, iterations=1)
+    full = fractions["full"]
+    assert full >= 0.5
+    # No ablation may *increase* the fraction of eliminated symbols beyond noise.
+    for name, value in fractions.items():
+        assert value <= full + 0.05, f"ablation {name!r} unexpectedly beats the full algorithm"
+    # Output simplification does not change which symbols get eliminated.
+    assert abs(fractions["no output simplification"] - full) <= 0.05

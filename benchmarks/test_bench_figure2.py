@@ -1,0 +1,44 @@
+"""Benchmark: Figure 2 — fraction of symbols eliminated per primitive.
+
+Regenerates the per-primitive elimination-success series for the paper's four
+configurations ('no keys', 'keys', 'no unfolding', 'no right compose') on a
+scaled-down schema-editing workload, and checks the qualitative claims of
+Section 4.2:
+
+* the algorithm eliminates a large share of the symbols overall,
+* adding keys does not substantially change the elimination rate,
+* disabling view unfolding or right compose weakens the algorithm.
+"""
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.runner import run_editing_study
+
+
+def test_bench_figure2(benchmark, bench_params):
+    def workload():
+        study = run_editing_study(
+            schema_size=bench_params["schema_size"],
+            num_edits=bench_params["num_edits"],
+            runs=bench_params["runs"],
+            seed=bench_params["seed"],
+        )
+        return run_figure2(study=study)
+
+    figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+    study = figure.study
+
+    complete = study.total_fraction_eliminated("no keys")
+    keyed = study.total_fraction_eliminated("keys")
+    no_unfolding = study.total_fraction_eliminated("no unfolding")
+    no_right = study.total_fraction_eliminated("no right compose")
+
+    # The paper: "it eliminated 50-100% of the symbols" across composition tasks.
+    assert complete >= 0.5
+    # Keys barely change the symbol-eliminating power (allow a generous band).
+    assert abs(complete - keyed) <= 0.35
+    # Crippled configurations never beat the complete algorithm.
+    assert no_unfolding <= complete + 1e-9
+    assert no_right <= complete + 1e-9
+
+    # The figure itself must cover the full primitive axis for the main config.
+    assert figure.series("no keys")

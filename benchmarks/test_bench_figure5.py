@@ -1,0 +1,28 @@
+"""Benchmark: Figure 5 — increasing the proportion of inclusion primitives.
+
+The paper's claim: as the share of open-world (Sub/Sup) edits grows from 0% to
+20%, composition gets harder overall (fewer symbols eliminated, mostly because
+view unfolding applies less often).  The benchmark sweeps three proportions
+and checks that the 20% point never beats the 0% point.
+"""
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_bench_figure5(benchmark, bench_params):
+    def workload():
+        return run_figure5(
+            proportions=[0.0, 0.1, 0.2],
+            schema_size=bench_params["schema_size"],
+            num_edits=bench_params["num_edits"],
+            runs=max(1, bench_params["runs"] // 2),
+            seed=bench_params["seed"],
+        )
+
+    figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+    totals = figure.total_series()
+    assert len(totals) == 3
+    assert all(0.0 <= value <= 1.0 for value in totals)
+    # More inclusion edits never make composition easier overall.
+    assert totals[-1] <= totals[0] + 0.1
+    assert all(value >= 0.0 for value in figure.time_series())

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 6 — schema reconciliation vs. intermediate schema size.
+
+The paper's claims: a larger intermediate schema makes the composition easier
+(the two edit sequences interact less), and disabling view unfolding or right
+compose eliminates fewer symbols.
+"""
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_bench_figure6(benchmark, bench_params):
+    sizes = [6, 12, 24]
+
+    def workload():
+        return run_figure6(
+            schema_sizes=sizes,
+            num_edits=max(10, bench_params["num_edits"] // 2),
+            tasks_per_point=max(1, bench_params["runs"] // 2),
+            seed=bench_params["seed"],
+        )
+
+    figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    complete = figure.series("complete")
+    # Larger intermediate schemas are easier (paper's main observation for Fig. 6);
+    # allow a small tolerance for the scaled-down workload.
+    assert complete[-1] >= complete[0] - 0.1
+    # The crippled configurations never beat the complete algorithm (averaged over sizes).
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731 - tiny local helper
+    assert mean(figure.series("no view unfolding")) <= mean(complete) + 1e-9
+    assert mean(figure.series("no right compose")) <= mean(complete) + 1e-9

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 7 — schema reconciliation vs. number of edits.
+
+The paper's claim: longer edit sequences make composition harder — the
+fraction of eliminated symbols drops while the running time grows.
+"""
+
+from repro.experiments.figure7 import run_figure7
+
+
+def test_bench_figure7(benchmark, bench_params):
+    edit_counts = [5, 15, 30]
+
+    def workload():
+        return run_figure7(
+            edit_counts=edit_counts,
+            schema_size=max(8, bench_params["schema_size"] // 2),
+            tasks_per_point=max(1, bench_params["runs"] // 2),
+            seed=bench_params["seed"],
+        )
+
+    figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    fractions = figure.fraction_series()
+    times = figure.time_series()
+    assert len(fractions) == len(edit_counts)
+    # More edits never make the composition easier, and the cost grows.
+    assert fractions[-1] <= fractions[0] + 0.1
+    assert times[-1] >= times[0] * 0.5
+    assert all(0.0 <= value <= 1.0 for value in fractions)

@@ -1,0 +1,17 @@
+"""Benchmark: the literature composition problems (the paper's first data set).
+
+The paper uses 22 problems from the literature as a correctness suite; this
+benchmark measures how long the composition algorithm takes to work through
+the whole suite and asserts that every documented outcome is reproduced.
+"""
+
+from repro.experiments.literature_study import run_literature_study
+
+
+def test_bench_literature_suite(benchmark):
+    study = benchmark(run_literature_study)
+    assert study.total_problems >= 22
+    # Every problem with a documented outcome must match it.
+    assert study.matching_expectations == study.total_problems
+    # The paper reports eliminating 50-100% of symbols across composition tasks.
+    assert study.fraction_symbols_eliminated() >= 0.5

@@ -1,0 +1,83 @@
+"""Regenerate every table/figure of the paper's evaluation section as text tables.
+
+This is the "one command" entry point for the reproduction: it runs the
+literature study and the drivers for Figures 2-7 on a configurable workload
+and prints the paper-style tables.
+
+Run with::
+
+    python examples/regenerate_figures.py             # scaled-down workload (~1-2 min)
+    python examples/regenerate_figures.py --medium    # medium workload (~5-10 min)
+    python examples/regenerate_figures.py --paper     # paper-scale parameters (slow)
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    run_editing_study,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_literature_study,
+)
+
+
+def main() -> None:
+    mode = "small"
+    if "--paper" in sys.argv:
+        mode = "paper"
+    elif "--medium" in sys.argv:
+        mode = "medium"
+
+    if mode == "paper":
+        editing = dict(schema_size=30, num_edits=100, runs=100)
+        fig5 = dict(proportions=[i / 100 for i in range(0, 21, 2)], schema_size=30, num_edits=100, runs=20)
+        fig6 = dict(schema_sizes=list(range(10, 101, 10)), num_edits=100, tasks_per_point=20)
+        fig7 = dict(edit_counts=list(range(10, 211, 20)), schema_size=30, tasks_per_point=20)
+    elif mode == "medium":
+        editing = dict(schema_size=20, num_edits=40, runs=5)
+        fig5 = dict(proportions=[0.0, 0.05, 0.10, 0.15, 0.20], schema_size=20, num_edits=40, runs=3)
+        fig6 = dict(schema_sizes=[10, 20, 30, 40, 60], num_edits=40, tasks_per_point=3)
+        fig7 = dict(edit_counts=[10, 30, 60, 90, 120], schema_size=20, tasks_per_point=3)
+    else:
+        editing = dict(schema_size=15, num_edits=25, runs=3)
+        fig5 = dict(proportions=[0.0, 0.1, 0.2], schema_size=15, num_edits=25, runs=2)
+        fig6 = dict(schema_sizes=[10, 20, 30], num_edits=25, tasks_per_point=2)
+        fig7 = dict(edit_counts=[10, 25, 50], schema_size=15, tasks_per_point=2)
+
+    started = time.time()
+
+    print("=" * 72)
+    print("Literature composition problems (the paper's first data set)")
+    print("=" * 72)
+    print(run_literature_study().to_table())
+
+    print()
+    print("=" * 72)
+    print(f"Schema-editing study (schema size {editing['schema_size']}, "
+          f"{editing['num_edits']} edits, {editing['runs']} runs per configuration)")
+    print("=" * 72)
+    study = run_editing_study(seed=1, **editing)
+    print(run_figure2(study=study).to_table())
+    print()
+    print(run_figure3(study=study).to_table())
+    print()
+    print(run_figure4(study=study).to_table())
+
+    print()
+    print(run_figure5(seed=1, **fig5).to_table())
+    print()
+    print(run_figure6(seed=1, **fig6).to_table())
+    print()
+    print(run_figure7(seed=1, **fig7).to_table())
+
+    print()
+    print(f"total time: {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The canonical metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) on offline machines with older setuptools/wheel
+tooling.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Implementing Mapping Composition' (VLDB 2006): an "
+        "algebra-based mapping composition engine with a schema evolution "
+        "simulator and experiment harness."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

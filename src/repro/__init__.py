@@ -1,0 +1,127 @@
+"""``repro`` — a reproduction of *Implementing Mapping Composition* (VLDB 2006).
+
+The library implements the paper's algebra-based mapping-composition
+component: mappings are sets of containment/equality constraints between
+relational-algebra expressions, and :func:`repro.compose.compose` eliminates
+as many intermediate-schema symbols as possible via view unfolding, left
+composition and right composition (with Skolemization/deskolemization).
+
+It also ships the evaluation apparatus of the paper: a schema-evolution
+simulator with the primitives of Figure 1, the literature-derived composition
+test suite, and experiment drivers that regenerate Figures 2-7.
+
+Quickstart
+----------
+>>> from repro import Signature, Mapping, ConstraintSet
+>>> from repro import parse_constraint, compose_mappings
+>>> movies = Signature.from_arities({"Movies": 6})
+>>> five_star = Signature.from_arities({"FiveStarMovies": 3})
+>>> names_years = Signature.from_arities({"Names": 2, "Years": 2})
+>>> m12 = Mapping(movies, five_star, ConstraintSet([
+...     parse_constraint(
+...         "project[0,1,2](select[#3 = 5](Movies/6)) <= FiveStarMovies/3")]))
+>>> m23 = Mapping(five_star, names_years, ConstraintSet([
+...     parse_constraint(
+...         "project[0,1](FiveStarMovies/3) <= Names/2"),
+...     parse_constraint(
+...         "project[0,2](FiveStarMovies/3) <= Years/2")]))
+>>> result = compose_mappings(m12, m23)
+>>> result.is_complete
+True
+"""
+
+from repro.algebra import (
+    Attribute,
+    Comparison,
+    Condition,
+    ConstantRelation,
+    Constant,
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+    evaluate,
+    parse_constraint,
+    parse_constraints,
+    parse_expression,
+)
+from repro.compose import (
+    ComposerConfig,
+    CompositionResult,
+    EliminationMethod,
+    compose,
+    compose_mappings,
+    eliminate,
+)
+from repro.constraints import (
+    ConstraintSet,
+    ContainmentConstraint,
+    EqualityConstraint,
+    satisfies,
+    satisfies_all,
+)
+from repro.mapping import CompositionProblem, Mapping, identity_mapping
+from repro.operators import Monotonicity, OperatorRegistry, default_registry, monotonicity
+from repro.schema import Instance, RelationSchema, Signature
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algebra
+    "Expression",
+    "Relation",
+    "Domain",
+    "Empty",
+    "ConstantRelation",
+    "Union",
+    "Intersection",
+    "Difference",
+    "CrossProduct",
+    "Selection",
+    "Projection",
+    "SkolemFunction",
+    "SkolemApplication",
+    "Attribute",
+    "Constant",
+    "Condition",
+    "Comparison",
+    "parse_expression",
+    "parse_constraint",
+    "parse_constraints",
+    "evaluate",
+    # schema
+    "Signature",
+    "RelationSchema",
+    "Instance",
+    # constraints
+    "ConstraintSet",
+    "ContainmentConstraint",
+    "EqualityConstraint",
+    "satisfies",
+    "satisfies_all",
+    # mappings
+    "Mapping",
+    "identity_mapping",
+    "CompositionProblem",
+    # composition
+    "ComposerConfig",
+    "CompositionResult",
+    "EliminationMethod",
+    "compose",
+    "compose_mappings",
+    "eliminate",
+    # operators
+    "Monotonicity",
+    "monotonicity",
+    "OperatorRegistry",
+    "default_registry",
+]

@@ -1,0 +1,197 @@
+"""Convenience constructors for common expression shapes.
+
+The paper treats the join operator as derived from ×, σ and π; these helpers
+build that and a few other recurring shapes (column placement, domain padding,
+key-equality selections) that the composition algorithm and the schema
+evolution simulator both need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.algebra.conditions import Condition, TRUE, conjunction, equals
+from repro.algebra.expressions import (
+    CrossProduct,
+    Domain,
+    Expression,
+    Projection,
+    Relation,
+    Selection,
+)
+from repro.exceptions import ArityError, ExpressionError
+
+__all__ = [
+    "relation",
+    "project",
+    "select",
+    "product",
+    "theta_join",
+    "equijoin",
+    "natural_key_join",
+    "identity_projection",
+    "column_placement",
+    "pad_right_with_domain",
+    "pad_left_with_domain",
+    "key_equality_condition",
+    "permute",
+    "cross_product_all",
+]
+
+
+def relation(name: str, arity: int) -> Relation:
+    """Build a reference to relation ``name`` of the given arity."""
+    return Relation(name, arity)
+
+
+def project(expression: Expression, indices: Iterable[int]) -> Expression:
+    """Build ``π_indices(expression)``, collapsing identity projections."""
+    indices = tuple(indices)
+    if indices == tuple(range(expression.arity)):
+        return expression
+    return Projection(expression, indices)
+
+
+def select(expression: Expression, condition: Condition) -> Expression:
+    """Build ``σ_condition(expression)``, collapsing trivially-true selections."""
+    if condition == TRUE:
+        return expression
+    return Selection(expression, condition)
+
+
+def product(left: Expression, right: Expression) -> CrossProduct:
+    """Build the cross product ``left × right``."""
+    return CrossProduct(left, right)
+
+
+def cross_product_all(expressions: Sequence[Expression]) -> Expression:
+    """Left-associatively cross-product a non-empty sequence of expressions."""
+    if not expressions:
+        raise ExpressionError("cross_product_all requires at least one expression")
+    result = expressions[0]
+    for expression in expressions[1:]:
+        result = CrossProduct(result, expression)
+    return result
+
+
+def theta_join(left: Expression, right: Expression, condition: Condition) -> Expression:
+    """Build the theta-join ``σ_condition(left × right)`` (all columns kept)."""
+    return select(CrossProduct(left, right), condition)
+
+
+def equijoin(
+    left: Expression,
+    right: Expression,
+    pairs: Iterable[Tuple[int, int]],
+    keep: Sequence[int] = None,
+) -> Expression:
+    """Build an equijoin of ``left`` and ``right``.
+
+    ``pairs`` lists ``(left_index, right_index)`` pairs of columns that must be
+    equal; right indices are given relative to the right operand and shifted
+    internally.  ``keep`` optionally projects the result onto a subset of the
+    combined columns (indices relative to the concatenation).
+    """
+    comparisons = [
+        equals(left_index, left.arity + right_index) for left_index, right_index in pairs
+    ]
+    joined = theta_join(left, right, conjunction(comparisons))
+    if keep is not None:
+        joined = project(joined, keep)
+    return joined
+
+
+def natural_key_join(
+    left: Expression, right: Expression, key_width: int
+) -> Expression:
+    """Join two relations that share their first ``key_width`` columns.
+
+    This is the shape produced by the vertical-partitioning primitive
+    ``R = S ⋈_A T`` where ``A`` is the key: the result has the key columns
+    once, followed by the non-key columns of ``left`` then of ``right``.
+    """
+    if key_width <= 0:
+        raise ArityError("natural_key_join requires a positive key width")
+    if key_width > left.arity or key_width > right.arity:
+        raise ArityError(
+            f"key width {key_width} exceeds operand arity "
+            f"({left.arity} and {right.arity})"
+        )
+    pairs = [(i, i) for i in range(key_width)]
+    keep = list(range(left.arity)) + [
+        left.arity + key_width + i for i in range(right.arity - key_width)
+    ]
+    return equijoin(left, right, pairs, keep)
+
+
+def identity_projection(expression: Expression) -> Projection:
+    """Build the explicit identity projection of an expression."""
+    return Projection(expression, tuple(range(expression.arity)))
+
+
+def permute(expression: Expression, order: Sequence[int]) -> Expression:
+    """Reorder the columns of an expression according to ``order``."""
+    return project(expression, order)
+
+
+def pad_right_with_domain(expression: Expression, count: int) -> Expression:
+    """Append ``count`` unconstrained (active-domain) columns on the right."""
+    if count < 0:
+        raise ArityError("cannot pad with a negative number of columns")
+    if count == 0:
+        return expression
+    return CrossProduct(expression, Domain(count))
+
+
+def pad_left_with_domain(expression: Expression, count: int) -> Expression:
+    """Prepend ``count`` unconstrained (active-domain) columns on the left."""
+    if count < 0:
+        raise ArityError("cannot pad with a negative number of columns")
+    if count == 0:
+        return expression
+    return CrossProduct(Domain(count), expression)
+
+
+def column_placement(
+    expression: Expression, positions: Sequence[int], total_arity: int
+) -> Expression:
+    """Place the columns of ``expression`` at ``positions`` inside a wider tuple.
+
+    The result has arity ``total_arity``; column ``i`` of ``expression`` lands
+    at ``positions[i]`` and every other column ranges over the active domain.
+    This is the building block of the left-normalization rule for projection:
+    ``π_I(E1) ⊆ E2  ↔  E1 ⊆ place(E2, I, arity(E1))``.
+
+    ``positions`` must be distinct and within range.
+    """
+    positions = tuple(positions)
+    if len(positions) != expression.arity:
+        raise ArityError(
+            f"column_placement needs one position per column "
+            f"({expression.arity}), got {len(positions)}"
+        )
+    if len(set(positions)) != len(positions):
+        raise ArityError("column_placement positions must be distinct")
+    if any(p < 0 or p >= total_arity for p in positions):
+        raise ArityError("column_placement position out of range")
+    if total_arity < expression.arity:
+        raise ArityError("total arity smaller than the expression arity")
+
+    extra = total_arity - expression.arity
+    padded = pad_right_with_domain(expression, extra)
+    # Column i of ``expression`` currently sits at position i of ``padded``;
+    # the j-th padding column sits at expression.arity + j.  Build the output
+    # order so that target position ``positions[i]`` reads column i.
+    order = [0] * total_arity
+    used = set(positions)
+    free_targets = [t for t in range(total_arity) if t not in used]
+    for source, target in enumerate(positions):
+        order[target] = source
+    for offset, target in enumerate(free_targets):
+        order[target] = expression.arity + offset
+    return project(padded, order)
+
+
+def key_equality_condition(width: int, key_width: int) -> Condition:
+    """Condition stating two concatenated ``width``-tuples agree on the first ``key_width`` columns."""
+    return conjunction(equals(i, width + i) for i in range(key_width))

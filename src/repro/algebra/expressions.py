@@ -1,0 +1,539 @@
+"""The relational-algebra expression AST.
+
+This is the heart of the library's representation layer.  Following the paper
+(Section 2), a relational expression is built from base relation symbols and
+the six basic operators — union, intersection, cross product, set difference,
+selection and projection — plus:
+
+* the special active-domain relation ``D^r`` (:class:`Domain`),
+* the special empty relation ``∅^r`` (:class:`Empty`),
+* constant relations (needed by the schema-evolution primitive "add default"),
+* Skolem-function applications, used internally by right-normalization
+  (Section 3.5), and
+* *extended* operators (:class:`SemiJoin`, :class:`AntiSemiJoin`,
+  :class:`LeftOuterJoin`) that play the role of the paper's "user-defined"
+  operators and are wired into the algorithm only through the operator
+  registry (:mod:`repro.operators.registry`).
+
+All nodes are immutable, hashable, structurally comparable, expose their
+``arity``, their ``children`` and a ``with_children`` reconstructor so that
+generic traversal utilities (:mod:`repro.algebra.traversal`) can rewrite trees
+without knowing every node type.
+
+Attribute indices are 0-based everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.algebra.conditions import Condition
+from repro.exceptions import ArityError, ExpressionError
+
+__all__ = [
+    "Expression",
+    "Relation",
+    "Domain",
+    "Empty",
+    "ConstantRelation",
+    "Union",
+    "Intersection",
+    "Difference",
+    "CrossProduct",
+    "Selection",
+    "Projection",
+    "SkolemFunction",
+    "SkolemApplication",
+    "SemiJoin",
+    "AntiSemiJoin",
+    "LeftOuterJoin",
+    "BASIC_OPERATOR_TYPES",
+    "EXTENDED_OPERATOR_TYPES",
+    "LEAF_TYPES",
+]
+
+
+class Expression:
+    """Abstract base class for relational-algebra expressions."""
+
+    #: Short operator name used by printers, registries and error messages.
+    operator_name: str = "?"
+
+    @property
+    def arity(self) -> int:
+        """Number of columns produced by the expression."""
+        raise NotImplementedError
+
+    @property
+    def children(self) -> Tuple["Expression", ...]:
+        """Immediate sub-expressions (empty for leaves)."""
+        raise NotImplementedError
+
+    def with_children(self, children: Tuple["Expression", ...]) -> "Expression":
+        """Rebuild this node with new children (same non-expression payload)."""
+        raise NotImplementedError
+
+    def is_leaf(self) -> bool:
+        """Return ``True`` if the node has no sub-expressions."""
+        return not self.children
+
+    def __str__(self) -> str:
+        # Imported lazily to avoid a circular import at module load time.
+        from repro.algebra.printer import expression_to_text
+
+        return expression_to_text(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {self}>"
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Relation(Expression):
+    """A reference to a base relation symbol with a fixed arity."""
+
+    name: str
+    relation_arity: int
+
+    operator_name = "relation"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExpressionError("relation name must be non-empty")
+        if self.relation_arity <= 0:
+            raise ArityError(f"relation {self.name!r} must have positive arity, got {self.relation_arity}")
+
+    @property
+    def arity(self) -> int:
+        return self.relation_arity
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return ()
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if children:
+            raise ExpressionError("Relation is a leaf and takes no children")
+        return self
+
+
+@dataclass(frozen=True, repr=False)
+class Domain(Expression):
+    """The active-domain relation ``D^r`` of the paper.
+
+    ``D`` is shorthand for the union of all single-column projections of all
+    relations in the database; ``D^r`` is its ``r``-fold cross product.
+    """
+
+    domain_arity: int
+
+    operator_name = "domain"
+
+    def __post_init__(self) -> None:
+        if self.domain_arity <= 0:
+            raise ArityError(f"domain relation must have positive arity, got {self.domain_arity}")
+
+    @property
+    def arity(self) -> int:
+        return self.domain_arity
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return ()
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if children:
+            raise ExpressionError("Domain is a leaf and takes no children")
+        return self
+
+
+@dataclass(frozen=True, repr=False)
+class Empty(Expression):
+    """The empty relation ``∅`` of a given arity."""
+
+    empty_arity: int
+
+    operator_name = "empty"
+
+    def __post_init__(self) -> None:
+        if self.empty_arity <= 0:
+            raise ArityError(f"empty relation must have positive arity, got {self.empty_arity}")
+
+    @property
+    def arity(self) -> int:
+        return self.empty_arity
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return ()
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if children:
+            raise ExpressionError("Empty is a leaf and takes no children")
+        return self
+
+
+@dataclass(frozen=True, repr=False)
+class ConstantRelation(Expression):
+    """A small literal relation, e.g. the ``{c}`` used by the "add default" primitive."""
+
+    tuples: Tuple[Tuple[object, ...], ...]
+    constant_arity: int
+
+    operator_name = "constant"
+
+    def __post_init__(self) -> None:
+        if self.constant_arity <= 0:
+            raise ArityError(f"constant relation must have positive arity, got {self.constant_arity}")
+        for row in self.tuples:
+            if not isinstance(row, tuple):
+                raise ExpressionError(f"constant relation rows must be tuples, got {row!r}")
+            if len(row) != self.constant_arity:
+                raise ArityError(
+                    f"constant relation declared arity {self.constant_arity} "
+                    f"but contains a row of width {len(row)}"
+                )
+
+    @classmethod
+    def singleton(cls, *values: object) -> "ConstantRelation":
+        """Build the one-row constant relation ``{(values...)}``."""
+        if not values:
+            raise ExpressionError("a constant relation row needs at least one value")
+        return cls(tuples=(tuple(values),), constant_arity=len(values))
+
+    @property
+    def arity(self) -> int:
+        return self.constant_arity
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return ()
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if children:
+            raise ExpressionError("ConstantRelation is a leaf and takes no children")
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Basic binary operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class _BinarySameArity(Expression):
+    """Shared implementation for ∪, ∩ and − (operands must agree on arity)."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        for operand in (self.left, self.right):
+            if not isinstance(operand, Expression):
+                raise ExpressionError(f"operand must be an Expression, got {operand!r}")
+        if self.left.arity != self.right.arity:
+            raise ArityError(
+                f"{self.operator_name} requires operands of equal arity, "
+                f"got {self.left.arity} and {self.right.arity}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if len(children) != 2:
+            raise ExpressionError(f"{self.operator_name} takes exactly two children")
+        return type(self)(children[0], children[1])
+
+
+@dataclass(frozen=True, repr=False)
+class Union(_BinarySameArity):
+    """Set union ``E1 ∪ E2``."""
+
+    operator_name = "union"
+
+
+@dataclass(frozen=True, repr=False)
+class Intersection(_BinarySameArity):
+    """Set intersection ``E1 ∩ E2``."""
+
+    operator_name = "intersect"
+
+
+@dataclass(frozen=True, repr=False)
+class Difference(_BinarySameArity):
+    """Set difference ``E1 − E2`` (monotone in the left operand only)."""
+
+    operator_name = "difference"
+
+
+@dataclass(frozen=True, repr=False)
+class CrossProduct(Expression):
+    """Cross product ``E1 × E2``; arity is the sum of the operand arities."""
+
+    left: Expression
+    right: Expression
+
+    operator_name = "product"
+
+    def __post_init__(self) -> None:
+        for operand in (self.left, self.right):
+            if not isinstance(operand, Expression):
+                raise ExpressionError(f"operand must be an Expression, got {operand!r}")
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity + self.right.arity
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if len(children) != 2:
+            raise ExpressionError("product takes exactly two children")
+        return CrossProduct(children[0], children[1])
+
+
+# ---------------------------------------------------------------------------
+# Basic unary operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Selection(Expression):
+    """Selection ``σ_c(E)``; keeps the rows of ``E`` satisfying condition ``c``."""
+
+    child: Expression
+    condition: Condition
+
+    operator_name = "select"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, Expression):
+            raise ExpressionError(f"selection child must be an Expression, got {self.child!r}")
+        if not isinstance(self.condition, Condition):
+            raise ExpressionError(f"selection condition must be a Condition, got {self.condition!r}")
+        if self.condition.max_index() >= self.child.arity:
+            raise ArityError(
+                f"selection condition references column #{self.condition.max_index()} "
+                f"but the input has arity {self.child.arity}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return self.child.arity
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if len(children) != 1:
+            raise ExpressionError("select takes exactly one child")
+        return Selection(children[0], self.condition)
+
+
+@dataclass(frozen=True, repr=False)
+class Projection(Expression):
+    """Projection ``π_I(E)``; ``I`` is a list of 0-based column indices.
+
+    The index list may reorder and duplicate columns, which is how column
+    permutations are expressed in the unnamed perspective.
+    """
+
+    child: Expression
+    indices: Tuple[int, ...]
+
+    operator_name = "project"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, Expression):
+            raise ExpressionError(f"projection child must be an Expression, got {self.child!r}")
+        if not self.indices:
+            raise ArityError("projection must keep at least one column")
+        object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+        for index in self.indices:
+            if index < 0 or index >= self.child.arity:
+                raise ArityError(
+                    f"projection index {index} out of range for input arity {self.child.arity}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.indices)
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if len(children) != 1:
+            raise ExpressionError("project takes exactly one child")
+        return Projection(children[0], self.indices)
+
+
+# ---------------------------------------------------------------------------
+# Skolem functions (internal device of right-normalization)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class SkolemFunction:
+    """A named Skolem function depending on a set of input column indices."""
+
+    name: str
+    depends_on: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExpressionError("Skolem function name must be non-empty")
+        object.__setattr__(self, "depends_on", tuple(sorted(int(i) for i in self.depends_on)))
+        for index in self.depends_on:
+            if index < 0:
+                raise ArityError(f"Skolem dependency index must be non-negative, got {index}")
+
+    def __str__(self) -> str:
+        deps = ",".join(str(i) for i in self.depends_on)
+        return f"{self.name}[{deps}]"
+
+
+@dataclass(frozen=True, repr=False)
+class SkolemApplication(Expression):
+    """Application of a Skolem function to an expression.
+
+    ``f_I(E)`` has arity ``arity(E) + 1``: it appends one column whose value is
+    some (existentially quantified) function of the columns of ``E`` listed in
+    ``I``.  Skolem applications appear only transiently, between
+    right-normalization and deskolemization.
+    """
+
+    child: Expression
+    function: SkolemFunction
+
+    operator_name = "skolem"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, Expression):
+            raise ExpressionError(f"skolem child must be an Expression, got {self.child!r}")
+        if not isinstance(self.function, SkolemFunction):
+            raise ExpressionError(f"expected a SkolemFunction, got {self.function!r}")
+        for index in self.function.depends_on:
+            if index >= self.child.arity:
+                raise ArityError(
+                    f"Skolem function {self.function.name!r} depends on column #{index} "
+                    f"but the input has arity {self.child.arity}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return self.child.arity + 1
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if len(children) != 1:
+            raise ExpressionError("skolem takes exactly one child")
+        return SkolemApplication(children[0], self.function)
+
+
+# ---------------------------------------------------------------------------
+# Extended ("user-defined") operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class _JoinLike(Expression):
+    """Shared implementation for the condition-based extended binary operators.
+
+    The join condition's attribute indices refer to the concatenation of the
+    left operand's columns followed by the right operand's columns.
+    """
+
+    left: Expression
+    right: Expression
+    condition: Condition
+
+    def __post_init__(self) -> None:
+        for operand in (self.left, self.right):
+            if not isinstance(operand, Expression):
+                raise ExpressionError(f"operand must be an Expression, got {operand!r}")
+        if not isinstance(self.condition, Condition):
+            raise ExpressionError(f"join condition must be a Condition, got {self.condition!r}")
+        combined = self.left.arity + self.right.arity
+        if self.condition.max_index() >= combined:
+            raise ArityError(
+                f"{self.operator_name} condition references column #{self.condition.max_index()} "
+                f"but the combined arity is {combined}"
+            )
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+        if len(children) != 2:
+            raise ExpressionError(f"{self.operator_name} takes exactly two children")
+        return type(self)(children[0], children[1], self.condition)
+
+
+@dataclass(frozen=True, repr=False)
+class SemiJoin(_JoinLike):
+    """Semijoin ``E1 ⋉_c E2``: rows of E1 with at least one matching row in E2."""
+
+    operator_name = "semijoin"
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity
+
+
+@dataclass(frozen=True, repr=False)
+class AntiSemiJoin(_JoinLike):
+    """Anti-semijoin ``E1 ▷_c E2``: rows of E1 with no matching row in E2."""
+
+    operator_name = "antisemijoin"
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity
+
+
+@dataclass(frozen=True, repr=False)
+class LeftOuterJoin(_JoinLike):
+    """Left outerjoin ``E1 ⟕_c E2``; unmatched E1 rows are padded with NULLs."""
+
+    operator_name = "leftouterjoin"
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity + self.right.arity
+
+
+#: The six basic operators of the paper plus the leaf node types.
+BASIC_OPERATOR_TYPES = (
+    Union,
+    Intersection,
+    Difference,
+    CrossProduct,
+    Selection,
+    Projection,
+)
+
+#: Operators handled purely through the extensibility machinery.
+EXTENDED_OPERATOR_TYPES = (SemiJoin, AntiSemiJoin, LeftOuterJoin)
+
+#: Node types that never have children.
+LEAF_TYPES = (Relation, Domain, Empty, ConstantRelation)

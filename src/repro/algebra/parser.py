@@ -1,0 +1,422 @@
+"""Parser for the plain-text expression / constraint syntax.
+
+The paper describes "a plain-text syntax for specifying mapping composition
+tasks" together with a parser that converts it into the internal algebraic
+representation.  This module provides that parser for the syntax documented in
+:mod:`repro.algebra.printer` (the printer and parser round-trip).
+
+Relation arities come either from an inline declaration (``R/3``) or from a
+signature passed to the parsing functions.  The reserved words are::
+
+    union intersect x select project skolem semijoin antisemijoin
+    leftouterjoin D empty const true false and or not
+
+Example
+-------
+>>> from repro.algebra.parser import parse_constraint
+>>> parse_constraint("project[0,1](select[#3 = 5](Movies/6)) <= FiveStarMovies/3")
+...                                         # doctest: +ELLIPSIS
+<ContainmentConstraint: ...>
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    Condition,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.algebra.expressions import (
+    AntiSemiJoin,
+    ConstantRelation,
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    LeftOuterJoin,
+    Projection,
+    Relation,
+    Selection,
+    SemiJoin,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+)
+from repro.algebra.terms import Attribute, Constant
+from repro.exceptions import ParseError
+
+__all__ = ["parse_expression", "parse_condition", "parse_constraint", "parse_constraints"]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:\\.|[^'\\])*')
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<attr>\#\d+)
+  | (?P<op><=|>=|!=|=|<|>|-|/|\(|\)|\[|\]|,|;)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+_BINARY_KEYWORDS = {"union", "intersect", "x"}
+_JOIN_KEYWORDS = {"semijoin": SemiJoin, "antisemijoin": AntiSemiJoin, "leftouterjoin": LeftOuterJoin}
+_RESERVED = (
+    _BINARY_KEYWORDS
+    | set(_JOIN_KEYWORDS)
+    | {"select", "project", "skolem", "D", "empty", "const", "true", "false", "and", "or", "not"}
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position, text)
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, signature=None):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.signature = signature
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            raise ParseError(
+                f"expected {expected!r} but found {token.value!r}", token.position, self.text
+            )
+        return self.advance()
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.position, self.text)
+
+    # -- literals -----------------------------------------------------------
+
+    def parse_literal(self) -> object:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            self.advance()
+            body = token.value[1:-1]
+            return body.replace("\\'", "'").replace("\\\\", "\\")
+        raise self.error(f"expected a literal value, found {token.value!r}")
+
+    # -- conditions ---------------------------------------------------------
+
+    def parse_condition(self) -> Condition:
+        return self._parse_or()
+
+    def _parse_or(self) -> Condition:
+        operands = [self._parse_and()]
+        while self.at("name", "or"):
+            self.advance()
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else Or(*operands)
+
+    def _parse_and(self) -> Condition:
+        operands = [self._parse_condition_atom()]
+        while self.at("name", "and"):
+            self.advance()
+            operands.append(self._parse_condition_atom())
+        return operands[0] if len(operands) == 1 else And(*operands)
+
+    def _parse_condition_atom(self) -> Condition:
+        if self.at("name", "true"):
+            self.advance()
+            return TRUE
+        if self.at("name", "false"):
+            self.advance()
+            return FALSE
+        if self.at("name", "not"):
+            self.advance()
+            self.expect("op", "(")
+            inner = self._parse_or()
+            self.expect("op", ")")
+            return Not(inner)
+        if self.at("op", "("):
+            self.advance()
+            inner = self._parse_or()
+            self.expect("op", ")")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_term(self):
+        token = self.peek()
+        if token.kind == "attr":
+            self.advance()
+            return Attribute(int(token.value[1:]))
+        return Constant(self.parse_literal())
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_term()
+        token = self.peek()
+        if token.kind != "op" or token.value not in {"=", "!=", "<", "<=", ">", ">="}:
+            raise self.error(f"expected a comparison operator, found {token.value!r}")
+        self.advance()
+        right = self._parse_term()
+        return Comparison(left, token.value, right)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        left = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "name" and token.value in _BINARY_KEYWORDS:
+                self.advance()
+                right = self.parse_primary()
+                if token.value == "union":
+                    left = Union(left, right)
+                elif token.value == "intersect":
+                    left = Intersection(left, right)
+                else:
+                    left = CrossProduct(left, right)
+            elif token.kind == "op" and token.value == "-":
+                self.advance()
+                right = self.parse_primary()
+                left = Difference(left, right)
+            else:
+                return left
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        if token.kind != "name":
+            raise self.error(f"expected an expression, found {token.value!r}")
+        name = token.value
+        if name == "select":
+            return self._parse_select()
+        if name == "project":
+            return self._parse_project()
+        if name == "skolem":
+            return self._parse_skolem()
+        if name in _JOIN_KEYWORDS:
+            return self._parse_join(name)
+        if name == "D":
+            return self._parse_domain()
+        if name == "empty":
+            return self._parse_empty()
+        if name == "const":
+            return self._parse_constant_relation()
+        return self._parse_relation()
+
+    def _parse_index_list(self) -> Tuple[int, ...]:
+        self.expect("op", "[")
+        indices: List[int] = []
+        if not self.at("op", "]"):
+            while True:
+                token = self.expect("number")
+                indices.append(int(token.value))
+                if self.at("op", ","):
+                    self.advance()
+                    continue
+                break
+        self.expect("op", "]")
+        return tuple(indices)
+
+    def _parse_select(self) -> Expression:
+        self.expect("name", "select")
+        self.expect("op", "[")
+        condition = self.parse_condition()
+        self.expect("op", "]")
+        self.expect("op", "(")
+        child = self.parse_expression()
+        self.expect("op", ")")
+        return Selection(child, condition)
+
+    def _parse_project(self) -> Expression:
+        self.expect("name", "project")
+        indices = self._parse_index_list()
+        self.expect("op", "(")
+        child = self.parse_expression()
+        self.expect("op", ")")
+        return Projection(child, indices)
+
+    def _parse_skolem(self) -> Expression:
+        self.expect("name", "skolem")
+        name_token = self.expect("name")
+        depends_on = self._parse_index_list()
+        self.expect("op", "(")
+        child = self.parse_expression()
+        self.expect("op", ")")
+        return SkolemApplication(child, SkolemFunction(name_token.value, depends_on))
+
+    def _parse_join(self, keyword: str) -> Expression:
+        node_type = _JOIN_KEYWORDS[keyword]
+        self.expect("name", keyword)
+        self.expect("op", "[")
+        condition = self.parse_condition()
+        self.expect("op", "]")
+        self.expect("op", "(")
+        left = self.parse_expression()
+        self.expect("op", ",")
+        right = self.parse_expression()
+        self.expect("op", ")")
+        return node_type(left, right, condition)
+
+    def _parse_domain(self) -> Expression:
+        self.expect("name", "D")
+        self.expect("op", "(")
+        arity = int(self.expect("number").value)
+        self.expect("op", ")")
+        return Domain(arity)
+
+    def _parse_empty(self) -> Expression:
+        self.expect("name", "empty")
+        self.expect("op", "(")
+        arity = int(self.expect("number").value)
+        self.expect("op", ")")
+        return Empty(arity)
+
+    def _parse_constant_relation(self) -> Expression:
+        self.expect("name", "const")
+        self.expect("op", "(")
+        rows: List[Tuple[object, ...]] = []
+        while True:
+            self.expect("op", "(")
+            values: List[object] = []
+            while True:
+                values.append(self.parse_literal())
+                if self.at("op", ","):
+                    self.advance()
+                    continue
+                break
+            self.expect("op", ")")
+            rows.append(tuple(values))
+            if self.at("op", ";"):
+                self.advance()
+                continue
+            break
+        self.expect("op", ")")
+        arity = len(rows[0])
+        return ConstantRelation(tuples=tuple(rows), constant_arity=arity)
+
+    def _parse_relation(self) -> Expression:
+        token = self.expect("name")
+        name = token.value
+        if name in _RESERVED:
+            raise ParseError(f"{name!r} is a reserved word", token.position, self.text)
+        if self.at("op", "/"):
+            self.advance()
+            arity = int(self.expect("number").value)
+            return Relation(name, arity)
+        if self.signature is not None and name in self.signature:
+            return Relation(name, self.signature.arity_of(name))
+        raise ParseError(
+            f"relation {name!r} has no inline arity (use {name}/<arity>) and is not in the signature",
+            token.position,
+            self.text,
+        )
+
+    # -- constraints --------------------------------------------------------
+
+    def parse_constraint(self):
+        from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+
+        left = self.parse_expression()
+        token = self.peek()
+        if token.kind != "op" or token.value not in {"<=", ">=", "="}:
+            raise self.error(f"expected '<=', '>=' or '=', found {token.value!r}")
+        self.advance()
+        right = self.parse_expression()
+        if token.value == "<=":
+            return ContainmentConstraint(left, right)
+        if token.value == ">=":
+            return ContainmentConstraint(right, left)
+        return EqualityConstraint(left, right)
+
+
+def parse_expression(text: str, signature=None) -> Expression:
+    """Parse a single expression from ``text``."""
+    parser = _Parser(text, signature)
+    expression = parser.parse_expression()
+    parser.expect("eof")
+    return expression
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a selection condition from ``text``."""
+    parser = _Parser(text)
+    condition = parser.parse_condition()
+    parser.expect("eof")
+    return condition
+
+
+def parse_constraint(text: str, signature=None):
+    """Parse a single constraint (``E1 <= E2``, ``E1 >= E2`` or ``E1 = E2``)."""
+    parser = _Parser(text, signature)
+    constraint = parser.parse_constraint()
+    parser.expect("eof")
+    return constraint
+
+
+def parse_constraints(text: str, signature=None) -> list:
+    """Parse one constraint per non-empty, non-comment line of ``text``.
+
+    Lines starting with ``#`` are treated as comments.
+    """
+    constraints = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        constraints.append(parse_constraint(stripped, signature))
+    return constraints

@@ -1,0 +1,132 @@
+"""Plain-text rendering of expressions, conditions and constraints.
+
+The syntax round-trips through :mod:`repro.algebra.parser` and is close to the
+paper's index-based algebraic notation, restricted to ASCII:
+
+========================  =============================================
+Paper                     Text syntax
+========================  =============================================
+``R`` (arity 3)           ``R/3``
+``D^2``                   ``D(2)``
+``∅`` (arity 2)           ``empty(2)``
+``{(1, 'a')}``            ``const((1, 'a'))``
+``E1 ∪ E2``               ``(E1 union E2)``
+``E1 ∩ E2``               ``(E1 intersect E2)``
+``E1 − E2``               ``(E1 - E2)``
+``E1 × E2``               ``(E1 x E2)``
+``σ_{0=2}(E)``            ``select[#0 = #2](E)``
+``π_{0,1}(E)``            ``project[0,1](E)``
+``f_{0}(E)``              ``skolem f[0](E)``
+``E1 ⋉_c E2``             ``semijoin[c](E1, E2)``
+``E1 ▷_c E2``             ``antisemijoin[c](E1, E2)``
+``E1 ⟕_c E2``             ``leftouterjoin[c](E1, E2)``
+``E1 ⊆ E2``               ``E1 <= E2``
+``E1 = E2``               ``E1 = E2``
+========================  =============================================
+
+All attribute indices are 0-based.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    Condition,
+    FalseCondition,
+    Not,
+    Or,
+    TrueCondition,
+)
+from repro.algebra.expressions import (
+    AntiSemiJoin,
+    ConstantRelation,
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    LeftOuterJoin,
+    Projection,
+    Relation,
+    Selection,
+    SemiJoin,
+    SkolemApplication,
+    Union,
+)
+from repro.algebra.terms import Attribute, Constant
+from repro.exceptions import ExpressionError
+
+__all__ = ["expression_to_text", "condition_to_text", "term_to_text"]
+
+
+def term_to_text(term) -> str:
+    """Render an attribute or constant term."""
+    if isinstance(term, Attribute):
+        return f"#{term.index}"
+    if isinstance(term, Constant):
+        if isinstance(term.value, str):
+            escaped = term.value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(term.value)
+    raise ExpressionError(f"cannot render term {term!r}")
+
+
+def condition_to_text(condition: Condition) -> str:
+    """Render a selection condition in the textual syntax."""
+    if isinstance(condition, TrueCondition):
+        return "true"
+    if isinstance(condition, FalseCondition):
+        return "false"
+    if isinstance(condition, Comparison):
+        return f"{term_to_text(condition.left)} {condition.op} {term_to_text(condition.right)}"
+    if isinstance(condition, And):
+        return "(" + " and ".join(condition_to_text(op) for op in condition.operands) + ")"
+    if isinstance(condition, Or):
+        return "(" + " or ".join(condition_to_text(op) for op in condition.operands) + ")"
+    if isinstance(condition, Not):
+        return f"not ({condition_to_text(condition.operand)})"
+    raise ExpressionError(f"cannot render condition {condition!r}")
+
+
+def _render_constant_relation(expression: ConstantRelation) -> str:
+    rows = []
+    for row in expression.tuples:
+        values = ", ".join(term_to_text(Constant(value)) for value in row)
+        rows.append(f"({values})")
+    return "const(" + "; ".join(rows) + ")"
+
+
+def expression_to_text(expression: Expression) -> str:
+    """Render an expression in the textual syntax used throughout the library."""
+    if isinstance(expression, Relation):
+        return f"{expression.name}/{expression.arity}"
+    if isinstance(expression, Domain):
+        return f"D({expression.arity})"
+    if isinstance(expression, Empty):
+        return f"empty({expression.arity})"
+    if isinstance(expression, ConstantRelation):
+        return _render_constant_relation(expression)
+    if isinstance(expression, Union):
+        return f"({expression_to_text(expression.left)} union {expression_to_text(expression.right)})"
+    if isinstance(expression, Intersection):
+        return f"({expression_to_text(expression.left)} intersect {expression_to_text(expression.right)})"
+    if isinstance(expression, Difference):
+        return f"({expression_to_text(expression.left)} - {expression_to_text(expression.right)})"
+    if isinstance(expression, CrossProduct):
+        return f"({expression_to_text(expression.left)} x {expression_to_text(expression.right)})"
+    if isinstance(expression, Selection):
+        return f"select[{condition_to_text(expression.condition)}]({expression_to_text(expression.child)})"
+    if isinstance(expression, Projection):
+        indices = ",".join(str(index) for index in expression.indices)
+        return f"project[{indices}]({expression_to_text(expression.child)})"
+    if isinstance(expression, SkolemApplication):
+        deps = ",".join(str(index) for index in expression.function.depends_on)
+        return f"skolem {expression.function.name}[{deps}]({expression_to_text(expression.child)})"
+    if isinstance(expression, (SemiJoin, AntiSemiJoin, LeftOuterJoin)):
+        return (
+            f"{expression.operator_name}[{condition_to_text(expression.condition)}]"
+            f"({expression_to_text(expression.left)}, {expression_to_text(expression.right)})"
+        )
+    raise ExpressionError(f"cannot render expression of type {type(expression).__name__}")

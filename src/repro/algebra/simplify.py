@@ -1,0 +1,175 @@
+"""Algebraic simplification of expressions and constraints.
+
+The composition steps introduce the special relations ``D`` (active domain)
+and ``∅`` (empty) and the paper devotes two sub-steps (Sections 3.4.3 and
+3.5.4) to eliminating them "to the extent that our knowledge of the operators
+allows".  This module implements those identities, a few additional safe
+simplifications, and the constraint-level clean-up (dropping constraints that
+every instance satisfies).
+
+Identities for ``D`` (Section 3.4.3)::
+
+    E ∪ D^r = D^r        E ∩ D^r = E
+    E − D^r = ∅          π_I(D^r) = D^{|I|}
+
+Identities for ``∅`` (Section 3.5.4)::
+
+    E ∪ ∅ = E            E ∩ ∅ = ∅           E − ∅ = E
+    ∅ − E = ∅            σ_c(∅) = ∅          π_I(∅) = ∅
+
+User-defined operators may contribute additional rules through the operator
+registry; the functions here accept an optional registry for that purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.conditions import FalseCondition, TrueCondition, conjunction
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    Projection,
+    Selection,
+    Union,
+)
+from repro.algebra.traversal import transform_bottom_up
+from repro.constraints.constraint import (
+    Constraint,
+    ContainmentConstraint,
+    EqualityConstraint,
+)
+from repro.constraints.constraint_set import ConstraintSet
+
+__all__ = [
+    "simplify_expression",
+    "simplify_constraint",
+    "simplify_constraint_set",
+    "is_trivially_satisfied",
+]
+
+
+def _is_full_domain(expression: Expression) -> bool:
+    """Return True if the expression is syntactically the full relation D^r."""
+    return isinstance(expression, Domain)
+
+
+def _is_empty(expression: Expression) -> bool:
+    """Return True if the expression is syntactically the empty relation."""
+    return isinstance(expression, Empty)
+
+
+def _simplify_node(node: Expression, registry=None) -> Expression:
+    """Apply one round of local rewrite rules to a node whose children are simplified."""
+    if isinstance(node, Union):
+        if _is_full_domain(node.left) or _is_full_domain(node.right):
+            return Domain(node.arity)
+        if _is_empty(node.left):
+            return node.right
+        if _is_empty(node.right):
+            return node.left
+        if node.left == node.right:
+            return node.left
+    elif isinstance(node, Intersection):
+        if _is_full_domain(node.left):
+            return node.right
+        if _is_full_domain(node.right):
+            return node.left
+        if _is_empty(node.left) or _is_empty(node.right):
+            return Empty(node.arity)
+        if node.left == node.right:
+            return node.left
+    elif isinstance(node, Difference):
+        if _is_full_domain(node.right):
+            return Empty(node.arity)
+        if _is_empty(node.right):
+            return node.left
+        if _is_empty(node.left):
+            return Empty(node.arity)
+        if node.left == node.right:
+            return Empty(node.arity)
+    elif isinstance(node, CrossProduct):
+        if _is_empty(node.left) or _is_empty(node.right):
+            return Empty(node.arity)
+        if _is_full_domain(node.left) and _is_full_domain(node.right):
+            return Domain(node.arity)
+    elif isinstance(node, Selection):
+        if _is_empty(node.child):
+            return Empty(node.arity)
+        if isinstance(node.condition, TrueCondition):
+            return node.child
+        if isinstance(node.condition, FalseCondition):
+            return Empty(node.arity)
+        if isinstance(node.child, Selection):
+            merged = conjunction([node.child.condition, node.condition])
+            return Selection(node.child.child, merged)
+    elif isinstance(node, Projection):
+        if _is_empty(node.child):
+            return Empty(node.arity)
+        if _is_full_domain(node.child) and len(set(node.indices)) == len(node.indices):
+            # π_I(D^r) = D^{|I|} requires distinct indices: with duplicates the
+            # result is a diagonal, a strict subset of D^{|I|}.
+            return Domain(node.arity)
+        if node.indices == tuple(range(node.child.arity)):
+            return node.child
+        if isinstance(node.child, Projection):
+            inner = node.child
+            composed = tuple(inner.indices[i] for i in node.indices)
+            return Projection(inner.child, composed)
+    if registry is not None:
+        rewritten = registry.simplify_node(node)
+        if rewritten is not None:
+            return rewritten
+    return node
+
+
+def simplify_expression(expression: Expression, registry=None) -> Expression:
+    """Simplify an expression by repeatedly applying the local rewrite rules."""
+    previous = None
+    current = expression
+    # Each pass strictly shrinks or preserves the tree; iterate to a fixpoint
+    # (bounded, since the rules never grow the expression).
+    while current != previous:
+        previous = current
+        current = transform_bottom_up(current, lambda node: _simplify_node(node, registry))
+    return current
+
+
+def is_trivially_satisfied(constraint: Constraint) -> bool:
+    """Return ``True`` for constraints every instance satisfies.
+
+    Recognized shapes: ``E ⊆ E``, ``E = E``, ``∅ ⊆ E``, ``E ⊆ D^r`` and the
+    equality variants that reduce to them.
+    """
+    if constraint.is_trivial():
+        return True
+    if isinstance(constraint, ContainmentConstraint):
+        return _is_empty(constraint.left) or _is_full_domain(constraint.right)
+    if isinstance(constraint, EqualityConstraint):
+        return (_is_empty(constraint.left) and _is_empty(constraint.right)) or (
+            _is_full_domain(constraint.left) and _is_full_domain(constraint.right)
+        )
+    return False
+
+
+def simplify_constraint(constraint: Constraint, registry=None) -> Constraint:
+    """Simplify both sides of a constraint."""
+    left = simplify_expression(constraint.left, registry)
+    right = simplify_expression(constraint.right, registry)
+    if isinstance(constraint, ContainmentConstraint):
+        return ContainmentConstraint(left, right)
+    return EqualityConstraint(left, right)
+
+
+def simplify_constraint_set(
+    constraints: ConstraintSet, registry=None, drop_trivial: bool = True
+) -> ConstraintSet:
+    """Simplify every constraint and optionally drop the trivially-satisfied ones."""
+    simplified = constraints.map(lambda c: simplify_constraint(c, registry))
+    if drop_trivial:
+        simplified = simplified.filter(lambda c: not is_trivially_satisfied(c))
+    return simplified

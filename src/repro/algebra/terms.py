@@ -1,0 +1,118 @@
+"""Terms appearing in selection conditions.
+
+The library uses the *unnamed perspective*: attributes of a relation are
+identified by 0-based column index, not by name.  A selection condition such
+as the paper's ``σ_{1=3}(S × S)`` is written here as a comparison between two
+:class:`Attribute` terms, e.g. ``Comparison(Attribute(0), "=", Attribute(2))``
+(the paper's indices are 1-based; ours are 0-based throughout).
+
+Two kinds of terms exist:
+
+* :class:`Attribute` — a reference to a column of the expression the condition
+  is applied to.
+* :class:`Constant` — a literal value (number, string, ...).  Constants must be
+  hashable so that conditions, and the expressions containing them, remain
+  hashable and usable as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import ConditionError
+
+__all__ = ["Attribute", "Constant", "Term", "NULL", "NullValue"]
+
+
+class NullValue:
+    """Singleton marker for SQL-style NULL, used by the left-outerjoin operator.
+
+    Comparisons involving :data:`NULL` always evaluate to ``False`` (three-valued
+    logic collapsed to two values, which is what containment checking needs).
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "NullValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "NULL"
+
+    def __reduce__(self):
+        return (NullValue, ())
+
+
+#: The unique NULL value used for padding by the left outerjoin operator.
+NULL = NullValue()
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A reference to the ``index``-th column (0-based) of an expression."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.index, int) or isinstance(self.index, bool):
+            raise ConditionError(f"attribute index must be an int, got {self.index!r}")
+        if self.index < 0:
+            raise ConditionError(f"attribute index must be non-negative, got {self.index}")
+
+    def shifted(self, offset: int) -> "Attribute":
+        """Return a copy with the column index shifted by ``offset``."""
+        return Attribute(self.index + offset)
+
+    def remapped(self, index_map: dict) -> "Attribute":
+        """Return a copy with the column index replaced via ``index_map``.
+
+        Raises :class:`ConditionError` if the index is not in the map.
+        """
+        if self.index not in index_map:
+            raise ConditionError(f"attribute #{self.index} has no remapping")
+        return Attribute(index_map[self.index])
+
+    def __str__(self) -> str:
+        return f"#{self.index}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal value used inside a selection condition."""
+
+    value: object
+
+    def __post_init__(self) -> None:
+        try:
+            hash(self.value)
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise ConditionError(f"constant value must be hashable, got {self.value!r}") from exc
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+#: A term is either a column reference or a literal constant.
+Term = Union[Attribute, Constant]
+
+
+def resolve_term(term: Term, row: tuple) -> object:
+    """Return the value of ``term`` for the given tuple ``row``.
+
+    ``Attribute`` terms index into the tuple; ``Constant`` terms return their
+    literal value.  An out-of-range attribute raises :class:`ConditionError`.
+    """
+    if isinstance(term, Attribute):
+        if term.index >= len(row):
+            raise ConditionError(
+                f"attribute #{term.index} out of range for a tuple of width {len(row)}"
+            )
+        return row[term.index]
+    if isinstance(term, Constant):
+        return term.value
+    raise ConditionError(f"not a term: {term!r}")

@@ -1,0 +1,172 @@
+"""Generic traversal, inspection and rewriting utilities for expressions.
+
+These helpers are the only way the rest of the library walks or rewrites
+expression trees, so new operators added through the registry automatically
+work with substitution, symbol collection and size metrics — the key to the
+paper's extensibility story.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, Set
+
+from repro.algebra.expressions import (
+    Domain,
+    Empty,
+    Expression,
+    Relation,
+    SkolemApplication,
+    SkolemFunction,
+)
+from repro.exceptions import ArityError
+
+__all__ = [
+    "walk",
+    "transform_bottom_up",
+    "substitute_relation",
+    "substitute_relations",
+    "contains_relation",
+    "relation_names",
+    "relation_occurrences",
+    "skolem_functions",
+    "contains_skolem",
+    "contains_domain",
+    "contains_empty",
+    "operator_count",
+    "node_count",
+    "expression_depth",
+]
+
+
+def walk(expression: Expression) -> Iterator[Expression]:
+    """Yield every node of the expression tree in pre-order."""
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def transform_bottom_up(
+    expression: Expression, fn: Callable[[Expression], Expression]
+) -> Expression:
+    """Rebuild the tree bottom-up, applying ``fn`` to every (rebuilt) node.
+
+    ``fn`` receives a node whose children have already been transformed and
+    returns its replacement (possibly the same node).
+    """
+    children = expression.children
+    if children:
+        new_children = tuple(transform_bottom_up(child, fn) for child in children)
+        if new_children != children:
+            expression = expression.with_children(new_children)
+    return fn(expression)
+
+
+def substitute_relation(
+    expression: Expression, name: str, replacement: Expression
+) -> Expression:
+    """Replace every occurrence of the relation symbol ``name`` by ``replacement``.
+
+    The replacement must have the same arity as the symbol it replaces;
+    otherwise the resulting expression would be ill-formed and an
+    :class:`ArityError` is raised.
+    """
+
+    def rewrite(node: Expression) -> Expression:
+        if isinstance(node, Relation) and node.name == name:
+            if replacement.arity != node.arity:
+                raise ArityError(
+                    f"cannot substitute relation {name!r} of arity {node.arity} "
+                    f"with an expression of arity {replacement.arity}"
+                )
+            return replacement
+        return node
+
+    return transform_bottom_up(expression, rewrite)
+
+
+def substitute_relations(
+    expression: Expression, replacements: Dict[str, Expression]
+) -> Expression:
+    """Replace several relation symbols at once (non-recursively)."""
+
+    def rewrite(node: Expression) -> Expression:
+        if isinstance(node, Relation) and node.name in replacements:
+            replacement = replacements[node.name]
+            if replacement.arity != node.arity:
+                raise ArityError(
+                    f"cannot substitute relation {node.name!r} of arity {node.arity} "
+                    f"with an expression of arity {replacement.arity}"
+                )
+            return replacement
+        return node
+
+    return transform_bottom_up(expression, rewrite)
+
+
+def contains_relation(expression: Expression, name: str) -> bool:
+    """Return ``True`` iff the expression references the relation symbol ``name``."""
+    return any(isinstance(node, Relation) and node.name == name for node in walk(expression))
+
+
+def relation_names(expression: Expression) -> FrozenSet[str]:
+    """Return the set of base relation symbols referenced by the expression."""
+    names: Set[str] = set()
+    for node in walk(expression):
+        if isinstance(node, Relation):
+            names.add(node.name)
+    return frozenset(names)
+
+
+def relation_occurrences(expression: Expression, name: str) -> int:
+    """Return the number of occurrences of relation symbol ``name``."""
+    return sum(
+        1 for node in walk(expression) if isinstance(node, Relation) and node.name == name
+    )
+
+
+def skolem_functions(expression: Expression) -> FrozenSet[SkolemFunction]:
+    """Return the set of Skolem functions applied anywhere in the expression."""
+    functions: Set[SkolemFunction] = set()
+    for node in walk(expression):
+        if isinstance(node, SkolemApplication):
+            functions.add(node.function)
+    return frozenset(functions)
+
+
+def contains_skolem(expression: Expression) -> bool:
+    """Return ``True`` iff the expression contains any Skolem application."""
+    return any(isinstance(node, SkolemApplication) for node in walk(expression))
+
+
+def contains_domain(expression: Expression) -> bool:
+    """Return ``True`` iff the expression contains the active-domain relation ``D``."""
+    return any(isinstance(node, Domain) for node in walk(expression))
+
+
+def contains_empty(expression: Expression) -> bool:
+    """Return ``True`` iff the expression contains the empty relation ``∅``."""
+    return any(isinstance(node, Empty) for node in walk(expression))
+
+
+def operator_count(expression: Expression) -> int:
+    """Return the number of operator (non-leaf) nodes in the expression.
+
+    This is the size metric the paper uses ("the total number of operators
+    across all constraints") for the blow-up abort criterion.
+    """
+    return sum(1 for node in walk(expression) if not node.is_leaf())
+
+
+def node_count(expression: Expression) -> int:
+    """Return the total number of AST nodes, leaves included."""
+    return sum(1 for _ in walk(expression))
+
+
+def expression_depth(expression: Expression) -> int:
+    """Return the height of the expression tree (a single leaf has depth 1)."""
+    children = expression.children
+    if not children:
+        return 1
+    return 1 + max(expression_depth(child) for child in children)

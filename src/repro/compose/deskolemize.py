@@ -1,0 +1,225 @@
+"""Deskolemization — removing Skolem functions after right compose (Section 3.5.3).
+
+Right-normalization introduces Skolem functions to invert projections; after
+basic right composition those functions may appear in several constraints.
+The semantics of a Skolemized constraint set is *existential second order*:
+the constraints hold iff there exist interpretations of the Skolem functions
+satisfying them.  Deskolemization rewrites such a set into an equivalent
+first-order (Skolem-free) set of algebraic constraints, or fails.
+
+The paper's procedure has 12 steps; this implementation realizes them on the
+algebraic canonical form of :mod:`repro.compose.skolem`:
+
+1.  *Unnest* — canonicalize each Skolemized left-hand side into
+    ``π(skolem-chain(σ(base)))`` (:func:`canonicalize_skolemized`).
+2.  *Check for cycles* — a Skolem function may not depend on another Skolem
+    column (checked during canonicalization).
+3.  *Check for repeated function symbols* — the same function applied twice
+    within one constraint makes the existential reading invalid (this is what
+    fails on the paper's Example 17); refuse.
+4.  *Align variables* — group constraints by their base expression and map
+    every constraint's Skolem columns into a per-group column space; a
+    function used with two different bases or argument lists cannot be
+    aligned; refuse.
+5./6./7.  *Restricting atoms / restricted constraints* — selections on Skolem
+    columns are rejected during canonicalization (a sound approximation).
+8.  *Check for dependencies* — every Skolem function must depend on *all*
+    columns of its group's base; otherwise the per-tuple existential reading
+    used in step 11 would be weaker than the functional semantics; refuse.
+9.  *Combine dependencies* — constraints of the same group are combined by
+    intersecting their (lifted) right-hand sides over the shared
+    base-plus-Skolem column space.
+10. *Remove redundant constraints* — constraints whose outputs use no Skolem
+    column are emitted directly without the existential machinery.
+11. *Replace functions with ∃-variables* — each group becomes a single
+    constraint ``base ⊆ π_base-columns(⋂ lifted right-hand sides)``.
+12. *Eliminate unnecessary ∃-variables* — Skolem columns never referenced by
+    any output are dropped before building the lifted space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.builders import project
+from repro.algebra.conditions import conjunction, equals
+from repro.algebra.expressions import (
+    CrossProduct,
+    Domain,
+    Expression,
+    Intersection,
+    Selection,
+    Union,
+)
+from repro.algebra.traversal import contains_skolem
+from repro.compose.skolem import ColumnRef, SkolemizedSide, canonicalize_skolemized
+from repro.constraints.constraint import Constraint, ContainmentConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+__all__ = ["deskolemize"]
+
+
+@dataclass
+class _GroupMember:
+    """One Skolemized constraint, canonicalized, inside its group."""
+
+    side: SkolemizedSide
+    rhs: Expression
+
+
+def _check_repeated_functions(side: SkolemizedSide) -> bool:
+    """Step 3: no function symbol may occur twice within one constraint."""
+    names = side.function_names()
+    return len(names) == len(set(names))
+
+
+def _full_dependency(side: SkolemizedSide) -> bool:
+    """Step 8: every Skolem function must depend on all base columns."""
+    expected = tuple(ColumnRef("base", i) for i in range(side.base_arity))
+    for column in side.skolems:
+        if tuple(sorted(column.arguments, key=lambda r: (r.kind, r.index))) != expected:
+            return False
+    return True
+
+
+def _lift(member: _GroupMember, function_positions: Dict[str, int], width: int) -> Expression:
+    """Lift a member's right-hand side into the group's (base + Skolem) column space.
+
+    The lifted expression denotes the set of ``width``-tuples ``z`` such that
+    the member's output columns of ``z`` form a tuple of the member's RHS.
+    When the member's output is exactly the identity over the group space the
+    lift is the RHS itself; otherwise it is expressed as
+    ``π_{0..width-1}(σ_match(D^width × RHS))``.
+    """
+    positions: List[int] = []
+    for reference in member.side.output:
+        if reference.kind == "base":
+            positions.append(reference.index)
+        else:
+            function_name = member.side.skolems[reference.index].function.name
+            positions.append(function_positions[function_name])
+    if positions == list(range(width)):
+        return member.rhs
+    rhs_arity = member.rhs.arity
+    matching = conjunction(
+        equals(positions[j], width + j) for j in range(rhs_arity)
+    )
+    return project(Selection(CrossProduct(Domain(width), member.rhs), matching), range(width))
+
+
+def _translate_group(base: Expression, members: List[_GroupMember]) -> Optional[List[Constraint]]:
+    """Steps 9-12 for one group of constraints sharing a base expression."""
+    # Step 4 (alignment): a function symbol must be used consistently.
+    signatures: Dict[str, Tuple[ColumnRef, ...]] = {}
+    for member in members:
+        for column in member.side.skolems:
+            seen = signatures.get(column.function.name)
+            if seen is None:
+                signatures[column.function.name] = column.arguments
+            elif seen != column.arguments:
+                return None
+
+    # Step 10/12: constraints whose output never reads a Skolem column are
+    # already first-order — emit them directly.
+    plain: List[Constraint] = []
+    existential: List[_GroupMember] = []
+    for member in members:
+        if member.side.uses_skolem_output():
+            existential.append(member)
+        else:
+            indices = tuple(reference.index for reference in member.side.output)
+            plain.append(ContainmentConstraint(project(base, indices), member.rhs))
+    if not existential:
+        return plain
+
+    # Step 12: only Skolem columns actually read by some output survive.
+    used_functions: List[str] = []
+    for member in existential:
+        for reference in member.side.output:
+            if reference.kind == "skolem":
+                name = member.side.skolems[reference.index].function.name
+                if name not in used_functions:
+                    used_functions.append(name)
+    used_functions.sort()
+
+    base_arity = base.arity
+    width = base_arity + len(used_functions)
+    function_positions = {
+        name: base_arity + offset for offset, name in enumerate(used_functions)
+    }
+
+    # Step 9/11: intersect the lifted right-hand sides and project back onto
+    # the base columns, yielding the per-tuple existential reading.
+    lifted = [_lift(member, function_positions, width) for member in existential]
+    combined: Expression = lifted[0]
+    for expression in lifted[1:]:
+        combined = Intersection(combined, expression)
+    result = ContainmentConstraint(base, project(combined, range(base_arity)))
+    return plain + [result]
+
+
+def deskolemize(constraints: ConstraintSet) -> Optional[ConstraintSet]:
+    """Remove all Skolem functions from ``constraints``, or return ``None``.
+
+    Constraints without Skolem functions pass through unchanged.  Constraints
+    with Skolem functions on the *right-hand side* are rejected outright (they
+    cannot arise from the library's own normalization and have no sound
+    translation here).
+    """
+    plain: List[Constraint] = []
+    groups: Dict[Expression, List[_GroupMember]] = {}
+    function_owner: Dict[str, Expression] = {}
+
+    # Step 1 (unnest), part one: a union on a Skolemized left-hand side splits
+    # into one constraint per operand (``A ∪ B ⊆ C`` ↔ ``A ⊆ C, B ⊆ C``), which
+    # is how a collapsed lower bound ``f(E) ∪ E' ⊆ S`` becomes tractable.
+    pending: List[Constraint] = []
+    for constraint in constraints:
+        if (
+            constraint.contains_skolem()
+            and isinstance(constraint, ContainmentConstraint)
+            and not contains_skolem(constraint.right)
+        ):
+            stack = [constraint.left]
+            while stack:
+                side = stack.pop()
+                if isinstance(side, Union):
+                    stack.extend(side.children)
+                else:
+                    pending.append(ContainmentConstraint(side, constraint.right))
+        else:
+            pending.append(constraint)
+
+    for constraint in pending:
+        if not constraint.contains_skolem():
+            plain.append(constraint)
+            continue
+        if not isinstance(constraint, ContainmentConstraint):
+            return None
+        if contains_skolem(constraint.right):
+            return None
+        side = canonicalize_skolemized(constraint.left)  # steps 1-2, 5-7
+        if side is None:
+            return None
+        if not _check_repeated_functions(side):  # step 3
+            return None
+        if not _full_dependency(side):  # step 8
+            return None
+        for name in side.function_names():
+            owner = function_owner.get(name)
+            if owner is None:
+                function_owner[name] = side.base
+            elif owner != side.base:  # step 4: same function, different base
+                return None
+        groups.setdefault(side.base, []).append(
+            _GroupMember(side=side, rhs=constraint.right)
+        )
+
+    result: List[Constraint] = list(plain)
+    for base, members in groups.items():
+        translated = _translate_group(base, members)
+        if translated is None:
+            return None
+        result.extend(translated)
+    return ConstraintSet(result)

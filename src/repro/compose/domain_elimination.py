@@ -1,0 +1,24 @@
+"""Eliminate the active-domain relation ``D`` (paper Section 3.4.3).
+
+Left compose may introduce ``D`` (either through the vacuous bound ``S ⊆ D^r``
+or through the selection identity).  This step applies the D-identities::
+
+    E ∪ D^r = D^r      E ∩ D^r = E      E − D^r = ∅      π_I(D^r) = D^{|I|}
+
+plus any user-supplied rules, and finally deletes constraints whose right-hand
+side is ``D^r`` alone, since they are satisfied by every instance.  ``D`` is
+not always fully eliminable; that is acceptable because a constraint
+containing ``D`` can still be checked.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.simplify import simplify_constraint_set
+from repro.constraints.constraint_set import ConstraintSet
+
+__all__ = ["eliminate_domain"]
+
+
+def eliminate_domain(constraints: ConstraintSet, registry=None) -> ConstraintSet:
+    """Apply the D-identities and drop trivially-satisfied constraints."""
+    return simplify_constraint_set(constraints, registry, drop_trivial=True)

@@ -1,0 +1,125 @@
+"""Procedure ELIMINATE (paper Section 3.1).
+
+``eliminate`` tries to remove one relation symbol from a constraint set by
+running, in order, view unfolding, left compose and right compose, and returns
+the first success.  The paper's blow-up guard is applied to each candidate:
+if a step's output exceeds the configured multiple of the baseline size, the
+candidate is rejected and the step is counted as failed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from repro.compose.config import ComposerConfig
+from repro.compose.left_compose import left_compose
+from repro.compose.result import EliminationMethod, EliminationOutcome
+from repro.compose.right_compose import right_compose
+from repro.compose.view_unfolding import unfold_view
+from repro.constraints.constraint_set import ConstraintSet
+
+__all__ = ["eliminate"]
+
+
+def _within_blowup(
+    candidate: ConstraintSet, baseline_operator_count: int, config: ComposerConfig
+) -> bool:
+    """Check the paper's output-to-input size guard (factor 100 by default)."""
+    if config.max_blowup_factor <= 0:
+        return True
+    baseline = max(baseline_operator_count, 1)
+    return candidate.operator_count() <= config.max_blowup_factor * baseline
+
+
+def eliminate(
+    constraints: ConstraintSet,
+    symbol: str,
+    symbol_arity: int,
+    config: Optional[ComposerConfig] = None,
+    baseline_operator_count: Optional[int] = None,
+) -> Tuple[ConstraintSet, EliminationOutcome]:
+    """Try to eliminate ``symbol`` from ``constraints``.
+
+    Returns ``(new_constraints, outcome)``.  On failure the constraints are
+    returned unchanged and the outcome explains which steps were attempted.
+    """
+    config = config or ComposerConfig()
+    registry = config.registry
+    baseline = (
+        baseline_operator_count
+        if baseline_operator_count is not None
+        else constraints.operator_count()
+    )
+    started = time.perf_counter()
+    reasons = []
+    blowup_aborted = False
+
+    def finish(result: ConstraintSet, method: EliminationMethod) -> Tuple[ConstraintSet, EliminationOutcome]:
+        duration = time.perf_counter() - started
+        outcome = EliminationOutcome(
+            symbol=symbol,
+            success=True,
+            method=method,
+            duration_seconds=duration,
+            failure_reasons=tuple(reasons),
+        )
+        return result, outcome
+
+    if not constraints.mentions(symbol):
+        # Nothing mentions the symbol: dropping it from the signature is free.
+        return finish(constraints, EliminationMethod.NOT_MENTIONED)
+
+    # Step 1: view unfolding.
+    if config.enable_view_unfolding:
+        candidate = unfold_view(constraints, symbol)
+        if candidate is not None:
+            if _within_blowup(candidate, baseline, config):
+                return finish(candidate, EliminationMethod.VIEW_UNFOLDING)
+            blowup_aborted = True
+            reasons.append("view unfolding exceeded the blow-up bound")
+        else:
+            reasons.append("no defining equality for view unfolding")
+    else:
+        reasons.append("view unfolding disabled")
+
+    # Step 2: left compose.
+    if config.enable_left_compose:
+        candidate = left_compose(
+            constraints, symbol, symbol_arity, registry, config.max_normalization_steps
+        )
+        if candidate is not None:
+            if _within_blowup(candidate, baseline, config):
+                return finish(candidate, EliminationMethod.LEFT_COMPOSE)
+            blowup_aborted = True
+            reasons.append("left compose exceeded the blow-up bound")
+        else:
+            reasons.append("left compose failed")
+    else:
+        reasons.append("left compose disabled")
+
+    # Step 3: right compose.
+    if config.enable_right_compose:
+        candidate = right_compose(
+            constraints, symbol, symbol_arity, registry, config.max_normalization_steps
+        )
+        if candidate is not None:
+            if _within_blowup(candidate, baseline, config):
+                return finish(candidate, EliminationMethod.RIGHT_COMPOSE)
+            blowup_aborted = True
+            reasons.append("right compose exceeded the blow-up bound")
+        else:
+            reasons.append("right compose failed")
+    else:
+        reasons.append("right compose disabled")
+
+    duration = time.perf_counter() - started
+    outcome = EliminationOutcome(
+        symbol=symbol,
+        success=False,
+        method=EliminationMethod.FAILED,
+        duration_seconds=duration,
+        failure_reasons=tuple(reasons),
+        blowup_aborted=blowup_aborted,
+    )
+    return constraints, outcome

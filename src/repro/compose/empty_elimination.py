@@ -1,0 +1,24 @@
+"""Eliminate the empty relation ``∅`` (paper Section 3.5.4).
+
+Right compose may introduce ``∅`` (through the vacuous bound ``∅ ⊆ S`` or the
+difference identity).  This step applies the ∅-identities::
+
+    E ∪ ∅ = E      E ∩ ∅ = ∅      E − ∅ = E
+    ∅ − E = ∅      σ_c(∅) = ∅     π_I(∅) = ∅
+
+plus any user-supplied rules, and deletes constraints of the form ``∅ ⊆ E``,
+which every instance satisfies.  As with ``D``, leftover occurrences of ``∅``
+are tolerated.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.simplify import simplify_constraint_set
+from repro.constraints.constraint_set import ConstraintSet
+
+__all__ = ["eliminate_empty"]
+
+
+def eliminate_empty(constraints: ConstraintSet, registry=None) -> ConstraintSet:
+    """Apply the ∅-identities and drop trivially-satisfied constraints."""
+    return simplify_constraint_set(constraints, registry, drop_trivial=True)

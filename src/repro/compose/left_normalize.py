@@ -1,0 +1,153 @@
+"""Left-normalization (paper Section 3.4.1).
+
+The goal is to bring the constraint set into *left normal form* for the symbol
+``S`` being eliminated: ``S`` appears on the left-hand side of exactly one
+constraint, and in that constraint it appears alone (``S ⊆ E``).
+
+The rewriting uses the identities listed in the paper::
+
+    ∪ :  E1 ∪ E2 ⊆ E3   ↔  E1 ⊆ E3,  E2 ⊆ E3
+    − :  E1 − E2 ⊆ E3   ↔  E1 ⊆ E2 ∪ E3          (only when S occurs in E1)
+    π :  π_I(E1) ⊆ E2   ↔  E1 ⊆ place(E2, I)      (E2's columns at positions I,
+                                                   active-domain columns elsewhere)
+    σ :  σ_c(E1) ⊆ E2   ↔  E1 ⊆ E2 ∪ (D^r − σ_c(D^r))
+
+There are no identities for ∩ or × on the left (paper Example 6 shows the
+"obvious" rewrite for × is unsound), nor for − when the symbol occurs in the
+second operand; in those cases left-normalization fails.  User-defined
+operators may contribute rules through the operator registry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algebra.builders import column_placement
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Expression,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    Union,
+)
+from repro.algebra.traversal import contains_relation  # noqa: F401  (used by rules/tests)
+from repro.constraints.constraint import Constraint, ContainmentConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.compose.normalize_context import NormalizationContext
+
+__all__ = ["left_normalize", "rewrite_left_once"]
+
+SidePair = Tuple[Expression, Expression]
+
+
+def _is_bare_symbol(expression: Expression, symbol: str) -> bool:
+    return isinstance(expression, Relation) and expression.name == symbol
+
+
+def rewrite_left_once(
+    left: Expression, right: Expression, symbol: str, context: NormalizationContext
+) -> Optional[List[SidePair]]:
+    """Apply one left-normalization rewriting step to ``left ⊆ right``.
+
+    ``left`` is a complex expression containing ``symbol``.  Returns the list
+    of replacement ``(left, right)`` pairs, or ``None`` if no rule applies.
+    """
+    if isinstance(left, Union):
+        return [(left.left, right), (left.right, right)]
+
+    if isinstance(left, Difference):
+        # E1 − E2 ⊆ E3  ↔  E1 ⊆ E2 ∪ E3 (paper Example 7).  The identity holds
+        # regardless of which operand mentions the symbol; when it is the
+        # subtrahend, the symbol moves to the right-hand side, where the
+        # monotonicity re-check of basic left compose guards the substitution.
+        return [(left.left, Union(left.right, right))]
+
+    if isinstance(left, Projection):
+        if len(set(left.indices)) != len(left.indices):
+            # Duplicated projection indices cannot be inverted by placement.
+            return None
+        placed = column_placement(right, left.indices, left.child.arity)
+        return [(left.child, placed)]
+
+    if isinstance(left, Selection):
+        r = left.child.arity
+        complement = Difference(Domain(r), Selection(Domain(r), left.condition))
+        return [(left.child, Union(right, complement))]
+
+    if isinstance(left, (Intersection, CrossProduct)):
+        # The paper knows no sound left-normalization identities for these.
+        return None
+
+    registry = context.registry
+    if registry is not None:
+        rewritten = registry.left_normalize(left, right, symbol, context)
+        if rewritten is not None:
+            return rewritten
+    return None
+
+
+def left_normalize(
+    constraints: ConstraintSet,
+    symbol: str,
+    context: NormalizationContext,
+    max_steps: int = 500,
+) -> Optional[Tuple[ConstraintSet, ContainmentConstraint]]:
+    """Bring ``constraints`` into left normal form for ``symbol``.
+
+    Preconditions (ensured by the left-compose driver): equality constraints
+    mentioning the symbol have been split into containments, and no constraint
+    mentions the symbol on both sides.
+
+    Returns ``(normalized_set, ξ)`` where ``ξ`` is the single ``S ⊆ E``
+    constraint, or ``None`` if normalization fails.
+    """
+    working: List[Constraint] = list(constraints)
+
+    for _ in range(max_steps):
+        target_index = None
+        for index, constraint in enumerate(working):
+            if not isinstance(constraint, ContainmentConstraint):
+                continue
+            if contains_relation(constraint.left, symbol) and not _is_bare_symbol(
+                constraint.left, symbol
+            ):
+                target_index = index
+                break
+        if target_index is None:
+            break
+        constraint = working[target_index]
+        rewritten = rewrite_left_once(constraint.left, constraint.right, symbol, context)
+        if rewritten is None:
+            return None
+        replacement = [ContainmentConstraint(left, right) for left, right in rewritten]
+        working = working[:target_index] + replacement + working[target_index + 1 :]
+    else:
+        # Exhausted the step budget without reaching a fixpoint.
+        return None
+
+    # Collapse all ``S ⊆ E_i`` constraints into a single ``S ⊆ E_1 ∩ ... ∩ E_n``.
+    bounds: List[Expression] = []
+    remaining: List[Constraint] = []
+    for constraint in working:
+        if isinstance(constraint, ContainmentConstraint) and _is_bare_symbol(
+            constraint.left, symbol
+        ):
+            bounds.append(constraint.right)
+        else:
+            remaining.append(constraint)
+
+    if bounds:
+        upper: Expression = bounds[0]
+        for bound in bounds[1:]:
+            upper = Intersection(upper, bound)
+    else:
+        # The symbol never appears on a left-hand side: any contents satisfy
+        # the vacuous bound ``S ⊆ D^r``.
+        upper = Domain(context.symbol_arity)
+
+    xi = ContainmentConstraint(Relation(symbol, context.symbol_arity), upper)
+    return ConstraintSet(remaining + [xi]), xi

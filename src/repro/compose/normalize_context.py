@@ -1,0 +1,44 @@
+"""Shared context object passed to normalization rules.
+
+Both built-in and user-supplied (registry) normalization rules receive a
+:class:`NormalizationContext`.  It provides the name of the symbol being
+eliminated, its arity, a fresh-Skolem-function factory (so right-normalization
+rules for user-defined operators can Skolemize consistently with the built-in
+projection rule) and the operator registry itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.algebra.expressions import SkolemFunction
+
+__all__ = ["SkolemNamer", "NormalizationContext"]
+
+
+class SkolemNamer:
+    """Generates fresh, deterministic Skolem function names (``sk1``, ``sk2``, ...)."""
+
+    def __init__(self, prefix: str = "sk"):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def fresh_name(self) -> str:
+        """Return a name never returned before by this namer."""
+        return f"{self._prefix}{next(self._counter)}"
+
+    def fresh_function(self, depends_on: Sequence[int]) -> SkolemFunction:
+        """Return a fresh Skolem function depending on the given column indices."""
+        return SkolemFunction(self.fresh_name(), tuple(depends_on))
+
+
+@dataclass
+class NormalizationContext:
+    """Context available to normalization rules while eliminating one symbol."""
+
+    symbol: str
+    symbol_arity: int
+    skolems: SkolemNamer = field(default_factory=SkolemNamer)
+    registry: object = None

@@ -1,0 +1,196 @@
+"""Right-normalization (paper Section 3.5.1).
+
+The dual of left-normalization: bring the constraints into *right normal form*
+for the symbol ``S`` — ``S`` appears on the right-hand side of exactly one
+constraint, alone (``E ⊆ S``).  The rewriting identities are::
+
+    ∪ :  E1 ⊆ E2 ∪ E3  ↔  E1 − E3 ⊆ E2            (keeping the operand with S)
+    ∩ :  E1 ⊆ E2 ∩ E3  ↔  E1 ⊆ E2,  E1 ⊆ E3
+    × :  E1 ⊆ E2 × E3  ↔  π_left(E1) ⊆ E2,  π_right(E1) ⊆ E3
+    − :  E1 ⊆ E2 − E3  ↔  E1 ⊆ E2,  E1 ∩ E3 ⊆ ∅
+    π :  E1 ⊆ π_I(E2)  ↔  skolemize(E1, I, arity(E2)) ⊆ E2
+    σ :  E1 ⊆ σ_c(E2)  ↔  E1 ⊆ E2,  E1 ⊆ σ_c(D^r)
+
+Unlike left-normalization there is a rule for every basic operator, so
+right-normalization always succeeds on purely basic expressions; the price is
+that the projection rule introduces Skolem functions that the deskolemization
+step must later remove.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    SkolemApplication,
+    Union,
+)
+from repro.algebra.builders import project
+from repro.algebra.traversal import contains_relation
+from repro.compose.normalize_context import NormalizationContext
+from repro.constraints.constraint import Constraint, ContainmentConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+__all__ = ["right_normalize", "rewrite_right_once", "skolemize_projection_bound"]
+
+SidePair = Tuple[Expression, Expression]
+
+
+def _is_bare_symbol(expression: Expression, symbol: str) -> bool:
+    return isinstance(expression, Relation) and expression.name == symbol
+
+
+def skolemize_projection_bound(
+    lower: Expression,
+    indices: Tuple[int, ...],
+    target_arity: int,
+    context: NormalizationContext,
+) -> Optional[Expression]:
+    """Rewrite the lower bound of ``lower ⊆ π_indices(E)`` into the space of ``E``.
+
+    Produces an expression ``X`` of arity ``target_arity`` such that
+    ``lower ⊆ π_indices(E)`` is equivalent (under existential second-order
+    semantics for the introduced Skolem functions) to ``X ⊆ E``: the columns of
+    ``lower`` are placed at ``indices`` and every other position receives a
+    fresh Skolem function of all the columns of ``lower``.
+
+    Returns ``None`` when the projection duplicates indices (the inverse image
+    is then not expressible this way).
+    """
+    if len(set(indices)) != len(indices):
+        return None
+    missing = [position for position in range(target_arity) if position not in indices]
+    extended: Expression = lower
+    for _ in missing:
+        function = context.skolems.fresh_function(range(lower.arity))
+        extended = SkolemApplication(extended, function)
+    # Column j of ``lower`` sits at position j of ``extended``; the t-th Skolem
+    # column sits at position lower.arity + t.  Build the output permutation so
+    # that position indices[j] of the result reads column j and position
+    # missing[t] reads the t-th Skolem column.
+    order = [0] * target_arity
+    for source, target in enumerate(indices):
+        order[target] = source
+    for offset, target in enumerate(missing):
+        order[target] = lower.arity + offset
+    return project(extended, order)
+
+
+def rewrite_right_once(
+    left: Expression, right: Expression, symbol: str, context: NormalizationContext
+) -> Optional[List[SidePair]]:
+    """Apply one right-normalization rewriting step to ``left ⊆ right``.
+
+    ``right`` is a complex expression containing ``symbol``.  Returns the list
+    of replacement ``(left, right)`` pairs, or ``None`` if no rule applies.
+    """
+    if isinstance(right, Union):
+        if contains_relation(right.left, symbol):
+            return [(Difference(left, right.right), right.left)]
+        return [(Difference(left, right.left), right.right)]
+
+    if isinstance(right, Intersection):
+        return [(left, right.left), (left, right.right)]
+
+    if isinstance(right, CrossProduct):
+        left_arity = right.left.arity
+        return [
+            (project(left, range(left_arity)), right.left),
+            (project(left, range(left_arity, right.arity)), right.right),
+        ]
+
+    if isinstance(right, Difference):
+        return [
+            (left, right.left),
+            (Intersection(left, right.right), Empty(left.arity)),
+        ]
+
+    if isinstance(right, Projection):
+        skolemized = skolemize_projection_bound(
+            left, right.indices, right.child.arity, context
+        )
+        if skolemized is None:
+            return None
+        return [(skolemized, right.child)]
+
+    if isinstance(right, Selection):
+        r = right.child.arity
+        return [(left, right.child), (left, Selection(Domain(r), right.condition))]
+
+    registry = context.registry
+    if registry is not None:
+        rewritten = registry.right_normalize(left, right, symbol, context)
+        if rewritten is not None:
+            return rewritten
+    return None
+
+
+def right_normalize(
+    constraints: ConstraintSet,
+    symbol: str,
+    context: NormalizationContext,
+    max_steps: int = 500,
+) -> Optional[Tuple[ConstraintSet, ContainmentConstraint]]:
+    """Bring ``constraints`` into right normal form for ``symbol``.
+
+    Preconditions (ensured by the right-compose driver): equality constraints
+    mentioning the symbol have been split, and no constraint mentions the
+    symbol on both sides.
+
+    Returns ``(normalized_set, ξ)`` where ``ξ`` is the single ``E ⊆ S``
+    constraint, or ``None`` if normalization fails.
+    """
+    working: List[Constraint] = list(constraints)
+
+    for _ in range(max_steps):
+        target_index = None
+        for index, constraint in enumerate(working):
+            if not isinstance(constraint, ContainmentConstraint):
+                continue
+            if contains_relation(constraint.right, symbol) and not _is_bare_symbol(
+                constraint.right, symbol
+            ):
+                target_index = index
+                break
+        if target_index is None:
+            break
+        constraint = working[target_index]
+        rewritten = rewrite_right_once(constraint.left, constraint.right, symbol, context)
+        if rewritten is None:
+            return None
+        replacement = [ContainmentConstraint(left, right) for left, right in rewritten]
+        working = working[:target_index] + replacement + working[target_index + 1 :]
+    else:
+        return None
+
+    # Collapse all ``E_i ⊆ S`` constraints into ``E_1 ∪ ... ∪ E_n ⊆ S``.
+    bounds: List[Expression] = []
+    remaining: List[Constraint] = []
+    for constraint in working:
+        if isinstance(constraint, ContainmentConstraint) and _is_bare_symbol(
+            constraint.right, symbol
+        ):
+            bounds.append(constraint.left)
+        else:
+            remaining.append(constraint)
+
+    if bounds:
+        lower: Expression = bounds[0]
+        for bound in bounds[1:]:
+            lower = Union(lower, bound)
+    else:
+        # The symbol never appears on a right-hand side: the empty relation is
+        # a vacuous lower bound.
+        lower = Empty(context.symbol_arity)
+
+    xi = ContainmentConstraint(lower, Relation(symbol, context.symbol_arity))
+    return ConstraintSet(remaining + [xi]), xi

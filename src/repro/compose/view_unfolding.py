@@ -1,0 +1,36 @@
+"""Step 1 of ELIMINATE: view unfolding (paper Section 3.2).
+
+If the constraint set contains an equality ``S = E`` where ``E`` does not
+mention ``S``, then ``S`` is a defined view: remove the defining constraint and
+substitute ``E`` for ``S`` everywhere else.  Because the definition is an
+*equality*, the substitution is correct regardless of monotonicity or of
+unknown operators — this is what gives view unfolding "extra power" compared
+to left and right compose (paper Example 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.constraints.constraint import EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+__all__ = ["unfold_view"]
+
+
+def unfold_view(constraints: ConstraintSet, symbol: str) -> Optional[ConstraintSet]:
+    """Try to eliminate ``symbol`` by view unfolding.
+
+    Returns the rewritten constraint set on success, or ``None`` if no
+    constraint of the form ``symbol = E`` (with ``E`` free of ``symbol``)
+    exists.
+    """
+    for constraint in constraints:
+        if not isinstance(constraint, EqualityConstraint):
+            continue
+        definition = constraint.definition_of(symbol)
+        if definition is None:
+            continue
+        remaining = constraints.removing(constraint)
+        return remaining.substituting(symbol, definition)
+    return None

@@ -1,0 +1,31 @@
+"""Constraints (containment / equality), constraint sets and satisfaction checking."""
+
+from repro.constraints.constraint import Constraint, ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.constraints.satisfaction import (
+    check_soundness_on_instance,
+    satisfies,
+    satisfies_all,
+    violated_constraints,
+)
+from repro.constraints.dependencies import (
+    inclusion_dependency,
+    key_constraint,
+    key_constraints_for,
+    view_definition,
+)
+
+__all__ = [
+    "Constraint",
+    "ContainmentConstraint",
+    "EqualityConstraint",
+    "ConstraintSet",
+    "satisfies",
+    "satisfies_all",
+    "violated_constraints",
+    "check_soundness_on_instance",
+    "key_constraint",
+    "key_constraints_for",
+    "inclusion_dependency",
+    "view_definition",
+]

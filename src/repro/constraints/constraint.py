@@ -1,0 +1,159 @@
+"""Containment and equality constraints between relational expressions.
+
+A mapping in the paper is a finite set of constraints, each of the form
+``E1 ⊆ E2`` (containment) or ``E1 = E2`` (equality) where ``E1`` and ``E2``
+are relational-algebra expressions over the combined signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.algebra.expressions import Expression, Relation
+from repro.algebra import traversal
+from repro.exceptions import ArityError, ConstraintError
+
+__all__ = ["Constraint", "ContainmentConstraint", "EqualityConstraint"]
+
+
+class Constraint:
+    """Abstract base class for the two constraint forms."""
+
+    left: Expression
+    right: Expression
+
+    # -- symbol queries -------------------------------------------------------
+
+    def relation_names(self) -> FrozenSet[str]:
+        """All base relation symbols mentioned on either side."""
+        return traversal.relation_names(self.left) | traversal.relation_names(self.right)
+
+    def mentions(self, name: str) -> bool:
+        """Return ``True`` iff the constraint mentions relation ``name``."""
+        return traversal.contains_relation(self.left, name) or traversal.contains_relation(
+            self.right, name
+        )
+
+    def mentions_on_left(self, name: str) -> bool:
+        """Return ``True`` iff ``name`` occurs in the left-hand side."""
+        return traversal.contains_relation(self.left, name)
+
+    def mentions_on_right(self, name: str) -> bool:
+        """Return ``True`` iff ``name`` occurs in the right-hand side."""
+        return traversal.contains_relation(self.right, name)
+
+    def occurrences(self, name: str) -> int:
+        """Total number of occurrences of relation ``name`` in the constraint."""
+        return traversal.relation_occurrences(self.left, name) + traversal.relation_occurrences(
+            self.right, name
+        )
+
+    def contains_skolem(self) -> bool:
+        """Return ``True`` iff either side contains a Skolem application."""
+        return traversal.contains_skolem(self.left) or traversal.contains_skolem(self.right)
+
+    def contains_domain(self) -> bool:
+        """Return ``True`` iff either side contains the active-domain relation."""
+        return traversal.contains_domain(self.left) or traversal.contains_domain(self.right)
+
+    def contains_empty(self) -> bool:
+        """Return ``True`` iff either side contains the empty relation."""
+        return traversal.contains_empty(self.left) or traversal.contains_empty(self.right)
+
+    def operator_count(self) -> int:
+        """Number of operator nodes on both sides (the paper's size metric)."""
+        return traversal.operator_count(self.left) + traversal.operator_count(self.right)
+
+    # -- rewriting ------------------------------------------------------------
+
+    def substituting(self, name: str, replacement: Expression) -> "Constraint":
+        """Return a copy with every occurrence of relation ``name`` replaced."""
+        raise NotImplementedError
+
+    def sides(self) -> Tuple[Expression, Expression]:
+        """Return the ``(left, right)`` pair."""
+        return (self.left, self.right)
+
+    def is_trivial(self) -> bool:
+        """Return ``True`` for constraints that every instance satisfies (``E ⊆ E``, ``E = E``)."""
+        return self.left == self.right
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}: {self}>"
+
+
+@dataclass(frozen=True, repr=False)
+class ContainmentConstraint(Constraint):
+    """A constraint ``left ⊆ right``."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        _validate_sides(self.left, self.right)
+
+    def substituting(self, name: str, replacement: Expression) -> "ContainmentConstraint":
+        return ContainmentConstraint(
+            traversal.substitute_relation(self.left, name, replacement),
+            traversal.substitute_relation(self.right, name, replacement),
+        )
+
+    def is_identity_definition_of(self, name: str) -> bool:
+        """Containments never define a symbol outright (only equalities do)."""
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.left} <= {self.right}"
+
+
+@dataclass(frozen=True, repr=False)
+class EqualityConstraint(Constraint):
+    """A constraint ``left = right``."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        _validate_sides(self.left, self.right)
+
+    def substituting(self, name: str, replacement: Expression) -> "EqualityConstraint":
+        return EqualityConstraint(
+            traversal.substitute_relation(self.left, name, replacement),
+            traversal.substitute_relation(self.right, name, replacement),
+        )
+
+    def as_containments(self) -> Tuple[ContainmentConstraint, ContainmentConstraint]:
+        """Split into the two containments ``left ⊆ right`` and ``right ⊆ left``."""
+        return (
+            ContainmentConstraint(self.left, self.right),
+            ContainmentConstraint(self.right, self.left),
+        )
+
+    def definition_of(self, name: str):
+        """If this equality defines ``name`` (the symbol alone on one side and
+        absent from the other), return the defining expression, else ``None``.
+
+        This is exactly the shape the view-unfolding step looks for:
+        ``S = E`` with ``S`` not occurring in ``E``.
+        """
+        left_is_symbol = isinstance(self.left, Relation) and self.left.name == name
+        right_is_symbol = isinstance(self.right, Relation) and self.right.name == name
+        if left_is_symbol and not traversal.contains_relation(self.right, name):
+            return self.right
+        if right_is_symbol and not traversal.contains_relation(self.left, name):
+            return self.left
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+def _validate_sides(left: Expression, right: Expression) -> None:
+    if not isinstance(left, Expression) or not isinstance(right, Expression):
+        raise ConstraintError("both sides of a constraint must be expressions")
+    if left.arity != right.arity:
+        raise ArityError(
+            f"constraint sides must have equal arity, got {left.arity} and {right.arity} "
+            f"({left} vs {right})"
+        )

@@ -1,0 +1,159 @@
+"""Finite sets of constraints with the query and rewrite operations COMPOSE needs.
+
+A :class:`ConstraintSet` is an immutable, ordered collection of constraints.
+Order is preserved because the paper's algorithm follows a user-specified
+ordering of the symbols to eliminate and because deterministic ordering makes
+runs reproducible; equality ignores order and duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.algebra.expressions import Expression
+from repro.constraints.constraint import Constraint, ContainmentConstraint, EqualityConstraint
+from repro.exceptions import ConstraintError
+
+__all__ = ["ConstraintSet"]
+
+
+class ConstraintSet:
+    """An immutable ordered set of constraints."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):
+        seen = set()
+        ordered: List[Constraint] = []
+        for constraint in constraints:
+            if not isinstance(constraint, Constraint):
+                raise ConstraintError(f"expected a Constraint, got {constraint!r}")
+            if constraint not in seen:
+                seen.add(constraint)
+                ordered.append(constraint)
+        self._constraints: Tuple[Constraint, ...] = tuple(ordered)
+
+    # -- collection protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __contains__(self, constraint: Constraint) -> bool:
+        return constraint in self._constraints
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return set(self._constraints) == set(other._constraints)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._constraints))
+
+    def __getitem__(self, index: int) -> Constraint:
+        return self._constraints[index]
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({len(self._constraints)} constraints)"
+
+    def to_text(self) -> str:
+        """Render one constraint per line (parseable back with the parser)."""
+        return "\n".join(str(constraint) for constraint in self._constraints)
+
+    # -- building --------------------------------------------------------------
+
+    def adding(self, *constraints: Constraint) -> "ConstraintSet":
+        """Return a new set with the given constraints appended."""
+        return ConstraintSet(self._constraints + constraints)
+
+    def removing(self, *constraints: Constraint) -> "ConstraintSet":
+        """Return a new set without the given constraints."""
+        removed = set(constraints)
+        return ConstraintSet(c for c in self._constraints if c not in removed)
+
+    def replacing(self, old: Constraint, new_constraints: Iterable[Constraint]) -> "ConstraintSet":
+        """Return a new set with ``old`` replaced (in place) by ``new_constraints``."""
+        result: List[Constraint] = []
+        replaced = False
+        for constraint in self._constraints:
+            if constraint == old and not replaced:
+                result.extend(new_constraints)
+                replaced = True
+            else:
+                result.append(constraint)
+        if not replaced:
+            raise ConstraintError("constraint to replace is not in the set")
+        return ConstraintSet(result)
+
+    def union(self, other: "ConstraintSet") -> "ConstraintSet":
+        """Return the union of two constraint sets (order: self then other)."""
+        return ConstraintSet(tuple(self._constraints) + tuple(other._constraints))
+
+    def map(self, fn: Callable[[Constraint], Constraint]) -> "ConstraintSet":
+        """Return a new set with ``fn`` applied to every constraint."""
+        return ConstraintSet(fn(constraint) for constraint in self._constraints)
+
+    def filter(self, predicate: Callable[[Constraint], bool]) -> "ConstraintSet":
+        """Return a new set keeping only constraints satisfying ``predicate``."""
+        return ConstraintSet(c for c in self._constraints if predicate(c))
+
+    def without_trivial(self) -> "ConstraintSet":
+        """Drop constraints of the form ``E ⊆ E`` / ``E = E``."""
+        return self.filter(lambda c: not c.is_trivial())
+
+    # -- queries ----------------------------------------------------------------
+
+    def relation_names(self) -> FrozenSet[str]:
+        """All relation symbols mentioned anywhere in the set."""
+        names: set = set()
+        for constraint in self._constraints:
+            names |= constraint.relation_names()
+        return frozenset(names)
+
+    def constraints_mentioning(self, name: str) -> Tuple[Constraint, ...]:
+        """Constraints that mention relation ``name`` on either side."""
+        return tuple(c for c in self._constraints if c.mentions(name))
+
+    def mentions(self, name: str) -> bool:
+        """Return ``True`` iff any constraint mentions relation ``name``."""
+        return any(c.mentions(name) for c in self._constraints)
+
+    def operator_count(self) -> int:
+        """Total number of operator nodes across all constraints (size metric)."""
+        return sum(c.operator_count() for c in self._constraints)
+
+    def contains_skolem(self) -> bool:
+        """Return ``True`` iff any constraint contains a Skolem application."""
+        return any(c.contains_skolem() for c in self._constraints)
+
+    def containments(self) -> Tuple[ContainmentConstraint, ...]:
+        """The containment constraints of the set."""
+        return tuple(c for c in self._constraints if isinstance(c, ContainmentConstraint))
+
+    def equalities(self) -> Tuple[EqualityConstraint, ...]:
+        """The equality constraints of the set."""
+        return tuple(c for c in self._constraints if isinstance(c, EqualityConstraint))
+
+    # -- transformations ---------------------------------------------------------
+
+    def substituting(self, name: str, replacement: Expression) -> "ConstraintSet":
+        """Replace every occurrence of relation ``name`` by ``replacement``."""
+        return self.map(lambda c: c.substituting(name, replacement))
+
+    def with_equalities_split(self, name: str = None) -> "ConstraintSet":
+        """Convert equality constraints into pairs of containments.
+
+        If ``name`` is given, only equalities mentioning that symbol are split
+        (this is what the left- and right-compose steps do); otherwise every
+        equality is split.
+        """
+        result: List[Constraint] = []
+        for constraint in self._constraints:
+            should_split = isinstance(constraint, EqualityConstraint) and (
+                name is None or constraint.mentions(name)
+            )
+            if should_split:
+                result.extend(constraint.as_containments())
+            else:
+                result.append(constraint)
+        return ConstraintSet(result)

@@ -1,0 +1,105 @@
+"""Helpers for encoding classical dependencies as algebraic constraints.
+
+The paper's language of algebraic constraints subsumes embedded dependencies.
+This module provides the encodings used by the experiments and the literature
+test suite:
+
+* **Key constraints** via the active-domain trick of Example 2:
+  "the first attribute of binary ``S`` is a key" becomes
+  ``π_{1,3}(σ_{0=2}(S × S)) ⊆ σ_{0=1}(D^2)`` (0-based indices).
+* **Inclusion dependencies** ``R[I] ⊆ S[J]`` as ``π_I(R) ⊆ π_J(S)``.
+* **Functional-style GAV view definitions** (a target symbol equals a
+  source-side query).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.algebra.builders import project
+from repro.algebra.conditions import conjunction, equals
+from repro.algebra.expressions import CrossProduct, Domain, Expression, Relation, Selection
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.exceptions import ConstraintError
+
+__all__ = [
+    "key_constraint",
+    "key_constraints_for",
+    "inclusion_dependency",
+    "view_definition",
+]
+
+
+def key_constraint(relation: Relation, key: Sequence[int]) -> ContainmentConstraint:
+    """Encode "``key`` is a key of ``relation``" as an algebraic containment.
+
+    Following Example 2 of the paper, the equality-generating dependency
+    ``S(x̄, ȳ), S(x̄, z̄) → ȳ = z̄`` is expressed by selecting pairs of tuples of
+    ``S`` that agree on the key columns and requiring each pair of
+    corresponding non-key values to be equal, i.e. to land in
+    ``σ_{0=1}(D^2) × ... `` — concretely we require, for every non-key column
+    ``c``, that the projection onto the two copies of ``c`` is contained in
+    ``σ_{0=1}(D^2)``.  We emit one containment whose left side projects all
+    non-key column pairs and whose right side is the corresponding product of
+    "equal pairs" relations; for a relation where every column is a key the
+    constraint is trivial and a ``ConstraintError`` is raised.
+    """
+    key = tuple(sorted(set(int(i) for i in key)))
+    arity = relation.arity
+    for index in key:
+        if index < 0 or index >= arity:
+            raise ConstraintError(f"key column #{index} out of range for arity {arity}")
+    non_key = [i for i in range(arity) if i not in key]
+    if not non_key:
+        raise ConstraintError("every column is a key column; the key constraint is trivial")
+
+    # Pairs of tuples of the relation agreeing on the key columns.
+    pair = CrossProduct(relation, relation)
+    agree_on_key = Selection(pair, conjunction(equals(i, arity + i) for i in key))
+
+    # Project the non-key columns of both copies: (c1, c1', c2, c2', ...).
+    projection_indices: Tuple[int, ...] = tuple(
+        index for column in non_key for index in (column, arity + column)
+    )
+    left = project(agree_on_key, projection_indices)
+
+    # The right side forces each adjacent pair of columns to be equal: a
+    # selection over D^{2k} requiring positions (0,1), (2,3), ... to agree.
+    width = 2 * len(non_key)
+    right: Expression = Selection(
+        Domain(width), conjunction(equals(2 * i, 2 * i + 1) for i in range(len(non_key)))
+    )
+    return ContainmentConstraint(left, right)
+
+
+def key_constraints_for(signature) -> list:
+    """Build key constraints for every keyed relation of a signature.
+
+    Relations whose key covers all columns are skipped (their key constraint
+    is trivially satisfied).
+    """
+    constraints = []
+    for schema in signature.relations():
+        if schema.key is None or len(schema.key) >= schema.arity:
+            continue
+        constraints.append(key_constraint(schema.to_expression(), schema.key))
+    return constraints
+
+
+def inclusion_dependency(
+    source: Relation,
+    source_columns: Sequence[int],
+    target: Relation,
+    target_columns: Sequence[int],
+) -> ContainmentConstraint:
+    """Encode the inclusion dependency ``source[source_columns] ⊆ target[target_columns]``."""
+    if len(source_columns) != len(target_columns):
+        raise ConstraintError("inclusion dependency column lists must have equal length")
+    return ContainmentConstraint(
+        project(source, source_columns), project(target, target_columns)
+    )
+
+
+def view_definition(view: Relation, query: Expression) -> EqualityConstraint:
+    """Encode a GAV view definition ``view = query``."""
+    return EqualityConstraint(view, query)

@@ -1,0 +1,91 @@
+"""Checking whether instances satisfy constraints (``A |= ξ`` and ``A |= Σ``).
+
+This module gives the library an executable notion of constraint satisfaction,
+used by the satisfaction-preservation (soundness) tests of the composition
+algorithm and by the data-migration example.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.algebra.evaluation import Evaluator, SkolemInterpretation
+from repro.constraints.constraint import (
+    Constraint,
+    ContainmentConstraint,
+    EqualityConstraint,
+)
+from repro.constraints.constraint_set import ConstraintSet
+from repro.exceptions import ConstraintError
+from repro.schema.instance import Instance
+
+__all__ = ["satisfies", "satisfies_all", "violated_constraints", "check_soundness_on_instance"]
+
+
+def satisfies(
+    instance: Instance,
+    constraint: Constraint,
+    skolems: Optional[SkolemInterpretation] = None,
+    extra_domain: Iterable[object] = (),
+) -> bool:
+    """Return ``True`` iff ``instance |= constraint``."""
+    evaluator = Evaluator(instance, skolems, extra_domain)
+    return _satisfies_with(evaluator, constraint)
+
+
+def _satisfies_with(evaluator: Evaluator, constraint: Constraint) -> bool:
+    left = evaluator.evaluate(constraint.left)
+    right = evaluator.evaluate(constraint.right)
+    if isinstance(constraint, ContainmentConstraint):
+        return left <= right
+    if isinstance(constraint, EqualityConstraint):
+        return left == right
+    raise ConstraintError(f"unknown constraint type {type(constraint).__name__}")
+
+
+def satisfies_all(
+    instance: Instance,
+    constraints: Iterable[Constraint],
+    skolems: Optional[SkolemInterpretation] = None,
+    extra_domain: Iterable[object] = (),
+) -> bool:
+    """Return ``True`` iff the instance satisfies every constraint."""
+    evaluator = Evaluator(instance, skolems, extra_domain)
+    return all(_satisfies_with(evaluator, constraint) for constraint in constraints)
+
+
+def violated_constraints(
+    instance: Instance,
+    constraints: Iterable[Constraint],
+    skolems: Optional[SkolemInterpretation] = None,
+    extra_domain: Iterable[object] = (),
+) -> List[Constraint]:
+    """Return the constraints the instance violates (useful in error messages)."""
+    evaluator = Evaluator(instance, skolems, extra_domain)
+    return [c for c in constraints if not _satisfies_with(evaluator, c)]
+
+
+def check_soundness_on_instance(
+    instance: Instance,
+    original: ConstraintSet,
+    rewritten: ConstraintSet,
+    skolems: Optional[SkolemInterpretation] = None,
+    extra_domain: Iterable[object] = (),
+) -> Tuple[bool, List[Constraint]]:
+    """Check the *soundness* direction of constraint-set equivalence on one instance.
+
+    If ``instance`` satisfies ``original`` then it must satisfy every constraint
+    of ``rewritten`` that only mentions relations present in the instance.
+    Returns ``(vacuous_or_ok, violated)`` where ``violated`` lists the
+    constraints of ``rewritten`` that fail although ``original`` holds.
+
+    This is the workhorse of the property-based tests: rewrites performed by
+    normalization and composition must never turn a satisfying instance into a
+    violating one (after restriction to the surviving symbols).
+    """
+    if not satisfies_all(instance, original, skolems, extra_domain):
+        return True, []
+    names = set(instance.relation_names())
+    applicable = [c for c in rewritten if c.relation_names() <= names]
+    violated = violated_constraints(instance, applicable, skolems, extra_domain)
+    return not violated, violated

@@ -1,0 +1,35 @@
+"""The schema-evolution simulator and scenario drivers of the paper's evaluation."""
+
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.event_vector import ALL_PRIMITIVES, INCLUSION_PRIMITIVES, EventVector
+from repro.evolution.model import EditStep, RelationNamer, SchemaState, SimulatedRelation
+from repro.evolution.primitives import PRIMITIVES, get_primitive, primitive_names
+from repro.evolution.scenarios import (
+    EditCompositionRecord,
+    EditingScenarioResult,
+    ReconciliationRecord,
+    run_editing_scenario,
+    run_reconciliation_scenario,
+)
+from repro.evolution.simulator import SchemaEvolutionSimulator
+
+__all__ = [
+    "SimulatorConfig",
+    "EventVector",
+    "ALL_PRIMITIVES",
+    "INCLUSION_PRIMITIVES",
+    "SimulatedRelation",
+    "SchemaState",
+    "EditStep",
+    "RelationNamer",
+    "PRIMITIVES",
+    "primitive_names",
+    "get_primitive",
+    "SchemaEvolutionSimulator",
+    "EditCompositionRecord",
+    "EditingScenarioResult",
+    "run_editing_scenario",
+    "ReconciliationRecord",
+    "run_reconciliation_scenario",
+    "run_editing_scenario",
+]

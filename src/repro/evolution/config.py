@@ -1,0 +1,68 @@
+"""Configuration of the schema-evolution simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import SimulatorError
+
+__all__ = ["SimulatorConfig"]
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Parameters of the simulator, with the paper's defaults (Section 4.1).
+
+    Attributes
+    ----------
+    keys_enabled:
+        Whether relations may carry keys (the 'keys' configuration).  Keys are
+        required by the vertical-partitioning primitives and, when enabled,
+        key constraints of produced relations are added to the mappings.
+    min_arity / max_arity:
+        Arity range of freshly created relations (paper: 2 and 10).
+    min_key_size / max_key_size:
+        Key size range for keyed relations (paper: 1 and 3).
+    keyed_probability:
+        Probability that a newly created relation receives a key (when keys
+        are enabled).
+    constant_pool_size:
+        Size of the pool from which the constants of the D and H primitives
+        are drawn (paper: 10).
+    emit_key_constraints:
+        Whether to add the active-domain encoding of key constraints for the
+        relations produced by each primitive (only meaningful with keys).
+    """
+
+    keys_enabled: bool = False
+    min_arity: int = 2
+    max_arity: int = 10
+    min_key_size: int = 1
+    max_key_size: int = 3
+    keyed_probability: float = 0.7
+    constant_pool_size: int = 10
+    emit_key_constraints: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_arity < 1 or self.max_arity < self.min_arity:
+            raise SimulatorError("invalid arity range")
+        if self.min_key_size < 1 or self.max_key_size < self.min_key_size:
+            raise SimulatorError("invalid key size range")
+        if not 0.0 <= self.keyed_probability <= 1.0:
+            raise SimulatorError("keyed_probability must be in [0, 1]")
+        if self.constant_pool_size < 2:
+            raise SimulatorError("constant pool must contain at least two constants")
+
+    @classmethod
+    def no_keys(cls) -> "SimulatorConfig":
+        """The 'no keys' configuration of the experiments."""
+        return cls(keys_enabled=False)
+
+    @classmethod
+    def with_keys(cls) -> "SimulatorConfig":
+        """The 'keys' configuration of the experiments."""
+        return cls(keys_enabled=True)
+
+    def constant(self, index: int) -> str:
+        """Return the ``index``-th constant of the pool (wrapping around)."""
+        return f"c{index % self.constant_pool_size}"

@@ -1,0 +1,140 @@
+"""Event vectors: the weighted mix of schema-evolution primitives.
+
+"An event vector specifies the proportions of primitives of a certain kind
+appearing in an edit sequence."  The paper assumes all primitives are applied
+with the same frequency, except adding attributes (AA, twice as frequent) and
+dropping relations (DR, five times less frequent); that is the *Default*
+vector below.  The extended technical report describes further vectors; we
+provide a few plausible ones plus helpers to build custom vectors (used by the
+Figure 5 experiment, which raises the proportion of inclusion primitives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.exceptions import SimulatorError
+
+__all__ = ["ALL_PRIMITIVES", "INCLUSION_PRIMITIVES", "EventVector"]
+
+
+#: Every primitive of Figure 1 (forward, backward and combined variants).
+ALL_PRIMITIVES: Tuple[str, ...] = (
+    "AR",
+    "DR",
+    "AA",
+    "DA",
+    "Df",
+    "Db",
+    "D",
+    "Hf",
+    "Hb",
+    "H",
+    "Vf",
+    "Vb",
+    "V",
+    "Nf",
+    "Nb",
+    "N",
+    "Sub",
+    "Sup",
+)
+
+#: The open-world primitives producing inclusion constraints.
+INCLUSION_PRIMITIVES: Tuple[str, ...] = ("Sub", "Sup")
+
+
+@dataclass(frozen=True)
+class EventVector:
+    """A normalized weight per primitive."""
+
+    weights: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, weight in self.weights:
+            if name not in ALL_PRIMITIVES:
+                raise SimulatorError(f"unknown primitive {name!r} in event vector")
+            if name in seen:
+                raise SimulatorError(f"duplicate primitive {name!r} in event vector")
+            if weight < 0:
+                raise SimulatorError(f"negative weight for primitive {name!r}")
+            seen.add(name)
+        if not any(weight > 0 for _, weight in self.weights):
+            raise SimulatorError("event vector must have at least one positive weight")
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, weights: Mapping[str, float]) -> "EventVector":
+        return cls(tuple(weights.items()))
+
+    @classmethod
+    def uniform(cls, primitives: Iterable[str] = ALL_PRIMITIVES) -> "EventVector":
+        """Equal weight for the given primitives."""
+        return cls(tuple((name, 1.0) for name in primitives))
+
+    @classmethod
+    def default(cls) -> "EventVector":
+        """The paper's Default vector: uniform, AA twice as frequent, DR 1/5."""
+        weights = {name: 1.0 for name in ALL_PRIMITIVES}
+        weights["AA"] = 2.0
+        weights["DR"] = 0.2
+        return cls.from_mapping(weights)
+
+    @classmethod
+    def structural_only(cls) -> "EventVector":
+        """A vector without the open-world (inclusion) primitives."""
+        weights = {name: 1.0 for name in ALL_PRIMITIVES if name not in INCLUSION_PRIMITIVES}
+        weights["AA"] = 2.0
+        weights["DR"] = 0.2
+        return cls.from_mapping(weights)
+
+    @classmethod
+    def partition_heavy(cls) -> "EventVector":
+        """A vector biased towards the partitioning primitives (H*, V*, N*)."""
+        weights = {name: 1.0 for name in ALL_PRIMITIVES}
+        for name in ("Hf", "Hb", "H", "Vf", "Vb", "V", "Nf", "Nb", "N"):
+            weights[name] = 2.0
+        weights["DR"] = 0.2
+        return cls.from_mapping(weights)
+
+    def with_inclusion_proportion(self, proportion: float) -> "EventVector":
+        """Return a copy where Sub and Sup together receive ``proportion`` of the mass.
+
+        This is how the Figure 5 experiment sweeps the share of inclusion
+        edits from 0 to 20%: the remaining primitives keep their relative
+        proportions and are rescaled to ``1 - proportion``.
+        """
+        if not 0.0 <= proportion < 1.0:
+            raise SimulatorError("inclusion proportion must be in [0, 1)")
+        base = {name: weight for name, weight in self.weights if name not in INCLUSION_PRIMITIVES}
+        base_total = sum(base.values())
+        if base_total <= 0:
+            raise SimulatorError("cannot rescale an event vector with no structural primitives")
+        scale = (1.0 - proportion) / base_total
+        weights: Dict[str, float] = {name: weight * scale for name, weight in base.items()}
+        for name in INCLUSION_PRIMITIVES:
+            weights[name] = proportion / len(INCLUSION_PRIMITIVES)
+        return EventVector.from_mapping(weights)
+
+    # -- queries --------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.weights)
+
+    def weight_of(self, primitive: str) -> float:
+        return self.as_dict().get(primitive, 0.0)
+
+    def total_weight(self) -> float:
+        return sum(weight for _, weight in self.weights)
+
+    def proportion_of(self, primitive: str) -> float:
+        """The normalized share of one primitive."""
+        total = self.total_weight()
+        return self.weight_of(primitive) / total if total else 0.0
+
+    def inclusion_proportion(self) -> float:
+        """The combined share of the inclusion primitives Sub and Sup."""
+        return sum(self.proportion_of(name) for name in INCLUSION_PRIMITIVES)

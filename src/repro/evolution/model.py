@@ -1,0 +1,156 @@
+"""Data model of the schema-evolution simulator.
+
+The simulator (Section 4.1 of the paper) maintains an evolving schema and, for
+every applied primitive, produces the constraints linking the consumed input
+relation(s) to the produced output relation(s).  Relations keep their names
+for as long as they exist; a primitive that transforms a relation *consumes*
+it (the name disappears from the schema) and *produces* fresh relations with
+new names.  Consumed relation symbols are exactly the intermediate symbols
+that mapping composition must later eliminate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.constraints.constraint import Constraint
+from repro.exceptions import SimulatorError
+from repro.schema.signature import RelationSchema, Signature
+
+__all__ = ["SimulatedRelation", "SchemaState", "EditStep", "RelationNamer"]
+
+
+@dataclass(frozen=True)
+class SimulatedRelation:
+    """A relation tracked by the simulator: name, arity, optional key, provenance."""
+
+    name: str
+    arity: int
+    key: Optional[Tuple[int, ...]] = None
+    created_by: str = "initial"
+
+    def __post_init__(self) -> None:
+        if self.arity <= 0:
+            raise SimulatorError(f"relation {self.name!r} must have positive arity")
+        if self.key is not None:
+            key = tuple(sorted(set(self.key)))
+            object.__setattr__(self, "key", key)
+            for index in key:
+                if index < 0 or index >= self.arity:
+                    raise SimulatorError(
+                        f"key column #{index} out of range for {self.name!r} of arity {self.arity}"
+                    )
+
+    @property
+    def has_key(self) -> bool:
+        return self.key is not None
+
+    @property
+    def non_key_columns(self) -> Tuple[int, ...]:
+        key = set(self.key or ())
+        return tuple(i for i in range(self.arity) if i not in key)
+
+    def to_schema(self) -> RelationSchema:
+        return RelationSchema(self.name, self.arity, self.key)
+
+
+class RelationNamer:
+    """Allocates fresh relation names (``R1``, ``R2``, ... with an optional prefix)."""
+
+    def __init__(self, prefix: str = "R"):
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> str:
+        return f"{self._prefix}{next(self._counter)}"
+
+
+@dataclass(frozen=True)
+class SchemaState:
+    """The current schema of the simulation: an ordered set of relations."""
+
+    relations: Tuple[SimulatedRelation, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [relation.name for relation in self.relations]
+        if len(names) != len(set(names)):
+            raise SimulatorError("schema state contains duplicate relation names")
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return any(relation.name == name for relation in self.relations)
+
+    def get(self, name: str) -> SimulatedRelation:
+        for relation in self.relations:
+            if relation.name == name:
+                return relation
+        raise SimulatorError(f"unknown relation {name!r}")
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(relation.name for relation in self.relations)
+
+    def signature(self) -> Signature:
+        """The schema as a :class:`Signature`."""
+        return Signature(relation.to_schema() for relation in self.relations)
+
+    def applying(
+        self,
+        consumed: Iterable[SimulatedRelation],
+        produced: Iterable[SimulatedRelation],
+    ) -> "SchemaState":
+        """Return the state after removing ``consumed`` and adding ``produced``."""
+        consumed_names = {relation.name for relation in consumed}
+        missing = consumed_names - set(self.names())
+        if missing:
+            raise SimulatorError(f"cannot consume unknown relations: {sorted(missing)}")
+        remaining = tuple(r for r in self.relations if r.name not in consumed_names)
+        return SchemaState(remaining + tuple(produced))
+
+    def keyed_relations(self) -> Tuple[SimulatedRelation, ...]:
+        return tuple(relation for relation in self.relations if relation.has_key)
+
+
+@dataclass(frozen=True)
+class EditStep:
+    """The outcome of applying one schema-evolution primitive.
+
+    Attributes
+    ----------
+    primitive:
+        Name of the applied primitive (``"AA"``, ``"Hf"``, ...).
+    consumed:
+        Relations removed from the schema (their symbols become intermediate).
+    produced:
+        Freshly created relations.
+    constraints:
+        Mapping constraints linking consumed and produced relations (and, when
+        keys are enabled, key constraints of the produced relations).
+    before / after:
+        Schema states before and after the edit.
+    """
+
+    primitive: str
+    consumed: Tuple[SimulatedRelation, ...]
+    produced: Tuple[SimulatedRelation, ...]
+    constraints: Tuple[Constraint, ...]
+    before: SchemaState
+    after: SchemaState
+
+    @property
+    def consumed_names(self) -> Tuple[str, ...]:
+        return tuple(relation.name for relation in self.consumed)
+
+    @property
+    def produced_names(self) -> Tuple[str, ...]:
+        return tuple(relation.name for relation in self.produced)
+
+    def arities(self) -> Dict[str, int]:
+        """Arity lookup for every relation the edit mentions."""
+        table: Dict[str, int] = {}
+        for relation in self.consumed + self.produced:
+            table[relation.name] = relation.arity
+        return table

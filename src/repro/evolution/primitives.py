@@ -1,0 +1,447 @@
+"""The schema-evolution primitives of Figure 1.
+
+Each primitive takes zero or one input relation and produces zero or more new
+relations plus the mapping constraints that link them.  The constraints are
+written in the unnamed (index-based) perspective; in the descriptions below,
+the paper's attribute-list notation is shown next to the algebraic encoding.
+
+==========  =======================  =====================================================
+Primitive   Paper constraint(s)      Encoding (0-based column indices)
+==========  =======================  =====================================================
+AR          (none)                   —
+DR          (none)                   —
+AA          R = π_A(S)               ``R = project[0..n-1](S)`` (new column appended)
+DA          π_{A−C}(R) = S           ``project[all but c](R) = S``
+Df          R × {c} = S              ``(R x const((c,))) = S``
+Db          R = π_A(σ_{C=c}(S))      ``R = project[0..n-1](select[#n = c](S))``
+D           both of the above
+Hf          σ_{C=cS}(R) = S, σ_{C=cT}(R) = T
+Hb          R = S ∪ T
+H           all three
+Vf          π_{A,B}(R) = S, π_{A,C}(R) = T
+Vb          R = S ⋈_A T              join expressed with ×, σ, π
+V           all three (input must have a key A)
+Nf/Nb/N     same as vertical plus π_A(T) ⊆ π_A(S)
+Sub         R ⊆ S
+Sup         R ⊇ S
+==========  =======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.builders import natural_key_join, project
+from repro.algebra.conditions import equals_const
+from repro.algebra.expressions import (
+    ConstantRelation,
+    CrossProduct,
+    Expression,
+    Relation,
+    Selection,
+    Union,
+)
+from repro.constraints.constraint import (
+    Constraint,
+    ContainmentConstraint,
+    EqualityConstraint,
+)
+from repro.constraints.dependencies import key_constraint
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.model import EditStep, RelationNamer, SchemaState, SimulatedRelation
+from repro.exceptions import SimulatorError
+
+__all__ = ["Primitive", "PRIMITIVES", "primitive_names", "get_primitive"]
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A schema-evolution primitive: applicability test plus application function."""
+
+    name: str
+    description: str
+    applicable: Callable[[SchemaState, SimulatorConfig], bool]
+    apply: Callable[[SchemaState, random.Random, RelationNamer, SimulatorConfig], EditStep]
+
+
+def _new_relation(
+    namer: RelationNamer,
+    arity: int,
+    rng: random.Random,
+    config: SimulatorConfig,
+    created_by: str,
+    key: Optional[Tuple[int, ...]] = "inherit-none",
+) -> SimulatedRelation:
+    """Create a fresh relation, possibly with a random key when keys are enabled."""
+    if key == "inherit-none":
+        key = None
+        if config.keys_enabled and arity >= 2 and rng.random() < config.keyed_probability:
+            size = rng.randint(config.min_key_size, min(config.max_key_size, arity - 1))
+            key = tuple(range(size))
+    return SimulatedRelation(namer.fresh(), arity, key, created_by)
+
+
+def _key_constraints(
+    relations: Sequence[SimulatedRelation], config: SimulatorConfig
+) -> List[Constraint]:
+    """Key constraints (active-domain encoding) for keyed produced relations."""
+    if not (config.keys_enabled and config.emit_key_constraints):
+        return []
+    constraints: List[Constraint] = []
+    for relation in relations:
+        if relation.key and len(relation.key) < relation.arity:
+            constraints.append(
+                key_constraint(Relation(relation.name, relation.arity), relation.key)
+            )
+    return constraints
+
+
+def _ref(relation: SimulatedRelation) -> Relation:
+    return Relation(relation.name, relation.arity)
+
+
+def _make_step(
+    name: str,
+    state: SchemaState,
+    consumed: Sequence[SimulatedRelation],
+    produced: Sequence[SimulatedRelation],
+    constraints: Sequence[Constraint],
+    config: SimulatorConfig,
+) -> EditStep:
+    constraints = list(constraints) + _key_constraints(produced, config)
+    return EditStep(
+        primitive=name,
+        consumed=tuple(consumed),
+        produced=tuple(produced),
+        constraints=tuple(constraints),
+        before=state,
+        after=state.applying(consumed, produced),
+    )
+
+
+def _pick_relation(
+    state: SchemaState,
+    rng: random.Random,
+    predicate: Callable[[SimulatedRelation], bool] = lambda r: True,
+) -> SimulatedRelation:
+    candidates = [relation for relation in state.relations if predicate(relation)]
+    if not candidates:
+        raise SimulatorError("no applicable relation for this primitive")
+    return rng.choice(candidates)
+
+
+# ---------------------------------------------------------------------------
+# AR / DR — add and drop a relation
+# ---------------------------------------------------------------------------
+
+
+def _ar_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return True
+
+
+def _ar_apply(
+    state: SchemaState, rng: random.Random, namer: RelationNamer, config: SimulatorConfig
+) -> EditStep:
+    arity = rng.randint(config.min_arity, config.max_arity)
+    produced = _new_relation(namer, arity, rng, config, "AR")
+    return _make_step("AR", state, [], [produced], [], config)
+
+
+def _dr_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return len(state) > 1
+
+
+def _dr_apply(
+    state: SchemaState, rng: random.Random, namer: RelationNamer, config: SimulatorConfig
+) -> EditStep:
+    victim = _pick_relation(state, rng)
+    return _make_step("DR", state, [victim], [], [], config)
+
+
+# ---------------------------------------------------------------------------
+# AA / DA — add and drop an attribute
+# ---------------------------------------------------------------------------
+
+
+def _aa_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return any(relation.arity < config.max_arity for relation in state.relations)
+
+
+def _aa_apply(
+    state: SchemaState, rng: random.Random, namer: RelationNamer, config: SimulatorConfig
+) -> EditStep:
+    source = _pick_relation(state, rng, lambda r: r.arity < config.max_arity)
+    produced = SimulatedRelation(
+        namer.fresh(), source.arity + 1, source.key, created_by="AA"
+    )
+    constraint = EqualityConstraint(
+        _ref(source), project(_ref(produced), range(source.arity))
+    )
+    return _make_step("AA", state, [source], [produced], [constraint], config)
+
+
+def _da_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return any(len(relation.non_key_columns) >= 1 and relation.arity >= 2 for relation in state.relations)
+
+
+def _da_apply(
+    state: SchemaState, rng: random.Random, namer: RelationNamer, config: SimulatorConfig
+) -> EditStep:
+    source = _pick_relation(
+        state, rng, lambda r: len(r.non_key_columns) >= 1 and r.arity >= 2
+    )
+    dropped = rng.choice(source.non_key_columns)
+    kept = tuple(i for i in range(source.arity) if i != dropped)
+    new_key = None
+    if source.key is not None:
+        new_key = tuple(sorted(kept.index(i) for i in source.key))
+    produced = SimulatedRelation(namer.fresh(), len(kept), new_key, created_by="DA")
+    constraint = EqualityConstraint(project(_ref(source), kept), _ref(produced))
+    return _make_step("DA", state, [source], [produced], [constraint], config)
+
+
+# ---------------------------------------------------------------------------
+# D / Df / Db — add an attribute with a default value
+# ---------------------------------------------------------------------------
+
+
+def _default_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return any(relation.arity < config.max_arity for relation in state.relations)
+
+
+def _default_apply(
+    name: str,
+    state: SchemaState,
+    rng: random.Random,
+    namer: RelationNamer,
+    config: SimulatorConfig,
+) -> EditStep:
+    source = _pick_relation(state, rng, lambda r: r.arity < config.max_arity)
+    constant = config.constant(rng.randrange(config.constant_pool_size))
+    produced = SimulatedRelation(
+        namer.fresh(), source.arity + 1, source.key, created_by=name
+    )
+    constraints: List[Constraint] = []
+    forward = EqualityConstraint(
+        CrossProduct(_ref(source), ConstantRelation.singleton(constant)), _ref(produced)
+    )
+    backward = EqualityConstraint(
+        _ref(source),
+        project(
+            Selection(_ref(produced), equals_const(source.arity, constant)),
+            range(source.arity),
+        ),
+    )
+    if name in ("Df", "D"):
+        constraints.append(forward)
+    if name in ("Db", "D"):
+        constraints.append(backward)
+    return _make_step(name, state, [source], [produced], constraints, config)
+
+
+# ---------------------------------------------------------------------------
+# H / Hf / Hb — horizontal partitioning
+# ---------------------------------------------------------------------------
+
+
+def _horizontal_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return len(state) >= 1
+
+
+def _horizontal_apply(
+    name: str,
+    state: SchemaState,
+    rng: random.Random,
+    namer: RelationNamer,
+    config: SimulatorConfig,
+) -> EditStep:
+    source = _pick_relation(state, rng)
+    column = rng.randrange(source.arity)
+    first_index = rng.randrange(config.constant_pool_size)
+    second_index = (first_index + 1 + rng.randrange(config.constant_pool_size - 1)) % (
+        config.constant_pool_size
+    )
+    constant_s = config.constant(first_index)
+    constant_t = config.constant(second_index)
+    part_s = SimulatedRelation(namer.fresh(), source.arity, source.key, created_by=name)
+    part_t = SimulatedRelation(namer.fresh(), source.arity, source.key, created_by=name)
+    constraints: List[Constraint] = []
+    if name in ("Hf", "H"):
+        constraints.append(
+            EqualityConstraint(Selection(_ref(source), equals_const(column, constant_s)), _ref(part_s))
+        )
+        constraints.append(
+            EqualityConstraint(Selection(_ref(source), equals_const(column, constant_t)), _ref(part_t))
+        )
+    if name in ("Hb", "H"):
+        constraints.append(
+            EqualityConstraint(_ref(source), Union(_ref(part_s), _ref(part_t)))
+        )
+    return _make_step(name, state, [source], [part_s, part_t], constraints, config)
+
+
+# ---------------------------------------------------------------------------
+# V / Vf / Vb — vertical partitioning (requires a keyed input relation)
+# N / Nf / Nb — normalization (vertical partitioning plus an inclusion)
+# ---------------------------------------------------------------------------
+
+
+def _vertical_candidate(relation: SimulatedRelation) -> bool:
+    """A keyed relation whose key is a prefix and which has at least two non-key columns."""
+    if relation.key is None:
+        return False
+    if relation.key != tuple(range(len(relation.key))):
+        return False
+    return relation.arity - len(relation.key) >= 2
+
+
+def _vertical_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return config.keys_enabled and any(_vertical_candidate(r) for r in state.relations)
+
+
+def _normalization_candidate(relation: SimulatedRelation) -> bool:
+    """Normalization only needs enough columns to split (keys are not required)."""
+    return relation.arity >= 3
+
+
+def _normalization_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return any(_normalization_candidate(r) for r in state.relations)
+
+
+def _split_apply(
+    name: str,
+    state: SchemaState,
+    rng: random.Random,
+    namer: RelationNamer,
+    config: SimulatorConfig,
+) -> EditStep:
+    is_normalization = name.startswith("N")
+    if is_normalization:
+        source = _pick_relation(state, rng, _normalization_candidate)
+        key_is_prefix = source.key is not None and source.key == tuple(range(len(source.key)))
+        if key_is_prefix and source.arity - len(source.key) >= 2:
+            shared = source.key
+        else:
+            # Fall back to splitting on the first column (arity >= 3 guarantees
+            # at least two remaining columns to distribute).
+            shared = (0,)
+    else:
+        source = _pick_relation(state, rng, _vertical_candidate)
+        shared = source.key
+    shared = tuple(shared)
+    rest = [i for i in range(source.arity) if i not in shared]
+    if len(rest) < 2:
+        raise SimulatorError(f"{name}: relation {source.name!r} has too few columns to split")
+    split_point = rng.randint(1, len(rest) - 1)
+    group_b = tuple(rest[:split_point])
+    group_c = tuple(rest[split_point:])
+    key = tuple(range(len(shared)))
+    part_s = SimulatedRelation(
+        namer.fresh(), len(shared) + len(group_b), key if config.keys_enabled and source.key else None, created_by=name
+    )
+    part_t = SimulatedRelation(
+        namer.fresh(), len(shared) + len(group_c), key if config.keys_enabled and source.key else None, created_by=name
+    )
+    source_ref = _ref(source)
+    constraints: List[Constraint] = []
+    if name in ("Vf", "V", "Nf", "N"):
+        constraints.append(
+            EqualityConstraint(project(source_ref, shared + group_b), _ref(part_s))
+        )
+        constraints.append(
+            EqualityConstraint(project(source_ref, shared + group_c), _ref(part_t))
+        )
+    if name in ("Vb", "V", "Nb", "N"):
+        joined = natural_key_join(_ref(part_s), _ref(part_t), len(shared))
+        # The join lists the shared columns, then S's payload, then T's payload;
+        # permute it back into the source's original column order.
+        order_of = {column: position for position, column in enumerate(shared + group_b + group_c)}
+        constraints.append(
+            EqualityConstraint(source_ref, project(joined, [order_of[i] for i in range(source.arity)]))
+        )
+    if is_normalization:
+        constraints.append(
+            ContainmentConstraint(
+                project(_ref(part_t), range(len(shared))),
+                project(_ref(part_s), range(len(shared))),
+            )
+        )
+    return _make_step(name, state, [source], [part_s, part_t], constraints, config)
+
+
+# ---------------------------------------------------------------------------
+# Sub / Sup — open-world (inclusion) primitives
+# ---------------------------------------------------------------------------
+
+
+def _inclusion_applicable(state: SchemaState, config: SimulatorConfig) -> bool:
+    return len(state) >= 1
+
+
+def _inclusion_apply(
+    name: str,
+    state: SchemaState,
+    rng: random.Random,
+    namer: RelationNamer,
+    config: SimulatorConfig,
+) -> EditStep:
+    source = _pick_relation(state, rng)
+    produced = SimulatedRelation(namer.fresh(), source.arity, source.key, created_by=name)
+    if name == "Sub":
+        constraint = ContainmentConstraint(_ref(source), _ref(produced))
+    else:
+        constraint = ContainmentConstraint(_ref(produced), _ref(source))
+    return _make_step(name, state, [source], [produced], [constraint], config)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _variant(name: str, apply_fn, applicable_fn, description: str) -> Primitive:
+    return Primitive(
+        name=name,
+        description=description,
+        applicable=applicable_fn,
+        apply=lambda state, rng, namer, config, _name=name: apply_fn(
+            _name, state, rng, namer, config
+        ),
+    )
+
+
+PRIMITIVES: Dict[str, Primitive] = {
+    "AR": Primitive("AR", "add a new relation", _ar_applicable, _ar_apply),
+    "DR": Primitive("DR", "drop a relation", _dr_applicable, _dr_apply),
+    "AA": Primitive("AA", "add an attribute", _aa_applicable, _aa_apply),
+    "DA": Primitive("DA", "drop an attribute", _da_applicable, _da_apply),
+    "Df": _variant("Df", _default_apply, _default_applicable, "add attribute with default (forward)"),
+    "Db": _variant("Db", _default_apply, _default_applicable, "add attribute with default (backward)"),
+    "D": _variant("D", _default_apply, _default_applicable, "add attribute with default (both)"),
+    "Hf": _variant("Hf", _horizontal_apply, _horizontal_applicable, "horizontal partitioning (forward)"),
+    "Hb": _variant("Hb", _horizontal_apply, _horizontal_applicable, "horizontal partitioning (backward)"),
+    "H": _variant("H", _horizontal_apply, _horizontal_applicable, "horizontal partitioning (both)"),
+    "Vf": _variant("Vf", _split_apply, _vertical_applicable, "vertical partitioning (forward)"),
+    "Vb": _variant("Vb", _split_apply, _vertical_applicable, "vertical partitioning (backward)"),
+    "V": _variant("V", _split_apply, _vertical_applicable, "vertical partitioning (both)"),
+    "Nf": _variant("Nf", _split_apply, _normalization_applicable, "normalization (forward)"),
+    "Nb": _variant("Nb", _split_apply, _normalization_applicable, "normalization (backward)"),
+    "N": _variant("N", _split_apply, _normalization_applicable, "normalization (both)"),
+    "Sub": _variant("Sub", _inclusion_apply, _inclusion_applicable, "subset (open world)"),
+    "Sup": _variant("Sup", _inclusion_apply, _inclusion_applicable, "superset (open world)"),
+}
+
+
+def primitive_names() -> Tuple[str, ...]:
+    """All primitive names, in Figure 1 order."""
+    return tuple(PRIMITIVES)
+
+
+def get_primitive(name: str) -> Primitive:
+    """Look up a primitive by name."""
+    try:
+        return PRIMITIVES[name]
+    except KeyError:
+        raise SimulatorError(f"unknown primitive {name!r}") from None

@@ -1,0 +1,102 @@
+"""The schema-evolution simulator (paper Section 4.1).
+
+The simulator is "driven by a weighted set of schema evolution primitives";
+every call to :meth:`SchemaEvolutionSimulator.apply_random_edit` draws a
+primitive from the event vector, applies it to a randomly chosen relation of
+the current schema, and returns the :class:`~repro.evolution.model.EditStep`
+describing the produced relations and mapping constraints.
+
+All randomness flows through a caller-supplied seed, so edit sequences are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.event_vector import EventVector
+from repro.evolution.model import EditStep, RelationNamer, SchemaState, SimulatedRelation
+from repro.evolution.primitives import PRIMITIVES, get_primitive
+from repro.exceptions import SimulatorError
+
+__all__ = ["SchemaEvolutionSimulator"]
+
+
+class SchemaEvolutionSimulator:
+    """Generates random schemas and random edit sequences over them."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[SimulatorConfig] = None,
+        event_vector: Optional[EventVector] = None,
+        name_prefix: str = "R",
+    ):
+        self.config = config or SimulatorConfig()
+        self.event_vector = event_vector or EventVector.default()
+        self._rng = random.Random(seed)
+        self._namer = RelationNamer(prefix=name_prefix)
+
+    # -- schema generation ---------------------------------------------------------
+
+    def random_relation(self, created_by: str = "initial") -> SimulatedRelation:
+        """Create one random relation according to the configuration."""
+        arity = self._rng.randint(self.config.min_arity, self.config.max_arity)
+        key = None
+        if (
+            self.config.keys_enabled
+            and arity >= 2
+            and self._rng.random() < self.config.keyed_probability
+        ):
+            size = self._rng.randint(
+                self.config.min_key_size, min(self.config.max_key_size, arity - 1)
+            )
+            key = tuple(range(size))
+        return SimulatedRelation(self._namer.fresh(), arity, key, created_by)
+
+    def random_schema(self, size: int = 30) -> SchemaState:
+        """Create a random initial schema with ``size`` relations (paper default: 30)."""
+        if size < 1:
+            raise SimulatorError("schema size must be positive")
+        return SchemaState(tuple(self.random_relation() for _ in range(size)))
+
+    # -- edit generation -------------------------------------------------------------
+
+    def applicable_primitives(self, state: SchemaState) -> List[str]:
+        """Names of primitives that can be applied to the current schema."""
+        return [
+            name
+            for name, primitive in PRIMITIVES.items()
+            if self.event_vector.weight_of(name) > 0 and primitive.applicable(state, self.config)
+        ]
+
+    def choose_primitive(self, state: SchemaState) -> str:
+        """Draw an applicable primitive according to the event vector's weights."""
+        candidates = self.applicable_primitives(state)
+        if not candidates:
+            raise SimulatorError("no primitive is applicable to the current schema")
+        weights = [self.event_vector.weight_of(name) for name in candidates]
+        return self._rng.choices(candidates, weights=weights, k=1)[0]
+
+    def apply_primitive(self, state: SchemaState, name: str) -> EditStep:
+        """Apply a specific primitive (raises if it is not applicable)."""
+        primitive = get_primitive(name)
+        if not primitive.applicable(state, self.config):
+            raise SimulatorError(f"primitive {name!r} is not applicable to the current schema")
+        return primitive.apply(state, self._rng, self._namer, self.config)
+
+    def apply_random_edit(self, state: SchemaState) -> EditStep:
+        """Apply one randomly chosen applicable primitive."""
+        return self.apply_primitive(state, self.choose_primitive(state))
+
+    def edit_sequence(self, state: SchemaState, length: int) -> List[EditStep]:
+        """Apply ``length`` random edits, returning the list of steps (no composition)."""
+        steps: List[EditStep] = []
+        current = state
+        for _ in range(length):
+            step = self.apply_random_edit(current)
+            steps.append(step)
+            current = step.after
+        return steps

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the ``repro`` mapping-composition library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  The hierarchy mirrors the major subsystems:
+algebra construction, parsing, evaluation, constraint handling, composition,
+and the schema-evolution simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ExpressionError(ReproError):
+    """A relational-algebra expression is malformed."""
+
+
+class ArityError(ExpressionError):
+    """An expression or constraint violates arity rules.
+
+    Raised, for example, when the two sides of a union have different arities,
+    when a projection references an index outside its input arity, or when the
+    two sides of a containment constraint disagree on arity.
+    """
+
+
+class ConditionError(ExpressionError):
+    """A selection condition is malformed (bad index, bad operator, ...)."""
+
+
+class ParseError(ReproError):
+    """The textual constraint / expression syntax could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+
+class EvaluationError(ReproError):
+    """An expression could not be evaluated over an instance.
+
+    Typical causes: a referenced relation is missing from the instance, a
+    Skolem function has no interpretation, or materializing the active-domain
+    relation ``D^r`` would exceed the configured size limit.
+    """
+
+
+class SchemaError(ReproError):
+    """A signature or instance is inconsistent (unknown relation, bad key, ...)."""
+
+
+class ConstraintError(ReproError):
+    """A constraint or constraint set is malformed."""
+
+
+class CompositionError(ReproError):
+    """An unrecoverable error occurred inside the composition algorithm.
+
+    Note that *failure to eliminate a symbol* is not an error — the algorithm
+    is best-effort and reports partial results.  This exception is reserved
+    for genuine misuse (e.g. overlapping signatures passed to ``compose``).
+    """
+
+
+class NormalizationError(CompositionError):
+    """Left- or right-normalization could not bring a constraint into shape.
+
+    Used internally; the compose steps convert it into a per-symbol failure.
+    """
+
+
+class DeskolemizationError(CompositionError):
+    """The 12-step deskolemization procedure failed.
+
+    Used internally by the right-compose step; converted into a per-symbol
+    failure rather than propagated to the caller.
+    """
+
+
+class SimulatorError(ReproError):
+    """The schema-evolution simulator was asked to do something impossible.
+
+    For example, applying a vertical-partitioning primitive to a schema that
+    has no keyed relation.
+    """
+
+
+class RegistryError(ReproError):
+    """An operator was registered incorrectly or looked up but never registered."""

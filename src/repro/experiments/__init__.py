@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating every figure of the paper's evaluation."""
+
+from repro.experiments.runner import (
+    EditingStudy,
+    ExperimentConfiguration,
+    STANDARD_CONFIGURATIONS,
+    run_editing_study,
+)
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.literature_study import LiteratureStudyResult, run_literature_study
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "EditingStudy",
+    "ExperimentConfiguration",
+    "STANDARD_CONFIGURATIONS",
+    "run_editing_study",
+    "Figure2Result",
+    "run_figure2",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Result",
+    "run_figure7",
+    "LiteratureStudyResult",
+    "run_literature_study",
+    "format_table",
+]

@@ -1,0 +1,89 @@
+"""Figure 2 — fraction of symbols eliminated per schema-evolution primitive.
+
+The paper's Figure 2 plots, for each primitive on the x-axis and for four
+configurations of the algorithm ('no keys', 'keys', 'no unfolding', 'no right
+compose'), the fraction of intermediate symbols that the composition following
+an edit of that primitive managed to eliminate.
+
+Expected shape (paper Section 4.2): the forward partitioning primitives Hf, Vf
+and Nf are the hardest; adding keys barely changes the elimination rate; and
+disabling view unfolding or right compose weakens the algorithm substantially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.evolution.event_vector import ALL_PRIMITIVES
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    EditingStudy,
+    ExperimentConfiguration,
+    run_editing_study,
+)
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+#: The primitives shown on the x-axis of Figure 2 (AR is omitted: it consumes nothing).
+FIGURE2_PRIMITIVES: Tuple[str, ...] = tuple(
+    name for name in ALL_PRIMITIVES if name != "AR"
+)
+
+
+@dataclass
+class Figure2Result:
+    """Per-configuration, per-primitive elimination fractions."""
+
+    study: EditingStudy
+    fractions: Dict[str, Dict[str, float]]
+
+    def series(self, configuration: str) -> Dict[str, float]:
+        """The Figure 2 series for one configuration."""
+        return self.fractions[configuration]
+
+    def hardest_primitives(self, configuration: str, count: int = 3) -> Tuple[str, ...]:
+        """The primitives with the lowest elimination fraction for a configuration."""
+        series = self.fractions[configuration]
+        ordered = sorted(series, key=lambda primitive: series[primitive])
+        return tuple(ordered[:count])
+
+    def to_table(self) -> str:
+        """Render the figure as a text table (primitives × configurations)."""
+        configurations = list(self.fractions)
+        headers = ["primitive"] + configurations
+        rows = []
+        for primitive in FIGURE2_PRIMITIVES:
+            row = [primitive]
+            for configuration in configurations:
+                value = self.fractions[configuration].get(primitive)
+                row.append("-" if value is None else f"{value:.2f}")
+            rows.append(row)
+        return format_table(
+            headers, rows, title="Figure 2: fraction of symbols eliminated per primitive"
+        )
+
+
+def run_figure2(
+    schema_size: int = 30,
+    num_edits: int = 30,
+    runs: int = 3,
+    seed: int = 0,
+    configurations: Optional[Sequence[ExperimentConfiguration]] = None,
+    paper_scale: bool = False,
+    study: Optional[EditingStudy] = None,
+) -> Figure2Result:
+    """Regenerate Figure 2 (optionally reusing an existing editing study)."""
+    study = study or run_editing_study(
+        schema_size=schema_size,
+        num_edits=num_edits,
+        runs=runs,
+        seed=seed,
+        configurations=configurations,
+        paper_scale=paper_scale,
+    )
+    fractions = {
+        configuration: study.fraction_by_primitive(configuration)
+        for configuration in study.configurations()
+    }
+    return Figure2Result(study=study, fractions=fractions)

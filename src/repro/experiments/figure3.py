@@ -1,0 +1,84 @@
+"""Figure 3 — execution time per edit for each schema-evolution primitive.
+
+The paper's Figure 3 plots the mean composition time per edit (milliseconds),
+per primitive, for the same four configurations as Figure 2.
+
+Expected shape: adding keys or disabling view unfolding increases the running
+time significantly (about an order of magnitude on the per-run medians), while
+'no right compose' is comparable to 'no keys'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.figure2 import FIGURE2_PRIMITIVES
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    EditingStudy,
+    ExperimentConfiguration,
+    run_editing_study,
+)
+
+__all__ = ["Figure3Result", "run_figure3"]
+
+
+@dataclass
+class Figure3Result:
+    """Per-configuration, per-primitive mean composition times (milliseconds)."""
+
+    study: EditingStudy
+    times_ms: Dict[str, Dict[str, float]]
+    median_run_seconds: Dict[str, float]
+
+    def series(self, configuration: str) -> Dict[str, float]:
+        """The Figure 3 series for one configuration."""
+        return self.times_ms[configuration]
+
+    def to_table(self) -> str:
+        configurations = list(self.times_ms)
+        headers = ["primitive"] + [f"{name} (ms)" for name in configurations]
+        rows = []
+        for primitive in FIGURE2_PRIMITIVES:
+            row = [primitive]
+            for configuration in configurations:
+                value = self.times_ms[configuration].get(primitive)
+                row.append("-" if value is None else f"{value:.2f}")
+            rows.append(row)
+        table = format_table(
+            headers, rows, title="Figure 3: execution time per edit (ms) per primitive"
+        )
+        medians = ", ".join(
+            f"{name}: {seconds:.3f}s" for name, seconds in self.median_run_seconds.items()
+        )
+        return table + "\nmedian time per run: " + medians
+
+
+def run_figure3(
+    schema_size: int = 30,
+    num_edits: int = 30,
+    runs: int = 3,
+    seed: int = 0,
+    configurations: Optional[Sequence[ExperimentConfiguration]] = None,
+    paper_scale: bool = False,
+    study: Optional[EditingStudy] = None,
+) -> Figure3Result:
+    """Regenerate Figure 3 (optionally reusing an existing editing study)."""
+    study = study or run_editing_study(
+        schema_size=schema_size,
+        num_edits=num_edits,
+        runs=runs,
+        seed=seed,
+        configurations=configurations,
+        paper_scale=paper_scale,
+    )
+    times = {
+        configuration: study.time_per_edit_by_primitive(configuration)
+        for configuration in study.configurations()
+    }
+    medians = {
+        configuration: study.median_run_duration(configuration)
+        for configuration in study.configurations()
+    }
+    return Figure3Result(study=study, times_ms=times, median_run_seconds=medians)

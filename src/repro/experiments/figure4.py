@@ -1,0 +1,82 @@
+"""Figure 4 — sorted execution time across runs for the 'no keys' configuration.
+
+The paper's Figure 4 sorts the total composition time of each of the 100 runs
+and shows that most runs cluster tightly while a few outliers skew the mean —
+the justification for reporting medians throughout the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import EditingStudy, STANDARD_CONFIGURATIONS, mean, median, run_editing_study
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+
+@dataclass
+class Figure4Result:
+    """Sorted per-run composition times for one configuration."""
+
+    configuration: str
+    sorted_durations: List[float]
+
+    @property
+    def median_seconds(self) -> float:
+        return median(self.sorted_durations)
+
+    @property
+    def mean_seconds(self) -> float:
+        return mean(self.sorted_durations)
+
+    @property
+    def max_seconds(self) -> float:
+        return max(self.sorted_durations) if self.sorted_durations else 0.0
+
+    def skew_ratio(self) -> float:
+        """How far the slowest run is above the median (the 'outlier' effect)."""
+        if self.median_seconds == 0:
+            return 0.0
+        return self.max_seconds / self.median_seconds
+
+    def to_table(self) -> str:
+        rows = [
+            (index, f"{duration:.3f}")
+            for index, duration in enumerate(self.sorted_durations)
+        ]
+        table = format_table(
+            ["run (sorted)", "execution time (s)"],
+            rows,
+            title=f"Figure 4: sorted execution time across runs ({self.configuration})",
+        )
+        return (
+            table
+            + f"\nmedian: {self.median_seconds:.3f}s  mean: {self.mean_seconds:.3f}s  "
+            + f"max: {self.max_seconds:.3f}s"
+        )
+
+
+def run_figure4(
+    schema_size: int = 30,
+    num_edits: int = 30,
+    runs: int = 10,
+    seed: int = 0,
+    configuration: str = "no keys",
+    paper_scale: bool = False,
+    study: Optional[EditingStudy] = None,
+) -> Figure4Result:
+    """Regenerate Figure 4 (optionally reusing an existing editing study)."""
+    if study is None:
+        selected = [c for c in STANDARD_CONFIGURATIONS if c.name == configuration]
+        study = run_editing_study(
+            schema_size=schema_size,
+            num_edits=num_edits,
+            runs=runs,
+            seed=seed,
+            configurations=selected,
+            paper_scale=paper_scale,
+        )
+    durations = sorted(study.run_durations(configuration))
+    return Figure4Result(configuration=configuration, sorted_durations=durations)

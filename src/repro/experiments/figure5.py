@@ -1,0 +1,138 @@
+"""Figure 5 — increasing the proportion of inclusion (open-world) primitives.
+
+The paper's Figure 5 sweeps the share of Sub/Sup edits from 0% to 20% of the
+event vector and plots, against that proportion: the total fraction of symbols
+eliminated, the per-primitive fractions for Df, DA, Nf and Hf, and the total
+running time.
+
+Expected shape: as the proportion of inclusion edits grows, composition gets
+harder (total fraction drops, mainly because view unfolding applies less
+often) while the running time *decreases*, because the algorithm fails fast on
+symbols that cannot be isolated on either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compose.config import ComposerConfig
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.event_vector import EventVector
+from repro.evolution.scenarios import run_editing_scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import mean
+
+__all__ = ["Figure5Point", "Figure5Result", "run_figure5", "FIGURE5_TRACKED_PRIMITIVES"]
+
+#: The individual primitives whose series the paper plots alongside the total.
+FIGURE5_TRACKED_PRIMITIVES: Tuple[str, ...] = ("Df", "DA", "Nf", "Hf")
+
+
+@dataclass(frozen=True)
+class Figure5Point:
+    """One x-axis position of Figure 5."""
+
+    inclusion_proportion: float
+    total_fraction: float
+    per_primitive: Dict[str, float]
+    mean_run_seconds: float
+
+
+@dataclass
+class Figure5Result:
+    """The full Figure 5 sweep."""
+
+    points: List[Figure5Point] = field(default_factory=list)
+
+    def proportions(self) -> List[float]:
+        return [point.inclusion_proportion for point in self.points]
+
+    def total_series(self) -> List[float]:
+        return [point.total_fraction for point in self.points]
+
+    def time_series(self) -> List[float]:
+        return [point.mean_run_seconds for point in self.points]
+
+    def primitive_series(self, primitive: str) -> List[float]:
+        return [point.per_primitive.get(primitive, float("nan")) for point in self.points]
+
+    def to_table(self) -> str:
+        headers = ["inclusion %", "total"] + list(FIGURE5_TRACKED_PRIMITIVES) + ["time (s)"]
+        rows = []
+        for point in self.points:
+            row = [f"{100 * point.inclusion_proportion:.0f}", f"{point.total_fraction:.2f}"]
+            for primitive in FIGURE5_TRACKED_PRIMITIVES:
+                value = point.per_primitive.get(primitive)
+                row.append("-" if value is None else f"{value:.2f}")
+            row.append(f"{point.mean_run_seconds:.3f}")
+            rows.append(row)
+        return format_table(
+            headers, rows, title="Figure 5: increasing proportion of inclusion primitives"
+        )
+
+
+def run_figure5(
+    proportions: Optional[Sequence[float]] = None,
+    schema_size: int = 30,
+    num_edits: int = 30,
+    runs: int = 2,
+    seed: int = 0,
+    simulator_config: Optional[SimulatorConfig] = None,
+    composer_config: Optional[ComposerConfig] = None,
+    paper_scale: bool = False,
+) -> Figure5Result:
+    """Regenerate Figure 5.
+
+    ``proportions`` lists the Sub/Sup shares to sweep (default 0%..20% in 4%
+    steps; the paper uses 0%..20% in 2% steps with 100 edits and many runs).
+    """
+    if paper_scale:
+        schema_size, num_edits, runs = 30, 100, 20
+        proportions = proportions or [i / 100.0 for i in range(0, 21, 2)]
+    proportions = list(proportions) if proportions else [0.0, 0.04, 0.08, 0.12, 0.16, 0.20]
+    simulator_config = simulator_config or SimulatorConfig.no_keys()
+    composer_config = composer_config or ComposerConfig.default()
+
+    result = Figure5Result()
+    for proportion in proportions:
+        vector = EventVector.default().with_inclusion_proportion(proportion)
+        run_results = [
+            run_editing_scenario(
+                schema_size=schema_size,
+                num_edits=num_edits,
+                seed=seed + run_index,
+                simulator_config=simulator_config,
+                composer_config=composer_config,
+                event_vector=vector,
+            )
+            for run_index in range(runs)
+        ]
+        attempted: Dict[str, int] = {}
+        eliminated: Dict[str, int] = {}
+        total_attempted = 0
+        total_eliminated = 0
+        for run_result in run_results:
+            for record in run_result.records:
+                total_attempted += len(record.consumed_symbols)
+                total_eliminated += len(record.consumed_eliminated)
+                if record.consumed_symbols:
+                    attempted[record.primitive] = attempted.get(record.primitive, 0) + len(
+                        record.consumed_symbols
+                    )
+                    eliminated[record.primitive] = eliminated.get(record.primitive, 0) + len(
+                        record.consumed_eliminated
+                    )
+        per_primitive = {
+            primitive: eliminated.get(primitive, 0) / count
+            for primitive, count in attempted.items()
+        }
+        result.points.append(
+            Figure5Point(
+                inclusion_proportion=proportion,
+                total_fraction=(total_eliminated / total_attempted) if total_attempted else 1.0,
+                per_primitive=per_primitive,
+                mean_run_seconds=mean([r.total_duration() for r in run_results]),
+            )
+        )
+    return result

@@ -1,0 +1,100 @@
+"""Figure 7 — schema reconciliation while varying the number of edits.
+
+The paper's Figure 7 plots, for reconciliation tasks over a fixed-size
+intermediate schema, the fraction of symbols eliminated and the execution time
+against the length of the two edit sequences (10 to 210 edits).
+
+Expected shape: more edits make composition harder — the fraction of
+eliminated symbols drops while the running time grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.compose.config import ComposerConfig
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.scenarios import run_reconciliation_scenario
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import mean
+
+__all__ = ["Figure7Point", "Figure7Result", "run_figure7"]
+
+
+@dataclass(frozen=True)
+class Figure7Point:
+    """One x-axis position of Figure 7."""
+
+    num_edits: int
+    fraction_eliminated: float
+    mean_seconds: float
+
+
+@dataclass
+class Figure7Result:
+    """The full Figure 7 sweep."""
+
+    schema_size: int
+    points: List[Figure7Point] = field(default_factory=list)
+
+    def edit_counts(self) -> List[int]:
+        return [point.num_edits for point in self.points]
+
+    def fraction_series(self) -> List[float]:
+        return [point.fraction_eliminated for point in self.points]
+
+    def time_series(self) -> List[float]:
+        return [point.mean_seconds for point in self.points]
+
+    def to_table(self) -> str:
+        rows = [
+            (point.num_edits, f"{point.fraction_eliminated:.2f}", f"{point.mean_seconds:.3f}")
+            for point in self.points
+        ]
+        return format_table(
+            ["number of edits", "fraction eliminated", "execution time (s)"],
+            rows,
+            title=f"Figure 7: varying number of edits (schema size {self.schema_size})",
+        )
+
+
+def run_figure7(
+    edit_counts: Optional[Sequence[int]] = None,
+    schema_size: int = 30,
+    tasks_per_point: int = 2,
+    seed: int = 0,
+    simulator_config: Optional[SimulatorConfig] = None,
+    composer_config: Optional[ComposerConfig] = None,
+    paper_scale: bool = False,
+) -> Figure7Result:
+    """Regenerate Figure 7 (paper: 10..210 edits in steps of 20, schema size 30)."""
+    if paper_scale:
+        edit_counts = edit_counts or list(range(10, 211, 20))
+        tasks_per_point = 20
+    edit_counts = list(edit_counts) if edit_counts else [10, 20, 40, 60]
+    simulator_config = simulator_config or SimulatorConfig.no_keys()
+    composer_config = composer_config or ComposerConfig.default()
+
+    result = Figure7Result(schema_size=schema_size)
+    for num_edits in edit_counts:
+        fractions = []
+        durations = []
+        for task_index in range(tasks_per_point):
+            record, _ = run_reconciliation_scenario(
+                schema_size=schema_size,
+                num_edits=num_edits,
+                seed=seed + task_index,
+                simulator_config=simulator_config,
+                composer_config=composer_config,
+            )
+            fractions.append(record.fraction_eliminated)
+            durations.append(record.duration_seconds)
+        result.points.append(
+            Figure7Point(
+                num_edits=num_edits,
+                fraction_eliminated=mean(fractions),
+                mean_seconds=mean(durations),
+            )
+        )
+    return result

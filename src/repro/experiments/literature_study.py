@@ -1,0 +1,109 @@
+"""The literature-problem study (the paper's first data set).
+
+Runs the composition algorithm over every problem of the literature suite and
+summarizes the per-problem outcome: symbols eliminated, whether the outcome
+matches the documented expectation, running time, and output size.  This is
+the "test suite that can be used for verifying implementations of composition"
+role the paper assigns to its 22 literature problems.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.compose.composer import compose
+from repro.compose.config import ComposerConfig
+from repro.compose.result import CompositionResult
+from repro.experiments.reporting import format_table
+from repro.literature.problems import LiteratureProblem, all_problems
+
+__all__ = ["LiteratureOutcome", "LiteratureStudyResult", "run_literature_study"]
+
+
+@dataclass(frozen=True)
+class LiteratureOutcome:
+    """Outcome of one literature problem."""
+
+    problem: LiteratureProblem
+    result: CompositionResult
+    duration_seconds: float
+
+    @property
+    def matches_expectation(self) -> bool:
+        """Whether the outcome agrees with the documented expectation (if any)."""
+        eliminated = set(self.result.eliminated_symbols)
+        if self.problem.expected_eliminable is not None:
+            if not set(self.problem.expected_eliminable) <= eliminated:
+                return False
+        if set(self.problem.expected_not_eliminable) & eliminated:
+            return False
+        return True
+
+
+@dataclass
+class LiteratureStudyResult:
+    """Aggregate over the whole suite."""
+
+    outcomes: List[LiteratureOutcome] = field(default_factory=list)
+
+    @property
+    def total_problems(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def matching_expectations(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.matches_expectation)
+
+    @property
+    def fully_composed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.result.is_complete)
+
+    def total_duration(self) -> float:
+        return sum(outcome.duration_seconds for outcome in self.outcomes)
+
+    def fraction_symbols_eliminated(self) -> float:
+        attempted = sum(len(outcome.result.outcomes) for outcome in self.outcomes)
+        eliminated = sum(
+            len(outcome.result.eliminated_symbols) for outcome in self.outcomes
+        )
+        return eliminated / attempted if attempted else 1.0
+
+    def to_table(self) -> str:
+        rows = []
+        for outcome in self.outcomes:
+            rows.append(
+                (
+                    outcome.problem.name,
+                    f"{len(outcome.result.eliminated_symbols)}/{len(outcome.result.outcomes)}",
+                    "yes" if outcome.matches_expectation else "NO",
+                    f"{1000 * outcome.duration_seconds:.1f}",
+                )
+            )
+        table = format_table(
+            ["problem", "eliminated", "as documented", "time (ms)"],
+            rows,
+            title="Literature composition problems",
+        )
+        summary = (
+            f"\n{self.matching_expectations}/{self.total_problems} match documented outcomes, "
+            f"{self.fully_composed} fully composed, "
+            f"{self.fraction_symbols_eliminated():.0%} of symbols eliminated, "
+            f"total {self.total_duration():.3f}s"
+        )
+        return table + summary
+
+
+def run_literature_study(config: Optional[ComposerConfig] = None) -> LiteratureStudyResult:
+    """Run the composition algorithm over the full literature suite."""
+    config = config or ComposerConfig.default()
+    study = LiteratureStudyResult()
+    for problem in all_problems():
+        started = time.perf_counter()
+        result = compose(problem.problem, config)
+        duration = time.perf_counter() - started
+        study.outcomes.append(
+            LiteratureOutcome(problem=problem, result=result, duration_seconds=duration)
+        )
+    return study

@@ -1,0 +1,45 @@
+"""Text rendering helpers for the experiment drivers.
+
+Every figure driver can render its result as a plain-text table whose rows
+mirror the series of the corresponding figure in the paper, so running a
+benchmark (or an example) prints something directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_float", "format_percent"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Render a float compactly (used for seconds and fractions)."""
+    return f"{value:.{digits}f}"
+
+
+def format_percent(value: float) -> str:
+    """Render a fraction as a percentage."""
+    return f"{100.0 * value:.1f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(header) for header in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""The literature-derived composition problem suite (the paper's first data set)."""
+
+from repro.literature.problems import LiteratureProblem, all_problems, problem_by_name
+
+__all__ = ["LiteratureProblem", "all_problems", "problem_by_name"]

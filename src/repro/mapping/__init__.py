@@ -1,0 +1,6 @@
+"""Mappings and composition problems."""
+
+from repro.mapping.mapping import Mapping, identity_mapping
+from repro.mapping.composition_problem import CompositionProblem
+
+__all__ = ["Mapping", "identity_mapping", "CompositionProblem"]

@@ -1,0 +1,123 @@
+"""Composition problems: the inputs (and optionally expected outputs) of COMPOSE.
+
+A composition problem packages the three signatures and the two constraint
+sets of the paper's problem statement, plus optional metadata used by the
+literature test suite (a name, a description, the expected outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.constraints.constraint_set import ConstraintSet
+from repro.exceptions import SchemaError
+from repro.mapping.mapping import Mapping
+from repro.schema.signature import Signature
+
+__all__ = ["CompositionProblem"]
+
+
+@dataclass(frozen=True)
+class CompositionProblem:
+    """The inputs of a single mapping-composition task.
+
+    Attributes
+    ----------
+    sigma1, sigma2, sigma3:
+        The three schemas; ``sigma2`` is the intermediate signature whose
+        symbols the algorithm tries to eliminate.
+    sigma12, sigma23:
+        The constraint sets of the two input mappings (over σ1∪σ2 and σ2∪σ3).
+    name, description:
+        Optional metadata (used by the literature suite and the benchmarks).
+    expected_eliminable:
+        If known, the σ2 symbols that *can* be eliminated (None = unknown);
+        used by tests of problems whose outcome is documented in the literature.
+    """
+
+    sigma1: Signature
+    sigma2: Signature
+    sigma3: Signature
+    sigma12: ConstraintSet
+    sigma23: ConstraintSet
+    name: str = ""
+    description: str = ""
+    expected_eliminable: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.sigma1.is_disjoint_from(self.sigma2):
+            raise SchemaError("σ1 and σ2 must be disjoint")
+        if not self.sigma2.is_disjoint_from(self.sigma3):
+            raise SchemaError("σ2 and σ3 must be disjoint")
+        if not self.sigma1.is_disjoint_from(self.sigma3):
+            raise SchemaError("σ1 and σ3 must be disjoint")
+        allowed12 = set(self.sigma1.names()) | set(self.sigma2.names())
+        allowed23 = set(self.sigma2.names()) | set(self.sigma3.names())
+        for constraint in self.sigma12:
+            unknown = constraint.relation_names() - allowed12
+            if unknown:
+                raise SchemaError(
+                    f"Σ12 constraint {constraint} mentions relations outside σ1 ∪ σ2: {sorted(unknown)}"
+                )
+        for constraint in self.sigma23:
+            unknown = constraint.relation_names() - allowed23
+            if unknown:
+                raise SchemaError(
+                    f"Σ23 constraint {constraint} mentions relations outside σ2 ∪ σ3: {sorted(unknown)}"
+                )
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_mappings(
+        cls,
+        m12: Mapping,
+        m23: Mapping,
+        name: str = "",
+        description: str = "",
+        expected_eliminable: Optional[Tuple[str, ...]] = None,
+    ) -> "CompositionProblem":
+        """Build a problem from two mappings sharing their middle signature."""
+        if m12.output_signature != m23.input_signature:
+            raise SchemaError(
+                "the output signature of the first mapping must equal the input "
+                "signature of the second mapping"
+            )
+        return cls(
+            sigma1=m12.input_signature,
+            sigma2=m12.output_signature,
+            sigma3=m23.output_signature,
+            sigma12=m12.constraints,
+            sigma23=m23.constraints,
+            name=name,
+            description=description,
+            expected_eliminable=expected_eliminable,
+        )
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def all_constraints(self) -> ConstraintSet:
+        """The combined constraint set Σ12 ∪ Σ23 the algorithm starts from."""
+        return self.sigma12.union(self.sigma23)
+
+    @property
+    def combined_signature(self) -> Signature:
+        """σ1 ∪ σ2 ∪ σ3."""
+        return self.sigma1.union(self.sigma2).union(self.sigma3)
+
+    def intermediate_symbols(self) -> Tuple[str, ...]:
+        """The σ2 symbols the algorithm will try to eliminate, in order."""
+        return self.sigma2.names()
+
+    def operator_count(self) -> int:
+        """Total operators in the input constraints (the paper's size metric)."""
+        return self.all_constraints.operator_count()
+
+    def __repr__(self) -> str:
+        label = self.name or "composition problem"
+        return (
+            f"<CompositionProblem {label!r}: |σ1|={len(self.sigma1)}, |σ2|={len(self.sigma2)}, "
+            f"|σ3|={len(self.sigma3)}, |Σ12|={len(self.sigma12)}, |Σ23|={len(self.sigma23)}>"
+        )

@@ -1,0 +1,126 @@
+"""Mappings: binary relations on instances given by (σ_in, σ_out, Σ).
+
+Following Section 2 of the paper, a mapping between schemas ``σ1`` and ``σ2``
+is given by a triple ``(σ1, σ2, Σ12)`` where ``Σ12`` is a finite set of
+constraints over ``σ1 ∪ σ2``: it relates instance ``A`` of ``σ1`` to instance
+``B`` of ``σ2`` whenever the combined database ``(A, B)`` satisfies ``Σ12``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.constraints.constraint import Constraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.constraints.satisfaction import satisfies_all
+from repro.exceptions import ConstraintError, SchemaError
+from repro.schema.instance import Instance
+from repro.schema.signature import RelationSchema, Signature
+
+__all__ = ["Mapping", "identity_mapping"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A mapping given by an input signature, an output signature and constraints."""
+
+    input_signature: Signature
+    output_signature: Signature
+    constraints: ConstraintSet
+
+    def __post_init__(self) -> None:
+        if not self.input_signature.is_disjoint_from(self.output_signature):
+            shared = self.input_signature.shared_names(self.output_signature)
+            raise SchemaError(
+                f"input and output signatures must be disjoint; shared relations: {shared}"
+            )
+        combined = set(self.input_signature.names()) | set(self.output_signature.names())
+        for constraint in self.constraints:
+            unknown = constraint.relation_names() - combined
+            if unknown:
+                raise ConstraintError(
+                    f"constraint {constraint} mentions relations outside the mapping's "
+                    f"signatures: {sorted(unknown)}"
+                )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_constraints(
+        cls,
+        input_signature: Signature,
+        output_signature: Signature,
+        constraints: Iterable[Constraint],
+    ) -> "Mapping":
+        """Build a mapping from any iterable of constraints."""
+        return cls(input_signature, output_signature, ConstraintSet(constraints))
+
+    def inverse(self) -> "Mapping":
+        """Return the inverse mapping (swap the roles of input and output).
+
+        Because a mapping is just a set of constraints over the combined
+        signature, the inverse keeps the constraints and swaps the signatures —
+        this is how the schema-reconciliation scenario turns a σ1→σ2 mapping
+        into a σ2→σ1 mapping before composing.
+        """
+        return Mapping(self.output_signature, self.input_signature, self.constraints)
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def combined_signature(self) -> Signature:
+        """The union σ_in ∪ σ_out the constraints are expressed over."""
+        return self.input_signature.union(self.output_signature)
+
+    def operator_count(self) -> int:
+        """Size of the mapping, measured as the paper does (total operators)."""
+        return self.constraints.operator_count()
+
+    def constraint_count(self) -> int:
+        """Number of constraints in the mapping."""
+        return len(self.constraints)
+
+    def relates(
+        self,
+        input_instance: Instance,
+        output_instance: Instance,
+        extra_domain: Iterable[object] = (),
+    ) -> bool:
+        """Return ``True`` iff ``⟨input_instance, output_instance⟩`` is in the mapping."""
+        combined = input_instance.merged_with(output_instance)
+        return satisfies_all(combined, self.constraints, extra_domain=extra_domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"Mapping({len(self.input_signature)} -> {len(self.output_signature)} relations, "
+            f"{len(self.constraints)} constraints)"
+        )
+
+
+def identity_mapping(
+    signature: Signature, renamed: Optional[Signature] = None, suffix: str = "_v2"
+) -> Mapping:
+    """Build the identity mapping from ``signature`` to a renamed copy of it.
+
+    Every relation ``R`` of the input is linked to its copy by an equality
+    constraint ``R = R'``.  If ``renamed`` is not supplied, the copy uses the
+    same arities and keys with ``suffix`` appended to each name.
+    """
+    if renamed is None:
+        renamed = Signature(
+            RelationSchema(schema.name + suffix, schema.arity, schema.key)
+            for schema in signature.relations()
+        )
+    if len(renamed) != len(signature):
+        raise SchemaError("renamed signature must have the same number of relations")
+    constraints = []
+    for old_schema, new_schema in zip(signature.relations(), renamed.relations()):
+        if old_schema.arity != new_schema.arity:
+            raise SchemaError(
+                f"arity mismatch between {old_schema.name!r} and {new_schema.name!r}"
+            )
+        constraints.append(
+            EqualityConstraint(old_schema.to_expression(), new_schema.to_expression())
+        )
+    return Mapping(signature, renamed, ConstraintSet(constraints))

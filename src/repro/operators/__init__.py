@@ -1,0 +1,15 @@
+"""Operator knowledge: monotonicity analysis and the extensibility registry."""
+
+from repro.operators.monotonicity import Monotonicity, is_monotone, monotonicity
+from repro.operators.registry import OperatorRegistry, OperatorRule, default_registry
+from repro.operators.extended import register_extended_operators
+
+__all__ = [
+    "Monotonicity",
+    "monotonicity",
+    "is_monotone",
+    "OperatorRegistry",
+    "OperatorRule",
+    "default_registry",
+    "register_extended_operators",
+]

@@ -1,0 +1,141 @@
+"""The MONOTONE procedure (Section 3.3 of the paper).
+
+``MONOTONE(E, S)`` classifies how expression ``E`` depends on the relation
+symbol ``S``:
+
+* ``MONOTONE``      — adding tuples to ``S`` can only add tuples to ``E``;
+* ``ANTI_MONOTONE`` — adding tuples to ``S`` can only remove tuples from ``E``;
+* ``INDEPENDENT``   — ``E`` does not depend on ``S`` at all;
+* ``UNKNOWN``       — the (sound but incomplete) analysis cannot tell.
+
+The procedure is recursive: leaves are classified directly, and each operator
+combines the classifications of its operands through a lookup table.  The six
+basic operators have built-in tables; user-defined operators contribute their
+own tables through the operator registry, which makes the analysis extensible
+exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Tuple
+
+from repro.algebra.expressions import (
+    ConstantRelation,
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    SkolemApplication,
+    Union,
+)
+
+__all__ = ["Monotonicity", "monotonicity", "is_monotone", "combine_same_polarity", "flip"]
+
+
+class Monotonicity(enum.Enum):
+    """Four-valued result of the MONOTONE procedure."""
+
+    MONOTONE = "m"
+    ANTI_MONOTONE = "a"
+    INDEPENDENT = "i"
+    UNKNOWN = "u"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+M = Monotonicity.MONOTONE
+A = Monotonicity.ANTI_MONOTONE
+I = Monotonicity.INDEPENDENT
+U = Monotonicity.UNKNOWN
+
+
+def flip(value: Monotonicity) -> Monotonicity:
+    """Swap monotone and anti-monotone (used for anti-monotone argument positions)."""
+    if value is M:
+        return A
+    if value is A:
+        return M
+    return value
+
+
+def combine_same_polarity(values: Sequence[Monotonicity]) -> Monotonicity:
+    """Combine classifications of operands that all contribute *positively*.
+
+    This is the shared table for ∪, ∩ and × (the paper notes these three
+    behave identically for MONOTONE): the result is monotone if every operand
+    is monotone or independent, anti-monotone if every operand is
+    anti-monotone or independent, independent if all are independent, and
+    unknown otherwise.
+    """
+    if any(value is U for value in values):
+        return U
+    if all(value is I for value in values):
+        return I
+    if all(value in (M, I) for value in values):
+        return M
+    if all(value in (A, I) for value in values):
+        return A
+    return U
+
+
+def _combine_difference(left: Monotonicity, right: Monotonicity) -> Monotonicity:
+    """Combination table for set difference ``E1 − E2``.
+
+    The right operand occurs negatively, so its classification is flipped
+    before combining.
+    """
+    return combine_same_polarity((left, flip(right)))
+
+
+def monotonicity(expression: Expression, symbol: str, registry=None) -> Monotonicity:
+    """Classify how ``expression`` depends on the relation symbol ``symbol``.
+
+    ``registry`` (an :class:`~repro.operators.registry.OperatorRegistry`)
+    supplies combination rules for operators that are not among the built-in
+    ones; without it, any unknown operator that involves ``symbol`` yields
+    ``UNKNOWN`` (the paper's "tolerance for unknown operators": the analysis
+    never guesses).
+    """
+    if isinstance(expression, Relation):
+        return M if expression.name == symbol else I
+    if isinstance(expression, (Domain, Empty, ConstantRelation)):
+        # D grows when any relation grows, but only by gaining *values*, which
+        # never removes tuples from any result; treating D as independent of a
+        # specific symbol matches the paper's usage (D is a derived shorthand).
+        return I
+
+    children = expression.children
+    child_values: Tuple[Monotonicity, ...] = tuple(
+        monotonicity(child, symbol, registry) for child in children
+    )
+
+    if isinstance(expression, (Union, Intersection, CrossProduct)):
+        return combine_same_polarity(child_values)
+    if isinstance(expression, Difference):
+        return _combine_difference(child_values[0], child_values[1])
+    if isinstance(expression, (Selection, Projection, SkolemApplication)):
+        # σ, π (and the Skolem pseudo-operator) do not affect monotonicity.
+        return child_values[0]
+
+    if registry is not None:
+        combined = registry.combine_monotonicity(expression, child_values)
+        if combined is not None:
+            return combined
+
+    # Unknown operator: if the symbol does not occur below, the expression is
+    # independent of it regardless of what the operator does.
+    if all(value is I for value in child_values):
+        return I
+    return U
+
+
+def is_monotone(expression: Expression, symbol: str, registry=None) -> bool:
+    """Return ``True`` iff the expression is (known to be) monotone or independent in ``symbol``."""
+    return monotonicity(expression, symbol, registry) in (M, I)

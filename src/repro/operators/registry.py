@@ -1,0 +1,183 @@
+"""The operator registry — the extensibility point of the algorithm.
+
+The paper stresses that the composition algorithm is "extensible by allowing
+additional information to be added separately for each operator in the form of
+information about monotonicity and rules for normalization and
+denormalization".  The :class:`OperatorRegistry` is that mechanism: each
+registered operator type may supply
+
+* a **monotonicity rule** — how the operator combines the monotonicity of its
+  operands (consumed by :func:`repro.operators.monotonicity.monotonicity`);
+* a **left-normalization rule** — how to rewrite a containment whose left side
+  has this operator on top so the symbol being eliminated moves closer to
+  being alone on the left (consumed by left-normalize);
+* a **right-normalization rule** — the dual, for the right side (consumed by
+  right-normalize);
+* a **simplification rule** — extra identities, typically for the special
+  relations ``D`` and ``∅`` (consumed by the simplifier and the
+  domain-/empty-elimination steps).
+
+The six basic relational operators are handled natively by the corresponding
+modules; the registry is consulted for everything else.  The extended
+operators shipped with the library (semijoin, anti-semijoin, left outerjoin)
+are registered through exactly this public interface — see
+:mod:`repro.operators.extended`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.algebra.expressions import Expression
+from repro.exceptions import RegistryError
+from repro.operators.monotonicity import Monotonicity
+
+__all__ = ["OperatorRule", "OperatorRegistry", "default_registry"]
+
+
+#: A monotonicity rule receives the expression and the per-child classifications
+#: and returns the classification of the whole expression (or None to decline).
+MonotonicityRule = Callable[[Expression, Tuple[Monotonicity, ...]], Optional[Monotonicity]]
+
+#: Normalization rules receive the containment constraint (as a (left, right)
+#: pair of expressions), the symbol being eliminated, and a rewrite context;
+#: they return a list of replacement (left, right) pairs, or None if the rule
+#: does not apply / the rewrite is impossible.
+NormalizationRule = Callable[[Expression, Expression, str, object], Optional[List[Tuple[Expression, Expression]]]]
+
+#: A simplification rule receives a node (whose children are already simplified)
+#: and returns a replacement node or None to leave it unchanged.
+SimplificationRule = Callable[[Expression], Optional[Expression]]
+
+
+@dataclass
+class OperatorRule:
+    """The bundle of per-operator knowledge the registry stores."""
+
+    operator_type: Type[Expression]
+    monotonicity_rule: Optional[MonotonicityRule] = None
+    left_normalization_rule: Optional[NormalizationRule] = None
+    right_normalization_rule: Optional[NormalizationRule] = None
+    simplification_rule: Optional[SimplificationRule] = None
+    description: str = ""
+
+
+class OperatorRegistry:
+    """Mutable collection of :class:`OperatorRule` entries keyed by node type."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[Type[Expression], OperatorRule] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, rule: OperatorRule) -> None:
+        """Register (or replace) the rule bundle for an operator type."""
+        if not isinstance(rule, OperatorRule):
+            raise RegistryError(f"expected an OperatorRule, got {rule!r}")
+        if not (isinstance(rule.operator_type, type) and issubclass(rule.operator_type, Expression)):
+            raise RegistryError(
+                f"operator_type must be an Expression subclass, got {rule.operator_type!r}"
+            )
+        self._rules[rule.operator_type] = rule
+
+    def register_operator(
+        self,
+        operator_type: Type[Expression],
+        monotonicity_rule: Optional[MonotonicityRule] = None,
+        left_normalization_rule: Optional[NormalizationRule] = None,
+        right_normalization_rule: Optional[NormalizationRule] = None,
+        simplification_rule: Optional[SimplificationRule] = None,
+        description: str = "",
+    ) -> OperatorRule:
+        """Convenience wrapper building and registering an :class:`OperatorRule`."""
+        rule = OperatorRule(
+            operator_type=operator_type,
+            monotonicity_rule=monotonicity_rule,
+            left_normalization_rule=left_normalization_rule,
+            right_normalization_rule=right_normalization_rule,
+            simplification_rule=simplification_rule,
+            description=description,
+        )
+        self.register(rule)
+        return rule
+
+    def unregister(self, operator_type: Type[Expression]) -> None:
+        """Remove the rule bundle for an operator type (no-op if absent)."""
+        self._rules.pop(operator_type, None)
+
+    def copy(self) -> "OperatorRegistry":
+        """Return an independent copy (so callers can extend without side effects)."""
+        clone = OperatorRegistry()
+        clone._rules = dict(self._rules)
+        return clone
+
+    # -- queries ------------------------------------------------------------------
+
+    def registered_types(self) -> Tuple[Type[Expression], ...]:
+        """The operator types with registered rules."""
+        return tuple(self._rules)
+
+    def rule_for(self, expression: Expression) -> Optional[OperatorRule]:
+        """Return the rule bundle for this expression's type, or ``None``."""
+        return self._rules.get(type(expression))
+
+    def knows(self, expression: Expression) -> bool:
+        """Return ``True`` if the expression's operator has any registered rule."""
+        return type(expression) in self._rules
+
+    # -- hooks consumed by the algorithm --------------------------------------------
+
+    def combine_monotonicity(
+        self, expression: Expression, child_values: Tuple[Monotonicity, ...]
+    ) -> Optional[Monotonicity]:
+        """Apply the registered monotonicity rule, if any."""
+        rule = self.rule_for(expression)
+        if rule is None or rule.monotonicity_rule is None:
+            return None
+        return rule.monotonicity_rule(expression, child_values)
+
+    def left_normalize(
+        self, left: Expression, right: Expression, symbol: str, context
+    ) -> Optional[List[Tuple[Expression, Expression]]]:
+        """Apply the registered left-normalization rule for the LHS operator, if any."""
+        rule = self.rule_for(left)
+        if rule is None or rule.left_normalization_rule is None:
+            return None
+        return rule.left_normalization_rule(left, right, symbol, context)
+
+    def right_normalize(
+        self, left: Expression, right: Expression, symbol: str, context
+    ) -> Optional[List[Tuple[Expression, Expression]]]:
+        """Apply the registered right-normalization rule for the RHS operator, if any."""
+        rule = self.rule_for(right)
+        if rule is None or rule.right_normalization_rule is None:
+            return None
+        return rule.right_normalization_rule(left, right, symbol, context)
+
+    def simplify_node(self, expression: Expression) -> Optional[Expression]:
+        """Apply the registered simplification rule, if any."""
+        rule = self.rule_for(expression)
+        if rule is None or rule.simplification_rule is None:
+            return None
+        return rule.simplification_rule(expression)
+
+
+_DEFAULT_REGISTRY: Optional[OperatorRegistry] = None
+
+
+def default_registry() -> OperatorRegistry:
+    """Return a fresh copy of the default registry.
+
+    The default registry contains the rules for the extended operators shipped
+    with the library (semijoin, anti-semijoin and left outerjoin).  Each call
+    returns an independent copy so callers may add or remove rules freely.
+    """
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        from repro.operators.extended import register_extended_operators
+
+        registry = OperatorRegistry()
+        register_extended_operators(registry)
+        _DEFAULT_REGISTRY = registry
+    return _DEFAULT_REGISTRY.copy()

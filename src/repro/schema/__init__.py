@@ -1,0 +1,6 @@
+"""Schemas (signatures) and database instances."""
+
+from repro.schema.signature import RelationSchema, Signature
+from repro.schema.instance import Instance
+
+__all__ = ["RelationSchema", "Signature", "Instance"]

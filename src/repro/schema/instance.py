@@ -1,0 +1,149 @@
+"""Database instances: concrete relation contents for evaluating expressions.
+
+An :class:`Instance` maps relation names to finite sets of tuples.  Instances
+give the library an executable semantics — they are how the test suite checks
+that every rewriting performed by the composition algorithm is *sound* (the
+paper's notion of constraint-set equivalence, Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import SchemaError
+from repro.schema.signature import Signature
+
+__all__ = ["Instance"]
+
+Row = Tuple[object, ...]
+
+
+class Instance:
+    """An immutable database instance: relation name → set of tuples."""
+
+    def __init__(
+        self,
+        contents: Mapping[str, Iterable[Row]] = None,
+        signature: Optional[Signature] = None,
+    ):
+        self._signature = signature
+        self._contents: Dict[str, FrozenSet[Row]] = {}
+        contents = contents or {}
+        for name, rows in contents.items():
+            frozen_rows = frozenset(tuple(row) for row in rows)
+            widths = {len(row) for row in frozen_rows}
+            if len(widths) > 1:
+                raise SchemaError(f"relation {name!r} contains tuples of mixed widths {sorted(widths)}")
+            if signature is not None and name in signature:
+                expected = signature.arity_of(name)
+                if widths and widths != {expected}:
+                    raise SchemaError(
+                        f"relation {name!r} has arity {expected} but contains tuples of width {widths.pop()}"
+                    )
+            self._contents[name] = frozen_rows
+        if signature is not None:
+            for name in signature:
+                self._contents.setdefault(name, frozenset())
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, signature: Signature) -> "Instance":
+        """Return the all-empty instance over ``signature``."""
+        return cls({}, signature)
+
+    def updating(self, name: str, rows: Iterable[Row]) -> "Instance":
+        """Return a copy with the contents of ``name`` replaced."""
+        new_contents: Dict[str, Iterable[Row]] = dict(self._contents)
+        new_contents[name] = frozenset(tuple(row) for row in rows)
+        return Instance(new_contents, self._signature)
+
+    def merged_with(self, other: "Instance") -> "Instance":
+        """Return the union of two instances over disjoint relation names.
+
+        This is the paper's ``(A, B)`` construction: take all relations of both
+        databases together.  Overlapping names must have identical contents.
+        """
+        merged: Dict[str, FrozenSet[Row]] = dict(self._contents)
+        for name, rows in other._contents.items():
+            if name in merged and merged[name] != rows:
+                raise SchemaError(f"instances disagree on relation {name!r}")
+            merged[name] = rows
+        signature = self._signature
+        if signature is not None and other._signature is not None:
+            signature = signature.union(other._signature)
+        elif signature is None:
+            signature = other._signature
+        return Instance(merged, signature)
+
+    def restricted_to(self, names: Iterable[str]) -> "Instance":
+        """Return the instance restricted to the given relation names."""
+        names = set(names)
+        contents = {name: rows for name, rows in self._contents.items() if name in names}
+        signature = self._signature.restricted_to(names) if self._signature else None
+        return Instance(contents, signature)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def signature(self) -> Optional[Signature]:
+        """The signature this instance conforms to, if one was supplied."""
+        return self._signature
+
+    def relation(self, name: str) -> FrozenSet[Row]:
+        """Return the contents of relation ``name`` (empty if absent)."""
+        return self._contents.get(name, frozenset())
+
+    def has_relation(self, name: str) -> bool:
+        """Return ``True`` if the instance mentions relation ``name``."""
+        return name in self._contents
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """All relation names the instance mentions."""
+        return tuple(self._contents)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._contents)
+
+    def __len__(self) -> int:
+        return len(self._contents)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._contents == other._contents
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._contents.items()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}({len(rows)})" for name, rows in self._contents.items())
+        return f"Instance({parts})"
+
+    # -- derived --------------------------------------------------------------
+
+    def active_domain(self) -> FrozenSet[object]:
+        """The set of values appearing anywhere in the instance.
+
+        This is the interpretation of the paper's special relation ``D`` (of
+        arity 1); ``D^r`` is its r-fold cross product.
+        """
+        values: Set[object] = set()
+        for rows in self._contents.values():
+            for row in rows:
+                values.update(row)
+        return frozenset(values)
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rows) for rows in self._contents.values())
+
+    def satisfies_key(self, name: str, key: Tuple[int, ...]) -> bool:
+        """Check that ``key`` is a key of relation ``name`` in this instance."""
+        seen: Dict[Tuple[object, ...], Row] = {}
+        for row in self.relation(name):
+            key_value = tuple(row[i] for i in key)
+            if key_value in seen and seen[key_value] != row:
+                return False
+            seen[key_value] = row
+        return True

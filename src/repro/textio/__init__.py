@@ -1,0 +1,5 @@
+"""Plain-text serialization of composition problems (the paper's task format)."""
+
+from repro.textio.format import problem_from_text, problem_to_text, read_problem, write_problem
+
+__all__ = ["problem_to_text", "problem_from_text", "write_problem", "read_problem"]

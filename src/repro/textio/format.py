@@ -1,0 +1,149 @@
+"""Plain-text serialization of composition problems.
+
+The paper distributed its composition tasks "in a machine-readable format"
+with "a plain-text syntax for specifying mapping composition tasks".  This
+module provides that: a composition problem is written as five sections —
+the three signatures and the two constraint sets — using the expression syntax
+of :mod:`repro.algebra.printer`::
+
+    # name: example3_inclusion_chain
+    # description: {R <= S, S <= T} is equivalent to {R <= T}
+    [sigma1]
+    R/2
+    [sigma2]
+    S/2
+    [sigma3]
+    T/2
+    [sigma12]
+    R/2 <= S/2
+    [sigma23]
+    S/2 <= T/2
+
+Relations are declared one per line as ``name/arity`` with an optional
+``key=i,j`` suffix.  Lines starting with ``#`` are comments; the first
+``# name:`` / ``# description:`` comments populate the problem metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.parser import parse_constraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.exceptions import ParseError
+from repro.mapping.composition_problem import CompositionProblem
+from repro.schema.signature import RelationSchema, Signature
+
+__all__ = ["problem_to_text", "problem_from_text", "write_problem", "read_problem"]
+
+_SECTIONS = ("sigma1", "sigma2", "sigma3", "sigma12", "sigma23")
+
+
+def _signature_to_lines(signature: Signature) -> List[str]:
+    lines = []
+    for schema in signature.relations():
+        line = f"{schema.name}/{schema.arity}"
+        if schema.key is not None:
+            line += " key=" + ",".join(str(i) for i in schema.key)
+        lines.append(line)
+    return lines
+
+
+def problem_to_text(problem: CompositionProblem) -> str:
+    """Serialize a composition problem to the plain-text format."""
+    lines: List[str] = []
+    if problem.name:
+        lines.append(f"# name: {problem.name}")
+    if problem.description:
+        lines.append(f"# description: {problem.description}")
+    for section, signature in (
+        ("sigma1", problem.sigma1),
+        ("sigma2", problem.sigma2),
+        ("sigma3", problem.sigma3),
+    ):
+        lines.append(f"[{section}]")
+        lines.extend(_signature_to_lines(signature))
+    lines.append("[sigma12]")
+    lines.extend(str(constraint) for constraint in problem.sigma12)
+    lines.append("[sigma23]")
+    lines.extend(str(constraint) for constraint in problem.sigma23)
+    return "\n".join(lines) + "\n"
+
+
+def _parse_relation_line(line: str) -> RelationSchema:
+    parts = line.split()
+    head = parts[0]
+    if "/" not in head:
+        raise ParseError(f"expected 'name/arity' in relation declaration, got {line!r}")
+    name, arity_text = head.split("/", 1)
+    try:
+        arity = int(arity_text)
+    except ValueError:
+        raise ParseError(f"invalid arity in relation declaration {line!r}") from None
+    key: Optional[Tuple[int, ...]] = None
+    for extra in parts[1:]:
+        if extra.startswith("key="):
+            key = tuple(int(piece) for piece in extra[4:].split(",") if piece)
+        else:
+            raise ParseError(f"unexpected token {extra!r} in relation declaration {line!r}")
+    return RelationSchema(name, arity, key)
+
+
+def problem_from_text(text: str) -> CompositionProblem:
+    """Parse a composition problem from the plain-text format."""
+    sections: Dict[str, List[str]] = {section: [] for section in _SECTIONS}
+    name = ""
+    description = ""
+    current: Optional[str] = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            comment = line[1:].strip()
+            if comment.lower().startswith("name:"):
+                name = comment[5:].strip()
+            elif comment.lower().startswith("description:"):
+                description = comment[12:].strip()
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip()
+            if section not in sections:
+                raise ParseError(f"unknown section {section!r}")
+            current = section
+            continue
+        if current is None:
+            raise ParseError(f"content outside any section: {line!r}")
+        sections[current].append(line)
+
+    signatures = {}
+    for section in ("sigma1", "sigma2", "sigma3"):
+        signatures[section] = Signature(
+            _parse_relation_line(line) for line in sections[section]
+        )
+    constraint_sets = {}
+    for section in ("sigma12", "sigma23"):
+        constraint_sets[section] = ConstraintSet(
+            parse_constraint(line) for line in sections[section]
+        )
+    return CompositionProblem(
+        sigma1=signatures["sigma1"],
+        sigma2=signatures["sigma2"],
+        sigma3=signatures["sigma3"],
+        sigma12=constraint_sets["sigma12"],
+        sigma23=constraint_sets["sigma23"],
+        name=name,
+        description=description,
+    )
+
+
+def write_problem(problem: CompositionProblem, path) -> None:
+    """Write a composition problem to ``path`` in the plain-text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(problem_to_text(problem))
+
+
+def read_problem(path) -> CompositionProblem:
+    """Read a composition problem from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return problem_from_text(handle.read())

@@ -1,0 +1,123 @@
+"""Tests for the convenience expression builders."""
+
+import pytest
+
+from repro.algebra import builders
+from repro.algebra.conditions import TRUE, equals
+from repro.algebra.evaluation import evaluate
+from repro.algebra.expressions import CrossProduct, Domain, Projection, Relation, Selection
+from repro.exceptions import ArityError, ExpressionError
+from repro.schema.instance import Instance
+
+
+class TestBasicBuilders:
+    def test_relation(self):
+        assert builders.relation("R", 2) == Relation("R", 2)
+
+    def test_project_collapses_identity(self, r2):
+        assert builders.project(r2, (0, 1)) is r2
+
+    def test_project_builds_projection(self, r2):
+        assert builders.project(r2, (1,)) == Projection(r2, (1,))
+
+    def test_select_collapses_true(self, r2):
+        assert builders.select(r2, TRUE) is r2
+
+    def test_select_builds_selection(self, r2):
+        assert builders.select(r2, equals(0, 1)) == Selection(r2, equals(0, 1))
+
+    def test_product(self, r2, s2):
+        assert builders.product(r2, s2) == CrossProduct(r2, s2)
+
+    def test_cross_product_all(self, r2, s2, t2):
+        expression = builders.cross_product_all([r2, s2, t2])
+        assert expression.arity == 6
+
+    def test_cross_product_all_single(self, r2):
+        assert builders.cross_product_all([r2]) is r2
+
+    def test_cross_product_all_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            builders.cross_product_all([])
+
+
+class TestJoins:
+    def test_theta_join_keeps_all_columns(self, r2, s2):
+        join = builders.theta_join(r2, s2, equals(0, 2))
+        assert join.arity == 4
+
+    def test_equijoin_with_keep(self, r2, s2):
+        join = builders.equijoin(r2, s2, [(0, 0)], keep=[0, 1, 3])
+        assert join.arity == 3
+
+    def test_equijoin_semantics(self):
+        instance = Instance({"R": {(1, "a"), (2, "b")}, "S": {(1, "x"), (3, "y")}})
+        join = builders.equijoin(Relation("R", 2), Relation("S", 2), [(0, 0)], keep=[0, 1, 3])
+        assert evaluate(join, instance) == frozenset({(1, "a", "x")})
+
+    def test_natural_key_join_columns(self):
+        s, t = Relation("S", 3), Relation("T", 2)
+        join = builders.natural_key_join(s, t, 1)
+        assert join.arity == 4
+
+    def test_natural_key_join_semantics(self):
+        instance = Instance({"S": {(1, "a", "b")}, "T": {(1, "z"), (2, "w")}})
+        join = builders.natural_key_join(Relation("S", 3), Relation("T", 2), 1)
+        assert evaluate(join, instance) == frozenset({(1, "a", "b", "z")})
+
+    def test_natural_key_join_invalid_key_width(self, r2, s2):
+        with pytest.raises(ArityError):
+            builders.natural_key_join(r2, s2, 0)
+        with pytest.raises(ArityError):
+            builders.natural_key_join(r2, s2, 3)
+
+
+class TestPaddingAndPlacement:
+    def test_pad_right_with_domain(self, r2):
+        padded = builders.pad_right_with_domain(r2, 2)
+        assert padded == CrossProduct(r2, Domain(2))
+
+    def test_pad_right_zero_is_identity(self, r2):
+        assert builders.pad_right_with_domain(r2, 0) is r2
+
+    def test_pad_left_with_domain(self, r2):
+        assert builders.pad_left_with_domain(r2, 1) == CrossProduct(Domain(1), r2)
+
+    def test_pad_negative_rejected(self, r2):
+        with pytest.raises(ArityError):
+            builders.pad_right_with_domain(r2, -1)
+
+    def test_column_placement_identity(self, r2):
+        placed = builders.column_placement(r2, (0, 1), 2)
+        assert placed is r2
+
+    def test_column_placement_semantics(self):
+        # Place U's single column at position 1 of a 2-wide tuple.
+        u = Relation("U", 1)
+        placed = builders.column_placement(u, (1,), 2)
+        instance = Instance({"U": {(7,)}, "V": {(1, 2)}})
+        rows = evaluate(placed, instance)
+        # Position 1 must carry the U value; position 0 ranges over the domain.
+        assert all(row[1] == 7 for row in rows)
+        assert len(rows) == len(instance.active_domain())
+
+    def test_column_placement_validates_positions(self, r2):
+        with pytest.raises(ArityError):
+            builders.column_placement(r2, (0,), 3)
+        with pytest.raises(ArityError):
+            builders.column_placement(r2, (0, 0), 3)
+        with pytest.raises(ArityError):
+            builders.column_placement(r2, (0, 5), 3)
+        with pytest.raises(ArityError):
+            builders.column_placement(r2, (0, 1), 1)
+
+    def test_key_equality_condition(self):
+        condition = builders.key_equality_condition(3, 2)
+        assert condition.evaluate((1, 2, 9, 1, 2, 8))
+        assert not condition.evaluate((1, 2, 9, 1, 3, 8))
+
+    def test_permute(self, r2):
+        assert builders.permute(r2, (1, 0)) == Projection(r2, (1, 0))
+
+    def test_identity_projection_explicit(self, r2):
+        assert builders.identity_projection(r2) == Projection(r2, (0, 1))

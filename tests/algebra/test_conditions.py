@@ -1,0 +1,164 @@
+"""Tests for selection conditions."""
+
+import pytest
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    conjunction,
+    disjunction,
+    equals,
+    equals_const,
+)
+from repro.algebra.terms import NULL, Attribute, Constant
+from repro.exceptions import ConditionError
+
+
+class TestComparison:
+    def test_equals_true(self):
+        assert equals(0, 1).evaluate((5, 5))
+
+    def test_equals_false(self):
+        assert not equals(0, 1).evaluate((5, 6))
+
+    def test_equals_const(self):
+        assert equals_const(1, "x").evaluate((0, "x"))
+        assert not equals_const(1, "x").evaluate((0, "y"))
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("!=", 1, 2, True),
+            ("!=", 1, 1, False),
+            ("<", 1, 2, True),
+            ("<", 2, 1, False),
+            ("<=", 2, 2, True),
+            (">", 3, 1, True),
+            (">=", 3, 3, True),
+        ],
+    )
+    def test_operators(self, op, left, right, expected):
+        condition = Comparison(Attribute(0), op, Attribute(1))
+        assert condition.evaluate((left, right)) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison(Attribute(0), "~", Attribute(1))
+
+    def test_non_term_operand_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison(3, "=", Attribute(0))
+
+    def test_null_never_equal(self):
+        assert not equals(0, 1).evaluate((NULL, NULL))
+        assert not equals_const(0, 5).evaluate((NULL,))
+
+    def test_null_never_unequal_either(self):
+        condition = Comparison(Attribute(0), "!=", Attribute(1))
+        assert not condition.evaluate((NULL, 3))
+
+    def test_mixed_type_comparison_is_total(self):
+        condition = Comparison(Attribute(0), "<", Attribute(1))
+        # Must not raise even for incomparable types.
+        condition.evaluate(("a", 1))
+
+    def test_referenced_indices(self):
+        assert equals(0, 3).referenced_indices() == frozenset({0, 3})
+        assert equals_const(2, 9).referenced_indices() == frozenset({2})
+
+    def test_shifted(self):
+        assert equals(0, 1).shifted(2) == equals(2, 3)
+
+    def test_shift_does_not_touch_constants(self):
+        condition = equals_const(1, 5).shifted(3)
+        assert condition == equals_const(4, 5)
+
+    def test_remapped(self):
+        assert equals(0, 1).remapped({0: 5, 1: 7}) == equals(5, 7)
+
+    def test_str(self):
+        assert str(equals(0, 1)) == "#0 = #1"
+
+
+class TestBooleanConnectives:
+    def test_and_evaluation(self):
+        condition = And(equals(0, 1), equals_const(2, 5))
+        assert condition.evaluate((1, 1, 5))
+        assert not condition.evaluate((1, 2, 5))
+
+    def test_or_evaluation(self):
+        condition = Or(equals(0, 1), equals_const(2, 5))
+        assert condition.evaluate((1, 2, 5))
+        assert not condition.evaluate((1, 2, 6))
+
+    def test_not_evaluation(self):
+        condition = Not(equals(0, 1))
+        assert condition.evaluate((1, 2))
+        assert not condition.evaluate((1, 1))
+
+    def test_true_false(self):
+        assert TRUE.evaluate(())
+        assert not FALSE.evaluate(())
+
+    def test_negation_of_true_false(self):
+        assert TRUE.negated() is FALSE
+        assert FALSE.negated() is TRUE
+
+    def test_double_negation(self):
+        condition = Not(equals(0, 1))
+        assert condition.negated() == equals(0, 1)
+
+    def test_and_flattens(self):
+        nested = And(And(equals(0, 1), equals(1, 2)), equals(2, 3))
+        assert len(nested.operands) == 3
+
+    def test_or_flattens(self):
+        nested = Or(Or(equals(0, 1), equals(1, 2)), equals(2, 3))
+        assert len(nested.operands) == 3
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ConditionError):
+            And()
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(ConditionError):
+            Or()
+
+    def test_and_referenced_indices(self):
+        condition = And(equals(0, 4), equals_const(2, "x"))
+        assert condition.referenced_indices() == frozenset({0, 2, 4})
+
+    def test_and_shift_and_remap(self):
+        condition = And(equals(0, 1), equals(2, 3))
+        assert condition.shifted(1) == And(equals(1, 2), equals(3, 4))
+        assert condition.remapped({0: 3, 1: 2, 2: 1, 3: 0}) == And(equals(3, 2), equals(1, 0))
+
+    def test_max_index(self):
+        assert And(equals(0, 5), equals(1, 2)).max_index() == 5
+        assert TRUE.max_index() == -1
+
+
+class TestHelpers:
+    def test_conjunction_empty_is_true(self):
+        assert conjunction([]) is TRUE
+
+    def test_conjunction_single(self):
+        assert conjunction([equals(0, 1)]) == equals(0, 1)
+
+    def test_conjunction_many(self):
+        condition = conjunction([equals(0, 1), equals(1, 2)])
+        assert isinstance(condition, And)
+
+    def test_conjunction_drops_true(self):
+        assert conjunction([TRUE, equals(0, 1)]) == equals(0, 1)
+
+    def test_disjunction_empty_is_false(self):
+        assert disjunction([]) is FALSE
+
+    def test_disjunction_many(self):
+        assert isinstance(disjunction([equals(0, 1), equals(1, 2)]), Or)

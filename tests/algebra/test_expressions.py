@@ -1,0 +1,204 @@
+"""Tests for the expression AST: construction, arity rules, children rebuilding."""
+
+import pytest
+
+from repro.algebra.conditions import TRUE, equals
+from repro.algebra.expressions import (
+    AntiSemiJoin,
+    ConstantRelation,
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Intersection,
+    LeftOuterJoin,
+    Projection,
+    Relation,
+    Selection,
+    SemiJoin,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+)
+from repro.exceptions import ArityError, ExpressionError
+
+
+class TestLeaves:
+    def test_relation_arity(self):
+        assert Relation("R", 3).arity == 3
+
+    def test_relation_requires_positive_arity(self):
+        with pytest.raises(ArityError):
+            Relation("R", 0)
+
+    def test_relation_requires_name(self):
+        with pytest.raises(ExpressionError):
+            Relation("", 2)
+
+    def test_relation_is_leaf(self):
+        assert Relation("R", 2).is_leaf()
+
+    def test_domain(self):
+        assert Domain(3).arity == 3
+        with pytest.raises(ArityError):
+            Domain(0)
+
+    def test_empty(self):
+        assert Empty(2).arity == 2
+        with pytest.raises(ArityError):
+            Empty(-1)
+
+    def test_constant_relation(self):
+        constant = ConstantRelation.singleton("a", 1)
+        assert constant.arity == 2
+        assert constant.tuples == (("a", 1),)
+
+    def test_constant_relation_mixed_width_rejected(self):
+        with pytest.raises(ArityError):
+            ConstantRelation(tuples=((1,), (1, 2)), constant_arity=1)
+
+    def test_constant_relation_empty_row_rejected(self):
+        with pytest.raises(ExpressionError):
+            ConstantRelation.singleton()
+
+    def test_leaves_reject_children(self):
+        with pytest.raises(ExpressionError):
+            Relation("R", 2).with_children((Relation("S", 2),))
+
+    def test_equality_and_hash(self):
+        assert Relation("R", 2) == Relation("R", 2)
+        assert hash(Domain(2)) == hash(Domain(2))
+        assert Relation("R", 2) != Relation("R", 3)
+
+
+class TestSameArityOperators:
+    def test_union_arity(self, r2, s2):
+        assert Union(r2, s2).arity == 2
+
+    def test_intersection_arity(self, r2, s2):
+        assert Intersection(r2, s2).arity == 2
+
+    def test_difference_arity(self, r2, s2):
+        assert Difference(r2, s2).arity == 2
+
+    @pytest.mark.parametrize("cls", [Union, Intersection, Difference])
+    def test_mismatched_arity_rejected(self, cls, r2):
+        with pytest.raises(ArityError):
+            cls(r2, Relation("U", 1))
+
+    @pytest.mark.parametrize("cls", [Union, Intersection, Difference])
+    def test_non_expression_operand_rejected(self, cls, r2):
+        with pytest.raises(ExpressionError):
+            cls(r2, "not an expression")
+
+    def test_children(self, r2, s2):
+        union = Union(r2, s2)
+        assert union.children == (r2, s2)
+
+    def test_with_children(self, r2, s2, t2):
+        union = Union(r2, s2)
+        rebuilt = union.with_children((r2, t2))
+        assert rebuilt == Union(r2, t2)
+
+    def test_with_children_wrong_count(self, r2, s2):
+        with pytest.raises(ExpressionError):
+            Union(r2, s2).with_children((r2,))
+
+
+class TestCrossProduct:
+    def test_arity_is_sum(self, r2):
+        assert CrossProduct(r2, Relation("U", 1)).arity == 3
+
+    def test_with_children(self, r2, s2, t2):
+        product = CrossProduct(r2, s2)
+        assert product.with_children((t2, s2)) == CrossProduct(t2, s2)
+
+
+class TestSelection:
+    def test_preserves_arity(self, r2):
+        assert Selection(r2, equals(0, 1)).arity == 2
+
+    def test_condition_out_of_range(self, r2):
+        with pytest.raises(ArityError):
+            Selection(r2, equals(0, 5))
+
+    def test_requires_condition(self, r2):
+        with pytest.raises(ExpressionError):
+            Selection(r2, "x = y")
+
+    def test_true_condition_allowed(self, r2):
+        assert Selection(r2, TRUE).arity == 2
+
+    def test_with_children_preserves_condition(self, r2, s2):
+        selection = Selection(r2, equals(0, 1))
+        rebuilt = selection.with_children((s2,))
+        assert rebuilt == Selection(s2, equals(0, 1))
+
+
+class TestProjection:
+    def test_arity_is_index_count(self, r2):
+        assert Projection(r2, (0,)).arity == 1
+
+    def test_can_reorder_and_duplicate(self, r2):
+        assert Projection(r2, (1, 0, 1)).arity == 3
+
+    def test_out_of_range_index(self, r2):
+        with pytest.raises(ArityError):
+            Projection(r2, (0, 2))
+
+    def test_empty_indices_rejected(self, r2):
+        with pytest.raises(ArityError):
+            Projection(r2, ())
+
+    def test_indices_normalized_to_ints(self, r2):
+        assert Projection(r2, [1, 0]).indices == (1, 0)
+
+
+class TestSkolem:
+    def test_function_sorts_dependencies(self):
+        assert SkolemFunction("f", (2, 0)).depends_on == (0, 2)
+
+    def test_function_requires_name(self):
+        with pytest.raises(ExpressionError):
+            SkolemFunction("", (0,))
+
+    def test_application_arity(self, r2):
+        application = SkolemApplication(r2, SkolemFunction("f", (0, 1)))
+        assert application.arity == 3
+
+    def test_application_dependency_out_of_range(self, r2):
+        with pytest.raises(ArityError):
+            SkolemApplication(r2, SkolemFunction("f", (5,)))
+
+    def test_application_with_children(self, r2, s2):
+        function = SkolemFunction("f", (0,))
+        application = SkolemApplication(r2, function)
+        assert application.with_children((s2,)) == SkolemApplication(s2, function)
+
+
+class TestExtendedOperators:
+    def test_semijoin_arity(self, r2, s2):
+        assert SemiJoin(r2, s2, equals(0, 2)).arity == 2
+
+    def test_antisemijoin_arity(self, r2, s2):
+        assert AntiSemiJoin(r2, s2, equals(0, 2)).arity == 2
+
+    def test_leftouterjoin_arity(self, r2, s2):
+        assert LeftOuterJoin(r2, s2, equals(0, 2)).arity == 4
+
+    def test_condition_spans_both_operands(self, r2, s2):
+        with pytest.raises(ArityError):
+            SemiJoin(r2, s2, equals(0, 4))
+
+    def test_with_children_keeps_condition(self, r2, s2, t2):
+        join = LeftOuterJoin(r2, s2, equals(0, 2))
+        rebuilt = join.with_children((t2, s2))
+        assert rebuilt == LeftOuterJoin(t2, s2, equals(0, 2))
+
+
+class TestStringRendering:
+    def test_str_is_parseable_syntax(self, r2, s2):
+        assert str(Union(r2, s2)) == "(R/2 union S/2)"
+
+    def test_repr_contains_type(self, r2):
+        assert "Relation" in repr(r2)

@@ -1,0 +1,162 @@
+"""Property-based tests (Hypothesis) for the algebra core.
+
+Strategies build random expressions over a fixed small signature and random
+small instances; the properties assert that
+
+* the printer/parser round-trip is the identity,
+* simplification never changes the semantics of an expression,
+* evaluation respects basic well-formedness (arity of produced tuples).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.conditions import And, Comparison, Not, Or
+from repro.algebra.evaluation import evaluate
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    Union,
+)
+from repro.algebra.parser import parse_expression
+from repro.algebra.printer import expression_to_text
+from repro.algebra.simplify import simplify_expression
+from repro.algebra.terms import Attribute, Constant
+from repro.schema.instance import Instance
+from repro.schema.signature import Signature
+
+#: The relations random expressions draw from.
+BASE_RELATIONS = {"R": 2, "S": 2, "T": 1}
+SIGNATURE = Signature.from_arities(BASE_RELATIONS)
+DOMAIN_VALUES = [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def conditions(arity: int) -> st.SearchStrategy:
+    """Random conditions over tuples of the given arity."""
+    indices = st.integers(min_value=0, max_value=arity - 1)
+    terms = st.one_of(indices.map(Attribute), st.sampled_from(DOMAIN_VALUES).map(Constant))
+    comparisons = st.builds(
+        Comparison, terms, st.sampled_from(["=", "!=", "<", "<="]), terms
+    )
+    return st.recursive(
+        comparisons,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: And(a, b), children, children),
+            st.builds(lambda a, b: Or(a, b), children, children),
+            children.map(Not),
+        ),
+        max_leaves=4,
+    )
+
+
+def leaf_expressions() -> st.SearchStrategy:
+    relations = st.sampled_from(
+        [Relation(name, arity) for name, arity in BASE_RELATIONS.items()]
+    )
+    specials = st.sampled_from([Domain(1), Domain(2), Empty(1), Empty(2)])
+    return st.one_of(relations, specials)
+
+
+@st.composite
+def expressions(draw, max_depth: int = 3) -> Expression:
+    """Random well-formed expressions of bounded depth and arity."""
+    if max_depth == 0:
+        return draw(leaf_expressions())
+    choice = draw(st.integers(min_value=0, max_value=7))
+    if choice == 0:
+        return draw(leaf_expressions())
+    if choice in (1, 2, 3):
+        left = draw(expressions(max_depth=max_depth - 1))
+        right = draw(expressions(max_depth=max_depth - 1))
+        if left.arity != right.arity:
+            # Make the arities agree by projecting the wider one.
+            wide, narrow = (left, right) if left.arity > right.arity else (right, left)
+            wide = Projection(wide, tuple(range(narrow.arity)))
+            left, right = (wide, narrow) if left.arity > right.arity else (narrow, wide)
+        constructor = (Union, Intersection, Difference)[choice - 1]
+        return constructor(left, right)
+    if choice == 4:
+        left = draw(expressions(max_depth=max_depth - 1))
+        right = draw(expressions(max_depth=max_depth - 1))
+        if left.arity + right.arity > 4:
+            return left
+        return CrossProduct(left, right)
+    if choice == 5:
+        child = draw(expressions(max_depth=max_depth - 1))
+        condition = draw(conditions(child.arity))
+        return Selection(child, condition)
+    child = draw(expressions(max_depth=max_depth - 1))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=child.arity - 1), min_size=1, max_size=3
+        )
+    )
+    return Projection(child, tuple(indices))
+
+
+@st.composite
+def instances(draw) -> Instance:
+    """Random small instances over the fixed signature."""
+    contents = {}
+    for name, arity in BASE_RELATIONS.items():
+        rows = draw(
+            st.sets(
+                st.tuples(*([st.sampled_from(DOMAIN_VALUES)] * arity)), max_size=4
+            )
+        )
+        contents[name] = rows
+    return Instance(contents, SIGNATURE)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions())
+def test_printer_parser_roundtrip(expression):
+    assert parse_expression(expression_to_text(expression)) == expression
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), instances())
+def test_simplification_preserves_semantics(expression, instance):
+    simplified = simplify_expression(expression)
+    assert evaluate(simplified, instance) == evaluate(expression, instance)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), instances())
+def test_evaluation_respects_arity(expression, instance):
+    rows = evaluate(expression, instance)
+    assert all(len(row) == expression.arity for row in rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions(), instances())
+def test_evaluation_is_deterministic(expression, instance):
+    assert evaluate(expression, instance) == evaluate(expression, instance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_domain_contains_every_relation_projection(instance):
+    domain = evaluate(Domain(1), instance)
+    for name, arity in BASE_RELATIONS.items():
+        for column in range(arity):
+            projected = evaluate(Projection(Relation(name, arity), (column,)), instance)
+            assert projected <= domain

@@ -1,0 +1,85 @@
+"""Tests for terms (attributes, constants, NULL)."""
+
+import pytest
+
+from repro.algebra.terms import NULL, Attribute, Constant, NullValue, resolve_term
+from repro.exceptions import ConditionError
+
+
+class TestAttribute:
+    def test_valid_index(self):
+        assert Attribute(0).index == 0
+        assert Attribute(7).index == 7
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConditionError):
+            Attribute(-1)
+
+    def test_non_int_index_rejected(self):
+        with pytest.raises(ConditionError):
+            Attribute("0")
+
+    def test_bool_index_rejected(self):
+        with pytest.raises(ConditionError):
+            Attribute(True)
+
+    def test_shifted(self):
+        assert Attribute(2).shifted(3) == Attribute(5)
+
+    def test_remapped(self):
+        assert Attribute(1).remapped({1: 4}) == Attribute(4)
+
+    def test_remapped_missing_raises(self):
+        with pytest.raises(ConditionError):
+            Attribute(1).remapped({0: 4})
+
+    def test_str(self):
+        assert str(Attribute(3)) == "#3"
+
+    def test_equality_and_hash(self):
+        assert Attribute(1) == Attribute(1)
+        assert hash(Attribute(1)) == hash(Attribute(1))
+        assert Attribute(1) != Attribute(2)
+
+    def test_ordering(self):
+        assert Attribute(1) < Attribute(2)
+
+
+class TestConstant:
+    def test_values(self):
+        assert Constant(5).value == 5
+        assert Constant("x").value == "x"
+
+    def test_unhashable_rejected(self):
+        with pytest.raises(ConditionError):
+            Constant([1, 2])
+
+    def test_str_string_quoted(self):
+        assert str(Constant("abc")) == "'abc'"
+
+    def test_str_number(self):
+        assert str(Constant(7)) == "7"
+
+
+class TestResolveTerm:
+    def test_attribute_resolution(self):
+        assert resolve_term(Attribute(1), (10, 20, 30)) == 20
+
+    def test_constant_resolution(self):
+        assert resolve_term(Constant("k"), (1, 2)) == "k"
+
+    def test_out_of_range(self):
+        with pytest.raises(ConditionError):
+            resolve_term(Attribute(5), (1, 2))
+
+    def test_not_a_term(self):
+        with pytest.raises(ConditionError):
+            resolve_term("bogus", (1, 2))
+
+
+class TestNull:
+    def test_singleton(self):
+        assert NullValue() is NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"

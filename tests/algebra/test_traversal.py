@@ -1,0 +1,123 @@
+"""Tests for generic traversal, substitution and size metrics."""
+
+import pytest
+
+from repro.algebra import traversal
+from repro.algebra.conditions import equals
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Projection,
+    Relation,
+    Selection,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+)
+from repro.exceptions import ArityError
+
+
+@pytest.fixture
+def sample():
+    r, s = Relation("R", 2), Relation("S", 2)
+    return Projection(Selection(CrossProduct(r, Union(s, r)), equals(0, 2)), (0, 3))
+
+
+class TestWalk:
+    def test_walk_visits_every_node(self, sample):
+        nodes = list(traversal.walk(sample))
+        assert len(nodes) == 7
+
+    def test_walk_preorder_root_first(self, sample):
+        nodes = list(traversal.walk(sample))
+        assert nodes[0] is sample
+
+    def test_walk_single_leaf(self):
+        assert list(traversal.walk(Relation("R", 1))) == [Relation("R", 1)]
+
+
+class TestSubstitution:
+    def test_substitute_relation(self, sample):
+        replacement = Difference(Relation("T", 2), Relation("U", 2))
+        rewritten = traversal.substitute_relation(sample, "S", replacement)
+        assert not traversal.contains_relation(rewritten, "S")
+        assert traversal.contains_relation(rewritten, "T")
+
+    def test_substitute_preserves_structure_elsewhere(self, sample):
+        rewritten = traversal.substitute_relation(sample, "S", Relation("S", 2))
+        assert rewritten == sample
+
+    def test_substitute_arity_mismatch_rejected(self, sample):
+        with pytest.raises(ArityError):
+            traversal.substitute_relation(sample, "S", Relation("T", 3))
+
+    def test_substitute_relations_multiple(self):
+        expression = Union(Relation("A", 1), Relation("B", 1))
+        rewritten = traversal.substitute_relations(
+            expression, {"A": Relation("X", 1), "B": Relation("Y", 1)}
+        )
+        assert rewritten == Union(Relation("X", 1), Relation("Y", 1))
+
+    def test_substitution_is_not_recursive(self):
+        # Replacing S by an expression that mentions S must not loop.
+        expression = Relation("S", 2)
+        replacement = Union(Relation("S", 2), Relation("T", 2))
+        assert traversal.substitute_relation(expression, "S", replacement) == replacement
+
+
+class TestQueries:
+    def test_relation_names(self, sample):
+        assert traversal.relation_names(sample) == frozenset({"R", "S"})
+
+    def test_contains_relation(self, sample):
+        assert traversal.contains_relation(sample, "R")
+        assert not traversal.contains_relation(sample, "Z")
+
+    def test_relation_occurrences(self, sample):
+        assert traversal.relation_occurrences(sample, "R") == 2
+        assert traversal.relation_occurrences(sample, "S") == 1
+
+    def test_skolem_functions(self):
+        f = SkolemFunction("f", (0,))
+        expression = SkolemApplication(Relation("R", 2), f)
+        assert traversal.skolem_functions(expression) == frozenset({f})
+        assert traversal.contains_skolem(expression)
+        assert not traversal.contains_skolem(Relation("R", 2))
+
+    def test_contains_domain_and_empty(self):
+        assert traversal.contains_domain(Union(Domain(2), Relation("R", 2)))
+        assert not traversal.contains_domain(Relation("R", 2))
+        assert traversal.contains_empty(Difference(Relation("R", 2), Empty(2)))
+        assert not traversal.contains_empty(Relation("R", 2))
+
+
+class TestMetrics:
+    def test_operator_count_ignores_leaves(self, sample):
+        assert traversal.operator_count(sample) == 4
+        assert traversal.operator_count(Relation("R", 2)) == 0
+
+    def test_node_count(self, sample):
+        assert traversal.node_count(sample) == 7
+
+    def test_expression_depth(self, sample):
+        assert traversal.expression_depth(sample) == 5
+        assert traversal.expression_depth(Relation("R", 2)) == 1
+
+
+class TestTransform:
+    def test_transform_bottom_up_rebuilds(self):
+        expression = Union(Relation("A", 1), Relation("B", 1))
+
+        def rename(node):
+            if isinstance(node, Relation):
+                return Relation(node.name.lower(), node.arity)
+            return node
+
+        assert traversal.transform_bottom_up(expression, rename) == Union(
+            Relation("a", 1), Relation("b", 1)
+        )
+
+    def test_transform_identity_returns_equal_tree(self, sample):
+        assert traversal.transform_bottom_up(sample, lambda node: node) == sample

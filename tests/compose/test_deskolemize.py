@@ -1,0 +1,169 @@
+"""Tests for the canonical Skolem form and the deskolemization procedure."""
+
+from repro.algebra.conditions import equals, equals_const
+from repro.algebra.expressions import (
+    CrossProduct,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+)
+from repro.compose.deskolemize import deskolemize
+from repro.compose.skolem import ColumnRef, canonicalize_skolemized
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+R = Relation("R", 1)
+S = Relation("S", 2)
+T = Relation("T", 2)
+U = Relation("U", 2)
+F = SkolemFunction("f", (0,))
+G = SkolemFunction("g", (0,))
+
+
+class TestCanonicalization:
+    def test_skolem_free_expression(self):
+        form = canonicalize_skolemized(S)
+        assert form.base == S
+        assert form.skolems == ()
+        assert form.output == (ColumnRef("base", 0), ColumnRef("base", 1))
+
+    def test_single_application(self):
+        form = canonicalize_skolemized(SkolemApplication(R, F))
+        assert form.base == R
+        assert len(form.skolems) == 1
+        assert form.output[-1] == ColumnRef("skolem", 0)
+
+    def test_projection_over_skolem(self):
+        expression = Projection(SkolemApplication(R, F), (1, 0))
+        form = canonicalize_skolemized(expression)
+        assert form.output == (ColumnRef("skolem", 0), ColumnRef("base", 0))
+
+    def test_selection_on_base_columns_pushes_down(self):
+        expression = Selection(SkolemApplication(S, SkolemFunction("f", (0, 1))), equals_const(0, 3))
+        form = canonicalize_skolemized(expression)
+        assert isinstance(form.base, Selection)
+        assert form.base.child == S
+
+    def test_selection_on_skolem_column_fails(self):
+        expression = Selection(SkolemApplication(R, F), equals(0, 1))
+        assert canonicalize_skolemized(expression) is None
+
+    def test_cross_product_combines(self):
+        expression = CrossProduct(SkolemApplication(R, F), T)
+        form = canonicalize_skolemized(expression)
+        assert form is not None
+        assert form.base == CrossProduct(R, T)
+        assert len(form.skolems) == 1
+        # Output: base0, skolem0, base1, base2.
+        assert form.output[1] == ColumnRef("skolem", 0)
+        assert form.output[2] == ColumnRef("base", 1)
+
+    def test_skolem_under_union_fails(self):
+        expression = Union(SkolemApplication(R, F), SkolemApplication(R, G))
+        assert canonicalize_skolemized(expression) is None
+
+    def test_nested_skolem_dependency_fails(self):
+        inner = SkolemApplication(R, F)
+        outer = SkolemApplication(inner, SkolemFunction("g", (1,)))  # depends on f's column
+        assert canonicalize_skolemized(outer) is None
+
+    def test_chained_independent_skolems_ok(self):
+        inner = SkolemApplication(R, F)
+        outer = SkolemApplication(inner, SkolemFunction("g", (0,)))
+        form = canonicalize_skolemized(outer)
+        assert form is not None
+        assert len(form.skolems) == 2
+
+
+class TestDeskolemize:
+    def test_passthrough_without_skolems(self):
+        constraints = ConstraintSet([ContainmentConstraint(S, T)])
+        assert deskolemize(constraints) == constraints
+
+    def test_single_constraint_existential_reading(self):
+        constraints = ConstraintSet([ContainmentConstraint(SkolemApplication(R, F), S)])
+        result = deskolemize(constraints)
+        assert result == ConstraintSet([ContainmentConstraint(R, Projection(S, (0,)))])
+
+    def test_group_combination(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(SkolemApplication(R, F), S),
+                ContainmentConstraint(SkolemApplication(R, F), T),
+            ]
+        )
+        result = deskolemize(constraints)
+        assert result == ConstraintSet(
+            [ContainmentConstraint(R, Projection(Intersection(S, T), (0,)))]
+        )
+
+    def test_dropped_skolem_columns_become_plain_projection(self):
+        expression = Projection(SkolemApplication(R, F), (0,))
+        constraints = ConstraintSet([ContainmentConstraint(expression, R)])
+        result = deskolemize(constraints)
+        # π_0(f(R)) is just R once the unused Skolem column is dropped.
+        assert result == ConstraintSet([ContainmentConstraint(R, R)])
+
+    def test_repeated_function_in_one_constraint_fails(self):
+        left = CrossProduct(SkolemApplication(R, F), SkolemApplication(R, F))
+        constraints = ConstraintSet([ContainmentConstraint(left, Relation("W", 4))])
+        assert deskolemize(constraints) is None
+
+    def test_same_function_different_bases_fails(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(SkolemApplication(R, F), S),
+                ContainmentConstraint(SkolemApplication(Projection(T, (0,)), F), S),
+            ]
+        )
+        assert deskolemize(constraints) is None
+
+    def test_partial_dependency_fails(self):
+        # The Skolem function only depends on column 0 of a binary base: the
+        # per-tuple existential reading would be unsound, so refuse.
+        constraints = ConstraintSet(
+            [ContainmentConstraint(SkolemApplication(S, SkolemFunction("f", (0,))), Relation("W", 3))]
+        )
+        assert deskolemize(constraints) is None
+
+    def test_skolem_on_rhs_fails(self):
+        constraints = ConstraintSet(
+            [ContainmentConstraint(S, SkolemApplication(R, F))]
+        )
+        assert deskolemize(constraints) is None
+
+    def test_equality_with_skolem_fails(self):
+        constraints = ConstraintSet(
+            [EqualityConstraint(SkolemApplication(R, F), S)]
+        )
+        assert deskolemize(constraints) is None
+
+    def test_permuted_output_uses_lift(self):
+        # π_{1,0}(f(R)) ⊆ S: the Skolem column comes first in the output, so the
+        # lifted translation (via D^n) is required; the result must be Skolem-free.
+        expression = Projection(SkolemApplication(R, F), (1, 0))
+        constraints = ConstraintSet([ContainmentConstraint(expression, S)])
+        result = deskolemize(constraints)
+        assert result is not None
+        assert not result.contains_skolem()
+
+    def test_semantics_of_existential_reading(self):
+        """Deskolemization output must hold exactly when some Skolem interpretation works."""
+        from repro.algebra.evaluation import SkolemInterpretation
+        from repro.constraints.satisfaction import satisfies_all
+        from repro.schema.instance import Instance
+
+        constraints = ConstraintSet([ContainmentConstraint(SkolemApplication(R, F), S)])
+        deskolemized = deskolemize(constraints)
+
+        witness = Instance({"R": {(1,), (2,)}, "S": {(1, 5), (2, 6)}})
+        assert satisfies_all(witness, deskolemized)
+        skolems = SkolemInterpretation(functions={"f": lambda args: 5 if args[0] == 1 else 6})
+        assert satisfies_all(witness, constraints, skolems=skolems)
+
+        no_witness = Instance({"R": {(1,), (2,)}, "S": {(1, 5)}})
+        assert not satisfies_all(no_witness, deskolemized)

@@ -1,0 +1,126 @@
+"""Tests for the left-compose step (Section 3.4)."""
+
+from repro.algebra.conditions import equals
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Intersection,
+    Projection,
+    Relation,
+    Union,
+)
+from repro.compose.left_compose import left_compose
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.operators.registry import default_registry
+
+R, S, T, U = Relation("R", 2), Relation("S", 2), Relation("T", 2), Relation("U", 1)
+
+
+class TestLeftCompose:
+    def test_paper_examples_7_and_10(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Difference(R, S), T),
+                ContainmentConstraint(Projection(S, (0,)), U),
+            ]
+        )
+        result = left_compose(constraints, "S", 2)
+        assert result is not None
+        assert not result.mentions("S")
+        # Expected shape: R ⊆ (U × D) ∪ T (modulo column placement details).
+        assert len(result) == 1
+        [constraint] = list(result)
+        assert constraint.left == R
+        assert isinstance(constraint.right, Union)
+
+    def test_paper_examples_9_11_12_domain_elimination(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Intersection(R, T), S),
+                ContainmentConstraint(U, Projection(S, (0,))),
+            ]
+        )
+        result = left_compose(constraints, "S", 2)
+        assert result is not None
+        # Both constraints reduce to containments in D^r and are deleted.
+        assert len(result) == 0
+
+    def test_symbol_on_both_sides_fails(self):
+        constraints = ConstraintSet([ContainmentConstraint(S, Union(S, R))])
+        assert left_compose(constraints, "S", 2) is None
+
+    def test_non_monotone_rhs_fails(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(R, Difference(T, S)),
+                ContainmentConstraint(S, T),
+            ]
+        )
+        assert left_compose(constraints, "S", 2) is None
+
+    def test_unknown_operator_rhs_fails_without_registry(self):
+        from repro.algebra.expressions import SemiJoin
+
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(R, SemiJoin(S, T, equals(0, 2))),
+                ContainmentConstraint(S, T),
+            ]
+        )
+        assert left_compose(constraints, "S", 2) is None
+        # With the registry, the semijoin is known to be monotone and composition succeeds.
+        assert left_compose(constraints, "S", 2, default_registry()) is not None
+
+    def test_equalities_mentioning_symbol_are_split(self):
+        constraints = ConstraintSet(
+            [
+                EqualityConstraint(S, R),
+                ContainmentConstraint(T, Union(S, T)),
+            ]
+        )
+        result = left_compose(constraints, "S", 2)
+        assert result is not None
+        assert not result.mentions("S")
+        # R ⊆ S became R ⊆ E1 where E1 is the upper bound R — a trivial constraint.
+        assert ContainmentConstraint(T, Union(R, T)) in result
+
+    def test_soundness_on_instances(self):
+        """Left compose output must be implied by the input (soundness check)."""
+        from repro.constraints.satisfaction import check_soundness_on_instance
+        from tests.conftest import random_instance
+        from repro.schema.signature import Signature
+
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Difference(R, S), T),
+                ContainmentConstraint(Projection(S, (0,)), U),
+            ]
+        )
+        result = left_compose(constraints, "S", 2)
+        signature = Signature.from_arities({"R": 2, "S": 2, "T": 2, "U": 1})
+        for seed in range(25):
+            instance = random_instance(signature, seed)
+            ok, violated = check_soundness_on_instance(instance, constraints, result)
+            assert ok, f"unsound rewrite on seed {seed}: {violated}"
+
+    def test_untouched_constraints_survive(self):
+        unrelated = ContainmentConstraint(R, T)
+        constraints = ConstraintSet([unrelated, ContainmentConstraint(S, R)])
+        result = left_compose(constraints, "S", 2)
+        assert unrelated in result
+
+    def test_upper_bound_from_multiple_constraints(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(S, R),
+                ContainmentConstraint(S, T),
+                ContainmentConstraint(U, Projection(S, (1,))),
+            ]
+        )
+        result = left_compose(constraints, "S", 2)
+        assert result is not None
+        [constraint] = list(result)
+        assert constraint.left == U
+        assert constraint.right == Projection(Intersection(R, T), (1,))

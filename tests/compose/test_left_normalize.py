@@ -1,0 +1,121 @@
+"""Tests for left-normalization (Section 3.4.1)."""
+
+from repro.algebra.conditions import equals_const
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    Union,
+)
+from repro.compose.left_normalize import left_normalize, rewrite_left_once
+from repro.compose.normalize_context import NormalizationContext
+from repro.constraints.constraint import ContainmentConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+R, S, T, U = Relation("R", 2), Relation("S", 2), Relation("T", 2), Relation("U", 1)
+
+
+def context(arity=2):
+    return NormalizationContext(symbol="S", symbol_arity=arity)
+
+
+class TestRewriteRules:
+    def test_union_on_left_splits(self):
+        rewritten = rewrite_left_once(Union(S, R), T, "S", context())
+        assert rewritten == [(S, T), (R, T)]
+
+    def test_difference_on_left(self):
+        rewritten = rewrite_left_once(Difference(R, S), T, "S", context())
+        assert rewritten == [(R, Union(S, T))]
+
+    def test_projection_on_left_places_columns(self):
+        rewritten = rewrite_left_once(Projection(S, (0,)), U, "S", context())
+        assert len(rewritten) == 1
+        new_left, new_right = rewritten[0]
+        assert new_left == S
+        assert new_right.arity == 2
+
+    def test_projection_with_duplicate_indices_fails(self):
+        assert rewrite_left_once(Projection(S, (0, 0)), Relation("W", 2), "S", context()) is None
+
+    def test_selection_on_left(self):
+        rewritten = rewrite_left_once(Selection(S, equals_const(0, 1)), T, "S", context())
+        [(new_left, new_right)] = rewritten
+        assert new_left == S
+        assert new_right == Union(T, Difference(Domain(2), Selection(Domain(2), equals_const(0, 1))))
+
+    def test_intersection_on_left_fails(self):
+        assert rewrite_left_once(Intersection(R, S), T, "S", context()) is None
+
+    def test_product_on_left_fails(self):
+        assert rewrite_left_once(CrossProduct(U, S), Relation("W", 3), "S", context()) is None
+
+    def test_unknown_operator_without_registry_fails(self):
+        from repro.algebra.expressions import SemiJoin
+        from repro.algebra.conditions import equals
+
+        assert rewrite_left_once(SemiJoin(S, R, equals(0, 2)), T, "S", context()) is None
+
+
+class TestLeftNormalize:
+    def test_paper_example_7(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Difference(R, S), T),
+                ContainmentConstraint(Projection(S, (0,)), U),
+            ]
+        )
+        normalized = left_normalize(constraints, "S", context())
+        assert normalized is not None
+        result, xi = normalized
+        assert xi.left == S
+        # ξ's upper bound comes from the projection constraint: S ⊆ place(U).
+        assert xi in result
+        # The difference constraint was rewritten to R ⊆ S ∪ T.
+        assert ContainmentConstraint(R, Union(S, T)) in result
+
+    def test_paper_example_8_intersection_fails(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Intersection(R, S), T),
+                ContainmentConstraint(Projection(S, (0,)), U),
+            ]
+        )
+        assert left_normalize(constraints, "S", context()) is None
+
+    def test_paper_example_9_adds_trivial_bound(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Intersection(R, T), S),
+                ContainmentConstraint(U, Projection(S, (0,))),
+            ]
+        )
+        normalized = left_normalize(constraints, "S", context())
+        assert normalized is not None
+        result, xi = normalized
+        assert xi == ContainmentConstraint(S, Domain(2))
+
+    def test_multiple_upper_bounds_collapse_to_intersection(self):
+        constraints = ConstraintSet(
+            [ContainmentConstraint(S, R), ContainmentConstraint(S, T)]
+        )
+        result, xi = left_normalize(constraints, "S", context())
+        assert xi.right == Intersection(R, T)
+        assert len(result) == 1
+
+    def test_constraints_not_mentioning_symbol_pass_through(self):
+        unrelated = ContainmentConstraint(R, T)
+        constraints = ConstraintSet([unrelated, ContainmentConstraint(S, R)])
+        result, _ = left_normalize(constraints, "S", context())
+        assert unrelated in result
+
+    def test_nested_rewrites_terminate(self):
+        nested = ContainmentConstraint(Union(Projection(CrossProduct(S, U), (0, 1)), R), T)
+        constraints = ConstraintSet([nested])
+        # π over a product containing S: the projection rule fires, then the
+        # product blocks normalization — must fail cleanly, not loop.
+        assert left_normalize(constraints, "S", context()) is None

@@ -1,0 +1,170 @@
+"""Tests for the right-compose step (Section 3.5)."""
+
+from repro.algebra.conditions import equals, equals_const
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    Union,
+)
+from repro.compose.right_compose import right_compose
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.constraints.satisfaction import check_soundness_on_instance
+from repro.schema.signature import Signature
+from tests.conftest import random_instance
+
+R, S, T, U = Relation("R", 2), Relation("S", 2), Relation("T", 2), Relation("U", 1)
+
+
+class TestRightCompose:
+    def test_simple_chain(self):
+        constraints = ConstraintSet(
+            [ContainmentConstraint(R, S), ContainmentConstraint(S, T)]
+        )
+        result = right_compose(constraints, "S", 2)
+        assert result == ConstraintSet([ContainmentConstraint(R, T)])
+
+    def test_paper_example_15(self):
+        s, t = Relation("S", 2), Relation("T", 3)
+        u, r = Relation("U", 5), Relation("R", 3)
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(CrossProduct(s, t), u),
+                ContainmentConstraint(
+                    t, CrossProduct(Selection(s, equals_const(0, "c")), Projection(r, (0,)))
+                ),
+            ]
+        )
+        result = right_compose(constraints, "S", 2)
+        assert result is not None
+        assert not result.mentions("S")
+        # The substituted lower bound π(T) appears inside the product constraint.
+        assert any(
+            isinstance(constraint.left, CrossProduct)
+            and constraint.right == u
+            for constraint in result
+        )
+
+    def test_symbol_on_both_sides_fails(self):
+        constraints = ConstraintSet([ContainmentConstraint(Union(S, R), S)])
+        assert right_compose(constraints, "S", 2) is None
+
+    def test_non_monotone_lhs_fails(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Difference(T, S), R),
+                ContainmentConstraint(T, S),
+            ]
+        )
+        assert right_compose(constraints, "S", 2) is None
+
+    def test_projection_chain_deskolemizes(self):
+        """R ⊆ π(S), S ⊆ T  ⇒  R ⊆ π(T) (LAV-style composition)."""
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(U, Projection(S, (0,))),
+                ContainmentConstraint(S, T),
+            ]
+        )
+        result = right_compose(constraints, "S", 2)
+        assert result is not None
+        assert not result.contains_skolem()
+        assert result == ConstraintSet([ContainmentConstraint(U, Projection(T, (0,)))])
+
+    def test_projection_chain_with_two_targets_combines(self):
+        """f(U) ⊆ T and f(U) ⊆ W combine into U ⊆ π(T ∩ W)."""
+        w = Relation("W", 2)
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(U, Projection(S, (0,))),
+                ContainmentConstraint(S, T),
+                ContainmentConstraint(S, w),
+            ]
+        )
+        result = right_compose(constraints, "S", 2)
+        assert result is not None
+        assert not result.contains_skolem()
+        [constraint] = list(result)
+        assert constraint.left == U
+        assert constraint.right == Projection(Intersection(T, w), (0,))
+
+    def test_skolem_under_selection_fails(self):
+        """The Fagin employee/manager pattern: a selection on the Skolem column."""
+        emp = Relation("Emp", 1)
+        mgr1 = Relation("Mgr1", 2)
+        self_mgr = Relation("SelfMgr", 1)
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(emp, Projection(mgr1, (0,))),
+                ContainmentConstraint(
+                    Projection(Selection(mgr1, equals(0, 1)), (0,)), self_mgr
+                ),
+            ]
+        )
+        assert right_compose(constraints, "Mgr1", 2) is None
+
+    def test_repeated_skolem_function_fails(self):
+        """The paper's Example 17 shape: the same Skolem function twice in one constraint."""
+        e = Relation("E", 2)
+        f = Relation("F", 2)
+        c = Relation("C", 2)
+        d = Relation("D_rel", 2)
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(Projection(e, (0,)), Projection(c, (0,))),
+                ContainmentConstraint(Projection(e, (1,)), Projection(c, (0,))),
+                ContainmentConstraint(
+                    Projection(
+                        Selection(
+                            CrossProduct(CrossProduct(e, c), c),
+                            equals(0, 2),
+                        ),
+                        (3, 5),
+                    ),
+                    d,
+                ),
+            ]
+        )
+        assert right_compose(constraints, "C", 2) is None
+
+    def test_no_lower_bound_uses_empty(self):
+        constraints = ConstraintSet([ContainmentConstraint(Intersection(R, S), T)])
+        result = right_compose(constraints, "S", 2)
+        # S gets the vacuous lower bound ∅; R ∩ ∅ ⊆ T is trivially satisfied and dropped.
+        assert result is not None
+        assert len(result) == 0
+
+    def test_equalities_are_split(self):
+        constraints = ConstraintSet(
+            [EqualityConstraint(S, R), ContainmentConstraint(S, T)]
+        )
+        result = right_compose(constraints, "S", 2)
+        assert result is not None
+        assert not result.mentions("S")
+        assert ContainmentConstraint(R, T) in result
+
+    def test_soundness_on_instances(self):
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(U, Projection(S, (0,))),
+                ContainmentConstraint(S, T),
+                ContainmentConstraint(R, S),
+            ]
+        )
+        result = right_compose(constraints, "S", 2)
+        assert result is not None
+        signature = Signature.from_arities({"R": 2, "S": 2, "T": 2, "U": 1})
+        for seed in range(25):
+            instance = random_instance(signature, seed)
+            ok, violated = check_soundness_on_instance(instance, constraints, result)
+            assert ok, f"unsound rewrite on seed {seed}: {violated}"
+
+    def test_untouched_constraints_survive(self):
+        unrelated = ContainmentConstraint(R, T)
+        constraints = ConstraintSet([unrelated, ContainmentConstraint(R, S)])
+        result = right_compose(constraints, "S", 2)
+        assert unrelated in result

@@ -1,0 +1,159 @@
+"""Tests for right-normalization (Section 3.5.1), including Skolemization."""
+
+from repro.algebra.conditions import equals_const
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Intersection,
+    Projection,
+    Relation,
+    Selection,
+    SkolemApplication,
+    Union,
+)
+from repro.algebra.traversal import contains_skolem, skolem_functions
+from repro.compose.normalize_context import NormalizationContext
+from repro.compose.right_normalize import (
+    right_normalize,
+    rewrite_right_once,
+    skolemize_projection_bound,
+)
+from repro.constraints.constraint import ContainmentConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+R, S, T, U = Relation("R", 2), Relation("S", 2), Relation("T", 2), Relation("U", 1)
+
+
+def context(arity=2):
+    return NormalizationContext(symbol="S", symbol_arity=arity)
+
+
+class TestRewriteRules:
+    def test_union_on_right_keeps_symbol_operand(self):
+        rewritten = rewrite_right_once(R, Union(S, T), "S", context())
+        assert rewritten == [(Difference(R, T), S)]
+        rewritten = rewrite_right_once(R, Union(T, S), "S", context())
+        assert rewritten == [(Difference(R, T), S)]
+
+    def test_intersection_on_right_splits(self):
+        rewritten = rewrite_right_once(R, Intersection(S, T), "S", context())
+        assert rewritten == [(R, S), (R, T)]
+
+    def test_product_on_right_projects_lhs(self):
+        wide = Relation("W", 3)
+        rewritten = rewrite_right_once(wide, CrossProduct(S, U), "S", context())
+        assert rewritten == [
+            (Projection(wide, (0, 1)), S),
+            (Projection(wide, (2,)), U),
+        ]
+
+    def test_difference_on_right(self):
+        rewritten = rewrite_right_once(R, Difference(S, T), "S", context())
+        assert rewritten == [(R, S), (Intersection(R, T), Empty(2))]
+
+    def test_selection_on_right(self):
+        rewritten = rewrite_right_once(R, Selection(S, equals_const(0, 1)), "S", context())
+        assert rewritten == [(R, S), (R, Selection(Domain(2), equals_const(0, 1)))]
+
+    def test_projection_on_right_skolemizes(self):
+        rewritten = rewrite_right_once(U, Projection(S, (0,)), "S", context())
+        [(new_left, new_right)] = rewritten
+        assert new_right == S
+        assert contains_skolem(new_left)
+        assert new_left.arity == 2
+
+    def test_unknown_operator_fails(self):
+        from repro.algebra.conditions import equals
+        from repro.algebra.expressions import SemiJoin
+
+        assert rewrite_right_once(R, SemiJoin(S, T, equals(0, 2)), "S", context()) is None
+
+
+class TestSkolemizeProjectionBound:
+    def test_identity_positions(self):
+        bound = skolemize_projection_bound(U, (0,), 2, context())
+        # Column 0 is the original, column 1 is the fresh Skolem column.
+        assert isinstance(bound, SkolemApplication)
+        assert bound.arity == 2
+
+    def test_permuted_positions(self):
+        bound = skolemize_projection_bound(U, (1,), 2, context())
+        assert isinstance(bound, Projection)
+        assert bound.arity == 2
+        assert contains_skolem(bound)
+
+    def test_multiple_missing_columns(self):
+        bound = skolemize_projection_bound(U, (1,), 3, context())
+        assert bound.arity == 3
+        assert len(skolem_functions(bound)) == 2
+
+    def test_duplicate_indices_fail(self):
+        assert skolemize_projection_bound(R, (0, 0), 3, context()) is None
+
+    def test_skolem_depends_on_all_lhs_columns(self):
+        bound = skolemize_projection_bound(R, (0, 1), 3, context())
+        functions = skolem_functions(bound)
+        assert all(f.depends_on == (0, 1) for f in functions)
+
+
+class TestRightNormalize:
+    def test_paper_example_13(self):
+        s, t = Relation("S", 2), Relation("T", 3)
+        u, r = Relation("U", 5), Relation("R", 3)
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(CrossProduct(s, t), u),
+                ContainmentConstraint(
+                    t, CrossProduct(Selection(s, equals_const(0, "c")), Projection(r, (0,)))
+                ),
+            ]
+        )
+        normalized = right_normalize(constraints, "S", context())
+        assert normalized is not None
+        result, xi = normalized
+        assert xi.right == s
+        # The first constraint is left untouched (S appears only on its lhs).
+        assert ContainmentConstraint(CrossProduct(s, t), u) in result
+        # The second constraint was decomposed; one piece is π(T) ⊆ σ_c-related domain check.
+        assert any(
+            constraint.right == Selection(Domain(2), equals_const(0, "c"))
+            for constraint in result
+        )
+
+    def test_paper_example_14_introduces_skolem(self):
+        r = Relation("R", 1)
+        s1 = Relation("S", 1)
+        t, u = Relation("T", 2), Relation("U", 2)
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(
+                    r, Projection(CrossProduct(s1, Intersection(t, u)), (0,))
+                )
+            ]
+        )
+        normalized = right_normalize(constraints, "S", NormalizationContext("S", 1))
+        assert normalized is not None
+        result, xi = normalized
+        assert xi.right == s1
+        assert contains_skolem(xi.left)
+
+    def test_no_lower_bound_adds_empty(self):
+        constraints = ConstraintSet([ContainmentConstraint(S, R)])
+        result, xi = right_normalize(constraints, "S", context())
+        assert xi == ContainmentConstraint(Empty(2), S)
+
+    def test_multiple_lower_bounds_collapse_to_union(self):
+        constraints = ConstraintSet(
+            [ContainmentConstraint(R, S), ContainmentConstraint(T, S)]
+        )
+        result, xi = right_normalize(constraints, "S", context())
+        assert xi.left == Union(R, T)
+        assert len(result) == 1
+
+    def test_unrelated_constraints_pass_through(self):
+        unrelated = ContainmentConstraint(R, T)
+        constraints = ConstraintSet([unrelated, ContainmentConstraint(R, S)])
+        result, _ = right_normalize(constraints, "S", context())
+        assert unrelated in result

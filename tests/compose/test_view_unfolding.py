@@ -1,0 +1,86 @@
+"""Tests for the view-unfolding step (Section 3.2)."""
+
+from repro.algebra.conditions import equals_const
+from repro.algebra.expressions import (
+    CrossProduct,
+    Difference,
+    Projection,
+    Relation,
+    Selection,
+    Union,
+)
+from repro.compose.view_unfolding import unfold_view
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+R1, R2 = Relation("R1", 2), Relation("R2", 2)
+R3 = Relation("R3", 4)
+S = Relation("S", 4)
+T1, T2, T3 = Relation("T1", 2), Relation("T2", 4), Relation("T3", 4)
+
+
+class TestUnfoldView:
+    def test_no_defining_equality_fails(self):
+        constraints = ConstraintSet([ContainmentConstraint(Relation("R", 2), Relation("S", 2))])
+        assert unfold_view(constraints, "S") is None
+
+    def test_self_referential_equality_is_not_a_definition(self):
+        s = Relation("S", 2)
+        constraints = ConstraintSet([EqualityConstraint(s, Union(s, Relation("R", 2)))])
+        assert unfold_view(constraints, "S") is None
+
+    def test_simple_definition(self):
+        s, r, t = Relation("S", 2), Relation("R", 2), Relation("T", 2)
+        constraints = ConstraintSet(
+            [EqualityConstraint(s, r), ContainmentConstraint(s, t)]
+        )
+        unfolded = unfold_view(constraints, "S")
+        assert unfolded == ConstraintSet([ContainmentConstraint(r, t)])
+
+    def test_definition_on_the_right_side(self):
+        s, r, t = Relation("S", 2), Relation("R", 2), Relation("T", 2)
+        constraints = ConstraintSet(
+            [EqualityConstraint(r, s), ContainmentConstraint(s, t)]
+        )
+        unfolded = unfold_view(constraints, "S")
+        assert unfolded == ConstraintSet([ContainmentConstraint(r, t)])
+
+    def test_paper_example_5(self):
+        """The paper's Example 5: unfolding succeeds where left/right compose cannot."""
+        constraints = ConstraintSet(
+            [
+                EqualityConstraint(S, CrossProduct(R1, R2)),
+                ContainmentConstraint(Projection(Difference(R3, S), (0, 1)), T1),
+                ContainmentConstraint(T2, Difference(T3, Selection(S, equals_const(0, "c")))),
+            ]
+        )
+        unfolded = unfold_view(constraints, "S")
+        assert unfolded is not None
+        assert not unfolded.mentions("S")
+        expected_first = ContainmentConstraint(
+            Projection(Difference(R3, CrossProduct(R1, R2)), (0, 1)), T1
+        )
+        expected_second = ContainmentConstraint(
+            T2, Difference(T3, Selection(CrossProduct(R1, R2), equals_const(0, "c")))
+        )
+        assert expected_first in unfolded
+        assert expected_second in unfolded
+
+    def test_substitutes_into_non_monotone_and_unknown_positions(self):
+        """Because the definition is an equality, monotonicity is irrelevant."""
+        s, r, t = Relation("S", 2), Relation("R", 2), Relation("T", 2)
+        constraints = ConstraintSet(
+            [
+                EqualityConstraint(s, r),
+                ContainmentConstraint(Difference(t, s), t),
+            ]
+        )
+        unfolded = unfold_view(constraints, "S")
+        assert ContainmentConstraint(Difference(t, r), t) in unfolded
+
+    def test_unrelated_symbol_untouched(self):
+        s, r, t = Relation("S", 2), Relation("R", 2), Relation("T", 2)
+        constraints = ConstraintSet([EqualityConstraint(s, r), ContainmentConstraint(r, t)])
+        unfolded = unfold_view(constraints, "S")
+        assert ContainmentConstraint(r, t) in unfolded
+        assert len(unfolded) == 1

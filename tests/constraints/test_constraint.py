@@ -1,0 +1,121 @@
+"""Tests for containment and equality constraints."""
+
+import pytest
+
+from repro.algebra.conditions import equals
+from repro.algebra.expressions import (
+    Difference,
+    Domain,
+    Empty,
+    Projection,
+    Relation,
+    Selection,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+)
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.exceptions import ArityError, ConstraintError
+
+R, S, T = Relation("R", 2), Relation("S", 2), Relation("T", 2)
+
+
+class TestConstruction:
+    def test_containment(self):
+        constraint = ContainmentConstraint(R, S)
+        assert constraint.left == R and constraint.right == S
+
+    def test_equality(self):
+        constraint = EqualityConstraint(R, S)
+        assert str(constraint) == "R/2 = S/2"
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ArityError):
+            ContainmentConstraint(R, Relation("U", 1))
+        with pytest.raises(ArityError):
+            EqualityConstraint(Relation("U", 1), R)
+
+    def test_non_expression_rejected(self):
+        with pytest.raises(ConstraintError):
+            ContainmentConstraint(R, "S")
+
+    def test_hashable_and_equal(self):
+        assert ContainmentConstraint(R, S) == ContainmentConstraint(R, S)
+        assert hash(EqualityConstraint(R, S)) == hash(EqualityConstraint(R, S))
+        assert ContainmentConstraint(R, S) != EqualityConstraint(R, S)
+
+
+class TestSymbolQueries:
+    def test_relation_names(self):
+        constraint = ContainmentConstraint(Union(R, S), T)
+        assert constraint.relation_names() == frozenset({"R", "S", "T"})
+
+    def test_mentions_sides(self):
+        constraint = ContainmentConstraint(Union(R, S), T)
+        assert constraint.mentions("S")
+        assert constraint.mentions_on_left("S")
+        assert not constraint.mentions_on_right("S")
+        assert constraint.mentions_on_right("T")
+        assert not constraint.mentions("Z")
+
+    def test_occurrences(self):
+        constraint = ContainmentConstraint(Union(R, R), R)
+        assert constraint.occurrences("R") == 3
+
+    def test_contains_skolem(self):
+        skolemized = SkolemApplication(R, SkolemFunction("f", (0,)))
+        assert ContainmentConstraint(skolemized, Relation("T", 3)).contains_skolem()
+        assert not ContainmentConstraint(R, S).contains_skolem()
+
+    def test_contains_domain_and_empty(self):
+        assert ContainmentConstraint(R, Domain(2)).contains_domain()
+        assert ContainmentConstraint(Empty(2), S).contains_empty()
+
+    def test_operator_count(self):
+        constraint = ContainmentConstraint(Union(R, S), Projection(T, (1, 0)))
+        assert constraint.operator_count() == 2
+
+    def test_is_trivial(self):
+        assert ContainmentConstraint(R, R).is_trivial()
+        assert not ContainmentConstraint(R, S).is_trivial()
+
+
+class TestRewriting:
+    def test_substituting_containment(self):
+        constraint = ContainmentConstraint(Union(R, S), S)
+        rewritten = constraint.substituting("S", T)
+        assert rewritten == ContainmentConstraint(Union(R, T), T)
+
+    def test_substituting_equality(self):
+        constraint = EqualityConstraint(S, Selection(R, equals(0, 1)))
+        rewritten = constraint.substituting("R", T)
+        assert rewritten == EqualityConstraint(S, Selection(T, equals(0, 1)))
+
+    def test_equality_as_containments(self):
+        forward, backward = EqualityConstraint(R, S).as_containments()
+        assert forward == ContainmentConstraint(R, S)
+        assert backward == ContainmentConstraint(S, R)
+
+    def test_sides(self):
+        assert ContainmentConstraint(R, S).sides() == (R, S)
+
+
+class TestDefinitionDetection:
+    def test_left_definition(self):
+        constraint = EqualityConstraint(S, Difference(R, T))
+        assert constraint.definition_of("S") == Difference(R, T)
+
+    def test_right_definition(self):
+        constraint = EqualityConstraint(Difference(R, T), S)
+        assert constraint.definition_of("S") == Difference(R, T)
+
+    def test_self_referential_not_a_definition(self):
+        constraint = EqualityConstraint(S, Union(S, R))
+        assert constraint.definition_of("S") is None
+
+    def test_not_alone_not_a_definition(self):
+        constraint = EqualityConstraint(Union(S, R), T)
+        assert constraint.definition_of("S") is None
+
+    def test_containment_is_never_a_definition(self):
+        assert not ContainmentConstraint(S, R).is_identity_definition_of("S")

@@ -1,0 +1,120 @@
+"""Tests for ConstraintSet."""
+
+import pytest
+
+from repro.algebra.expressions import Projection, Relation, SkolemApplication, SkolemFunction, Union
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.exceptions import ConstraintError
+
+R, S, T = Relation("R", 2), Relation("S", 2), Relation("T", 2)
+C1 = ContainmentConstraint(R, S)
+C2 = ContainmentConstraint(S, T)
+E1 = EqualityConstraint(R, T)
+
+
+class TestCollectionBehaviour:
+    def test_preserves_order_and_deduplicates(self):
+        constraints = ConstraintSet([C1, C2, C1])
+        assert list(constraints) == [C1, C2]
+        assert len(constraints) == 2
+
+    def test_contains(self):
+        assert C1 in ConstraintSet([C1])
+        assert C2 not in ConstraintSet([C1])
+
+    def test_equality_ignores_order(self):
+        assert ConstraintSet([C1, C2]) == ConstraintSet([C2, C1])
+        assert hash(ConstraintSet([C1, C2])) == hash(ConstraintSet([C2, C1]))
+
+    def test_indexing(self):
+        assert ConstraintSet([C1, C2])[1] == C2
+
+    def test_rejects_non_constraints(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet([C1, "bogus"])
+
+    def test_to_text_round_trips_through_parser(self):
+        from repro.algebra.parser import parse_constraints
+
+        constraints = ConstraintSet([C1, E1])
+        parsed = parse_constraints(constraints.to_text())
+        assert ConstraintSet(parsed) == constraints
+
+
+class TestBuilding:
+    def test_adding_and_removing(self):
+        constraints = ConstraintSet([C1]).adding(C2)
+        assert C2 in constraints
+        assert C2 not in constraints.removing(C2)
+
+    def test_replacing(self):
+        constraints = ConstraintSet([C1, C2]).replacing(C1, [E1])
+        assert list(constraints) == [E1, C2]
+
+    def test_replacing_missing_raises(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet([C1]).replacing(C2, [E1])
+
+    def test_union(self):
+        assert len(ConstraintSet([C1]).union(ConstraintSet([C2, C1]))) == 2
+
+    def test_map_and_filter(self):
+        constraints = ConstraintSet([C1, C2])
+        substituted = constraints.map(lambda c: c.substituting("S", T))
+        assert ContainmentConstraint(R, T) in substituted
+        filtered = constraints.filter(lambda c: c.mentions("R"))
+        assert list(filtered) == [C1]
+
+    def test_without_trivial(self):
+        constraints = ConstraintSet([C1, ContainmentConstraint(R, R)])
+        assert list(constraints.without_trivial()) == [C1]
+
+
+class TestQueries:
+    def test_relation_names(self):
+        assert ConstraintSet([C1, C2]).relation_names() == frozenset({"R", "S", "T"})
+
+    def test_constraints_mentioning(self):
+        constraints = ConstraintSet([C1, C2, E1])
+        assert constraints.constraints_mentioning("S") == (C1, C2)
+        assert constraints.mentions("S")
+        assert not constraints.mentions("Z")
+
+    def test_operator_count(self):
+        constraints = ConstraintSet(
+            [ContainmentConstraint(Union(R, S), T), ContainmentConstraint(Projection(R, (0,)), Projection(T, (0,)))]
+        )
+        assert constraints.operator_count() == 3
+
+    def test_contains_skolem(self):
+        skolemized = ContainmentConstraint(
+            SkolemApplication(R, SkolemFunction("f", (0,))), Relation("W", 3)
+        )
+        assert ConstraintSet([skolemized]).contains_skolem()
+        assert not ConstraintSet([C1]).contains_skolem()
+
+    def test_containments_and_equalities(self):
+        constraints = ConstraintSet([C1, E1])
+        assert constraints.containments() == (C1,)
+        assert constraints.equalities() == (E1,)
+
+
+class TestTransformations:
+    def test_substituting(self):
+        constraints = ConstraintSet([C1, C2]).substituting("S", Union(R, T))
+        assert ContainmentConstraint(R, Union(R, T)) in constraints
+        assert ContainmentConstraint(Union(R, T), T) in constraints
+
+    def test_split_equalities_for_symbol(self):
+        constraints = ConstraintSet([EqualityConstraint(S, R), E1])
+        split = constraints.with_equalities_split("S")
+        assert ContainmentConstraint(S, R) in split
+        assert ContainmentConstraint(R, S) in split
+        assert E1 in split  # does not mention S, stays an equality
+
+    def test_split_all_equalities(self):
+        constraints = ConstraintSet([EqualityConstraint(S, R), E1])
+        split = constraints.with_equalities_split()
+        assert len(split.equalities()) == 0
+        assert len(split.containments()) == 4

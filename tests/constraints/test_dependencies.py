@@ -1,0 +1,83 @@
+"""Tests for the dependency encodings (keys, inclusion dependencies, views)."""
+
+import pytest
+
+from repro.algebra.expressions import Projection, Relation
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.dependencies import (
+    inclusion_dependency,
+    key_constraint,
+    key_constraints_for,
+    view_definition,
+)
+from repro.constraints.satisfaction import satisfies
+from repro.exceptions import ConstraintError
+from repro.schema.instance import Instance
+from repro.schema.signature import RelationSchema, Signature
+
+
+class TestKeyConstraint:
+    def test_satisfied_by_keyed_instance(self):
+        constraint = key_constraint(Relation("S", 2), (0,))
+        instance = Instance({"S": {(1, "a"), (2, "b")}})
+        assert satisfies(instance, constraint)
+
+    def test_violated_by_duplicate_key(self):
+        constraint = key_constraint(Relation("S", 2), (0,))
+        instance = Instance({"S": {(1, "a"), (1, "b")}})
+        assert not satisfies(instance, constraint)
+
+    def test_composite_key(self):
+        constraint = key_constraint(Relation("S", 3), (0, 1))
+        good = Instance({"S": {(1, 1, "x"), (1, 2, "y")}})
+        bad = Instance({"S": {(1, 1, "x"), (1, 1, "y")}})
+        assert satisfies(good, constraint)
+        assert not satisfies(bad, constraint)
+
+    def test_wider_non_key_part(self):
+        constraint = key_constraint(Relation("S", 3), (0,))
+        good = Instance({"S": {(1, "a", "b"), (2, "a", "c")}})
+        bad = Instance({"S": {(1, "a", "b"), (1, "a", "c")}})
+        assert satisfies(good, constraint)
+        assert not satisfies(bad, constraint)
+
+    def test_all_columns_key_rejected(self):
+        with pytest.raises(ConstraintError):
+            key_constraint(Relation("S", 2), (0, 1))
+
+    def test_out_of_range_key_rejected(self):
+        with pytest.raises(ConstraintError):
+            key_constraint(Relation("S", 2), (5,))
+
+    def test_key_constraints_for_signature(self):
+        signature = Signature(
+            [
+                RelationSchema("A", 3, (0,)),
+                RelationSchema("B", 2),
+                RelationSchema("C", 2, (0, 1)),  # full key: skipped
+            ]
+        )
+        constraints = key_constraints_for(signature)
+        assert len(constraints) == 1
+        assert constraints[0].relation_names() == frozenset({"A"})
+
+
+class TestInclusionDependency:
+    def test_build_and_check(self):
+        constraint = inclusion_dependency(Relation("R", 3), [0], Relation("S", 2), [1])
+        assert constraint == ContainmentConstraint(
+            Projection(Relation("R", 3), (0,)), Projection(Relation("S", 2), (1,))
+        )
+        instance = Instance({"R": {(1, 2, 3)}, "S": {("x", 1)}})
+        assert satisfies(instance, constraint)
+
+    def test_mismatched_column_lists_rejected(self):
+        with pytest.raises(ConstraintError):
+            inclusion_dependency(Relation("R", 2), [0, 1], Relation("S", 2), [0])
+
+
+class TestViewDefinition:
+    def test_view_definition_is_equality(self):
+        view = view_definition(Relation("V", 1), Projection(Relation("R", 2), (0,)))
+        assert isinstance(view, EqualityConstraint)
+        assert view.definition_of("V") == Projection(Relation("R", 2), (0,))

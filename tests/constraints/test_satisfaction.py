@@ -1,0 +1,97 @@
+"""Tests for constraint satisfaction checking."""
+
+from repro.algebra.conditions import equals_const
+from repro.algebra.expressions import Projection, Relation, Selection, Union
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.constraints.satisfaction import (
+    check_soundness_on_instance,
+    satisfies,
+    satisfies_all,
+    violated_constraints,
+)
+from repro.schema.instance import Instance
+
+R, S = Relation("R", 2), Relation("S", 2)
+
+
+class TestSatisfies:
+    def test_containment_holds(self):
+        instance = Instance({"R": {(1, 2)}, "S": {(1, 2), (3, 4)}})
+        assert satisfies(instance, ContainmentConstraint(R, S))
+
+    def test_containment_fails(self):
+        instance = Instance({"R": {(1, 2)}, "S": set()})
+        assert not satisfies(instance, ContainmentConstraint(R, S))
+
+    def test_equality_holds(self):
+        instance = Instance({"R": {(1, 2)}, "S": {(1, 2)}})
+        assert satisfies(instance, EqualityConstraint(R, S))
+
+    def test_equality_fails_when_strict_subset(self):
+        instance = Instance({"R": {(1, 2)}, "S": {(1, 2), (3, 4)}})
+        assert not satisfies(instance, EqualityConstraint(R, S))
+
+    def test_complex_expression(self):
+        instance = Instance({"R": {(1, 2), (5, 5)}, "S": {(5, 5)}})
+        constraint = ContainmentConstraint(Selection(R, equals_const(0, 5)), S)
+        assert satisfies(instance, constraint)
+
+    def test_extra_domain_is_used(self):
+        # π_0(R) ⊆ π_0(D^2) always holds; use extra domain to check plumbing.
+        instance = Instance({"R": {(1, 1)}})
+        constraint = ContainmentConstraint(Projection(R, (0,)), Projection(Relation("R", 2), (0,)))
+        assert satisfies(instance, constraint, extra_domain=["x"])
+
+
+class TestBatchChecks:
+    def test_satisfies_all(self):
+        instance = Instance({"R": {(1, 2)}, "S": {(1, 2)}, "T": {(1, 2), (9, 9)}})
+        constraints = [
+            ContainmentConstraint(R, S),
+            ContainmentConstraint(Union(R, S), Relation("T", 2)),
+        ]
+        assert satisfies_all(instance, constraints)
+
+    def test_violated_constraints(self):
+        instance = Instance({"R": {(1, 2)}, "S": set(), "T": set()})
+        constraints = [
+            ContainmentConstraint(R, S),
+            ContainmentConstraint(R, Relation("T", 2)),
+        ]
+        assert violated_constraints(instance, constraints) == constraints
+
+    def test_empty_constraint_list(self):
+        assert satisfies_all(Instance({}), [])
+
+
+class TestSoundnessHelper:
+    def test_vacuous_when_original_violated(self):
+        instance = Instance({"R": {(1, 2)}, "S": set()})
+        original = ConstraintSet([ContainmentConstraint(R, S)])
+        rewritten = ConstraintSet([ContainmentConstraint(R, Relation("T", 2))])
+        ok, violated = check_soundness_on_instance(instance, original, rewritten)
+        assert ok and not violated
+
+    def test_detects_unsound_rewrite(self):
+        instance = Instance({"R": {(1, 2)}, "S": {(1, 2)}, "T": set()})
+        original = ConstraintSet([ContainmentConstraint(R, S)])
+        bogus = ConstraintSet([ContainmentConstraint(R, Relation("T", 2))])
+        ok, violated = check_soundness_on_instance(instance, original, bogus)
+        assert not ok and violated
+
+    def test_accepts_sound_rewrite(self):
+        instance = Instance({"R": {(1, 2)}, "S": {(1, 2)}, "T": {(1, 2)}})
+        original = ConstraintSet(
+            [ContainmentConstraint(R, S), ContainmentConstraint(S, Relation("T", 2))]
+        )
+        rewritten = ConstraintSet([ContainmentConstraint(R, Relation("T", 2))])
+        ok, violated = check_soundness_on_instance(instance, original, rewritten)
+        assert ok and not violated
+
+    def test_ignores_constraints_over_missing_relations(self):
+        instance = Instance({"R": {(1, 2)}, "S": {(1, 2)}})
+        original = ConstraintSet([ContainmentConstraint(R, S)])
+        rewritten = ConstraintSet([ContainmentConstraint(Relation("Z", 2), Relation("W", 2))])
+        ok, _ = check_soundness_on_instance(instance, original, rewritten)
+        assert ok

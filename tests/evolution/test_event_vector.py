@@ -1,0 +1,78 @@
+"""Tests for event vectors."""
+
+import pytest
+
+from repro.evolution.event_vector import ALL_PRIMITIVES, INCLUSION_PRIMITIVES, EventVector
+from repro.exceptions import SimulatorError
+
+
+class TestConstruction:
+    def test_default_vector(self):
+        vector = EventVector.default()
+        assert vector.weight_of("AA") == 2.0
+        assert vector.weight_of("DR") == pytest.approx(0.2)
+        assert vector.weight_of("Hf") == 1.0
+
+    def test_uniform(self):
+        vector = EventVector.uniform(["AA", "DA"])
+        assert vector.weight_of("AA") == 1.0
+        assert vector.weight_of("Hf") == 0.0
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(SimulatorError):
+            EventVector.from_mapping({"XX": 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SimulatorError):
+            EventVector.from_mapping({"AA": -1.0})
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SimulatorError):
+            EventVector((("AA", 1.0), ("AA", 2.0)))
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(SimulatorError):
+            EventVector.from_mapping({"AA": 0.0})
+
+    def test_structural_only_excludes_inclusions(self):
+        vector = EventVector.structural_only()
+        for name in INCLUSION_PRIMITIVES:
+            assert vector.weight_of(name) == 0.0
+
+    def test_partition_heavy_biases_partitions(self):
+        vector = EventVector.partition_heavy()
+        assert vector.weight_of("Vf") > vector.weight_of("AA") / 2
+
+
+class TestInclusionProportion:
+    def test_with_inclusion_proportion(self):
+        vector = EventVector.default().with_inclusion_proportion(0.2)
+        assert vector.inclusion_proportion() == pytest.approx(0.2)
+        # Structural primitives keep their relative proportions.
+        base = EventVector.default()
+        ratio_before = base.weight_of("AA") / base.weight_of("DA")
+        ratio_after = vector.weight_of("AA") / vector.weight_of("DA")
+        assert ratio_after == pytest.approx(ratio_before)
+
+    def test_zero_proportion(self):
+        vector = EventVector.default().with_inclusion_proportion(0.0)
+        assert vector.inclusion_proportion() == pytest.approx(0.0)
+
+    def test_invalid_proportion_rejected(self):
+        with pytest.raises(SimulatorError):
+            EventVector.default().with_inclusion_proportion(1.0)
+
+    def test_proportions_sum_to_one(self):
+        vector = EventVector.default().with_inclusion_proportion(0.1)
+        assert vector.total_weight() == pytest.approx(1.0)
+
+
+class TestQueries:
+    def test_as_dict_and_proportion(self):
+        vector = EventVector.uniform(["AA", "DA"])
+        assert vector.as_dict() == {"AA": 1.0, "DA": 1.0}
+        assert vector.proportion_of("AA") == pytest.approx(0.5)
+
+    def test_all_primitives_constant(self):
+        assert "AR" in ALL_PRIMITIVES and "Sup" in ALL_PRIMITIVES
+        assert len(ALL_PRIMITIVES) == 18

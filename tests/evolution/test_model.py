@@ -1,0 +1,93 @@
+"""Tests for the simulator data model."""
+
+import pytest
+
+from repro.evolution.model import EditStep, RelationNamer, SchemaState, SimulatedRelation
+from repro.exceptions import SimulatorError
+
+
+class TestSimulatedRelation:
+    def test_basic(self):
+        relation = SimulatedRelation("R1", 3)
+        assert relation.arity == 3
+        assert not relation.has_key
+        assert relation.non_key_columns == (0, 1, 2)
+
+    def test_key_normalized_and_checked(self):
+        relation = SimulatedRelation("R1", 3, (1, 0))
+        assert relation.key == (0, 1)
+        assert relation.non_key_columns == (2,)
+        with pytest.raises(SimulatorError):
+            SimulatedRelation("R1", 2, (4,))
+
+    def test_positive_arity_required(self):
+        with pytest.raises(SimulatorError):
+            SimulatedRelation("R1", 0)
+
+    def test_to_schema(self):
+        schema = SimulatedRelation("R1", 2, (0,)).to_schema()
+        assert schema.name == "R1" and schema.arity == 2 and schema.key == (0,)
+
+
+class TestRelationNamer:
+    def test_fresh_names_are_unique(self):
+        namer = RelationNamer()
+        names = {namer.fresh() for _ in range(50)}
+        assert len(names) == 50
+
+    def test_prefix(self):
+        assert RelationNamer(prefix="A").fresh().startswith("A")
+
+
+class TestSchemaState:
+    def test_names_and_lookup(self):
+        state = SchemaState((SimulatedRelation("A", 2), SimulatedRelation("B", 3)))
+        assert state.names() == ("A", "B")
+        assert "A" in state and "Z" not in state
+        assert state.get("B").arity == 3
+        with pytest.raises(SimulatorError):
+            state.get("Z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SimulatorError):
+            SchemaState((SimulatedRelation("A", 2), SimulatedRelation("A", 3)))
+
+    def test_signature(self):
+        state = SchemaState((SimulatedRelation("A", 2, (0,)),))
+        signature = state.signature()
+        assert signature.arity_of("A") == 2
+        assert signature.key_of("A") == (0,)
+
+    def test_applying(self):
+        a, b, c = SimulatedRelation("A", 2), SimulatedRelation("B", 3), SimulatedRelation("C", 1)
+        state = SchemaState((a, b))
+        new_state = state.applying([a], [c])
+        assert new_state.names() == ("B", "C")
+
+    def test_applying_unknown_consumed_rejected(self):
+        state = SchemaState((SimulatedRelation("A", 2),))
+        with pytest.raises(SimulatorError):
+            state.applying([SimulatedRelation("Z", 2)], [])
+
+    def test_keyed_relations(self):
+        state = SchemaState(
+            (SimulatedRelation("A", 2, (0,)), SimulatedRelation("B", 2))
+        )
+        assert [r.name for r in state.keyed_relations()] == ["A"]
+
+
+class TestEditStep:
+    def test_names_and_arities(self):
+        a, b = SimulatedRelation("A", 2), SimulatedRelation("B", 3)
+        state = SchemaState((a,))
+        step = EditStep(
+            primitive="AA",
+            consumed=(a,),
+            produced=(b,),
+            constraints=(),
+            before=state,
+            after=state.applying([a], [b]),
+        )
+        assert step.consumed_names == ("A",)
+        assert step.produced_names == ("B",)
+        assert step.arities() == {"A": 2, "B": 3}

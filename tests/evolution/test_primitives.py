@@ -1,0 +1,164 @@
+"""Tests for the Figure 1 schema-evolution primitives."""
+
+import random
+
+import pytest
+
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.satisfaction import satisfies_all
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.model import RelationNamer, SchemaState, SimulatedRelation
+from repro.evolution.primitives import PRIMITIVES, get_primitive, primitive_names
+from repro.exceptions import SimulatorError
+from repro.schema.instance import Instance
+
+
+def make_state(keys: bool = False) -> SchemaState:
+    key = (0,) if keys else None
+    return SchemaState(
+        (
+            SimulatedRelation("R1", 3, key),
+            SimulatedRelation("R2", 4, key),
+        )
+    )
+
+
+def apply_primitive(name: str, keys: bool = False, seed: int = 1):
+    config = SimulatorConfig(keys_enabled=keys)
+    state = make_state(keys)
+    primitive = get_primitive(name)
+    assert primitive.applicable(state, config)
+    return primitive.apply(state, random.Random(seed), RelationNamer(prefix="N"), config)
+
+
+class TestRegistry:
+    def test_all_figure1_primitives_present(self):
+        expected = {
+            "AR", "DR", "AA", "DA", "Df", "Db", "D",
+            "Hf", "Hb", "H", "Vf", "Vb", "V", "Nf", "Nb", "N", "Sub", "Sup",
+        }
+        assert set(primitive_names()) == expected
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(SimulatorError):
+            get_primitive("XYZ")
+
+
+class TestStructuralShape:
+    def test_ar_creates_relation_without_constraints(self):
+        step = apply_primitive("AR")
+        assert len(step.consumed) == 0
+        assert len(step.produced) == 1
+        assert step.constraints == ()
+        assert step.produced[0].name in step.after
+
+    def test_dr_drops_relation(self):
+        step = apply_primitive("DR")
+        assert len(step.consumed) == 1
+        assert len(step.produced) == 0
+        assert step.consumed[0].name not in step.after
+
+    def test_aa_adds_a_column(self):
+        step = apply_primitive("AA")
+        assert step.produced[0].arity == step.consumed[0].arity + 1
+        assert len(step.constraints) == 1
+        assert isinstance(step.constraints[0], EqualityConstraint)
+
+    def test_da_drops_a_column(self):
+        step = apply_primitive("DA")
+        assert step.produced[0].arity == step.consumed[0].arity - 1
+
+    @pytest.mark.parametrize("name,expected", [("Df", 1), ("Db", 1), ("D", 2)])
+    def test_default_variants_constraint_count(self, name, expected):
+        step = apply_primitive(name)
+        assert len(step.constraints) == expected
+        assert step.produced[0].arity == step.consumed[0].arity + 1
+
+    @pytest.mark.parametrize("name,expected", [("Hf", 2), ("Hb", 1), ("H", 3)])
+    def test_horizontal_variants(self, name, expected):
+        step = apply_primitive(name)
+        assert len(step.produced) == 2
+        assert len(step.constraints) == expected
+        assert all(r.arity == step.consumed[0].arity for r in step.produced)
+
+    @pytest.mark.parametrize("name", ["Vf", "Vb", "V"])
+    def test_vertical_requires_keys(self, name):
+        config = SimulatorConfig(keys_enabled=False)
+        assert not get_primitive(name).applicable(make_state(keys=False), config)
+        step = apply_primitive(name, keys=True)
+        assert len(step.produced) == 2
+        total_payload = sum(r.arity for r in step.produced)
+        key_width = len(step.consumed[0].key)
+        assert total_payload == step.consumed[0].arity + key_width
+
+    @pytest.mark.parametrize("name", ["Nf", "Nb", "N"])
+    def test_normalization_does_not_require_keys(self, name):
+        step = apply_primitive(name, keys=False)
+        assert len(step.produced) == 2
+        # The inclusion constraint π_A(T) ⊆ π_A(S) is always present.
+        assert any(isinstance(c, ContainmentConstraint) for c in step.constraints)
+
+    @pytest.mark.parametrize("name", ["Sub", "Sup"])
+    def test_inclusion_primitives(self, name):
+        step = apply_primitive(name)
+        assert len(step.constraints) == 1
+        assert isinstance(step.constraints[0], ContainmentConstraint)
+
+    def test_keys_enabled_adds_key_constraints(self):
+        step = apply_primitive("AA", keys=True)
+        # Key constraint(s) of the produced relation are included.
+        assert len(step.constraints) >= 2
+
+
+class TestSemantics:
+    """The constraints of forward/backward variants must accept the intended migration."""
+
+    def test_aa_constraint_semantics(self):
+        step = apply_primitive("AA")
+        source_name = step.consumed[0].name
+        target_name = step.produced[0].name
+        source_rows = {(1, 2, 3)} if step.consumed[0].arity == 3 else {(1, 2, 3, 4)}
+        target_rows = {row + ("new",) for row in source_rows}
+        instance = Instance({source_name: source_rows, target_name: target_rows})
+        assert satisfies_all(instance, step.constraints)
+
+    def test_hb_union_semantics(self):
+        step = apply_primitive("Hb")
+        source = step.consumed[0]
+        s_name, t_name = step.produced[0].name, step.produced[1].name
+        rows = {tuple(range(source.arity)), tuple(range(1, source.arity + 1))}
+        instance = Instance(
+            {source.name: rows, s_name: {list(rows)[0]}, t_name: {list(rows)[1]}}
+        )
+        assert satisfies_all(instance, step.constraints)
+
+    def test_hf_selection_semantics(self):
+        step = apply_primitive("Hf")
+        source = step.consumed[0]
+        # With an empty source, both partitions must be empty: satisfied.
+        instance = Instance(
+            {source.name: set(), step.produced[0].name: set(), step.produced[1].name: set()}
+        )
+        assert satisfies_all(instance, step.constraints)
+
+    def test_vertical_roundtrip_semantics(self):
+        step = apply_primitive("V", keys=True)
+        source = step.consumed[0]
+        key_width = len(source.key)
+        row = tuple(range(source.arity))
+        s_rel, t_rel = step.produced
+        s_row = tuple(row[: s_rel.arity])
+        shared = row[:key_width]
+        t_row = shared + tuple(row[s_rel.arity:])
+        instance = Instance(
+            {source.name: {row}, s_rel.name: {s_row}, t_rel.name: {t_row}}
+        )
+        assert satisfies_all(instance, step.constraints)
+
+
+class TestDeterminism:
+    def test_same_seed_same_step(self):
+        first = apply_primitive("H", seed=7)
+        second = apply_primitive("H", seed=7)
+        assert first.constraints == second.constraints
+        assert first.produced_names == second.produced_names

@@ -1,0 +1,106 @@
+"""Tests for the schema-editing and schema-reconciliation scenario drivers."""
+
+import pytest
+
+from repro.compose.config import ComposerConfig
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.event_vector import EventVector
+from repro.evolution.scenarios import run_editing_scenario, run_reconciliation_scenario
+
+
+class TestEditingScenario:
+    def test_basic_run(self):
+        result = run_editing_scenario(schema_size=8, num_edits=12, seed=3)
+        assert len(result.records) == 12
+        assert 0.0 <= result.total_fraction_eliminated() <= 1.0
+        assert result.total_duration() >= 0.0
+
+    def test_final_constraints_do_not_mention_eliminated_symbols(self):
+        result = run_editing_scenario(schema_size=8, num_edits=12, seed=3)
+        mentioned = result.constraints.relation_names()
+        eliminated = set()
+        for record in result.records:
+            eliminated.update(record.consumed_eliminated)
+            eliminated.update(record.retried_eliminated)
+        eliminated -= set(result.leftover_symbols)
+        assert not (eliminated & mentioned)
+
+    def test_leftovers_are_exactly_the_failed_symbols(self):
+        result = run_editing_scenario(schema_size=8, num_edits=15, seed=9)
+        failed = set()
+        for record in result.records:
+            failed.update(set(record.consumed_symbols) - set(record.consumed_eliminated))
+            failed -= set(record.retried_eliminated)
+        assert set(result.leftover_symbols) == failed
+
+    def test_per_primitive_statistics(self):
+        result = run_editing_scenario(schema_size=8, num_edits=20, seed=5)
+        fractions = result.fraction_eliminated_by_primitive()
+        assert fractions
+        assert all(0.0 <= value <= 1.0 for value in fractions.values())
+        times = result.time_per_edit_by_primitive()
+        assert set(times) >= set(fractions)
+        creators = result.fraction_eliminated_by_creator()
+        assert all(0.0 <= value <= 1.0 for value in creators.values())
+
+    def test_deterministic_for_fixed_seed(self):
+        a = run_editing_scenario(schema_size=6, num_edits=10, seed=21)
+        b = run_editing_scenario(schema_size=6, num_edits=10, seed=21)
+        assert [r.primitive for r in a.records] == [r.primitive for r in b.records]
+        assert a.constraints == b.constraints
+
+    def test_keys_configuration_runs(self):
+        result = run_editing_scenario(
+            schema_size=6,
+            num_edits=8,
+            seed=2,
+            simulator_config=SimulatorConfig.with_keys(),
+        )
+        assert len(result.records) == 8
+
+    def test_disabled_unfolding_weakens_composition(self):
+        strong = run_editing_scenario(schema_size=8, num_edits=25, seed=13)
+        weak = run_editing_scenario(
+            schema_size=8,
+            num_edits=25,
+            seed=13,
+            composer_config=ComposerConfig.no_view_unfolding(),
+        )
+        assert weak.total_fraction_eliminated() <= strong.total_fraction_eliminated() + 1e-9
+
+    def test_event_vector_respected(self):
+        vector = EventVector.uniform(["AA", "DA"])
+        result = run_editing_scenario(
+            schema_size=6, num_edits=10, seed=4, event_vector=vector
+        )
+        assert {record.primitive for record in result.records} <= {"AA", "DA"}
+
+    def test_record_fraction_property(self):
+        result = run_editing_scenario(schema_size=6, num_edits=10, seed=4)
+        for record in result.records:
+            if record.consumed_symbols:
+                expected = len(record.consumed_eliminated) / len(record.consumed_symbols)
+                assert record.fraction_eliminated == pytest.approx(expected)
+            else:
+                assert record.fraction_eliminated == 1.0
+
+
+class TestReconciliationScenario:
+    def test_basic_run(self):
+        record, result = run_reconciliation_scenario(schema_size=6, num_edits=8, seed=3)
+        assert record.schema_size == 6
+        assert record.num_edits == 8
+        assert 0.0 <= record.fraction_eliminated <= 1.0
+        assert record.attempted_symbols >= 6
+        assert record.eliminated_symbols == len(result.eliminated_symbols)
+
+    def test_output_signatures_disjoint_from_intermediate(self):
+        _, result = run_reconciliation_scenario(schema_size=6, num_edits=8, seed=3)
+        outer = set(result.sigma1.names()) | set(result.sigma3.names())
+        assert not (outer & set(result.attempted_symbols))
+
+    def test_deterministic(self):
+        first, _ = run_reconciliation_scenario(schema_size=5, num_edits=6, seed=17)
+        second, _ = run_reconciliation_scenario(schema_size=5, num_edits=6, seed=17)
+        assert first.fraction_eliminated == second.fraction_eliminated
+        assert first.attempted_symbols == second.attempted_symbols

@@ -1,0 +1,99 @@
+"""Tests for the schema-evolution simulator."""
+
+import pytest
+
+from repro.evolution.config import SimulatorConfig
+from repro.evolution.event_vector import EventVector
+from repro.evolution.simulator import SchemaEvolutionSimulator
+from repro.exceptions import SimulatorError
+
+
+class TestRandomSchema:
+    def test_schema_size(self):
+        simulator = SchemaEvolutionSimulator(seed=1)
+        schema = simulator.random_schema(12)
+        assert len(schema) == 12
+
+    def test_arities_within_bounds(self):
+        config = SimulatorConfig(min_arity=3, max_arity=5)
+        simulator = SchemaEvolutionSimulator(seed=1, config=config)
+        schema = simulator.random_schema(20)
+        assert all(3 <= r.arity <= 5 for r in schema.relations)
+
+    def test_no_keys_without_keys_enabled(self):
+        simulator = SchemaEvolutionSimulator(seed=1, config=SimulatorConfig.no_keys())
+        schema = simulator.random_schema(20)
+        assert all(r.key is None for r in schema.relations)
+
+    def test_keys_generated_when_enabled(self):
+        config = SimulatorConfig(keys_enabled=True, keyed_probability=1.0)
+        simulator = SchemaEvolutionSimulator(seed=1, config=config)
+        schema = simulator.random_schema(20)
+        assert all(r.key is not None for r in schema.relations)
+        assert all(len(r.key) <= 3 for r in schema.relations)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SimulatorError):
+            SchemaEvolutionSimulator(seed=1).random_schema(0)
+
+    def test_determinism(self):
+        a = SchemaEvolutionSimulator(seed=5).random_schema(10)
+        b = SchemaEvolutionSimulator(seed=5).random_schema(10)
+        assert a == b
+
+    def test_name_prefix(self):
+        simulator = SchemaEvolutionSimulator(seed=1, name_prefix="X")
+        schema = simulator.random_schema(3)
+        assert all(r.name.startswith("X") for r in schema.relations)
+
+
+class TestEditGeneration:
+    def test_applicable_primitives_respect_event_vector(self):
+        vector = EventVector.uniform(["AA"])
+        simulator = SchemaEvolutionSimulator(seed=1, event_vector=vector)
+        schema = simulator.random_schema(5)
+        assert simulator.applicable_primitives(schema) == ["AA"]
+
+    def test_choose_primitive_only_applicable(self):
+        vector = EventVector.uniform(["Vf"])  # requires keys; not applicable without
+        simulator = SchemaEvolutionSimulator(seed=1, event_vector=vector)
+        schema = simulator.random_schema(5)
+        with pytest.raises(SimulatorError):
+            simulator.choose_primitive(schema)
+
+    def test_apply_primitive_by_name(self):
+        simulator = SchemaEvolutionSimulator(seed=1)
+        schema = simulator.random_schema(5)
+        step = simulator.apply_primitive(schema, "AA")
+        assert step.primitive == "AA"
+
+    def test_apply_inapplicable_primitive_rejected(self):
+        simulator = SchemaEvolutionSimulator(seed=1, config=SimulatorConfig.no_keys())
+        schema = simulator.random_schema(5)
+        with pytest.raises(SimulatorError):
+            simulator.apply_primitive(schema, "Vf")
+
+    def test_edit_sequence_threads_state(self):
+        simulator = SchemaEvolutionSimulator(seed=3)
+        schema = simulator.random_schema(8)
+        steps = simulator.edit_sequence(schema, 15)
+        assert len(steps) == 15
+        for previous, current in zip(steps, steps[1:]):
+            assert current.before == previous.after
+
+    def test_edit_sequence_deterministic(self):
+        def run(seed):
+            simulator = SchemaEvolutionSimulator(seed=seed)
+            schema = simulator.random_schema(8)
+            return [step.primitive for step in simulator.edit_sequence(schema, 20)]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12) or True  # different seeds usually differ
+
+    def test_constraints_only_mention_consumed_and_produced(self):
+        simulator = SchemaEvolutionSimulator(seed=4)
+        schema = simulator.random_schema(8)
+        for step in simulator.edit_sequence(schema, 25):
+            allowed = set(step.consumed_names) | set(step.produced_names)
+            for constraint in step.constraints:
+                assert constraint.relation_names() <= allowed

@@ -1,0 +1,114 @@
+"""Tests for the per-figure experiment drivers (scaled-down workloads)."""
+
+import math
+
+from repro.compose.config import ComposerConfig
+from repro.evolution.config import SimulatorConfig
+from repro.experiments.figure2 import FIGURE2_PRIMITIVES, run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import FIGURE5_TRACKED_PRIMITIVES, run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.literature_study import run_literature_study
+from repro.experiments.runner import ExperimentConfiguration, run_editing_study
+
+
+def small_study():
+    configurations = [
+        ExperimentConfiguration("no keys", SimulatorConfig.no_keys(), ComposerConfig.default()),
+        ExperimentConfiguration(
+            "no unfolding", SimulatorConfig.no_keys(), ComposerConfig.no_view_unfolding()
+        ),
+    ]
+    return run_editing_study(
+        schema_size=6, num_edits=10, runs=2, configurations=configurations
+    )
+
+
+STUDY = small_study()
+
+
+class TestFigure2:
+    def test_series_and_table(self):
+        figure = run_figure2(study=STUDY)
+        assert set(figure.fractions) == {"no keys", "no unfolding"}
+        for series in figure.fractions.values():
+            assert all(0.0 <= value <= 1.0 for value in series.values())
+        table = figure.to_table()
+        assert "Figure 2" in table
+        for primitive in ("AA", "Hf", "Sub"):
+            assert primitive in table
+
+    def test_primitive_axis_excludes_ar(self):
+        assert "AR" not in FIGURE2_PRIMITIVES
+
+    def test_hardest_primitives(self):
+        figure = run_figure2(study=STUDY)
+        hardest = figure.hardest_primitives("no keys", count=2)
+        assert len(hardest) <= 2
+
+
+class TestFigure3:
+    def test_times_and_medians(self):
+        figure = run_figure3(study=STUDY)
+        for series in figure.times_ms.values():
+            assert all(value >= 0.0 for value in series.values())
+        assert set(figure.median_run_seconds) == {"no keys", "no unfolding"}
+        assert "Figure 3" in figure.to_table()
+
+
+class TestFigure4:
+    def test_sorted_durations(self):
+        figure = run_figure4(study=STUDY, configuration="no keys")
+        assert figure.sorted_durations == sorted(figure.sorted_durations)
+        assert figure.median_seconds >= 0.0
+        assert figure.max_seconds >= figure.median_seconds
+        assert figure.skew_ratio() >= 1.0 or figure.median_seconds == 0.0
+        assert "Figure 4" in figure.to_table()
+
+
+class TestFigure5:
+    def test_sweep(self):
+        figure = run_figure5(
+            proportions=[0.0, 0.2], schema_size=6, num_edits=8, runs=1
+        )
+        assert figure.proportions() == [0.0, 0.2]
+        assert all(0.0 <= value <= 1.0 for value in figure.total_series())
+        assert all(value >= 0.0 for value in figure.time_series())
+        for primitive in FIGURE5_TRACKED_PRIMITIVES:
+            series = figure.primitive_series(primitive)
+            assert len(series) == 2
+            assert all(math.isnan(value) or 0.0 <= value <= 1.0 for value in series)
+        assert "Figure 5" in figure.to_table()
+
+
+class TestFigure6:
+    def test_reconciliation_sweep(self):
+        figure = run_figure6(schema_sizes=[4, 8], num_edits=6, tasks_per_point=1)
+        assert figure.schema_sizes == [4, 8]
+        for name in ("complete", "no view unfolding", "no right compose"):
+            series = figure.series(name)
+            assert len(series) == 2
+            assert all(0.0 <= value <= 1.0 for value in series)
+        assert "Figure 6" in figure.to_table()
+
+
+class TestFigure7:
+    def test_edit_count_sweep(self):
+        figure = run_figure7(edit_counts=[5, 10], schema_size=6, tasks_per_point=1)
+        assert figure.edit_counts() == [5, 10]
+        assert all(0.0 <= value <= 1.0 for value in figure.fraction_series())
+        assert all(value >= 0.0 for value in figure.time_series())
+        assert "Figure 7" in figure.to_table()
+
+
+class TestLiteratureStudy:
+    def test_study_matches_documented_outcomes(self):
+        study = run_literature_study()
+        assert study.total_problems >= 22
+        assert study.matching_expectations == study.total_problems
+        assert 0.0 <= study.fraction_symbols_eliminated() <= 1.0
+        assert study.fully_composed >= 15
+        table = study.to_table()
+        assert "Literature composition problems" in table

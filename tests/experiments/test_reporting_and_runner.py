@@ -1,0 +1,65 @@
+"""Tests for the experiment infrastructure (reporting, configurations, editing study)."""
+
+from repro.compose.config import ComposerConfig
+from repro.evolution.config import SimulatorConfig
+from repro.experiments.reporting import format_float, format_percent, format_table
+from repro.experiments.runner import (
+    STANDARD_CONFIGURATIONS,
+    ExperimentConfiguration,
+    mean,
+    median,
+    run_editing_study,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [(1, 2), (333, 4)], title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_helpers(self):
+        assert format_float(0.12345) == "0.123"
+        assert format_percent(0.5) == "50.0%"
+
+
+class TestStatistics:
+    def test_median_and_mean(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert median([]) == 0.0
+        assert mean([]) == 0.0
+
+
+class TestStandardConfigurations:
+    def test_four_paper_configurations(self):
+        names = [configuration.name for configuration in STANDARD_CONFIGURATIONS]
+        assert names == ["no keys", "keys", "no unfolding", "no right compose"]
+
+    def test_configuration_knobs(self):
+        by_name = {c.name: c for c in STANDARD_CONFIGURATIONS}
+        assert by_name["keys"].simulator_config.keys_enabled
+        assert not by_name["no unfolding"].composer_config.enable_view_unfolding
+        assert not by_name["no right compose"].composer_config.enable_right_compose
+
+
+class TestEditingStudy:
+    def test_small_study(self):
+        configurations = [
+            ExperimentConfiguration("tiny", SimulatorConfig.no_keys(), ComposerConfig.default())
+        ]
+        study = run_editing_study(
+            schema_size=6, num_edits=8, runs=2, configurations=configurations
+        )
+        assert study.configurations() == ("tiny",)
+        fractions = study.fraction_by_primitive("tiny")
+        assert all(0.0 <= value <= 1.0 for value in fractions.values())
+        times = study.time_per_edit_by_primitive("tiny")
+        assert all(value >= 0.0 for value in times.values())
+        assert len(study.run_durations("tiny")) == 2
+        assert study.median_run_duration("tiny") >= 0.0
+        assert 0.0 <= study.total_fraction_eliminated("tiny") <= 1.0
+        constraints, operators = study.mean_constraint_stats("tiny")
+        assert constraints > 0 and operators >= 0

@@ -1,0 +1,96 @@
+"""Tests for the literature problem suite — the paper's correctness data set."""
+
+import pytest
+
+from repro.compose.composer import compose
+from repro.compose.config import ComposerConfig
+from repro.literature.problems import all_problems, problem_by_name
+
+PROBLEMS = all_problems()
+
+
+class TestSuiteShape:
+    def test_at_least_22_problems(self):
+        """The paper's first data set contains 22 problems; ours is a superset."""
+        assert len(PROBLEMS) >= 22
+
+    def test_names_are_unique(self):
+        names = [problem.name for problem in PROBLEMS]
+        assert len(names) == len(set(names))
+
+    def test_problem_by_name(self):
+        assert problem_by_name("example1_movies").name == "example1_movies"
+        with pytest.raises(KeyError):
+            problem_by_name("does_not_exist")
+
+    def test_every_problem_has_source_and_description(self):
+        for problem in PROBLEMS:
+            assert problem.source
+            assert problem.description
+
+    def test_expected_complete_consistency(self):
+        for problem in PROBLEMS:
+            if problem.expected_complete:
+                assert set(problem.expected_eliminable) == set(
+                    problem.problem.sigma2.names()
+                )
+
+
+@pytest.mark.parametrize("problem", PROBLEMS, ids=lambda p: p.name)
+class TestDocumentedOutcomes:
+    def test_composition_matches_documented_outcome(self, problem):
+        result = compose(problem.problem)
+        eliminated = set(result.eliminated_symbols)
+        if problem.expected_eliminable is not None:
+            missing = set(problem.expected_eliminable) - eliminated
+            assert not missing, f"expected to eliminate {missing}"
+        unexpected = set(problem.expected_not_eliminable) & eliminated
+        assert not unexpected, f"unexpectedly eliminated {unexpected}"
+
+    def test_output_never_mentions_eliminated_symbols(self, problem):
+        result = compose(problem.problem)
+        assert not (set(result.eliminated_symbols) & result.constraints.relation_names())
+
+    def test_composition_is_deterministic(self, problem):
+        first = compose(problem.problem)
+        second = compose(problem.problem)
+        assert first.constraints == second.constraints
+        assert first.eliminated_symbols == second.eliminated_symbols
+
+
+class TestSpecificOutcomes:
+    def test_example1_output_relates_movies_to_names_and_years(self):
+        result = compose(problem_by_name("example1_movies").problem)
+        names = result.constraints.relation_names()
+        assert "Movies" in names and ("Names" in names or "Years" in names)
+
+    def test_fagin_example17_keeps_only_c(self):
+        result = compose(problem_by_name("fagin_example17_noncomposable").problem)
+        assert result.remaining_symbols == ("C",)
+
+    def test_transitive_closure_symbol_kept_without_crash(self):
+        result = compose(problem_by_name("nash_transitive_closure").problem)
+        assert result.remaining_symbols == ("S",)
+        # The recursive constraint survives untouched in the output.
+        assert result.constraints.mentions("S")
+
+    def test_partial_elimination_keeps_exactly_one(self):
+        result = compose(problem_by_name("partial_elimination_mixed").problem)
+        assert set(result.eliminated_symbols) == {"S1"}
+        assert set(result.remaining_symbols) == {"S2"}
+
+    def test_view_unfolding_disabled_changes_outcome_for_example5(self):
+        problem = problem_by_name("example5_view_unfolding").problem
+        complete = compose(problem)
+        crippled = compose(problem, ComposerConfig.no_view_unfolding())
+        assert complete.is_complete
+        assert not crippled.is_complete
+
+    def test_right_compose_disabled_changes_outcome_for_intersection_case(self):
+        # Example 8: left-normalization fails on the ∩, so only right compose
+        # can eliminate S; disabling it must leave the symbol in place.
+        problem = problem_by_name("example8_intersection_left").problem
+        complete = compose(problem)
+        crippled = compose(problem, ComposerConfig.no_right_compose())
+        assert complete.is_complete
+        assert not crippled.is_complete

@@ -1,0 +1,109 @@
+"""Tests for CompositionProblem."""
+
+import pytest
+
+from repro.algebra.expressions import Relation
+from repro.constraints.constraint import ContainmentConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.exceptions import SchemaError
+from repro.mapping.composition_problem import CompositionProblem
+from repro.mapping.mapping import Mapping
+from repro.schema.signature import Signature
+
+
+def simple_problem():
+    return CompositionProblem(
+        sigma1=Signature.from_arities({"R": 2}),
+        sigma2=Signature.from_arities({"S": 2}),
+        sigma3=Signature.from_arities({"T": 2}),
+        sigma12=ConstraintSet([ContainmentConstraint(Relation("R", 2), Relation("S", 2))]),
+        sigma23=ConstraintSet([ContainmentConstraint(Relation("S", 2), Relation("T", 2))]),
+        name="chain",
+    )
+
+
+class TestValidation:
+    def test_valid_problem(self):
+        problem = simple_problem()
+        assert problem.intermediate_symbols() == ("S",)
+        assert problem.operator_count() == 0
+        assert len(problem.all_constraints) == 2
+        assert set(problem.combined_signature.names()) == {"R", "S", "T"}
+
+    def test_overlapping_signatures_rejected(self):
+        with pytest.raises(SchemaError):
+            CompositionProblem(
+                sigma1=Signature.from_arities({"R": 2}),
+                sigma2=Signature.from_arities({"R": 2}),
+                sigma3=Signature.from_arities({"T": 2}),
+                sigma12=ConstraintSet(),
+                sigma23=ConstraintSet(),
+            )
+
+    def test_sigma12_outside_scope_rejected(self):
+        with pytest.raises(SchemaError):
+            CompositionProblem(
+                sigma1=Signature.from_arities({"R": 2}),
+                sigma2=Signature.from_arities({"S": 2}),
+                sigma3=Signature.from_arities({"T": 2}),
+                sigma12=ConstraintSet(
+                    [ContainmentConstraint(Relation("T", 2), Relation("S", 2))]
+                ),
+                sigma23=ConstraintSet(),
+            )
+
+    def test_sigma23_outside_scope_rejected(self):
+        with pytest.raises(SchemaError):
+            CompositionProblem(
+                sigma1=Signature.from_arities({"R": 2}),
+                sigma2=Signature.from_arities({"S": 2}),
+                sigma3=Signature.from_arities({"T": 2}),
+                sigma12=ConstraintSet(),
+                sigma23=ConstraintSet(
+                    [ContainmentConstraint(Relation("R", 2), Relation("S", 2))]
+                ),
+            )
+
+    def test_empty_outer_signatures_allowed(self):
+        problem = CompositionProblem(
+            sigma1=Signature(),
+            sigma2=Signature.from_arities({"S": 2}),
+            sigma3=Signature.from_arities({"T": 2}),
+            sigma12=ConstraintSet(),
+            sigma23=ConstraintSet([ContainmentConstraint(Relation("S", 2), Relation("T", 2))]),
+        )
+        assert problem.intermediate_symbols() == ("S",)
+
+
+class TestFromMappings:
+    def test_from_mappings(self):
+        m12 = Mapping(
+            Signature.from_arities({"R": 2}),
+            Signature.from_arities({"S": 2}),
+            ConstraintSet([ContainmentConstraint(Relation("R", 2), Relation("S", 2))]),
+        )
+        m23 = Mapping(
+            Signature.from_arities({"S": 2}),
+            Signature.from_arities({"T": 2}),
+            ConstraintSet([ContainmentConstraint(Relation("S", 2), Relation("T", 2))]),
+        )
+        problem = CompositionProblem.from_mappings(m12, m23, name="chain")
+        assert problem.name == "chain"
+        assert problem.sigma2.names() == ("S",)
+
+    def test_from_mappings_middle_mismatch_rejected(self):
+        m12 = Mapping(
+            Signature.from_arities({"R": 2}),
+            Signature.from_arities({"S": 2}),
+            ConstraintSet(),
+        )
+        m23 = Mapping(
+            Signature.from_arities({"X": 2}),
+            Signature.from_arities({"T": 2}),
+            ConstraintSet(),
+        )
+        with pytest.raises(SchemaError):
+            CompositionProblem.from_mappings(m12, m23)
+
+    def test_repr_mentions_name(self):
+        assert "chain" in repr(simple_problem())

@@ -1,0 +1,106 @@
+"""Tests for Mapping and identity mappings."""
+
+import pytest
+
+from repro.algebra.expressions import Projection, Relation
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.exceptions import ConstraintError, SchemaError
+from repro.mapping.mapping import Mapping, identity_mapping
+from repro.schema.instance import Instance
+from repro.schema.signature import RelationSchema, Signature
+
+
+@pytest.fixture
+def projection_mapping():
+    source = Signature.from_arities({"R": 2})
+    target = Signature.from_arities({"V": 1})
+    constraints = ConstraintSet(
+        [EqualityConstraint(Relation("V", 1), Projection(Relation("R", 2), (0,)))]
+    )
+    return Mapping(source, target, constraints)
+
+
+class TestConstruction:
+    def test_basic(self, projection_mapping):
+        assert projection_mapping.constraint_count() == 1
+        assert projection_mapping.operator_count() == 1
+
+    def test_signatures_must_be_disjoint(self):
+        signature = Signature.from_arities({"R": 2})
+        with pytest.raises(SchemaError):
+            Mapping(signature, signature, ConstraintSet())
+
+    def test_constraints_must_stay_inside_signatures(self):
+        source = Signature.from_arities({"R": 2})
+        target = Signature.from_arities({"V": 2})
+        stray = ConstraintSet([ContainmentConstraint(Relation("Z", 2), Relation("V", 2))])
+        with pytest.raises(ConstraintError):
+            Mapping(source, target, stray)
+
+    def test_from_constraints(self):
+        mapping = Mapping.from_constraints(
+            Signature.from_arities({"R": 2}),
+            Signature.from_arities({"V": 2}),
+            [ContainmentConstraint(Relation("R", 2), Relation("V", 2))],
+        )
+        assert mapping.constraint_count() == 1
+
+    def test_combined_signature(self, projection_mapping):
+        assert set(projection_mapping.combined_signature.names()) == {"R", "V"}
+
+
+class TestInverse:
+    def test_inverse_swaps_signatures(self, projection_mapping):
+        inverse = projection_mapping.inverse()
+        assert inverse.input_signature == projection_mapping.output_signature
+        assert inverse.output_signature == projection_mapping.input_signature
+        assert inverse.constraints == projection_mapping.constraints
+
+    def test_double_inverse_is_identity(self, projection_mapping):
+        assert projection_mapping.inverse().inverse() == projection_mapping
+
+
+class TestRelates:
+    def test_relates_positive(self, projection_mapping):
+        source = Instance({"R": {(1, "a"), (2, "b")}})
+        target = Instance({"V": {(1,), (2,)}})
+        assert projection_mapping.relates(source, target)
+
+    def test_relates_negative(self, projection_mapping):
+        source = Instance({"R": {(1, "a")}})
+        target = Instance({"V": set()})
+        assert not projection_mapping.relates(source, target)
+
+
+class TestIdentityMapping:
+    def test_default_renaming(self):
+        signature = Signature.from_arities({"R": 2, "S": 1})
+        mapping = identity_mapping(signature)
+        assert set(mapping.output_signature.names()) == {"R_v2", "S_v2"}
+        assert mapping.constraint_count() == 2
+
+    def test_explicit_renaming(self):
+        signature = Signature.from_arities({"R": 2})
+        renamed = Signature.from_arities({"Rnew": 2})
+        mapping = identity_mapping(signature, renamed)
+        assert str(list(mapping.constraints)[0]) == "R/2 = Rnew/2"
+
+    def test_renaming_must_match_arities(self):
+        signature = Signature.from_arities({"R": 2})
+        with pytest.raises(SchemaError):
+            identity_mapping(signature, Signature.from_arities({"Rnew": 3}))
+
+    def test_renaming_must_match_count(self):
+        signature = Signature.from_arities({"R": 2})
+        with pytest.raises(SchemaError):
+            identity_mapping(signature, Signature.from_arities({"A": 2, "B": 2}))
+
+    def test_identity_mapping_relates_equal_contents(self):
+        signature = Signature(
+            [RelationSchema("R", 2)]
+        )
+        mapping = identity_mapping(signature)
+        source = Instance({"R": {(1, 2)}})
+        assert mapping.relates(source, Instance({"R_v2": {(1, 2)}}))
+        assert not mapping.relates(source, Instance({"R_v2": set()}))

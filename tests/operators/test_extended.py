@@ -1,0 +1,63 @@
+"""Tests for the extended-operator registrations (semijoin, anti-semijoin, outerjoin)."""
+
+from repro.algebra.conditions import equals
+from repro.algebra.expressions import AntiSemiJoin, Empty, LeftOuterJoin, Relation, SemiJoin
+from repro.algebra.simplify import simplify_expression
+from repro.operators.extended import (
+    antisemijoin_monotonicity,
+    leftouterjoin_monotonicity,
+    semijoin_monotonicity,
+)
+from repro.operators.monotonicity import Monotonicity
+from repro.operators.registry import default_registry
+
+R, S = Relation("R", 2), Relation("S", 2)
+M, A, I, U = (
+    Monotonicity.MONOTONE,
+    Monotonicity.ANTI_MONOTONE,
+    Monotonicity.INDEPENDENT,
+    Monotonicity.UNKNOWN,
+)
+
+
+class TestMonotonicityRules:
+    def test_semijoin_rule(self):
+        assert semijoin_monotonicity(None, (M, M)) is M
+        assert semijoin_monotonicity(None, (M, I)) is M
+        assert semijoin_monotonicity(None, (A, I)) is A
+        assert semijoin_monotonicity(None, (M, A)) is U
+
+    def test_antisemijoin_rule(self):
+        assert antisemijoin_monotonicity(None, (M, I)) is M
+        assert antisemijoin_monotonicity(None, (I, M)) is A
+        assert antisemijoin_monotonicity(None, (I, A)) is M
+        assert antisemijoin_monotonicity(None, (M, M)) is U
+
+    def test_leftouterjoin_rule(self):
+        assert leftouterjoin_monotonicity(None, (M, I)) is M
+        assert leftouterjoin_monotonicity(None, (I, I)) is I
+        assert leftouterjoin_monotonicity(None, (I, M)) is U
+        assert leftouterjoin_monotonicity(None, (M, A)) is U
+
+
+class TestSimplificationRules:
+    def test_semijoin_with_empty(self):
+        registry = default_registry()
+        assert simplify_expression(SemiJoin(Empty(2), S, equals(0, 2)), registry) == Empty(2)
+        assert simplify_expression(SemiJoin(R, Empty(2), equals(0, 2)), registry) == Empty(2)
+
+    def test_antisemijoin_with_empty(self):
+        registry = default_registry()
+        assert simplify_expression(AntiSemiJoin(Empty(2), S, equals(0, 2)), registry) == Empty(2)
+        assert simplify_expression(AntiSemiJoin(R, Empty(2), equals(0, 2)), registry) == R
+
+    def test_leftouterjoin_with_empty_left(self):
+        registry = default_registry()
+        assert (
+            simplify_expression(LeftOuterJoin(Empty(2), S, equals(0, 2)), registry) == Empty(4)
+        )
+
+    def test_no_rule_leaves_expression_alone(self):
+        registry = default_registry()
+        join = LeftOuterJoin(R, S, equals(0, 2))
+        assert simplify_expression(join, registry) == join

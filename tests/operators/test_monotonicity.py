@@ -1,0 +1,199 @@
+"""Tests for the MONOTONE procedure (Section 3.3)."""
+
+import pytest
+
+from repro.algebra.conditions import equals
+from repro.algebra.expressions import (
+    AntiSemiJoin,
+    ConstantRelation,
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Expression,
+    Intersection,
+    LeftOuterJoin,
+    Projection,
+    Relation,
+    Selection,
+    SemiJoin,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+)
+from repro.operators.monotonicity import (
+    Monotonicity,
+    combine_same_polarity,
+    flip,
+    is_monotone,
+    monotonicity,
+)
+from repro.operators.registry import default_registry
+
+R, S, T = Relation("R", 2), Relation("S", 2), Relation("T", 2)
+M, A, I, U = (
+    Monotonicity.MONOTONE,
+    Monotonicity.ANTI_MONOTONE,
+    Monotonicity.INDEPENDENT,
+    Monotonicity.UNKNOWN,
+)
+
+
+class TestLeaves:
+    def test_symbol_itself_is_monotone(self):
+        assert monotonicity(S, "S") is M
+
+    def test_other_relation_is_independent(self):
+        assert monotonicity(R, "S") is I
+
+    def test_special_relations_are_independent(self):
+        assert monotonicity(Domain(2), "S") is I
+        assert monotonicity(Empty(2), "S") is I
+        assert monotonicity(ConstantRelation.singleton(1), "S") is I
+
+
+class TestBasicOperators:
+    @pytest.mark.parametrize("cls", [Union, Intersection])
+    def test_positive_binary(self, cls):
+        assert monotonicity(cls(R, S), "S") is M
+        assert monotonicity(cls(S, S), "S") is M
+        assert monotonicity(cls(R, T), "S") is I
+
+    def test_cross_product(self):
+        assert monotonicity(CrossProduct(S, R), "S") is M
+
+    def test_difference_first_argument(self):
+        assert monotonicity(Difference(S, R), "S") is M
+
+    def test_difference_second_argument(self):
+        assert monotonicity(Difference(R, S), "S") is A
+
+    def test_difference_both_sides_unknown(self):
+        assert monotonicity(Difference(S, S), "S") is U
+
+    def test_selection_projection_transparent(self):
+        assert monotonicity(Selection(S, equals(0, 1)), "S") is M
+        assert monotonicity(Projection(S, (0,)), "S") is M
+        assert monotonicity(Projection(Difference(R, S), (0,)), "S") is A
+
+    def test_skolem_transparent(self):
+        skolemized = SkolemApplication(S, SkolemFunction("f", (0,)))
+        assert monotonicity(skolemized, "S") is M
+
+    def test_nested_double_negation(self):
+        # S occurs under two nested differences: anti-monotone of anti-monotone.
+        expression = Difference(R, Difference(T, S))
+        assert monotonicity(expression, "S") is M
+
+    def test_paper_example_select_difference(self):
+        # σ_{c1}(S) − σ_{c2}(S) is unknown in S (the paper's MONOTONE example).
+        expression = Difference(Selection(S, equals(0, 1)), Selection(S, equals(0, 1)))
+        assert monotonicity(expression, "S") is U
+
+    def test_mixed_polarity_is_unknown(self):
+        assert monotonicity(Union(S, Difference(R, S)), "S") is U
+
+
+class TestIsMonotone:
+    def test_monotone_or_independent_accepted(self):
+        assert is_monotone(Union(R, S), "S")
+        assert is_monotone(R, "S")
+
+    def test_anti_and_unknown_rejected(self):
+        assert not is_monotone(Difference(R, S), "S")
+        assert not is_monotone(Difference(S, S), "S")
+
+
+class TestExtendedOperators:
+    def test_unregistered_extended_operator_is_unknown(self):
+        assert monotonicity(SemiJoin(S, R, equals(0, 2)), "S") is U
+
+    def test_unregistered_but_independent(self):
+        assert monotonicity(SemiJoin(R, T, equals(0, 2)), "S") is I
+
+    def test_semijoin_registered(self):
+        registry = default_registry()
+        assert monotonicity(SemiJoin(S, R, equals(0, 2)), "S", registry) is M
+        assert monotonicity(SemiJoin(R, S, equals(0, 2)), "S", registry) is M
+
+    def test_antisemijoin_registered(self):
+        registry = default_registry()
+        assert monotonicity(AntiSemiJoin(S, R, equals(0, 2)), "S", registry) is M
+        assert monotonicity(AntiSemiJoin(R, S, equals(0, 2)), "S", registry) is A
+
+    def test_leftouterjoin_registered(self):
+        registry = default_registry()
+        assert monotonicity(LeftOuterJoin(S, R, equals(0, 2)), "S", registry) is M
+        assert monotonicity(LeftOuterJoin(R, S, equals(0, 2)), "S", registry) is U
+
+
+class TestCombinators:
+    def test_flip(self):
+        assert flip(M) is A and flip(A) is M
+        assert flip(I) is I and flip(U) is U
+
+    def test_combine_same_polarity(self):
+        assert combine_same_polarity((M, I)) is M
+        assert combine_same_polarity((A, I)) is A
+        assert combine_same_polarity((I, I)) is I
+        assert combine_same_polarity((M, A)) is U
+        assert combine_same_polarity((M, U)) is U
+
+
+class TestSemanticSoundness:
+    """MONOTONE is sound: a 'monotone' verdict must hold on concrete instances."""
+
+    CASES = [
+        Union(R, S),
+        Intersection(S, T),
+        CrossProduct(R, S),
+        Selection(S, equals(0, 1)),
+        Projection(Union(S, R), (0,)),
+        Difference(S, R),
+    ]
+
+    @pytest.mark.parametrize("expression", CASES)
+    def test_monotone_verdict_holds_semantically(self, expression):
+        from repro.algebra.evaluation import evaluate
+        from repro.schema.instance import Instance
+
+        assert monotonicity(expression, "S") is M
+        smaller = Instance({"R": {(1, 2)}, "S": {(1, 1)}, "T": {(1, 1), (1, 2)}})
+        bigger = smaller.updating("S", {(1, 1), (2, 2)})
+        domain = smaller.active_domain() | bigger.active_domain()
+        assert evaluate(expression, smaller, extra_domain=domain) <= evaluate(
+            expression, bigger, extra_domain=domain
+        )
+
+    def test_anti_monotone_verdict_holds_semantically(self):
+        from repro.algebra.evaluation import evaluate
+        from repro.schema.instance import Instance
+
+        expression = Difference(R, S)
+        assert monotonicity(expression, "S") is A
+        smaller = Instance({"R": {(1, 2), (2, 2)}, "S": {(1, 2)}})
+        bigger = smaller.updating("S", {(1, 2), (2, 2)})
+        assert evaluate(expression, smaller) >= evaluate(expression, bigger)
+
+
+class TestUnknownOperatorTolerance:
+    def test_unknown_operator_yields_unknown_not_error(self):
+        class Mystery(Expression):
+            operator_name = "mystery"
+
+            def __init__(self, child):
+                self._child = child
+
+            @property
+            def arity(self):
+                return self._child.arity
+
+            @property
+            def children(self):
+                return (self._child,)
+
+            def with_children(self, children):
+                return Mystery(children[0])
+
+        assert monotonicity(Mystery(S), "S") is U
+        assert monotonicity(Mystery(R), "S") is I

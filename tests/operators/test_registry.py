@@ -1,0 +1,118 @@
+"""Tests for the operator registry (the extensibility mechanism)."""
+
+import pytest
+
+from repro.algebra.conditions import equals
+from repro.algebra.expressions import Empty, Relation, SemiJoin, Union
+from repro.exceptions import RegistryError
+from repro.operators.monotonicity import Monotonicity
+from repro.operators.registry import OperatorRegistry, OperatorRule, default_registry
+
+R, S = Relation("R", 2), Relation("S", 2)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = OperatorRegistry()
+        rule = registry.register_operator(SemiJoin, description="semijoin")
+        assert registry.knows(SemiJoin(R, S, equals(0, 2)))
+        assert registry.rule_for(SemiJoin(R, S, equals(0, 2))) is rule
+        assert SemiJoin in registry.registered_types()
+
+    def test_unknown_operator_not_known(self):
+        registry = OperatorRegistry()
+        assert not registry.knows(Union(R, S))
+        assert registry.rule_for(Union(R, S)) is None
+
+    def test_unregister(self):
+        registry = OperatorRegistry()
+        registry.register_operator(SemiJoin)
+        registry.unregister(SemiJoin)
+        assert not registry.knows(SemiJoin(R, S, equals(0, 2)))
+        registry.unregister(SemiJoin)  # idempotent
+
+    def test_register_rejects_non_rule(self):
+        with pytest.raises(RegistryError):
+            OperatorRegistry().register("not a rule")
+
+    def test_register_rejects_non_expression_type(self):
+        with pytest.raises(RegistryError):
+            OperatorRegistry().register(OperatorRule(operator_type=int))
+
+    def test_copy_is_independent(self):
+        registry = OperatorRegistry()
+        registry.register_operator(SemiJoin)
+        clone = registry.copy()
+        clone.unregister(SemiJoin)
+        assert registry.knows(SemiJoin(R, S, equals(0, 2)))
+        assert not clone.knows(SemiJoin(R, S, equals(0, 2)))
+
+
+class TestHooks:
+    def test_monotonicity_hook(self):
+        registry = OperatorRegistry()
+        registry.register_operator(
+            SemiJoin, monotonicity_rule=lambda expr, children: Monotonicity.MONOTONE
+        )
+        result = registry.combine_monotonicity(
+            SemiJoin(R, S, equals(0, 2)), (Monotonicity.MONOTONE, Monotonicity.MONOTONE)
+        )
+        assert result is Monotonicity.MONOTONE
+
+    def test_monotonicity_hook_absent(self):
+        registry = OperatorRegistry()
+        assert (
+            registry.combine_monotonicity(SemiJoin(R, S, equals(0, 2)), (Monotonicity.MONOTONE,))
+            is None
+        )
+
+    def test_simplify_hook(self):
+        registry = OperatorRegistry()
+        registry.register_operator(
+            SemiJoin,
+            simplification_rule=lambda expr: Empty(expr.arity)
+            if isinstance(expr.right, Empty)
+            else None,
+        )
+        assert registry.simplify_node(SemiJoin(R, Empty(2), equals(0, 2))) == Empty(2)
+        assert registry.simplify_node(SemiJoin(R, S, equals(0, 2))) is None
+
+    def test_normalization_hooks_dispatch_on_correct_side(self):
+        calls = []
+
+        def left_rule(left, right, symbol, context):
+            calls.append("left")
+            return [(left, right)]
+
+        def right_rule(left, right, symbol, context):
+            calls.append("right")
+            return [(left, right)]
+
+        registry = OperatorRegistry()
+        registry.register_operator(
+            SemiJoin, left_normalization_rule=left_rule, right_normalization_rule=right_rule
+        )
+        join = SemiJoin(R, S, equals(0, 2))
+        registry.left_normalize(join, R, "S", None)
+        registry.right_normalize(R, join, "S", None)
+        assert calls == ["left", "right"]
+
+    def test_normalization_hook_absent_returns_none(self):
+        registry = OperatorRegistry()
+        assert registry.left_normalize(Union(R, S), R, "S", None) is None
+        assert registry.right_normalize(R, Union(R, S), "S", None) is None
+
+
+class TestDefaultRegistry:
+    def test_contains_extended_operators(self):
+        registry = default_registry()
+        from repro.algebra.expressions import AntiSemiJoin, LeftOuterJoin
+
+        for operator in (SemiJoin, AntiSemiJoin, LeftOuterJoin):
+            assert operator in registry.registered_types()
+
+    def test_default_registry_copies_are_independent(self):
+        first = default_registry()
+        first.unregister(SemiJoin)
+        second = default_registry()
+        assert SemiJoin in second.registered_types()

@@ -1,0 +1,93 @@
+"""Tests for database instances."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema.instance import Instance
+from repro.schema.signature import Signature
+
+
+class TestConstruction:
+    def test_basic(self):
+        instance = Instance({"R": {(1, 2)}})
+        assert instance.relation("R") == frozenset({(1, 2)})
+
+    def test_missing_relation_is_empty(self):
+        assert Instance({}).relation("R") == frozenset()
+
+    def test_signature_fills_missing_relations(self):
+        signature = Signature.from_arities({"R": 2, "S": 1})
+        instance = Instance({"R": {(1, 2)}}, signature)
+        assert instance.has_relation("S")
+        assert instance.relation("S") == frozenset()
+
+    def test_mixed_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Instance({"R": {(1, 2), (1,)}})
+
+    def test_signature_arity_mismatch_rejected(self):
+        signature = Signature.from_arities({"R": 2})
+        with pytest.raises(SchemaError):
+            Instance({"R": {(1,)}}, signature)
+
+    def test_rows_are_normalized_to_tuples(self):
+        instance = Instance({"R": [[1, 2], (1, 2)]})
+        assert instance.relation("R") == frozenset({(1, 2)})
+
+    def test_empty_factory(self):
+        signature = Signature.from_arities({"R": 2})
+        instance = Instance.empty(signature)
+        assert instance.relation("R") == frozenset()
+
+
+class TestOperations:
+    def test_updating(self):
+        instance = Instance({"R": {(1, 2)}})
+        updated = instance.updating("R", {(3, 4)})
+        assert updated.relation("R") == frozenset({(3, 4)})
+        assert instance.relation("R") == frozenset({(1, 2)})
+
+    def test_merged_with_disjoint(self):
+        merged = Instance({"R": {(1,)}}).merged_with(Instance({"S": {(2,)}}))
+        assert merged.relation("R") == frozenset({(1,)})
+        assert merged.relation("S") == frozenset({(2,)})
+
+    def test_merged_with_conflicting_contents_rejected(self):
+        with pytest.raises(SchemaError):
+            Instance({"R": {(1,)}}).merged_with(Instance({"R": {(2,)}}))
+
+    def test_merged_with_identical_contents_ok(self):
+        merged = Instance({"R": {(1,)}}).merged_with(Instance({"R": {(1,)}}))
+        assert merged.relation("R") == frozenset({(1,)})
+
+    def test_restricted_to(self):
+        instance = Instance({"R": {(1,)}, "S": {(2,)}})
+        restricted = instance.restricted_to(["R"])
+        assert restricted.relation_names() == ("R",)
+
+    def test_equality_and_hash(self):
+        assert Instance({"R": {(1,)}}) == Instance({"R": {(1,)}})
+        assert hash(Instance({"R": {(1,)}})) == hash(Instance({"R": {(1,)}}))
+        assert Instance({"R": {(1,)}}) != Instance({"R": {(2,)}})
+
+
+class TestDerived:
+    def test_active_domain(self):
+        instance = Instance({"R": {(1, "a")}, "S": {(2,)}})
+        assert instance.active_domain() == frozenset({1, "a", 2})
+
+    def test_total_tuples(self):
+        instance = Instance({"R": {(1,), (2,)}, "S": {(3,)}})
+        assert instance.total_tuples() == 3
+
+    def test_satisfies_key_true(self):
+        instance = Instance({"R": {(1, "a"), (2, "b")}})
+        assert instance.satisfies_key("R", (0,))
+
+    def test_satisfies_key_false(self):
+        instance = Instance({"R": {(1, "a"), (1, "b")}})
+        assert not instance.satisfies_key("R", (0,))
+
+    def test_satisfies_key_composite(self):
+        instance = Instance({"R": {(1, "a", "x"), (1, "b", "y")}})
+        assert instance.satisfies_key("R", (0, 1))

@@ -1,0 +1,122 @@
+"""End-to-end integration tests across the whole library."""
+
+from repro import (
+    ComposerConfig,
+    ConstraintSet,
+    Instance,
+    Mapping,
+    Signature,
+    compose,
+    compose_mappings,
+    parse_constraint,
+    satisfies_all,
+)
+from repro.evolution import SchemaEvolutionSimulator, SimulatorConfig, run_editing_scenario
+from repro.mapping.composition_problem import CompositionProblem
+from repro.textio.format import problem_from_text, problem_to_text
+
+
+class TestMoviesEndToEnd:
+    """The paper's Example 1, exercised through the public API only."""
+
+    def build(self):
+        movies = Signature.from_arities({"Movies": 6})
+        five_star = Signature.from_arities({"FiveStarMovies": 3})
+        split = Signature.from_arities({"Names": 2, "Years": 2})
+        m12 = Mapping(
+            movies,
+            five_star,
+            ConstraintSet(
+                [parse_constraint("project[0,1,2](select[#3 = 5](Movies/6)) <= FiveStarMovies/3")]
+            ),
+        )
+        m23 = Mapping(
+            five_star,
+            split,
+            ConstraintSet(
+                [
+                    parse_constraint("project[0,1](FiveStarMovies/3) <= Names/2"),
+                    parse_constraint("project[0,2](FiveStarMovies/3) <= Years/2"),
+                ]
+            ),
+        )
+        return m12, m23
+
+    def test_composition_and_data_migration(self):
+        m12, m23 = self.build()
+        result = compose_mappings(m12, m23)
+        assert result.is_complete
+        composed = result.to_mapping()
+
+        source = Instance(
+            {
+                "Movies": {
+                    (1, "Heat", 1995, 5, "crime", "Odeon"),
+                    (2, "Clue", 1985, 4, "comedy", "Rex"),
+                }
+            }
+        )
+        good_target = Instance({"Names": {(1, "Heat")}, "Years": {(1, 1995)}})
+        bad_target = Instance({"Names": set(), "Years": set()})
+        assert composed.relates(source, good_target)
+        assert not composed.relates(source, bad_target)
+
+    def test_composed_mapping_agrees_with_original_pair(self):
+        """The composed mapping accepts exactly the pairs the two originals accept jointly."""
+        m12, m23 = self.build()
+        result = compose_mappings(m12, m23)
+        composed = result.to_mapping()
+
+        source = Instance({"Movies": {(1, "Heat", 1995, 5, "crime", "Odeon")}})
+        target = Instance({"Names": {(1, "Heat")}, "Years": {(1, 1995)}})
+        middle = Instance({"FiveStarMovies": {(1, "Heat", 1995)}})
+
+        # Forward direction of the equivalence: the witness via the middle schema
+        # satisfies both original mappings, and the composed mapping accepts the pair.
+        assert m12.relates(source, middle)
+        assert m23.relates(middle, target)
+        assert composed.relates(source, target)
+
+    def test_serialization_roundtrip_of_the_problem(self):
+        m12, m23 = self.build()
+        problem = CompositionProblem.from_mappings(m12, m23, name="movies")
+        text = problem_to_text(problem)
+        reparsed = problem_from_text(text)
+        assert compose(reparsed).is_complete
+
+
+class TestSimulatorComposeLoop:
+    def test_simulated_edits_compose_and_stay_consistent(self):
+        simulator = SchemaEvolutionSimulator(seed=99, config=SimulatorConfig.no_keys())
+        schema = simulator.random_schema(6)
+        result = run_editing_scenario(
+            schema_size=6, num_edits=20, seed=99, simulator=simulator, initial_schema=schema
+        )
+        # Every symbol of the final accumulated mapping is either an original
+        # relation, a current-schema relation, or a recorded leftover.
+        allowed = (
+            set(result.original_schema.names())
+            | set(result.final_schema.names())
+            | set(result.leftover_symbols)
+        )
+        assert result.constraints.relation_names() <= allowed
+
+    def test_all_configurations_run_without_errors(self):
+        for composer_config in (
+            ComposerConfig.default(),
+            ComposerConfig.no_view_unfolding(),
+            ComposerConfig.no_right_compose(),
+            ComposerConfig.no_left_compose(),
+        ):
+            result = run_editing_scenario(
+                schema_size=5, num_edits=8, seed=7, composer_config=composer_config
+            )
+            assert len(result.records) == 8
+
+
+class TestEmptyTargetSatisfaction:
+    def test_satisfaction_checking_through_public_api(self):
+        constraint = parse_constraint("project[0](R/2) <= S/1")
+        instance = Instance({"R": {(1, "a")}, "S": {(1,)}})
+        assert satisfies_all(instance, [constraint])
+        assert not satisfies_all(Instance({"R": {(1, "a")}, "S": set()}), [constraint])

@@ -1,0 +1,40 @@
+"""Tests of the package-level public API surface."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_key_entry_points_exposed(self):
+        assert callable(repro.compose)
+        assert callable(repro.compose_mappings)
+        assert callable(repro.parse_constraint)
+        assert callable(repro.evaluate)
+        assert callable(repro.satisfies_all)
+
+    def test_subpackages_importable(self):
+        import repro.algebra
+        import repro.compose
+        import repro.constraints
+        import repro.evolution
+        import repro.experiments
+        import repro.literature
+        import repro.mapping
+        import repro.operators
+        import repro.schema
+        import repro.textio
+
+        assert repro.experiments.run_figure2 is not None
+        assert repro.literature.all_problems is not None
+
+    def test_docstring_quickstart_runs(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
