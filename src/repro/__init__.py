@@ -68,6 +68,16 @@ from repro.constraints import (
     satisfies,
     satisfies_all,
 )
+from repro.engine import (
+    BatchComposer,
+    BatchConfig,
+    BatchReport,
+    ChainProblem,
+    ChainResult,
+    WorkloadConfig,
+    compose_chain,
+    generate_workload,
+)
 from repro.mapping import CompositionProblem, Mapping, identity_mapping
 from repro.operators import Monotonicity, OperatorRegistry, default_registry, monotonicity
 from repro.schema import Instance, RelationSchema, Signature
@@ -119,6 +129,15 @@ __all__ = [
     "compose",
     "compose_mappings",
     "eliminate",
+    # engine
+    "BatchComposer",
+    "BatchConfig",
+    "BatchReport",
+    "ChainProblem",
+    "ChainResult",
+    "WorkloadConfig",
+    "compose_chain",
+    "generate_workload",
     # operators
     "Monotonicity",
     "monotonicity",

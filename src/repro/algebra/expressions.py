@@ -87,6 +87,13 @@ class Expression:
     def __repr__(self) -> str:
         return f"<{type(self).__name__}: {self}>"
 
+    def __getstate__(self):
+        # Drop the lazily cached structural hash: string hashing is salted
+        # per process, so a pickled hash would be wrong in another process.
+        state = dict(self.__dict__)
+        state.pop("_hash_value", None)
+        return state
+
 
 # ---------------------------------------------------------------------------
 # Leaves
@@ -537,3 +544,32 @@ EXTENDED_OPERATOR_TYPES = (SemiJoin, AntiSemiJoin, LeftOuterJoin)
 
 #: Node types that never have children.
 LEAF_TYPES = (Relation, Domain, Empty, ConstantRelation)
+
+
+def _install_cached_hash(cls) -> None:
+    """Replace a node class's generated ``__hash__`` with a lazily caching one.
+
+    Expressions are immutable trees that the composition algorithm hashes
+    constantly (constraint-set dedup, memo tables, substitution maps); the
+    generated dataclass hash re-walks the whole tree every time, turning those
+    lookups into the dominant cost at scale.  Computing the structural hash
+    once per node and caching it makes every later hash O(1).
+    """
+    generated = cls.__hash__
+
+    def __hash__(self, _generated=generated):
+        try:
+            return object.__getattribute__(self, "_hash_value")
+        except AttributeError:
+            value = _generated(self)
+            object.__setattr__(self, "_hash_value", value)
+            return value
+
+    cls.__hash__ = __hash__
+
+
+for _node_type in LEAF_TYPES + BASIC_OPERATOR_TYPES + EXTENDED_OPERATOR_TYPES + (
+    SkolemApplication,
+):
+    _install_cached_hash(_node_type)
+del _node_type

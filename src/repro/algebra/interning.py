@@ -1,0 +1,256 @@
+"""Hash-consing and memoized simplification for expressions.
+
+Composition workloads are highly repetitive: the same sub-expressions appear
+in many constraints, survive many elimination rounds, and recur across the
+problems of a batch.  An :class:`ExpressionCache` exploits that repetition in
+two ways:
+
+* **interning** (hash-consing): structurally equal expressions are collapsed
+  onto one canonical object, so later dictionary lookups short-circuit on
+  identity instead of walking the whole tree; and
+* **simplification memoization**: the fixpoint rewriting of
+  :func:`repro.algebra.simplify.simplify_expression` is computed once per
+  (expression, registry) pair and replayed from the memo afterwards.
+
+The cache is *opt-in*: nothing changes unless a cache is activated, either
+explicitly or through the batch engine (:mod:`repro.engine.batch`), which
+shares one cache across a whole batch of composition problems so repeated
+sub-expressions are simplified once.
+
+Caches are safe to share between threads — CPython dictionary operations are
+atomic and both interning and memoization are idempotent, so a lost race
+merely repeats work.  Activation is process-global (not thread-local) because
+sharing across worker threads is exactly the point.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, FrozenSet, Iterator, Optional, Tuple
+
+from repro.algebra.expressions import Expression, Relation
+
+__all__ = [
+    "ExpressionCache",
+    "active_cache",
+    "activate_cache",
+    "deactivate_cache",
+    "shared_expression_cache",
+]
+
+#: Default bound on the number of memo entries before the cache resets itself.
+DEFAULT_MAX_ENTRIES = 200_000
+
+
+class ExpressionCache:
+    """A structural-sharing (hash-consing) cache with a simplification memo.
+
+    Parameters
+    ----------
+    max_entries:
+        Soft bound on the number of entries in each internal table.  When a
+        table grows past the bound it is cleared wholesale — the cache is a
+        pure accelerator, so dropping it is always safe.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._interned: Dict[Expression, Expression] = {}
+        self._simplify_memo: Dict[Tuple[int, Expression], Expression] = {}
+        # Strong references keep registry ids stable for the memo keys.
+        self._registries: Dict[int, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- interning -------------------------------------------------------------
+
+    def intern(self, expression: Expression) -> Expression:
+        """Return the canonical instance structurally equal to ``expression``.
+
+        Children are interned recursively, so equal subtrees of different
+        expressions end up sharing one object.
+        """
+        children = expression.children
+        if children:
+            new_children = tuple(self.intern(child) for child in children)
+            if any(new is not old for new, old in zip(new_children, children)):
+                expression = expression.with_children(new_children)
+        canonical = self._interned.get(expression)
+        if canonical is not None:
+            return canonical
+        if len(self._interned) >= self.max_entries:
+            self._evict(self._interned)
+        return self._interned.setdefault(expression, expression)
+
+    # -- simplification memo ---------------------------------------------------
+
+    def simplify(
+        self,
+        expression: Expression,
+        registry: Optional[object],
+        compute: Callable[[Expression, Optional[object]], Expression],
+    ) -> Expression:
+        """Return ``compute(expression, registry)``, memoized per registry.
+
+        ``compute`` must be a pure function of its arguments (the fixpoint
+        simplifier is); its result is interned before being stored so repeated
+        simplifications converge on shared structure.
+        """
+        key = (self._registry_key(registry), expression)
+        cached = self._simplify_memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.intern(compute(expression, registry))
+        if len(self._simplify_memo) >= self.max_entries:
+            self._evict(self._simplify_memo)
+        self._simplify_memo[key] = result
+        # A simplified expression is a fixpoint: record that too, so feeding
+        # the output back in (as the per-hop re-simplifications of a chained
+        # composition do) is a hit instead of a full recomputation.
+        self._simplify_memo.setdefault((key[0], result), result)
+        return result
+
+    # -- relation-name memo ----------------------------------------------------
+
+    def relation_names(self, expression: Expression) -> FrozenSet[str]:
+        """The base relation symbols of ``expression``, memoized per sub-tree.
+
+        The elimination loop probes "does this constraint mention symbol S?"
+        for every σ2 symbol against every constraint, and substitution rebuilds
+        trees that frequently do not contain the target symbol at all.  The
+        name set is stored directly on the (immutable) node, so a hit costs an
+        attribute read — no hashing — and prunes its entire sub-tree.
+        """
+        try:
+            return object.__getattribute__(expression, "_relation_names")
+        except AttributeError:
+            pass
+        if isinstance(expression, Relation):
+            names = frozenset((expression.name,))
+        else:
+            children = expression.children
+            if not children:
+                names = frozenset()
+            elif len(children) == 1:
+                names = self.relation_names(children[0])
+            else:
+                names = frozenset().union(
+                    *(self.relation_names(child) for child in children)
+                )
+        object.__setattr__(expression, "_relation_names", names)
+        return names
+
+    #: Distinct registries a cache will pin before resetting the memo.  The
+    #: memo keys registries by id(), so dropping a registry reference without
+    #: dropping its memo entries could alias a recycled id onto stale results;
+    #: clearing both together keeps the bound safe.
+    MAX_REGISTRIES = 64
+
+    def _registry_key(self, registry: Optional[object]) -> int:
+        if registry is None:
+            return 0
+        key = id(registry)
+        if key not in self._registries:
+            if len(self._registries) >= self.MAX_REGISTRIES:
+                with self._lock:
+                    self._registries.clear()
+                    self._simplify_memo.clear()
+                    self.evictions += 1
+            self._registries[key] = registry
+        return key
+
+    def _evict(self, table: Dict) -> None:
+        with self._lock:
+            if len(table) >= self.max_entries:
+                table.clear()
+                self.evictions += 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all cached entries and reset the statistics."""
+        with self._lock:
+            self._interned.clear()
+            self._simplify_memo.clear()
+            self._registries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of memo lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """A snapshot of the cache counters (for benchmarks and reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "interned": len(self._interned),
+            "memoized": len(self._simplify_memo),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExpressionCache: {len(self._simplify_memo)} memoized, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-global activation
+# ---------------------------------------------------------------------------
+
+_active: Optional[ExpressionCache] = None
+_activation_lock = threading.Lock()
+
+
+def active_cache() -> Optional[ExpressionCache]:
+    """Return the currently active cache, or ``None`` when caching is off."""
+    return _active
+
+
+def activate_cache(cache: Optional[ExpressionCache] = None) -> ExpressionCache:
+    """Activate ``cache`` (a fresh one when omitted) process-wide and return it."""
+    global _active
+    with _activation_lock:
+        _active = cache or ExpressionCache()
+        return _active
+
+
+def deactivate_cache() -> None:
+    """Deactivate expression caching process-wide."""
+    global _active
+    with _activation_lock:
+        _active = None
+
+
+@contextmanager
+def shared_expression_cache(
+    cache: Optional[ExpressionCache] = None,
+) -> Iterator[ExpressionCache]:
+    """Context manager activating a cache for the duration of a block.
+
+    The previously active cache (usually none) is restored on exit, so scopes
+    may nest; the innermost activation wins, which is what the batch engine
+    relies on when callers already supplied their own cache.
+    """
+    global _active
+    with _activation_lock:
+        previous = _active
+        _active = cache or ExpressionCache()
+        current = _active
+    try:
+        yield current
+    finally:
+        with _activation_lock:
+            _active = previous

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.algebra import interning
 from repro.algebra.conditions import FalseCondition, TrueCondition, conjunction
 from repro.algebra.expressions import (
     CrossProduct,
@@ -127,8 +128,7 @@ def _simplify_node(node: Expression, registry=None) -> Expression:
     return node
 
 
-def simplify_expression(expression: Expression, registry=None) -> Expression:
-    """Simplify an expression by repeatedly applying the local rewrite rules."""
+def _simplify_fixpoint(expression: Expression, registry=None) -> Expression:
     previous = None
     current = expression
     # Each pass strictly shrinks or preserves the tree; iterate to a fixpoint
@@ -137,6 +137,20 @@ def simplify_expression(expression: Expression, registry=None) -> Expression:
         previous = current
         current = transform_bottom_up(current, lambda node: _simplify_node(node, registry))
     return current
+
+
+def simplify_expression(expression: Expression, registry=None) -> Expression:
+    """Simplify an expression by repeatedly applying the local rewrite rules.
+
+    When an expression cache is active (:mod:`repro.algebra.interning`), the
+    fixpoint computation is memoized per (expression, registry) pair, so
+    repeated sub-expressions — across the constraints of one composition or
+    across a whole batch of problems — are simplified once.
+    """
+    cache = interning.active_cache()
+    if cache is not None:
+        return cache.simplify(expression, registry, _simplify_fixpoint)
+    return _simplify_fixpoint(expression, registry)
 
 
 def is_trivially_satisfied(constraint: Constraint) -> bool:
@@ -160,6 +174,8 @@ def simplify_constraint(constraint: Constraint, registry=None) -> Constraint:
     """Simplify both sides of a constraint."""
     left = simplify_expression(constraint.left, registry)
     right = simplify_expression(constraint.right, registry)
+    if left is constraint.left and right is constraint.right:
+        return constraint
     if isinstance(constraint, ContainmentConstraint):
         return ContainmentConstraint(left, right)
     return EqualityConstraint(left, right)

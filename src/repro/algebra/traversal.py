@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterator, Set
 
+from repro.algebra import interning
 from repro.algebra.expressions import (
     Domain,
     Empty,
@@ -73,6 +74,10 @@ def substitute_relation(
     :class:`ArityError` is raised.
     """
 
+    cache = interning.active_cache()
+    if cache is not None and name not in cache.relation_names(expression):
+        return expression
+
     def rewrite(node: Expression) -> Expression:
         if isinstance(node, Relation) and node.name == name:
             if replacement.arity != node.arity:
@@ -90,6 +95,11 @@ def substitute_relations(
     expression: Expression, replacements: Dict[str, Expression]
 ) -> Expression:
     """Replace several relation symbols at once (non-recursively)."""
+    cache = interning.active_cache()
+    if cache is not None and not (
+        cache.relation_names(expression) & replacements.keys()
+    ):
+        return expression
 
     def rewrite(node: Expression) -> Expression:
         if isinstance(node, Relation) and node.name in replacements:
@@ -107,11 +117,17 @@ def substitute_relations(
 
 def contains_relation(expression: Expression, name: str) -> bool:
     """Return ``True`` iff the expression references the relation symbol ``name``."""
+    cache = interning.active_cache()
+    if cache is not None:
+        return name in cache.relation_names(expression)
     return any(isinstance(node, Relation) and node.name == name for node in walk(expression))
 
 
 def relation_names(expression: Expression) -> FrozenSet[str]:
     """Return the set of base relation symbols referenced by the expression."""
+    cache = interning.active_cache()
+    if cache is not None:
+        return cache.relation_names(expression)
     names: Set[str] = set()
     for node in walk(expression):
         if isinstance(node, Relation):
@@ -154,9 +170,19 @@ def operator_count(expression: Expression) -> int:
     """Return the number of operator (non-leaf) nodes in the expression.
 
     This is the size metric the paper uses ("the total number of operators
-    across all constraints") for the blow-up abort criterion.
+    across all constraints") for the blow-up abort criterion.  The count is
+    cached on the (immutable) node, since the blow-up guard re-measures the
+    same sub-trees after every candidate rewrite.
     """
-    return sum(1 for node in walk(expression) if not node.is_leaf())
+    try:
+        return object.__getattribute__(expression, "_operator_count")
+    except AttributeError:
+        pass
+    count = (0 if expression.is_leaf() else 1) + sum(
+        operator_count(child) for child in expression.children
+    )
+    object.__setattr__(expression, "_operator_count", count)
+    return count
 
 
 def node_count(expression: Expression) -> int:

@@ -10,6 +10,7 @@ constraint set over σ1 ∪ σ2' ∪ σ3 for some σ2' ⊆ σ2 (paper Section 3.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.algebra.simplify import simplify_constraint_set
@@ -51,6 +52,7 @@ def compose(
     outcomes: List[EliminationOutcome] = []
     eliminated: List[str] = []
     for symbol in symbol_order:
+        symbol_started = time.perf_counter()
         constraints, outcome = eliminate(
             constraints,
             symbol,
@@ -58,6 +60,10 @@ def compose(
             config,
             baseline_operator_count=input_operator_count,
         )
+        # Record the per-symbol elapsed time as COMPOSE observes it, so the
+        # outcomes' durations add up to the whole-run elapsed_seconds (minus
+        # the final simplification pass).
+        outcome = replace(outcome, duration_seconds=time.perf_counter() - symbol_started)
         outcomes.append(outcome)
         if outcome.success:
             eliminated.append(symbol)

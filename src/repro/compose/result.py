@@ -40,6 +40,16 @@ class EliminationOutcome:
     failure_reasons: Tuple[str, ...] = ()
     blowup_aborted: bool = False
 
+    @property
+    def elapsed_seconds(self) -> float:
+        """Per-symbol elapsed time (alias of ``duration_seconds``).
+
+        Inside :func:`repro.compose.composer.compose` this is the wall-clock
+        time COMPOSE spent on the symbol; standalone ``eliminate`` calls
+        record their own internal timing here.
+        """
+        return self.duration_seconds
+
     def __repr__(self) -> str:
         status = "eliminated" if self.success else "kept"
         return f"<EliminationOutcome {self.symbol}: {status} via {self.method.value}>"
@@ -102,6 +112,15 @@ class CompositionResult:
         if not self.outcomes:
             return 1.0
         return len(self.eliminated_symbols) / len(self.outcomes)
+
+    @property
+    def elimination_seconds(self) -> float:
+        """Total time spent in per-symbol elimination (sum of outcome timings).
+
+        Always at most :attr:`elapsed_seconds`; the difference is the final
+        simplification pass and bookkeeping.
+        """
+        return sum(outcome.duration_seconds for outcome in self.outcomes)
 
     @property
     def output_signature(self) -> Signature:

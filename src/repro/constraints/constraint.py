@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
-from repro.algebra.expressions import Expression, Relation
+from repro.algebra.expressions import Expression, Relation, _install_cached_hash
 from repro.algebra import traversal
 from repro.exceptions import ArityError, ConstraintError
 
@@ -82,6 +82,12 @@ class Constraint:
     def __repr__(self) -> str:
         return f"<{type(self).__name__}: {self}>"
 
+    def __getstate__(self):
+        # Drop the lazily cached hash; string hashing is salted per process.
+        state = dict(self.__dict__)
+        state.pop("_hash_value", None)
+        return state
+
 
 @dataclass(frozen=True, repr=False)
 class ContainmentConstraint(Constraint):
@@ -94,10 +100,11 @@ class ContainmentConstraint(Constraint):
         _validate_sides(self.left, self.right)
 
     def substituting(self, name: str, replacement: Expression) -> "ContainmentConstraint":
-        return ContainmentConstraint(
-            traversal.substitute_relation(self.left, name, replacement),
-            traversal.substitute_relation(self.right, name, replacement),
-        )
+        left = traversal.substitute_relation(self.left, name, replacement)
+        right = traversal.substitute_relation(self.right, name, replacement)
+        if left is self.left and right is self.right:
+            return self
+        return ContainmentConstraint(left, right)
 
     def is_identity_definition_of(self, name: str) -> bool:
         """Containments never define a symbol outright (only equalities do)."""
@@ -118,10 +125,11 @@ class EqualityConstraint(Constraint):
         _validate_sides(self.left, self.right)
 
     def substituting(self, name: str, replacement: Expression) -> "EqualityConstraint":
-        return EqualityConstraint(
-            traversal.substitute_relation(self.left, name, replacement),
-            traversal.substitute_relation(self.right, name, replacement),
-        )
+        left = traversal.substitute_relation(self.left, name, replacement)
+        right = traversal.substitute_relation(self.right, name, replacement)
+        if left is self.left and right is self.right:
+            return self
+        return EqualityConstraint(left, right)
 
     def as_containments(self) -> Tuple[ContainmentConstraint, ContainmentConstraint]:
         """Split into the two containments ``left ⊆ right`` and ``right ⊆ left``."""
@@ -157,3 +165,10 @@ def _validate_sides(left: Expression, right: Expression) -> None:
             f"constraint sides must have equal arity, got {left.arity} and {right.arity} "
             f"({left} vs {right})"
         )
+
+
+# Constraints are hashed as often as expressions (constraint-set dedup happens
+# on every rewrite); cache their structural hash the same way.
+for _constraint_type in (ContainmentConstraint, EqualityConstraint):
+    _install_cached_hash(_constraint_type)
+del _constraint_type

@@ -90,8 +90,16 @@ class ConstraintSet:
         return ConstraintSet(tuple(self._constraints) + tuple(other._constraints))
 
     def map(self, fn: Callable[[Constraint], Constraint]) -> "ConstraintSet":
-        """Return a new set with ``fn`` applied to every constraint."""
-        return ConstraintSet(fn(constraint) for constraint in self._constraints)
+        """Return a new set with ``fn`` applied to every constraint.
+
+        Returns ``self`` when ``fn`` leaves every constraint identical, so
+        no-op rewrites (substituting an absent symbol, re-simplifying an
+        already-simplified set) skip the dedup pass entirely.
+        """
+        mapped = [fn(constraint) for constraint in self._constraints]
+        if all(new is old for new, old in zip(mapped, self._constraints)):
+            return self
+        return ConstraintSet(mapped)
 
     def filter(self, predicate: Callable[[Constraint], bool]) -> "ConstraintSet":
         """Return a new set keeping only constraints satisfying ``predicate``."""

@@ -1,0 +1,46 @@
+"""The batch composition engine: chained, batched and generated workloads.
+
+This subsystem layers scale on top of the core COMPOSE procedure:
+
+* :mod:`repro.engine.chain` — n-ary chained composition
+  (``m12 ∘ m23 ∘ … ∘ m(n-1)(n)``) with residual-symbol threading;
+* :mod:`repro.engine.batch` — concurrent batch execution with failure
+  isolation, soft timeouts and a shared expression cache;
+* :mod:`repro.engine.workloads` — seeded randomized generation of diverse
+  composition problems from the schema-evolution primitives.
+"""
+
+from repro.engine.batch import (
+    BatchBackend,
+    BatchComposer,
+    BatchConfig,
+    BatchItemResult,
+    BatchReport,
+    ProblemStatus,
+)
+from repro.engine.chain import ChainHop, ChainResult, compose_chain, validate_chain
+from repro.engine.workloads import (
+    ChainProblem,
+    WorkloadConfig,
+    generate_chain_problem,
+    generate_workload,
+    pairwise_problems,
+)
+
+__all__ = [
+    "ChainHop",
+    "ChainResult",
+    "compose_chain",
+    "validate_chain",
+    "BatchBackend",
+    "BatchComposer",
+    "BatchConfig",
+    "BatchItemResult",
+    "BatchReport",
+    "ProblemStatus",
+    "ChainProblem",
+    "WorkloadConfig",
+    "generate_chain_problem",
+    "generate_workload",
+    "pairwise_problems",
+]

@@ -1,0 +1,440 @@
+"""Batch execution of composition problems over ``concurrent.futures``.
+
+The value of a best-effort composition algorithm shows at scale: hundreds of
+problems drawn from an evolution simulator, figure sweeps re-running the same
+scenario over a parameter grid, regression suites over a problem corpus.
+:class:`BatchComposer` runs such workloads through one engine with
+
+* selectable backends — ``serial`` (plain loop), ``thread`` and ``process``
+  pools (``auto`` picks per the machine's CPU count),
+* failure isolation: one crashing problem is recorded and the rest of the
+  batch proceeds,
+* a soft per-problem timeout: problems whose execution exceeds the budget are
+  reported as timed out and their result discarded (cooperative — CPython
+  threads cannot be preempted), and
+* a shared expression cache (:mod:`repro.algebra.interning`) so sub-expressions
+  repeated across the batch are simplified once.
+
+``BatchComposer.map`` is the generic engine; ``run`` (composition problems)
+and ``run_chains`` (mapping chains) are the composition-aware entry points the
+experiment drivers build on.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import enum
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.algebra.interning import ExpressionCache, activate_cache, shared_expression_cache
+from repro.compose.composer import compose
+from repro.compose.config import ComposerConfig
+from repro.engine.chain import ChainResult, compose_chain
+from repro.exceptions import EngineError
+from repro.mapping.composition_problem import CompositionProblem
+from repro.mapping.mapping import Mapping
+
+__all__ = [
+    "BatchBackend",
+    "BatchConfig",
+    "ProblemStatus",
+    "BatchItemResult",
+    "BatchReport",
+    "BatchComposer",
+]
+
+
+class BatchBackend(str, enum.Enum):
+    """Execution backend of a :class:`BatchComposer`."""
+
+    AUTO = "auto"
+    SERIAL = "serial"
+    THREAD = "thread"
+    PROCESS = "process"
+
+
+class ProblemStatus(enum.Enum):
+    """Terminal state of one problem within a batch."""
+
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Tunable parameters of a :class:`BatchComposer`.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"`` (the default),
+        which resolves to ``serial``: composition is GIL-bound pure Python, so
+        threads cannot speed it up and process pools only pay off for large
+        problems — pick ``thread`` (GIL-releasing jobs) or ``process``
+        (big CPU-bound jobs) explicitly when they fit the workload.
+    max_workers:
+        Pool size for the thread/process backends (``None`` = executor default).
+    timeout_seconds:
+        Soft per-problem wall-clock budget; a problem that runs longer is
+        reported as :attr:`ProblemStatus.TIMED_OUT` and its result discarded.
+        ``None`` disables the budget.
+    composer_config:
+        The :class:`ComposerConfig` used by ``run`` / ``run_chains``.
+    share_expression_cache:
+        Activate one :class:`ExpressionCache` across the whole batch so
+        repeated sub-expressions are simplified once (per worker process when
+        the ``process`` backend is used).
+    cache_max_entries:
+        Size bound of the shared cache.
+    fail_fast:
+        Re-raise the first problem failure instead of isolating it.
+    """
+
+    backend: str = BatchBackend.AUTO.value
+    max_workers: Optional[int] = None
+    timeout_seconds: Optional[float] = None
+    composer_config: ComposerConfig = field(default_factory=ComposerConfig)
+    share_expression_cache: bool = True
+    cache_max_entries: int = 200_000
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        try:
+            BatchBackend(self.backend)
+        except ValueError:
+            raise EngineError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{[b.value for b in BatchBackend]}"
+            ) from None
+        if self.max_workers is not None and self.max_workers < 1:
+            raise EngineError("max_workers must be positive")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise EngineError("timeout_seconds must be positive")
+
+    def resolved_backend(self) -> str:
+        """The concrete backend ``auto`` resolves to."""
+        if self.backend != BatchBackend.AUTO.value:
+            return self.backend
+        return BatchBackend.SERIAL.value
+
+
+@dataclass(frozen=True)
+class BatchItemResult:
+    """The terminal record of one problem of a batch."""
+
+    index: int
+    label: str
+    status: ProblemStatus
+    result: Optional[object] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ProblemStatus.SUCCEEDED
+
+    def __repr__(self) -> str:
+        return f"<BatchItemResult #{self.index} {self.label!r}: {self.status.value}>"
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Aggregate outcome of one batch run."""
+
+    items: Tuple[BatchItemResult, ...]
+    backend: str
+    elapsed_seconds: float
+    cache_stats: Optional[dict] = None
+
+    # -- aggregate statistics ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def succeeded(self) -> Tuple[BatchItemResult, ...]:
+        return tuple(item for item in self.items if item.status is ProblemStatus.SUCCEEDED)
+
+    @property
+    def failed(self) -> Tuple[BatchItemResult, ...]:
+        return tuple(item for item in self.items if item.status is ProblemStatus.FAILED)
+
+    @property
+    def timed_out(self) -> Tuple[BatchItemResult, ...]:
+        return tuple(item for item in self.items if item.status is ProblemStatus.TIMED_OUT)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return len(self.succeeded) == len(self.items)
+
+    def results(self) -> List[object]:
+        """Payloads of the successful items, in submission order."""
+        return [item.result for item in self.succeeded]
+
+    def throughput(self) -> float:
+        """Problems completed per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.items) / self.elapsed_seconds
+
+    def total_problem_seconds(self) -> float:
+        """Sum of per-problem execution times (>= wall time under parallelism)."""
+        return sum(item.elapsed_seconds for item in self.items)
+
+    def mean_fraction_eliminated(self) -> float:
+        """Mean ``fraction_eliminated`` over successful composition payloads."""
+        fractions = [
+            item.result.fraction_eliminated
+            for item in self.succeeded
+            if hasattr(item.result, "fraction_eliminated")
+        ]
+        return sum(fractions) / len(fractions) if fractions else 1.0
+
+    def raise_failures(self) -> None:
+        """Raise :class:`EngineError` summarizing failures, if any occurred."""
+        problems = [item for item in self.items if not item.ok]
+        if not problems:
+            return
+        first = problems[0]
+        raise EngineError(
+            f"{len(problems)}/{len(self.items)} batch problems did not succeed; "
+            f"first: #{first.index} {first.label!r} ({first.status.value})"
+            + (f"\n{first.error}" if first.error else "")
+        )
+
+    def summary(self) -> str:
+        """A short human-readable summary of the batch."""
+        lines = [
+            f"{len(self.succeeded)}/{len(self.items)} problems succeeded "
+            f"on the {self.backend} backend in {self.elapsed_seconds:.2f} s "
+            f"({self.throughput():.1f} problems/s)",
+        ]
+        if self.failed:
+            lines.append(f"failed: {', '.join(item.label for item in self.failed)}")
+        if self.timed_out:
+            lines.append(f"timed out: {', '.join(item.label for item in self.timed_out)}")
+        if self.cache_stats is not None:
+            lines.append(
+                f"expression cache: {self.cache_stats['hits']:.0f} hits / "
+                f"{self.cache_stats['misses']:.0f} misses "
+                f"({self.cache_stats['hit_rate']:.0%})"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchReport: {len(self.succeeded)}/{len(self.items)} succeeded "
+            f"via {self.backend}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker functions (module-level so the process backend can pickle them)
+# ---------------------------------------------------------------------------
+
+
+def _timed_call(
+    fn: Callable[[object], object], item: object
+) -> Tuple[object, float, bool]:
+    """Run one job, timing it and capturing (not raising) its failure.
+
+    Returns ``(payload_or_exception, elapsed_seconds, succeeded)``.  Catching
+    inside the worker keeps the measured time the job's own runtime (never the
+    collector's queue wait) and lets the process backend ship the exception
+    object back across the pickle boundary.
+    """
+    started = time.perf_counter()
+    try:
+        payload = fn(item)
+    except Exception as exc:  # noqa: BLE001 - failure isolation by design
+        return exc, time.perf_counter() - started, False
+    return payload, time.perf_counter() - started, True
+
+
+def _compose_job(args: Tuple[CompositionProblem, ComposerConfig]) -> object:
+    problem, config = args
+    return compose(problem, config)
+
+
+def _compose_chain_job(args: Tuple[Sequence[Mapping], ComposerConfig]) -> ChainResult:
+    mappings, config = args
+    return compose_chain(mappings, config)
+
+
+def _process_pool_initializer(cache_max_entries: int) -> None:
+    # Each worker process gets its own cache: memory is not shared across
+    # processes, but within one worker the batch's repetition still pays off.
+    activate_cache(ExpressionCache(max_entries=cache_max_entries))
+
+
+class BatchComposer:
+    """Runs many composition problems through one configured engine."""
+
+    def __init__(self, config: Optional[BatchConfig] = None):
+        self.config = config or BatchConfig()
+
+    # -- generic engine --------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        labels: Optional[Sequence[str]] = None,
+    ) -> BatchReport:
+        """Apply ``fn`` to every item with the configured backend.
+
+        Results are reported in submission order regardless of completion
+        order.  With the ``process`` backend, ``fn`` and the items must be
+        picklable (module-level functions; the built-in ``run`` and
+        ``run_chains`` jobs are).
+        """
+        if labels is None:
+            labels = [f"problem[{index}]" for index in range(len(items))]
+        elif len(labels) != len(items):
+            raise EngineError("labels must match items one-to-one")
+
+        backend = self.config.resolved_backend()
+        started = time.perf_counter()
+        cache_stats: Optional[dict] = None
+
+        if backend == BatchBackend.PROCESS.value:
+            results = self._map_pool(fn, items, labels, process=True)
+        elif self.config.share_expression_cache:
+            cache = ExpressionCache(max_entries=self.config.cache_max_entries)
+            with shared_expression_cache(cache):
+                if backend == BatchBackend.THREAD.value:
+                    results = self._map_pool(fn, items, labels, process=False)
+                else:
+                    results = self._map_serial(fn, items, labels)
+            cache_stats = cache.stats()
+        else:
+            if backend == BatchBackend.THREAD.value:
+                results = self._map_pool(fn, items, labels, process=False)
+            else:
+                results = self._map_serial(fn, items, labels)
+
+        return BatchReport(
+            items=tuple(results),
+            backend=backend,
+            elapsed_seconds=time.perf_counter() - started,
+            cache_stats=cache_stats,
+        )
+
+    def _classify(
+        self, index: int, label: str, payload: object, elapsed: float
+    ) -> BatchItemResult:
+        timeout = self.config.timeout_seconds
+        if timeout is not None and elapsed > timeout:
+            return BatchItemResult(
+                index=index,
+                label=label,
+                status=ProblemStatus.TIMED_OUT,
+                error=f"exceeded the per-problem budget of {timeout} s",
+                elapsed_seconds=elapsed,
+            )
+        return BatchItemResult(
+            index=index,
+            label=label,
+            status=ProblemStatus.SUCCEEDED,
+            result=payload,
+            elapsed_seconds=elapsed,
+        )
+
+    def _failure(self, index: int, label: str, exc: Exception, elapsed: float) -> BatchItemResult:
+        if self.config.fail_fast:
+            raise exc
+        detail = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ).strip()
+        return BatchItemResult(
+            index=index,
+            label=label,
+            status=ProblemStatus.FAILED,
+            error=detail,
+            elapsed_seconds=elapsed,
+        )
+
+    def _map_serial(
+        self, fn: Callable[[object], object], items: Sequence[object], labels: Sequence[str]
+    ) -> List[BatchItemResult]:
+        results = []
+        for index, (item, label) in enumerate(zip(items, labels)):
+            payload, elapsed, succeeded = _timed_call(fn, item)
+            if succeeded:
+                results.append(self._classify(index, label, payload, elapsed))
+            else:
+                results.append(self._failure(index, label, payload, elapsed))
+        return results
+
+    def _map_pool(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        labels: Sequence[str],
+        process: bool,
+    ) -> List[BatchItemResult]:
+        if process:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.config.max_workers,
+                initializer=_process_pool_initializer
+                if self.config.share_expression_cache
+                else None,
+                initargs=(self.config.cache_max_entries,)
+                if self.config.share_expression_cache
+                else (),
+            )
+        else:
+            executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.config.max_workers
+            )
+        results: List[BatchItemResult] = []
+        try:
+            futures = [executor.submit(_timed_call, fn, item) for item in items]
+            for index, (future, label) in enumerate(zip(futures, labels)):
+                try:
+                    payload, elapsed, succeeded = future.result()
+                except Exception as exc:
+                    # The pool itself failed (broken process, unpicklable
+                    # job); the job's own exceptions come back as payloads.
+                    payload, elapsed, succeeded = exc, 0.0, False
+                if succeeded:
+                    results.append(self._classify(index, label, payload, elapsed))
+                else:
+                    results.append(self._failure(index, label, payload, elapsed))
+        except BaseException:
+            # fail_fast (or a caller interrupt): drop the queued jobs so the
+            # shutdown below does not first drain the whole batch.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            executor.shutdown(wait=True)
+        return results
+
+    # -- composition-aware entry points ---------------------------------------
+
+    def run(self, problems: Sequence[CompositionProblem]) -> BatchReport:
+        """Compose every problem; payloads are :class:`CompositionResult` objects."""
+        labels = [
+            problem.name or f"problem[{index}]" for index, problem in enumerate(problems)
+        ]
+        jobs = [(problem, self.config.composer_config) for problem in problems]
+        return self.map(_compose_job, jobs, labels=labels)
+
+    def run_chains(self, chains: Sequence[Sequence[Mapping]]) -> BatchReport:
+        """Compose every chain of mappings; payloads are :class:`ChainResult` objects.
+
+        Accepts plain sequences of mappings or objects with a ``mappings``
+        attribute (e.g. the workload generator's ``ChainProblem``).
+        """
+        labels = []
+        jobs = []
+        for index, chain in enumerate(chains):
+            label = getattr(chain, "name", "") or f"chain[{index}]"
+            mappings = getattr(chain, "mappings", chain)
+            labels.append(label)
+            jobs.append((tuple(mappings), self.config.composer_config))
+        return self.map(_compose_chain_job, jobs, labels=labels)

@@ -80,6 +80,15 @@ class DeskolemizationError(CompositionError):
     """
 
 
+class EngineError(ReproError):
+    """The batch/chain composition engine was misused or a batch run failed.
+
+    Raised for invalid chains (non-adjacent mappings, empty chains), invalid
+    engine configurations, and by :meth:`BatchReport.raise_failures` when a
+    caller asks for all-or-nothing semantics on a batch that had failures.
+    """
+
+
 class SimulatorError(ReproError):
     """The schema-evolution simulator was asked to do something impossible.
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.engine.batch import BatchComposer
 from repro.evolution.event_vector import ALL_PRIMITIVES
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
@@ -72,6 +73,7 @@ def run_figure2(
     configurations: Optional[Sequence[ExperimentConfiguration]] = None,
     paper_scale: bool = False,
     study: Optional[EditingStudy] = None,
+    batch: Optional[BatchComposer] = None,
 ) -> Figure2Result:
     """Regenerate Figure 2 (optionally reusing an existing editing study)."""
     study = study or run_editing_study(
@@ -81,6 +83,7 @@ def run_figure2(
         seed=seed,
         configurations=configurations,
         paper_scale=paper_scale,
+        batch=batch,
     )
     fractions = {
         configuration: study.fraction_by_primitive(configuration)

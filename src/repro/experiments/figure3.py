@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.engine.batch import BatchComposer
 from repro.experiments.figure2 import FIGURE2_PRIMITIVES
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
@@ -63,6 +64,7 @@ def run_figure3(
     configurations: Optional[Sequence[ExperimentConfiguration]] = None,
     paper_scale: bool = False,
     study: Optional[EditingStudy] = None,
+    batch: Optional[BatchComposer] = None,
 ) -> Figure3Result:
     """Regenerate Figure 3 (optionally reusing an existing editing study)."""
     study = study or run_editing_study(
@@ -72,6 +74,7 @@ def run_figure3(
         seed=seed,
         configurations=configurations,
         paper_scale=paper_scale,
+        batch=batch,
     )
     times = {
         configuration: study.time_per_edit_by_primitive(configuration)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.engine.batch import BatchComposer
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import EditingStudy, STANDARD_CONFIGURATIONS, mean, median, run_editing_study
 
@@ -66,6 +67,7 @@ def run_figure4(
     configuration: str = "no keys",
     paper_scale: bool = False,
     study: Optional[EditingStudy] = None,
+    batch: Optional[BatchComposer] = None,
 ) -> Figure4Result:
     """Regenerate Figure 4 (optionally reusing an existing editing study)."""
     if study is None:
@@ -77,6 +79,7 @@ def run_figure4(
             seed=seed,
             configurations=selected,
             paper_scale=paper_scale,
+            batch=batch,
         )
     durations = sorted(study.run_durations(configuration))
     return Figure4Result(configuration=configuration, sorted_durations=durations)

@@ -17,10 +17,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.compose.config import ComposerConfig
+from repro.engine.batch import BatchComposer
 from repro.evolution.config import SimulatorConfig
-from repro.evolution.scenarios import run_reconciliation_scenario
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import mean
+from repro.experiments.runner import _reconciliation_job, mean
 
 __all__ = ["Figure6Result", "run_figure6", "FIGURE6_CONFIGURATIONS"]
 
@@ -65,11 +65,15 @@ def run_figure6(
     simulator_config: Optional[SimulatorConfig] = None,
     configurations: Optional[Dict[str, ComposerConfig]] = None,
     paper_scale: bool = False,
+    batch: Optional[BatchComposer] = None,
 ) -> Figure6Result:
     """Regenerate Figure 6.
 
     The paper averages 500 reconciliation tasks per data point with 100-edit
     sequences over schema sizes 10..100; the defaults here are scaled down.
+    Every (configuration, size, task) triple is an independent reconciliation
+    task with its own seed, so the whole sweep is dispatched as one batch
+    through ``batch`` (a default serial :class:`BatchComposer` when omitted).
     """
     if paper_scale:
         schema_sizes = schema_sizes or list(range(10, 101, 10))
@@ -77,24 +81,33 @@ def run_figure6(
     schema_sizes = list(schema_sizes) if schema_sizes else [10, 20, 30, 40]
     simulator_config = simulator_config or SimulatorConfig.no_keys()
     configurations = configurations or FIGURE6_CONFIGURATIONS
+    batch = batch or BatchComposer()
+
+    jobs = []
+    labels = []
+    for name, composer_config in configurations.items():
+        for size in schema_sizes:
+            for task_index in range(tasks_per_point):
+                labels.append(f"{name}/size[{size}]/task[{task_index}]")
+                jobs.append(
+                    dict(
+                        schema_size=size,
+                        num_edits=num_edits,
+                        seed=seed + task_index,
+                        simulator_config=simulator_config,
+                        composer_config=composer_config,
+                    )
+                )
+    report = batch.map(_reconciliation_job, jobs, labels=labels)
+    report.raise_failures()
 
     result = Figure6Result(schema_sizes=schema_sizes)
-    for name, composer_config in configurations.items():
+    records = iter(item.result for item in report.items)
+    for name in configurations:
         result.fractions[name] = {}
         result.durations[name] = {}
         for size in schema_sizes:
-            fractions = []
-            durations = []
-            for task_index in range(tasks_per_point):
-                record, _ = run_reconciliation_scenario(
-                    schema_size=size,
-                    num_edits=num_edits,
-                    seed=seed + task_index,
-                    simulator_config=simulator_config,
-                    composer_config=composer_config,
-                )
-                fractions.append(record.fraction_eliminated)
-                durations.append(record.duration_seconds)
-            result.fractions[name][size] = mean(fractions)
-            result.durations[name][size] = mean(durations)
+            point = [next(records) for _ in range(tasks_per_point)]
+            result.fractions[name][size] = mean([r.fraction_eliminated for r in point])
+            result.durations[name][size] = mean([r.duration_seconds for r in point])
     return result

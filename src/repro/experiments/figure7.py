@@ -14,10 +14,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.compose.config import ComposerConfig
+from repro.engine.batch import BatchComposer
 from repro.evolution.config import SimulatorConfig
-from repro.evolution.scenarios import run_reconciliation_scenario
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import mean
+from repro.experiments.runner import _reconciliation_job, mean
 
 __all__ = ["Figure7Point", "Figure7Result", "run_figure7"]
 
@@ -67,34 +67,47 @@ def run_figure7(
     simulator_config: Optional[SimulatorConfig] = None,
     composer_config: Optional[ComposerConfig] = None,
     paper_scale: bool = False,
+    batch: Optional[BatchComposer] = None,
 ) -> Figure7Result:
-    """Regenerate Figure 7 (paper: 10..210 edits in steps of 20, schema size 30)."""
+    """Regenerate Figure 7 (paper: 10..210 edits in steps of 20, schema size 30).
+
+    As with Figure 6, the (edit count, task) grid is dispatched as one batch
+    through ``batch`` (a default serial :class:`BatchComposer` when omitted).
+    """
     if paper_scale:
         edit_counts = edit_counts or list(range(10, 211, 20))
         tasks_per_point = 20
     edit_counts = list(edit_counts) if edit_counts else [10, 20, 40, 60]
     simulator_config = simulator_config or SimulatorConfig.no_keys()
     composer_config = composer_config or ComposerConfig.default()
+    batch = batch or BatchComposer()
+
+    jobs = []
+    labels = []
+    for num_edits in edit_counts:
+        for task_index in range(tasks_per_point):
+            labels.append(f"edits[{num_edits}]/task[{task_index}]")
+            jobs.append(
+                dict(
+                    schema_size=schema_size,
+                    num_edits=num_edits,
+                    seed=seed + task_index,
+                    simulator_config=simulator_config,
+                    composer_config=composer_config,
+                )
+            )
+    report = batch.map(_reconciliation_job, jobs, labels=labels)
+    report.raise_failures()
 
     result = Figure7Result(schema_size=schema_size)
+    records = iter(item.result for item in report.items)
     for num_edits in edit_counts:
-        fractions = []
-        durations = []
-        for task_index in range(tasks_per_point):
-            record, _ = run_reconciliation_scenario(
-                schema_size=schema_size,
-                num_edits=num_edits,
-                seed=seed + task_index,
-                simulator_config=simulator_config,
-                composer_config=composer_config,
-            )
-            fractions.append(record.fraction_eliminated)
-            durations.append(record.duration_seconds)
+        point = [next(records) for _ in range(tasks_per_point)]
         result.points.append(
             Figure7Point(
                 num_edits=num_edits,
-                fraction_eliminated=mean(fractions),
-                mean_seconds=mean(durations),
+                fraction_eliminated=mean([r.fraction_eliminated for r in point]),
+                mean_seconds=mean([r.duration_seconds for r in point]),
             )
         )
     return result

@@ -19,9 +19,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compose.config import ComposerConfig
+from repro.engine.batch import BatchComposer
 from repro.evolution.config import SimulatorConfig
 from repro.evolution.event_vector import EventVector
-from repro.evolution.scenarios import EditingScenarioResult, run_editing_scenario
+from repro.evolution.scenarios import (
+    EditingScenarioResult,
+    run_editing_scenario,
+    run_reconciliation_scenario,
+)
 
 __all__ = [
     "ExperimentConfiguration",
@@ -148,6 +153,17 @@ class EditingStudy:
         return mean(constraint_counts), mean(operator_counts)
 
 
+def _editing_run_job(kwargs: dict) -> EditingScenarioResult:
+    """Module-level job wrapper (picklable for the process backend)."""
+    return run_editing_scenario(**kwargs)
+
+
+def _reconciliation_job(kwargs: dict):
+    """Module-level reconciliation job (shared by the Figure 6 and 7 drivers)."""
+    record, _ = run_reconciliation_scenario(**kwargs)
+    return record
+
+
 def run_editing_study(
     schema_size: int = 30,
     num_edits: int = 30,
@@ -156,23 +172,30 @@ def run_editing_study(
     configurations: Optional[Sequence[ExperimentConfiguration]] = None,
     event_vector: Optional[EventVector] = None,
     paper_scale: bool = False,
+    batch: Optional[BatchComposer] = None,
 ) -> EditingStudy:
     """Run the schema-editing study underlying Figures 2, 3 and 4.
 
     With ``paper_scale=True`` the paper's parameters are used (schema size 30,
-    100 edits per run, 100 runs), which takes considerably longer.
+    100 edits per run, 100 runs), which takes considerably longer.  All
+    configuration × run combinations are independent (each run owns its seed),
+    so they are dispatched as one batch through ``batch`` (a
+    :class:`BatchComposer`; a default serial one when omitted) — pass a
+    thread/process-backed composer to spread paper-scale studies over cores.
     """
     if paper_scale:
         schema_size, num_edits, runs = 30, 100, 100
     configurations = tuple(configurations) if configurations else STANDARD_CONFIGURATIONS
     event_vector = event_vector or EventVector.default()
+    batch = batch or BatchComposer()
 
-    study = EditingStudy(schema_size=schema_size, num_edits=num_edits, runs=runs)
+    jobs = []
+    labels = []
     for configuration in configurations:
-        results: List[EditingScenarioResult] = []
         for run_index in range(runs):
-            results.append(
-                run_editing_scenario(
+            labels.append(f"{configuration.name}/run[{run_index}]")
+            jobs.append(
+                dict(
                     schema_size=schema_size,
                     num_edits=num_edits,
                     seed=seed + run_index,
@@ -181,5 +204,11 @@ def run_editing_study(
                     event_vector=event_vector,
                 )
             )
-        study.results[configuration.name] = results
+    report = batch.map(_editing_run_job, jobs, labels=labels)
+    report.raise_failures()
+
+    study = EditingStudy(schema_size=schema_size, num_edits=num_edits, runs=runs)
+    payloads = iter(item.result for item in report.items)
+    for configuration in configurations:
+        study.results[configuration.name] = [next(payloads) for _ in range(runs)]
     return study

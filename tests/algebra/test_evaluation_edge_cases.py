@@ -1,0 +1,140 @@
+"""Edge-case tests for the :class:`Evaluator`.
+
+Covers the corners the main evaluation suite skips: NULL padding from the
+left outerjoin interacting with selection conditions, arity-zero special
+relations, and the exact boundary behavior of the ``max_tuples`` safety limit.
+"""
+
+import pytest
+
+from repro.algebra.conditions import Comparison, Not, equals, equals_const
+from repro.algebra.evaluation import Evaluator
+from repro.algebra.expressions import (
+    CrossProduct,
+    Domain,
+    Empty,
+    LeftOuterJoin,
+    Projection,
+    Relation,
+    Selection,
+)
+from repro.algebra.terms import Attribute, Constant, NULL
+from repro.exceptions import ArityError, EvaluationError
+from repro.schema.instance import Instance
+
+
+class TestNullPaddingWithSelections:
+    """NULL-padded outerjoin rows meet selection conditions (two-valued logic)."""
+
+    @pytest.fixture
+    def instance(self):
+        return Instance(
+            {
+                "R": {(1, "a"), (2, "b")},
+                "S": {(1, "x")},  # only R's row (1, 'a') has a join partner
+            }
+        )
+
+    @pytest.fixture
+    def outerjoin(self):
+        return LeftOuterJoin(Relation("R", 2), Relation("S", 2), equals(0, 2))
+
+    def test_unmatched_rows_are_null_padded(self, instance, outerjoin):
+        rows = Evaluator(instance).evaluate(outerjoin)
+        assert (1, "a", 1, "x") in rows
+        assert (2, "b", NULL, NULL) in rows
+        assert len(rows) == 2
+
+    def test_equality_on_padded_column_drops_null_rows(self, instance, outerjoin):
+        # NULL = 'x' is False, so only the matched row survives.
+        selected = Selection(outerjoin, equals_const(3, "x"))
+        assert Evaluator(instance).evaluate(selected) == frozenset({(1, "a", 1, "x")})
+
+    def test_inequality_on_padded_column_also_drops_null_rows(self, instance, outerjoin):
+        # NULL != 'x' is also False (SQL-style: NULL compares to nothing).
+        selected = Selection(
+            outerjoin, Comparison(Attribute(3), "!=", Constant("x"))
+        )
+        assert Evaluator(instance).evaluate(selected) == frozenset()
+
+    def test_negated_equality_keeps_null_rows(self, instance, outerjoin):
+        # Two-valued collapse: not(NULL = 'x') = not(False) = True, so the
+        # padded row *passes* a negated equality — the documented difference
+        # from SQL's three-valued logic.
+        selected = Selection(outerjoin, Not(equals_const(3, "x")))
+        assert Evaluator(instance).evaluate(selected) == frozenset(
+            {(2, "b", NULL, NULL)}
+        )
+
+    def test_ordered_comparisons_never_match_null(self, instance, outerjoin):
+        for op in ("<", ">"):
+            selected = Selection(
+                outerjoin, Comparison(Attribute(2), op, Constant(0))
+            )
+            rows = Evaluator(instance).evaluate(selected)
+            assert all(row[2] is not NULL for row in rows)
+
+    def test_projection_keeps_null_markers(self, instance, outerjoin):
+        rows = Evaluator(instance).evaluate(Projection(outerjoin, (0, 2)))
+        assert (2, NULL) in rows
+
+
+class TestArityZeroRelations:
+    """``D^0`` and friends: arity-zero special relations are rejected at
+    construction time, so the evaluator never sees them."""
+
+    def test_domain_zero_rejected(self):
+        with pytest.raises(ArityError):
+            Domain(0)
+
+    def test_empty_zero_rejected(self):
+        with pytest.raises(ArityError):
+            Empty(0)
+
+    def test_relation_zero_rejected(self):
+        with pytest.raises(ArityError):
+            Relation("R", 0)
+
+
+class TestMaxTuplesBoundary:
+    def test_relation_exactly_at_limit_passes(self):
+        rows = {(i,) for i in range(10)}
+        instance = Instance({"R": rows})
+        result = Evaluator(instance, max_tuples=10).evaluate(Relation("R", 1))
+        assert len(result) == 10
+
+    def test_relation_one_past_limit_raises(self):
+        rows = {(i,) for i in range(11)}
+        instance = Instance({"R": rows})
+        with pytest.raises(EvaluationError, match="exceeding the limit"):
+            Evaluator(instance, max_tuples=10).evaluate(Relation("R", 1))
+
+    def test_domain_exactly_at_limit_passes(self):
+        instance = Instance({"R": {(0,), (1,), (2,)}})  # active domain size 3
+        result = Evaluator(instance, max_tuples=9).evaluate(Domain(2))
+        assert len(result) == 9
+
+    def test_domain_one_past_limit_raises(self):
+        instance = Instance({"R": {(0,), (1,), (2,)}})
+        with pytest.raises(EvaluationError, match="limit"):
+            Evaluator(instance, max_tuples=8).evaluate(Domain(2))
+
+    def test_cross_product_exactly_at_limit_passes(self):
+        instance = Instance({"R": {(0,), (1,)}, "S": {(0,), (1,), (2,)}})
+        product = CrossProduct(Relation("R", 1), Relation("S", 1))
+        result = Evaluator(instance, max_tuples=6).evaluate(product)
+        assert len(result) == 6
+
+    def test_cross_product_past_limit_raises(self):
+        instance = Instance({"R": {(0,), (1,)}, "S": {(0,), (1,), (2,)}})
+        product = CrossProduct(Relation("R", 1), Relation("S", 1))
+        with pytest.raises(EvaluationError, match="cross product"):
+            Evaluator(instance, max_tuples=5).evaluate(product)
+
+    def test_limit_applies_to_intermediates_not_only_result(self):
+        # The projection collapses to 2 rows, but the inner product exceeds
+        # the budget and must already have been rejected.
+        instance = Instance({"R": {(0,), (1,)}, "S": {(0,), (1,), (2,)}})
+        expression = Projection(CrossProduct(Relation("R", 1), Relation("S", 1)), (0,))
+        with pytest.raises(EvaluationError):
+            Evaluator(instance, max_tuples=5).evaluate(expression)

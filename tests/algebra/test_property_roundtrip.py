@@ -1,0 +1,191 @@
+"""Seeded randomized parser <-> printer round-trip property tests.
+
+Every expression the generator can build — all operators, nested conditions,
+Skolem applications, constants with escaping-hostile strings — must satisfy
+``parse(print(e)) == e``, and constraints likewise.  All randomness flows
+through the seed, so failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.algebra.expressions import (
+    AntiSemiJoin,
+    ConstantRelation,
+    CrossProduct,
+    Difference,
+    Domain,
+    Empty,
+    Intersection,
+    LeftOuterJoin,
+    Projection,
+    Relation,
+    Selection,
+    SemiJoin,
+    SkolemApplication,
+    SkolemFunction,
+    Union,
+)
+from repro.algebra.parser import parse_constraint, parse_expression
+from repro.algebra.printer import expression_to_text
+from repro.algebra.terms import Attribute, Constant
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+
+#: Constant values deliberately including quote/backslash escaping hazards.
+CONSTANT_POOL = (0, 1, -3, 42, 0.5, 2.25, "a", "xyz", "it's", "back\\slash", "", "c0")
+
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _random_term(rng: random.Random, arity: int):
+    if rng.random() < 0.6:
+        return Attribute(rng.randrange(arity))
+    return Constant(rng.choice(CONSTANT_POOL))
+
+
+def _random_condition(rng: random.Random, arity: int, depth: int):
+    if depth <= 0 or rng.random() < 0.5:
+        roll = rng.random()
+        if roll < 0.1:
+            return TRUE
+        if roll < 0.2:
+            return FALSE
+        return Comparison(
+            _random_term(rng, arity), rng.choice(OPERATORS), _random_term(rng, arity)
+        )
+    kind = rng.randrange(3)
+    if kind == 0:
+        return Not(_random_condition(rng, arity, depth - 1))
+    operands = [
+        _random_condition(rng, arity, depth - 1) for _ in range(rng.randint(2, 3))
+    ]
+    return And(*operands) if kind == 1 else Or(*operands)
+
+
+def _random_expression(rng: random.Random, arity: int, depth: int):
+    """A random well-formed expression of exactly ``arity`` columns."""
+    if depth <= 0 or rng.random() < 0.25:
+        roll = rng.random()
+        if roll < 0.5:
+            return Relation(f"{rng.choice('RSTU')}{arity}", arity)
+        if roll < 0.65:
+            return Domain(arity)
+        if roll < 0.8:
+            return Empty(arity)
+        rows = tuple(
+            tuple(rng.choice(CONSTANT_POOL) for _ in range(arity))
+            for _ in range(rng.randint(1, 3))
+        )
+        return ConstantRelation(tuples=rows, constant_arity=arity)
+    kind = rng.randrange(9)
+    if kind == 0:
+        return Union(
+            _random_expression(rng, arity, depth - 1),
+            _random_expression(rng, arity, depth - 1),
+        )
+    if kind == 1:
+        return Intersection(
+            _random_expression(rng, arity, depth - 1),
+            _random_expression(rng, arity, depth - 1),
+        )
+    if kind == 2:
+        return Difference(
+            _random_expression(rng, arity, depth - 1),
+            _random_expression(rng, arity, depth - 1),
+        )
+    if kind == 3 and arity >= 2:
+        split = rng.randint(1, arity - 1)
+        return CrossProduct(
+            _random_expression(rng, split, depth - 1),
+            _random_expression(rng, arity - split, depth - 1),
+        )
+    if kind == 4:
+        child = _random_expression(rng, arity, depth - 1)
+        return Selection(child, _random_condition(rng, arity, depth - 1))
+    if kind == 5:
+        child_arity = rng.randint(1, 4)
+        child = _random_expression(rng, child_arity, depth - 1)
+        indices = tuple(rng.randrange(child_arity) for _ in range(arity))
+        return Projection(child, indices)
+    if kind == 6 and arity >= 2:
+        child = _random_expression(rng, arity - 1, depth - 1)
+        depends_on = tuple(
+            sorted(rng.sample(range(arity - 1), rng.randint(0, arity - 1)))
+        )
+        return SkolemApplication(child, SkolemFunction(f"f{rng.randrange(5)}", depends_on))
+    if kind == 7:
+        right_arity = rng.randint(1, 3)
+        right = _random_expression(rng, right_arity, depth - 1)
+        left = _random_expression(rng, arity, depth - 1)
+        condition = _random_condition(rng, arity + right_arity, depth - 1)
+        join = rng.choice((SemiJoin, AntiSemiJoin))
+        return join(left, right, condition)
+    if kind == 8 and arity >= 2:
+        split = rng.randint(1, arity - 1)
+        left = _random_expression(rng, split, depth - 1)
+        right = _random_expression(rng, arity - split, depth - 1)
+        condition = _random_condition(rng, arity, depth - 1)
+        return LeftOuterJoin(left, right, condition)
+    return Selection(
+        _random_expression(rng, arity, depth - 1), _random_condition(rng, arity, 1)
+    )
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_expression_roundtrip_property(seed):
+    rng = random.Random(seed)
+    expression = _random_expression(rng, rng.randint(1, 4), depth=rng.randint(1, 4))
+    text = expression_to_text(expression)
+    assert parse_expression(text) == expression, text
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_constraint_roundtrip_property(seed):
+    rng = random.Random(1000 + seed)
+    arity = rng.randint(1, 3)
+    left = _random_expression(rng, arity, depth=2)
+    right = _random_expression(rng, arity, depth=2)
+    constraint_type = rng.choice((ContainmentConstraint, EqualityConstraint))
+    constraint = constraint_type(left, right)
+    assert parse_constraint(str(constraint)) == constraint, str(constraint)
+
+
+def test_generator_covers_every_operator():
+    """The property tests are only as good as the generator's coverage."""
+    seen = set()
+    for seed in range(300):
+        rng = random.Random(seed)
+        expression = _random_expression(rng, rng.randint(1, 4), depth=rng.randint(1, 4))
+        stack = [expression]
+        while stack:
+            node = stack.pop()
+            seen.add(type(node).__name__)
+            stack.extend(node.children)
+    expected = {
+        "Relation",
+        "Domain",
+        "Empty",
+        "ConstantRelation",
+        "Union",
+        "Intersection",
+        "Difference",
+        "CrossProduct",
+        "Selection",
+        "Projection",
+        "SkolemApplication",
+        "SemiJoin",
+        "AntiSemiJoin",
+        "LeftOuterJoin",
+    }
+    assert expected <= seen

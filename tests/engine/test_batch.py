@@ -1,0 +1,172 @@
+"""Tests for the batch composition engine (:mod:`repro.engine.batch`)."""
+
+import time
+
+import pytest
+
+from repro.engine.batch import (
+    BatchComposer,
+    BatchConfig,
+    ProblemStatus,
+)
+from repro.engine.workloads import WorkloadConfig, generate_workload, pairwise_problems
+from repro.exceptions import EngineError
+
+
+class TestBatchConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EngineError, match="backend"):
+            BatchConfig(backend="gpu")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(EngineError):
+            BatchConfig(max_workers=0)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(EngineError):
+            BatchConfig(timeout_seconds=0)
+
+    def test_auto_backend_resolves_to_serial(self):
+        # Composition is GIL-bound pure Python: auto must not pick a pool.
+        assert BatchConfig(backend="auto").resolved_backend() == "serial"
+        assert BatchConfig(backend="process").resolved_backend() == "process"
+
+    def test_fail_fast_on_pool_backend_preserves_exception_type(self):
+        def bad(x):
+            if x == 0:
+                raise KeyError("original type survives")
+            return x
+
+        composer = BatchComposer(
+            BatchConfig(backend="thread", max_workers=2, fail_fast=True)
+        )
+        with pytest.raises(KeyError):
+            composer.map(bad, list(range(20)))
+
+    def test_failure_error_includes_traceback(self):
+        def bad(_):
+            raise ValueError("with traceback")
+
+        report = BatchComposer(BatchConfig(backend="serial")).map(bad, [1])
+        assert "Traceback" in report.failed[0].error
+        assert "with traceback" in report.failed[0].error
+
+
+class TestMap:
+    def test_results_in_submission_order(self):
+        composer = BatchComposer(BatchConfig(backend="thread", max_workers=4))
+        report = composer.map(lambda x: x * 10, list(range(8)))
+        assert [item.result for item in report.items] == [x * 10 for x in range(8)]
+        assert report.all_succeeded
+
+    def test_failure_isolation(self):
+        def flaky(x):
+            if x == 2:
+                raise ValueError("boom on 2")
+            return x
+
+        composer = BatchComposer(BatchConfig(backend="serial"))
+        report = composer.map(flaky, [0, 1, 2, 3])
+        assert len(report.succeeded) == 3
+        assert len(report.failed) == 1
+        failed = report.failed[0]
+        assert failed.index == 2
+        assert failed.status is ProblemStatus.FAILED
+        assert "boom on 2" in failed.error
+        with pytest.raises(EngineError, match="1/4"):
+            report.raise_failures()
+
+    def test_fail_fast_reraises(self):
+        def bad(_):
+            raise RuntimeError("stop everything")
+
+        composer = BatchComposer(BatchConfig(backend="serial", fail_fast=True))
+        with pytest.raises(RuntimeError, match="stop everything"):
+            composer.map(bad, [1])
+
+    def test_soft_timeout_classification(self):
+        def slow(x):
+            if x == 1:
+                time.sleep(0.05)
+            return x
+
+        composer = BatchComposer(
+            BatchConfig(backend="thread", max_workers=2, timeout_seconds=0.02)
+        )
+        report = composer.map(slow, [0, 1, 2])
+        assert len(report.timed_out) == 1
+        assert report.timed_out[0].index == 1
+        assert report.timed_out[0].result is None
+        assert {item.index for item in report.succeeded} == {0, 2}
+
+    def test_label_mismatch_rejected(self):
+        composer = BatchComposer()
+        with pytest.raises(EngineError, match="labels"):
+            composer.map(lambda x: x, [1, 2], labels=["only-one"])
+
+
+class TestRunChains:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_workload(
+            WorkloadConfig(num_problems=8, min_chain_length=4, max_chain_length=5, seed=5)
+        )
+
+    def test_payloads_are_chain_results(self, workload):
+        report = BatchComposer(BatchConfig(backend="serial")).run_chains(workload)
+        assert report.all_succeeded
+        assert report.items[0].label == workload[0].name
+        for item, problem in zip(report.items, workload):
+            assert item.result.chain_length == problem.chain_length
+
+    def test_backends_agree(self, workload):
+        serial = BatchComposer(BatchConfig(backend="serial")).run_chains(workload)
+        threaded = BatchComposer(
+            BatchConfig(backend="thread", max_workers=4)
+        ).run_chains(workload)
+        for a, b in zip(serial.items, threaded.items):
+            assert a.result.constraints == b.result.constraints
+            assert a.result.residual_symbols == b.result.residual_symbols
+
+    def test_cache_stats_reported_when_sharing(self, workload):
+        report = BatchComposer(BatchConfig(backend="serial")).run_chains(workload)
+        assert report.cache_stats is not None
+        assert report.cache_stats["hits"] > 0
+        off = BatchComposer(
+            BatchConfig(backend="serial", share_expression_cache=False)
+        ).run_chains(workload)
+        assert off.cache_stats is None
+        for a, b in zip(report.items, off.items):
+            assert a.result.constraints == b.result.constraints
+
+    def test_report_statistics(self, workload):
+        report = BatchComposer(BatchConfig(backend="serial")).run_chains(workload)
+        assert len(report) == len(workload)
+        assert report.throughput() > 0
+        assert report.total_problem_seconds() > 0
+        assert 0.0 <= report.mean_fraction_eliminated() <= 1.0
+        assert f"{len(workload)}/{len(workload)} problems succeeded" in report.summary()
+
+
+class TestRun:
+    def test_pairwise_problems_compose(self):
+        workload = generate_workload(
+            WorkloadConfig(num_problems=3, min_chain_length=4, max_chain_length=4, seed=9)
+        )
+        problems = [p for chain in workload for p in pairwise_problems(chain)]
+        report = BatchComposer(BatchConfig(backend="serial")).run(problems)
+        assert report.all_succeeded
+        assert report.items[0].label == problems[0].name
+
+
+def test_acceptance_workload_fifty_problems_zero_crashes():
+    """The ISSUE acceptance criterion: >= 50 seeded problems, chain length >= 4,
+    through the BatchComposer with zero crashes."""
+    workload = generate_workload(
+        WorkloadConfig(num_problems=50, min_chain_length=4, max_chain_length=6, seed=2006)
+    )
+    assert len(workload) >= 50
+    assert all(problem.chain_length >= 4 for problem in workload)
+    report = BatchComposer().run_chains(workload)
+    assert len(report) == 50
+    assert report.all_succeeded, report.summary()

@@ -1,0 +1,125 @@
+"""Tests for n-ary chained composition (:mod:`repro.engine.chain`)."""
+
+import pytest
+
+from repro.constraints.constraint_set import ConstraintSet
+from repro.engine.chain import ChainResult, compose_chain, validate_chain
+from repro.exceptions import EngineError
+from repro.mapping.mapping import Mapping, identity_mapping
+from repro.schema.signature import RelationSchema, Signature
+
+
+def _identity_chain(length=3, arity=2):
+    """A chain of identity (rename) mappings R -> R_v2 -> R_v3 -> ..."""
+    signature = Signature([RelationSchema("R", arity), RelationSchema("S", arity)])
+    mappings = []
+    current = signature
+    for hop in range(length):
+        mapping = identity_mapping(current, suffix=f"_v{hop + 2}")
+        mappings.append(mapping)
+        current = mapping.output_signature
+    return mappings
+
+
+class TestValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(EngineError):
+            compose_chain([])
+
+    def test_non_adjacent_signatures_rejected(self):
+        first = identity_mapping(Signature([RelationSchema("R", 2)]))
+        other = identity_mapping(Signature([RelationSchema("X", 2)]), suffix="_y")
+        with pytest.raises(EngineError, match="chain breaks"):
+            validate_chain([first, other])
+
+    def test_recurring_relation_name_rejected(self):
+        a = Signature([RelationSchema("R", 2)])
+        b = Signature([RelationSchema("S", 2)])
+        c = Signature([RelationSchema("R", 2)])  # reuses "R" non-adjacently
+        m1 = identity_mapping(a, renamed=b)
+        m2 = identity_mapping(b, renamed=c)
+        with pytest.raises(EngineError, match="non-adjacent"):
+            validate_chain([m1, m2])
+
+
+class TestComposeChain:
+    def test_single_mapping_is_trivial(self):
+        mapping = identity_mapping(Signature([RelationSchema("R", 2)]))
+        result = compose_chain([mapping])
+        assert isinstance(result, ChainResult)
+        assert result.hops == ()
+        assert result.chain_length == 1
+        assert result.is_complete
+        assert result.to_mapping().constraints == mapping.constraints
+
+    def test_identity_chain_composes_completely(self):
+        mappings = _identity_chain(length=4)
+        result = compose_chain(mappings)
+        assert result.is_complete
+        assert result.fraction_eliminated == 1.0
+        assert result.chain_length == 4
+        assert len(result.hops) == 3
+        # The composed mapping goes straight from the first to the last version.
+        mapping = result.to_mapping()
+        assert mapping.input_signature == mappings[0].input_signature
+        assert mapping.output_signature == mappings[-1].output_signature
+        # Every output constraint links an original symbol to a final one.
+        for constraint in result.constraints:
+            names = constraint.relation_names()
+            assert names <= set(mapping.input_signature.names()) | set(
+                mapping.output_signature.names()
+            )
+
+    def test_hops_record_eliminations_and_timing(self):
+        result = compose_chain(_identity_chain(length=3))
+        for index, hop in enumerate(result.hops):
+            assert hop.index == index
+            assert hop.is_complete
+            assert hop.eliminated_symbols == hop.attempted_symbols
+            assert hop.elapsed_seconds > 0
+        assert result.elapsed_seconds >= sum(h.elapsed_seconds for h in result.hops)
+
+    def test_partial_chain_keeps_residuals(self):
+        # Z appears on both sides of a symmetry constraint, which defeats view
+        # unfolding, left compose and right compose alike (paper step 0).
+        from repro.algebra.expressions import Projection
+        from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+
+        sigma1 = Signature([RelationSchema("R", 2)])
+        sigma2 = Signature([RelationSchema("R_v2", 2), RelationSchema("Z", 2)])
+        sigma3 = Signature([RelationSchema("R_v3", 2)])
+        m12 = Mapping.from_constraints(
+            sigma1,
+            sigma2,
+            identity_mapping(sigma1, renamed=Signature([RelationSchema("R_v2", 2)])).constraints,
+        )
+        z = sigma2.relation("Z")
+        m23 = Mapping(
+            sigma2,
+            sigma3,
+            ConstraintSet(
+                [
+                    EqualityConstraint(z, Projection(z, (1, 0))),
+                    ContainmentConstraint(z, sigma3.relation("R_v3")),
+                ]
+            ),
+        )
+        result = compose_chain([m12, m23])
+        assert "Z" in result.residual_symbols
+        assert not result.is_complete
+        with pytest.raises(EngineError):
+            result.to_mapping()
+        residue_mapping = result.to_mapping_with_residue()
+        assert "Z" in residue_mapping.input_signature
+
+    def test_retry_residuals_false_freezes_residuals(self):
+        mappings = _identity_chain(length=4)
+        retried = compose_chain(mappings, retry_residuals=True)
+        frozen = compose_chain(mappings, retry_residuals=False)
+        # On an easy chain both strategies are complete and agree.
+        assert retried.is_complete and frozen.is_complete
+        assert retried.constraints == frozen.constraints
+
+    def test_summary_mentions_chain_length(self):
+        result = compose_chain(_identity_chain(length=3))
+        assert "chain of 3 mappings" in result.summary()

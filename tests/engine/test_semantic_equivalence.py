@@ -1,0 +1,122 @@
+"""Randomized semantic-equivalence tests for chained composition.
+
+For seeded random chain workloads (restricted to the forward-propagatable
+primitives so satisfying instances can be *constructed*), the chained
+composition of the engine and a manual hop-by-hop fold over ``compose``
+must agree on every generated instance: an instance satisfying all of the
+chain's original constraints must satisfy both outputs, evaluated with the
+:class:`Evaluator` (a default :class:`SkolemInterpretation` is supplied in
+case any Skolem function survives deskolemization).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluation import Evaluator, SkolemInterpretation
+from repro.compose.composer import compose_mappings
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.engine.chain import compose_chain
+from repro.engine.workloads import (
+    WorkloadConfig,
+    forward_event_vector,
+    forward_instance,
+    generate_workload,
+)
+
+#: Interpretation used if an output constraint still mentions a Skolem term.
+DEFAULT_SKOLEMS = SkolemInterpretation(
+    default=lambda name, arguments: (name,) + tuple(arguments)
+)
+
+
+def _workload(seed, num_problems=6):
+    return generate_workload(
+        WorkloadConfig(
+            num_problems=num_problems,
+            min_chain_length=4,
+            max_chain_length=5,
+            schema_size=3,
+            max_arity=4,
+            keys_fraction=0.0,
+            event_vector=forward_event_vector(),
+            seed=seed,
+        )
+    )
+
+
+def _hop_by_hop(mappings, config=None):
+    """Fold the chain manually through pair-wise ``compose`` calls.
+
+    Residual symbols are frozen into the input signature at every hop (the
+    ``to_mapping_with_residue`` strategy), which is a *different* threading
+    policy than the engine's retrying fold — semantically both must remain
+    sound rewritings of the same original constraints.
+    """
+    current = mappings[0]
+    for next_mapping in mappings[1:]:
+        result = compose_mappings(current, next_mapping, config)
+        current = result.to_mapping_with_residue()
+    return current
+
+
+def _holds(constraints, instance) -> bool:
+    """Evaluate every constraint with the Evaluator, Skolem-ready."""
+    evaluator = Evaluator(instance, skolems=DEFAULT_SKOLEMS)
+    for constraint in constraints:
+        left = evaluator.evaluate(constraint.left)
+        right = evaluator.evaluate(constraint.right)
+        if isinstance(constraint, ContainmentConstraint):
+            if not left <= right:
+                return False
+        elif isinstance(constraint, EqualityConstraint):
+            if left != right:
+                return False
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown constraint {constraint!r}")
+    return True
+
+
+@pytest.mark.parametrize("master_seed", [2006, 41, 97])
+def test_chained_agrees_with_hop_by_hop_on_satisfying_instances(master_seed):
+    checked = 0
+    for problem in _workload(master_seed):
+        original = [c for m in problem.mappings for c in m.constraints]
+        chained = compose_chain(problem.mappings)
+        hopwise = _hop_by_hop(problem.mappings)
+        for instance_seed in range(3):
+            instance = forward_instance(problem, seed=problem.seed + instance_seed)
+            # The construction must actually satisfy the original chain.
+            assert _holds(original, instance), f"{problem.name}: bad construction"
+            chained_ok = _holds(chained.constraints, instance)
+            hopwise_ok = _holds(hopwise.constraints, instance)
+            # Soundness: a satisfying instance may not violate either output.
+            assert chained_ok, f"{problem.name}: chained output violated"
+            assert hopwise_ok, f"{problem.name}: hop-by-hop output violated"
+            assert chained_ok == hopwise_ok
+            checked += 1
+    assert checked >= 18
+
+
+def test_residual_threading_policies_agree_semantically():
+    """Retrying residuals vs. freezing them must both stay sound."""
+    for problem in _workload(7, num_problems=4):
+        original = [c for m in problem.mappings for c in m.constraints]
+        retried = compose_chain(problem.mappings, retry_residuals=True)
+        frozen = compose_chain(problem.mappings, retry_residuals=False)
+        for instance_seed in range(2):
+            instance = forward_instance(problem, seed=instance_seed)
+            assert _holds(original, instance)
+            assert _holds(retried.constraints, instance)
+            assert _holds(frozen.constraints, instance)
+
+
+def test_chained_output_mentions_only_surviving_symbols():
+    for problem in _workload(13, num_problems=4):
+        chained = compose_chain(problem.mappings)
+        surviving = (
+            set(chained.sigma_first.names())
+            | set(chained.sigma_last.names())
+            | set(chained.residual_symbols)
+        )
+        assert chained.constraints.relation_names() <= surviving

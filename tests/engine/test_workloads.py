@@ -1,0 +1,121 @@
+"""Tests for the randomized workload generator (:mod:`repro.engine.workloads`)."""
+
+import pytest
+
+from repro.engine.chain import validate_chain
+from repro.engine.workloads import (
+    WorkloadConfig,
+    forward_event_vector,
+    forward_instance,
+    generate_chain_problem,
+    generate_workload,
+    pairwise_problems,
+)
+from repro.evolution.event_vector import EventVector
+from repro.exceptions import EngineError
+
+
+class TestWorkloadConfig:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(EngineError):
+            WorkloadConfig(num_problems=0)
+
+    def test_rejects_bad_chain_range(self):
+        with pytest.raises(EngineError):
+            WorkloadConfig(min_chain_length=1)
+        with pytest.raises(EngineError):
+            WorkloadConfig(min_chain_length=5, max_chain_length=4)
+
+    def test_rejects_bad_arity_range(self):
+        with pytest.raises(EngineError):
+            WorkloadConfig(min_arity=3, max_arity=2)
+
+    def test_rejects_bad_keys_fraction(self):
+        with pytest.raises(EngineError):
+            WorkloadConfig(keys_fraction=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        config = WorkloadConfig(num_problems=6, seed=77)
+        first = generate_workload(config)
+        second = generate_workload(config)
+        assert [p.name for p in first] == [p.name for p in second]
+        assert [p.primitives for p in first] == [p.primitives for p in second]
+        for a, b in zip(first, second):
+            for ma, mb in zip(a.mappings, b.mappings):
+                assert ma.constraints == mb.constraints
+                assert ma.input_signature == mb.input_signature
+                assert ma.output_signature == mb.output_signature
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadConfig(num_problems=6, seed=1))
+        b = generate_workload(WorkloadConfig(num_problems=6, seed=2))
+        assert [p.primitives for p in a] != [p.primitives for p in b]
+
+
+class TestStructure:
+    def test_chains_are_valid_and_in_range(self):
+        config = WorkloadConfig(num_problems=10, min_chain_length=4, max_chain_length=7, seed=3)
+        for problem in generate_workload(config):
+            assert 4 <= problem.chain_length <= 7
+            validate_chain(problem.mappings)  # raises on any structural defect
+            for first, second in zip(problem.mappings, problem.mappings[1:]):
+                assert first.output_signature == second.input_signature
+
+    def test_every_hop_consumes_its_whole_input(self):
+        problem = generate_chain_problem(seed=4, chain_length=3, schema_size=3)
+        for mapping in problem.mappings:
+            assert mapping.input_signature.is_disjoint_from(mapping.output_signature)
+
+    def test_chain_problem_metadata(self):
+        problem = generate_chain_problem(seed=4, chain_length=3, schema_size=3)
+        assert problem.chain_length == 3
+        assert len(problem.primitives) == 3
+        assert problem.constraint_count() > 0
+        assert "chain(seed=4" in problem.name
+
+    def test_short_chain_rejected(self):
+        with pytest.raises(EngineError):
+            generate_chain_problem(seed=0, chain_length=1)
+
+    def test_pairwise_problems_are_well_formed(self):
+        problem = generate_chain_problem(seed=8, chain_length=4, schema_size=3)
+        pairs = pairwise_problems(problem)
+        assert len(pairs) == 3
+        for index, pair in enumerate(pairs):
+            assert pair.sigma1 == problem.mappings[index].input_signature
+            assert pair.sigma3 == problem.mappings[index + 1].output_signature
+
+
+class TestForwardInstances:
+    def test_forward_instance_covers_all_signatures(self):
+        config = WorkloadConfig(
+            num_problems=1,
+            schema_size=3,
+            keys_fraction=0.0,
+            event_vector=forward_event_vector(),
+            seed=21,
+        )
+        problem = generate_workload(config)[0]
+        instance = forward_instance(problem, seed=1)
+        names = set(instance.relation_names())
+        for mapping in problem.mappings:
+            assert set(mapping.input_signature.names()) <= names
+            assert set(mapping.output_signature.names()) <= names
+
+    def test_forward_instance_is_deterministic(self):
+        problem = generate_chain_problem(
+            seed=5, chain_length=3, schema_size=3, event_vector=forward_event_vector()
+        )
+        assert forward_instance(problem, seed=2) == forward_instance(problem, seed=2)
+
+    def test_backward_chain_raises(self):
+        problem = generate_chain_problem(
+            seed=5,
+            chain_length=2,
+            schema_size=3,
+            event_vector=EventVector.uniform(("Db",)),
+        )
+        with pytest.raises(EngineError, match="forward-propagatable"):
+            forward_instance(problem)
