@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_compose.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json [BASELINE.json]
+
+CI runners differ wildly in absolute speed, so raw wall-clock seconds are
+reported but not gated.  What is gated:
+
+* **structural metrics must match exactly** — operator counts and eliminated
+  fractions are deterministic, so any drift means the algorithm's outputs
+  changed;
+* **scale-free ratios must not regress by more than 25%** — the batch-
+  vs-serial speedup and the cache hit rate compare two measurements taken on
+  the same machine in the same process, so they are stable across hosts.
+
+Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Metrics compared exactly (deterministic outputs of the algorithm).
+EXACT_METRICS = {
+    "figure6": (
+        "fractions_complete",
+        "fractions_no_view_unfolding",
+        "fractions_no_right_compose",
+    ),
+    "figure7": ("fractions",),
+    "engine_chain_batch": ("output_operator_count", "problems"),
+}
+
+#: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
+RATIO_METRICS = {
+    "engine_chain_batch": ("batch_speedup_vs_serial", "cache_hit_rate"),
+}
+
+TOLERANCE = 0.25
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    current_path = Path(argv[1])
+    baseline_path = (
+        Path(argv[2]) if len(argv) > 2 else Path(__file__).parent / "BENCH_compose.json"
+    )
+    current_payload = json.loads(current_path.read_text())
+    baseline_payload = json.loads(baseline_path.read_text())
+    current = current_payload["workloads"]
+    baseline = baseline_payload["workloads"]
+
+    failures = []
+    if current_payload.get("params") != baseline_payload.get("params"):
+        failures.append(
+            "workload params differ: current "
+            f"{current_payload.get('params')} vs baseline {baseline_payload.get('params')} "
+            "(set REPRO_BENCH_* to the baseline's values)"
+        )
+    for workload, metrics in EXACT_METRICS.items():
+        if workload not in current or workload not in baseline:
+            failures.append(f"{workload}: missing from current or baseline results")
+            continue
+        for metric in metrics:
+            got = current[workload].get(metric)
+            want = baseline[workload].get(metric)
+            if got != want:
+                failures.append(f"{workload}.{metric}: expected {want!r}, got {got!r}")
+
+    for workload, metrics in RATIO_METRICS.items():
+        for metric in metrics:
+            got = current.get(workload, {}).get(metric)
+            want = baseline.get(workload, {}).get(metric)
+            if got is None or want is None:
+                failures.append(f"{workload}.{metric}: missing measurement")
+                continue
+            floor = want * (1.0 - TOLERANCE)
+            if got < floor:
+                failures.append(
+                    f"{workload}.{metric}: {got:.4f} regressed more than "
+                    f"{TOLERANCE:.0%} below the baseline {want:.4f} (floor {floor:.4f})"
+                )
+
+    for workload in sorted(set(current) | set(baseline)):
+        cur_s = current.get(workload, {}).get("wall_seconds") or current.get(
+            workload, {}
+        ).get("batch_seconds")
+        base_s = baseline.get(workload, {}).get("wall_seconds") or baseline.get(
+            workload, {}
+        ).get("batch_seconds")
+        print(f"{workload:24s} baseline {base_s!s:>10}s  current {cur_s!s:>10}s")
+
+    if failures:
+        print("\nREGRESSIONS DETECTED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno regressions against the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

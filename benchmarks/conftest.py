@@ -6,18 +6,34 @@ laptop) and checks the *shape* of the result — who wins, what gets harder —
 rather than absolute numbers.  The workload sizes can be raised to the paper's
 scale through the environment variables below.
 
+The harness also emits machine-readable results: benchmarks opt in through
+the ``bench_record`` fixture, and at session end the collected measurements
+are written as BENCH_compose JSON so the performance trajectory is tracked
+across PRs.  Local runs write the gitignored ``BENCH_compose.local.json``;
+refreshing the committed ``BENCH_compose.json`` baseline requires pointing
+``REPRO_BENCH_JSON`` at it explicitly.  ``benchmarks/check_regression.py``
+compares two such files.
+
 Environment variables
 ---------------------
 REPRO_BENCH_RUNS        number of editing runs per configuration (default 2)
 REPRO_BENCH_EDITS       number of edits per run (default 20)
 REPRO_BENCH_SCHEMA_SIZE size of the initial schema (default 15)
+REPRO_BENCH_JSON        output path of the machine-readable results
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
+
+#: Collected measurements of this session: name -> {metric: value}.
+_RECORDS: dict = {}
 
 
 def _int_env(name: str, default: int) -> int:
@@ -36,3 +52,43 @@ def bench_params() -> dict:
         "schema_size": _int_env("REPRO_BENCH_SCHEMA_SIZE", 15),
         "seed": 2006,
     }
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Callable recording one workload's measurements for BENCH_compose.json.
+
+    Usage: ``bench_record("figure6", wall_seconds=1.23, operator_count=456)``.
+    Metrics must be JSON-serializable numbers/strings; recording the same
+    workload twice merges the metric dictionaries.
+    """
+
+    def record(workload: str, **metrics) -> None:
+        _RECORDS.setdefault(workload, {}).update(metrics)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS or exitstatus != 0:
+        return
+    baseline = Path(__file__).parent / "BENCH_compose.json"
+    path = Path(os.environ.get("REPRO_BENCH_JSON", baseline))
+    payload = {
+        "schema_version": 1,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "params": {
+            "runs": _int_env("REPRO_BENCH_RUNS", 2),
+            "num_edits": _int_env("REPRO_BENCH_EDITS", 20),
+            "schema_size": _int_env("REPRO_BENCH_SCHEMA_SIZE", 15),
+        },
+        "workloads": _RECORDS,
+    }
+    if path == baseline and baseline.exists() and "REPRO_BENCH_JSON" not in os.environ:
+        # Never clobber the committed trajectory point implicitly: local runs
+        # land in a gitignored sibling file.  Refreshing the baseline is an
+        # explicit act — point REPRO_BENCH_JSON at it.
+        path = baseline.with_suffix(".local.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

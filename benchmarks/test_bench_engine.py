@@ -50,7 +50,7 @@ def _acceptance_workload(seed):
     return workload
 
 
-def test_bench_engine_batch_beats_serial(benchmark, bench_params):
+def test_bench_engine_batch_beats_serial(benchmark, bench_params, bench_record):
     workload = _acceptance_workload(bench_params["seed"])
     composer = BatchComposer(BatchConfig(backend="serial"))
 
@@ -81,6 +81,18 @@ def test_bench_engine_batch_beats_serial(benchmark, bench_params):
     for serial_result, item in zip(serial_results, report.items):
         assert serial_result.constraints == item.result.constraints
         assert serial_result.residual_symbols == item.result.residual_symbols
+
+    bench_record(
+        "engine_chain_batch",
+        serial_seconds=round(serial_seconds, 4),
+        batch_seconds=round(batch_seconds, 4),
+        batch_speedup_vs_serial=round(serial_seconds / batch_seconds, 4),
+        cache_hit_rate=round(report.cache_stats["hit_rate"], 4),
+        output_operator_count=sum(
+            item.result.constraints.operator_count() for item in report.items
+        ),
+        problems=len(report),
+    )
 
 
 def test_bench_engine_pairwise_problems(benchmark, bench_params):

@@ -5,10 +5,12 @@ The paper's claims: a larger intermediate schema makes the composition easier
 compose eliminates fewer symbols.
 """
 
+import time
+
 from repro.experiments.figure6 import run_figure6
 
 
-def test_bench_figure6(benchmark, bench_params):
+def test_bench_figure6(benchmark, bench_params, bench_record):
     sizes = [6, 12, 24]
 
     def workload():
@@ -19,7 +21,9 @@ def test_bench_figure6(benchmark, bench_params):
             seed=bench_params["seed"],
         )
 
+    started = time.perf_counter()
     figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+    wall_seconds = time.perf_counter() - started
 
     complete = figure.series("complete")
     # Larger intermediate schemas are easier (paper's main observation for Fig. 6);
@@ -29,3 +33,15 @@ def test_bench_figure6(benchmark, bench_params):
     mean = lambda xs: sum(xs) / len(xs)  # noqa: E731 - tiny local helper
     assert mean(figure.series("no view unfolding")) <= mean(complete) + 1e-9
     assert mean(figure.series("no right compose")) <= mean(complete) + 1e-9
+
+    bench_record(
+        "figure6",
+        wall_seconds=round(wall_seconds, 4),
+        fractions_complete=[round(f, 4) for f in complete],
+        fractions_no_view_unfolding=[
+            round(f, 4) for f in figure.series("no view unfolding")
+        ],
+        fractions_no_right_compose=[
+            round(f, 4) for f in figure.series("no right compose")
+        ],
+    )

@@ -4,10 +4,12 @@ The paper's claim: longer edit sequences make composition harder — the
 fraction of eliminated symbols drops while the running time grows.
 """
 
+import time
+
 from repro.experiments.figure7 import run_figure7
 
 
-def test_bench_figure7(benchmark, bench_params):
+def test_bench_figure7(benchmark, bench_params, bench_record):
     edit_counts = [5, 15, 30]
 
     def workload():
@@ -18,7 +20,9 @@ def test_bench_figure7(benchmark, bench_params):
             seed=bench_params["seed"],
         )
 
+    started = time.perf_counter()
     figure = benchmark.pedantic(workload, rounds=1, iterations=1)
+    wall_seconds = time.perf_counter() - started
 
     fractions = figure.fraction_series()
     times = figure.time_series()
@@ -27,3 +31,9 @@ def test_bench_figure7(benchmark, bench_params):
     assert fractions[-1] <= fractions[0] + 0.1
     assert times[-1] >= times[0] * 0.5
     assert all(0.0 <= value <= 1.0 for value in fractions)
+
+    bench_record(
+        "figure7",
+        wall_seconds=round(wall_seconds, 4),
+        fractions=[round(f, 4) for f in fractions],
+    )

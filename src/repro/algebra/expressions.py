@@ -88,10 +88,14 @@ class Expression:
         return f"<{type(self).__name__}: {self}>"
 
     def __getstate__(self):
-        # Drop the lazily cached structural hash: string hashing is salted
-        # per process, so a pickled hash would be wrong in another process.
+        # Drop the lazily cached structural hash (string hashing is salted
+        # per process, so a pickled hash would be wrong in another process)
+        # and the "already simplified" marker (it references a live memo
+        # table whose identity does not survive pickling).  The structural
+        # summaries and cached arity survive — they are process-independent.
         state = dict(self.__dict__)
         state.pop("_hash_value", None)
+        state.pop("_simplified_for", None)
         return state
 
 
@@ -559,17 +563,140 @@ def _install_cached_hash(cls) -> None:
 
     def __hash__(self, _generated=generated):
         try:
-            return object.__getattribute__(self, "_hash_value")
+            return self._hash_value
         except AttributeError:
-            value = _generated(self)
-            object.__setattr__(self, "_hash_value", value)
-            return value
+            pass
+        try:
+            children = self.children
+        except AttributeError:
+            # Constraints share this wrapper; their "children" are the sides.
+            children = None
+        for child in children if children is not None else (self.left, self.right):
+            if not hasattr(child, "_hash_value"):
+                # A fresh deep tree: the generated hash would recurse through
+                # every unhashed level and can blow the recursion limit on
+                # the operator chains normalization builds.  The summary pass
+                # warms the subtree's hashes iteratively, bottom-up.
+                from repro.algebra.summary import node_summary
+
+                if children is not None:
+                    node_summary(self)
+                else:
+                    node_summary(self.left)
+                    node_summary(self.right)
+                break
+        value = _generated(self)
+        object.__setattr__(self, "_hash_value", value)
+        return value
 
     cls.__hash__ = __hash__
+
+
+#: Per-class extractor of the non-child payload compared by structural equality.
+_PAYLOAD_GETTERS = {}
+
+#: Sentinel distinguishing "class not registered" from "no payload" (None).
+_NO_GETTER = object()
+
+
+def _install_structural_eq(cls, payload: Tuple[str, ...]) -> None:
+    """Replace the generated (recursive) ``__eq__`` with an iterative one.
+
+    The dataclass-generated equality recurses through the operand fields and
+    hits Python's recursion limit on the deep Union/Intersection chains that
+    normalization produces; the replacement walks an explicit stack, keeps
+    the identity and cached-hash fast paths, and compares each node's
+    non-child payload through a per-class getter.
+    """
+    if payload:
+        import operator
+
+        getter = operator.attrgetter(*payload)
+    else:
+        getter = None
+    _PAYLOAD_GETTERS[cls] = getter
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        getters = _PAYLOAD_GETTERS
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a is b:
+                continue
+            if b.__class__ is not a.__class__:
+                return False
+            try:
+                if a._hash_value != b._hash_value:
+                    return False
+            except AttributeError:
+                pass
+            payload_of = getters.get(a.__class__, _NO_GETTER)
+            if payload_of is _NO_GETTER:
+                # A user-defined operator type (registered through the
+                # extensibility machinery): defer to its own __eq__.
+                if a != b:
+                    return False
+                continue
+            if payload_of is not None and payload_of(a) != payload_of(b):
+                return False
+            a_children = a.children
+            b_children = b.children
+            if len(a_children) != len(b_children):
+                return False
+            stack.extend(zip(a_children, b_children))
+        return True
+
+    cls.__eq__ = __eq__
+
+
+def _install_cached_arity(cls) -> None:
+    """Cache a composite node's ``arity`` on first access.
+
+    ``arity`` recurses through the children (``CrossProduct`` sums both
+    sides), and every node construction re-derives its operands' arities for
+    validation — on the deep operator chains normalization builds, that turns
+    arity into an O(depth) query asked O(n) times.  Trees are built bottom-up,
+    so caching makes each node's arity an O(1) attribute read by the time its
+    parent asks.  Leaves keep their plain field read.
+    """
+    getter = cls.arity.fget
+
+    def arity(self, _getter=getter):
+        try:
+            return self._arity
+        except AttributeError:
+            value = _getter(self)
+            object.__setattr__(self, "_arity", value)
+            return value
+
+    cls.arity = property(arity)
 
 
 for _node_type in LEAF_TYPES + BASIC_OPERATOR_TYPES + EXTENDED_OPERATOR_TYPES + (
     SkolemApplication,
 ):
     _install_cached_hash(_node_type)
-del _node_type
+for _node_type in BASIC_OPERATOR_TYPES + EXTENDED_OPERATOR_TYPES + (SkolemApplication,):
+    _install_cached_arity(_node_type)
+for _node_type, _payload in (
+    (Relation, ("name", "relation_arity")),
+    (Domain, ("domain_arity",)),
+    (Empty, ("empty_arity",)),
+    (ConstantRelation, ("tuples", "constant_arity")),
+    (Union, ()),
+    (Intersection, ()),
+    (Difference, ()),
+    (CrossProduct, ()),
+    (Selection, ("condition",)),
+    (Projection, ("indices",)),
+    (SkolemApplication, ("function",)),
+    (SemiJoin, ("condition",)),
+    (AntiSemiJoin, ("condition",)),
+    (LeftOuterJoin, ("condition",)),
+):
+    _install_structural_eq(_node_type, _payload)
+del _node_type, _payload

@@ -1,16 +1,22 @@
-"""Hash-consing and memoized simplification for expressions.
+"""Hash-consing and memoized rewriting for expressions.
 
-Composition workloads are highly repetitive: the same sub-expressions appear
-in many constraints, survive many elimination rounds, and recur across the
-problems of a batch.  An :class:`ExpressionCache` exploits that repetition in
-two ways:
+Composition workloads are highly repetitive: the same (immutable) expression
+and constraint objects are threaded through every elimination round, every
+chain hop, and — via the batch engine — many problems.  An
+:class:`ExpressionCache` exploits that repetition in three ways:
 
-* **interning** (hash-consing): structurally equal expressions are collapsed
-  onto one canonical object, so later dictionary lookups short-circuit on
-  identity instead of walking the whole tree; and
-* **simplification memoization**: the fixpoint rewriting of
-  :func:`repro.algebra.simplify.simplify_expression` is computed once per
-  (expression, registry) pair and replayed from the memo afterwards.
+* **fixpoint tokens**: the DAG rewriter of :mod:`repro.algebra.simplify`
+  stamps every output with a per-registry sentinel, so "this object is
+  already simplified" is a single attribute read.  Tokens are the memo: the
+  objects themselves carry the result, there is no growing table to probe,
+  insert into, or garbage-collect, and a shared subtree is simplified exactly
+  once per process instead of once per occurrence per fixpoint pass;
+* **interning** (hash-consing): structurally equal expressions can be
+  collapsed onto one canonical, pre-summarized object — used to pre-seed
+  process-pool workers with the batch's recurring structure; and
+* **substitution memoization**: substituting the same bound for the same
+  symbol across many large constraints (what basic left/right compose and
+  view unfolding do) replays per-subtree results instead of re-walking.
 
 The cache is *opt-in*: nothing changes unless a cache is activated, either
 explicitly or through the batch engine (:mod:`repro.engine.batch`), which
@@ -18,18 +24,19 @@ shares one cache across a whole batch of composition problems so repeated
 sub-expressions are simplified once.
 
 Caches are safe to share between threads — CPython dictionary operations are
-atomic and both interning and memoization are idempotent, so a lost race
-merely repeats work.  Activation is process-global (not thread-local) because
-sharing across worker threads is exactly the point.
+atomic and tokens, interning and substitution memoization are all idempotent,
+so a lost race merely repeats work.  Activation is process-global (not
+thread-local) because sharing across worker threads is exactly the point.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Dict, FrozenSet, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
-from repro.algebra.expressions import Expression, Relation
+from repro.algebra.expressions import Expression
+from repro.algebra.summary import node_summary
 
 __all__ = [
     "ExpressionCache",
@@ -44,7 +51,7 @@ DEFAULT_MAX_ENTRIES = 200_000
 
 
 class ExpressionCache:
-    """A structural-sharing (hash-consing) cache with a simplification memo.
+    """A structural-sharing (hash-consing) cache with rewrite memo tables.
 
     Parameters
     ----------
@@ -59,7 +66,16 @@ class ExpressionCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._interned: Dict[Expression, Expression] = {}
-        self._simplify_memo: Dict[Tuple[int, Expression], Expression] = {}
+        #: (registry id, rule version) -> token stamped on simplified expressions
+        self._simplify_tokens: Dict[Tuple[int, int], object] = {}
+        #: (registry id, rule version) -> token stamped on simplified constraints
+        self._constraint_tokens: Dict[Tuple[int, int], object] = {}
+        #: (kind, registry key, registry version) -> {(constraint, symbol)}
+        self._failure_memos: Dict[Tuple, set] = {}
+        #: (symbol, replacement) -> {subtree -> substituted subtree}
+        self._substitution_memos: Dict[
+            Tuple[str, Expression], Dict[Expression, Expression]
+        ] = {}
         # Strong references keep registry ids stable for the memo keys.
         self._registries: Dict[int, object] = {}
         self._lock = threading.Lock()
@@ -72,85 +88,138 @@ class ExpressionCache:
     def intern(self, expression: Expression) -> Expression:
         """Return the canonical instance structurally equal to ``expression``.
 
-        Children are interned recursively, so equal subtrees of different
-        expressions end up sharing one object.
+        Children are interned iteratively (deep chains are safe), so equal
+        subtrees of different expressions end up sharing one object.  Summaries
+        and structural hashes are warmed as a side effect, keeping every later
+        dictionary probe shallow.
         """
-        children = expression.children
-        if children:
-            new_children = tuple(self.intern(child) for child in children)
-            if any(new is not old for new, old in zip(new_children, children)):
-                expression = expression.with_children(new_children)
-        canonical = self._interned.get(expression)
+        table = self._interned
+        canonical = table.get(expression, None) if _has_hash(expression) else None
         if canonical is not None:
             return canonical
-        if len(self._interned) >= self.max_entries:
-            self._evict(self._interned)
-        return self._interned.setdefault(expression, expression)
+        node_summary(expression)  # warm hashes bottom-up without recursion
+        stack = [(expression, False)]
+        memo: Dict[int, Expression] = {}
+        while stack:
+            node, ready = stack.pop()
+            key = id(node)
+            if key in memo:
+                continue
+            children = node.children
+            if not ready and children:
+                canonical = table.get(node)
+                if canonical is not None:
+                    memo[key] = canonical
+                    continue
+                stack.append((node, True))
+                for child in children:
+                    if id(child) not in memo:
+                        stack.append((child, False))
+                continue
+            if children:
+                new_children = tuple(memo[id(child)] for child in children)
+                if any(new is not old for new, old in zip(new_children, children)):
+                    node = node.with_children(new_children)
+                    node_summary(node)
+            if len(table) >= self.max_entries:
+                self._evict(table)
+            memo[key] = table.setdefault(node, node)
+        return memo[id(expression)]
 
-    # -- simplification memo ---------------------------------------------------
+    # -- rewrite memo tables ---------------------------------------------------
 
-    def simplify(
-        self,
-        expression: Expression,
-        registry: Optional[object],
-        compute: Callable[[Expression, Optional[object]], Expression],
-    ) -> Expression:
-        """Return ``compute(expression, registry)``, memoized per registry.
+    def _token(self, table: Dict, registry: Optional[object]) -> object:
+        """The per-(registry, rule-version) marker token from ``table``.
 
-        ``compute`` must be a pure function of its arguments (the fixpoint
-        simplifier is); its result is interned before being stored so repeated
-        simplifications converge on shared structure.
+        The registry's ``version`` is part of the key, so registering or
+        removing a rule mid-run retires every token stamped under the old
+        rule set — stale "already simplified" marks then simply stop
+        matching.
         """
-        key = (self._registry_key(registry), expression)
-        cached = self._simplify_memo.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        result = self.intern(compute(expression, registry))
-        if len(self._simplify_memo) >= self.max_entries:
-            self._evict(self._simplify_memo)
-        self._simplify_memo[key] = result
-        # A simplified expression is a fixpoint: record that too, so feeding
-        # the output back in (as the per-hop re-simplifications of a chained
-        # composition do) is a hit instead of a full recomputation.
-        self._simplify_memo.setdefault((key[0], result), result)
-        return result
+        if registry is None:
+            key = (0, 0)
+        else:
+            key = (id(registry), getattr(registry, "version", 0))
+        token = table.get(key)
+        if token is None:
+            self._registry_key(registry)  # pin the registry's id
+            token = table.setdefault(key, object())
+        return token
+
+    def simplify_token(self, registry: Optional[object]) -> object:
+        """The "already simplified" marker token for ``registry``.
+
+        The token is a tiny sentinel the rewriter stamps onto its outputs
+        (``_simplified_for``), so "this object is already a fixpoint for this
+        registry" is one attribute read.  COMPOSE threads the same immutable
+        objects through every elimination round and chain hop, which makes
+        the token the memo: per-object, allocation-free, and cycle-free (the
+        token holds no references).  Keying is per registry (and rule
+        version) because user-supplied rules change the normal forms.
+        """
+        return self._token(self._simplify_tokens, registry)
+
+    def constraint_token(self, registry: Optional[object]) -> object:
+        """The "already simplified" marker token for whole constraints.
+
+        Whole constraints recur verbatim across elimination rounds and chain
+        hops (COMPOSE re-simplifies the surviving set after every hop); the
+        token turns each repeat into one attribute read.
+        """
+        return self._token(self._constraint_tokens, registry)
+
+    def failure_memo(self, kind: str, registry: Optional[object]) -> set:
+        """The set of ``(constraint, symbol)`` pairs known to fail ``kind``.
+
+        Whether a single constraint can be left-/right-normalized for a
+        symbol — or passes the per-constraint monotonicity gates — is a pure
+        function of that constraint, the symbol and the registry's rules.
+        The best-effort algorithm retries failed symbols after every chain
+        hop and schema edit, re-deriving the same dead ends; recording them
+        here turns each retry into one set probe per affected constraint.
+        The registry's ``version`` is part of the key, so registering new
+        rules invalidates recorded failures.
+        """
+        key = (
+            kind,
+            self._registry_key(registry),
+            getattr(registry, "version", 0),
+        )
+        memo = self._failure_memos.get(key)
+        if memo is None:
+            memo = self._failure_memos.setdefault(key, set())
+        if len(memo) >= self.max_entries:
+            self._evict(memo)
+        return memo
+
+    def substitution_memo(
+        self, name: str, replacement: Expression
+    ) -> Dict[Expression, Expression]:
+        """The per-subtree memo for substituting ``replacement`` for ``name``."""
+        key = (name, replacement)
+        memo = self._substitution_memos.get(key)
+        if memo is None:
+            if len(self._substitution_memos) >= self.max_entries:
+                self._evict(self._substitution_memos)
+            memo = self._substitution_memos.setdefault(key, {})
+        elif len(memo) >= self.max_entries:
+            # The inner per-subtree table is bounded too, not just the
+            # (symbol, replacement) index above it.
+            self._evict(memo)
+        return memo
 
     # -- relation-name memo ----------------------------------------------------
 
     def relation_names(self, expression: Expression) -> FrozenSet[str]:
-        """The base relation symbols of ``expression``, memoized per sub-tree.
+        """The base relation symbols of ``expression`` (from the cached summary)."""
+        return node_summary(expression).relation_names
 
-        The elimination loop probes "does this constraint mention symbol S?"
-        for every σ2 symbol against every constraint, and substitution rebuilds
-        trees that frequently do not contain the target symbol at all.  The
-        name set is stored directly on the (immutable) node, so a hit costs an
-        attribute read — no hashing — and prunes its entire sub-tree.
-        """
-        try:
-            return object.__getattribute__(expression, "_relation_names")
-        except AttributeError:
-            pass
-        if isinstance(expression, Relation):
-            names = frozenset((expression.name,))
-        else:
-            children = expression.children
-            if not children:
-                names = frozenset()
-            elif len(children) == 1:
-                names = self.relation_names(children[0])
-            else:
-                names = frozenset().union(
-                    *(self.relation_names(child) for child in children)
-                )
-        object.__setattr__(expression, "_relation_names", names)
-        return names
-
-    #: Distinct registries a cache will pin before resetting the memo.  The
-    #: memo keys registries by id(), so dropping a registry reference without
-    #: dropping its memo entries could alias a recycled id onto stale results;
-    #: clearing both together keeps the bound safe.
+    #: Distinct registries a cache will pin before resetting its token
+    #: tables.  Tokens key registries by id(), so dropping a registry
+    #: reference without dropping its tokens could alias a recycled id onto a
+    #: stale token; clearing both together keeps the bound safe.  (Stale
+    #: tokens on expressions are harmless: a fresh token never compares
+    #: identical to an old one.)
     MAX_REGISTRIES = 64
 
     def _registry_key(self, registry: Optional[object]) -> int:
@@ -161,7 +230,9 @@ class ExpressionCache:
             if len(self._registries) >= self.MAX_REGISTRIES:
                 with self._lock:
                     self._registries.clear()
-                    self._simplify_memo.clear()
+                    self._simplify_tokens.clear()
+                    self._constraint_tokens.clear()
+                    self._failure_memos.clear()
                     self.evictions += 1
             self._registries[key] = registry
         return key
@@ -178,7 +249,10 @@ class ExpressionCache:
         """Drop all cached entries and reset the statistics."""
         with self._lock:
             self._interned.clear()
-            self._simplify_memo.clear()
+            self._simplify_tokens.clear()
+            self._constraint_tokens.clear()
+            self._failure_memos.clear()
+            self._substitution_memos.clear()
             self._registries.clear()
             self.hits = self.misses = self.evictions = 0
 
@@ -196,14 +270,19 @@ class ExpressionCache:
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
             "interned": len(self._interned),
-            "memoized": len(self._simplify_memo),
+            "memoized": sum(len(memo) for memo in self._substitution_memos.values()),
         }
 
     def __repr__(self) -> str:
-        return (
-            f"<ExpressionCache: {len(self._simplify_memo)} memoized, "
-            f"{self.hits} hits / {self.misses} misses>"
-        )
+        return f"<ExpressionCache: {self.hits} hits / {self.misses} misses>"
+
+
+def _has_hash(expression: Expression) -> bool:
+    try:
+        object.__getattribute__(expression, "_hash_value")
+        return True
+    except AttributeError:
+        return False
 
 
 # ---------------------------------------------------------------------------

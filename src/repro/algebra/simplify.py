@@ -38,7 +38,7 @@ from repro.algebra.expressions import (
     Selection,
     Union,
 )
-from repro.algebra.traversal import transform_bottom_up
+from repro.algebra.summary import node_summary
 from repro.constraints.constraint import (
     Constraint,
     ContainmentConstraint,
@@ -128,29 +128,105 @@ def _simplify_node(node: Expression, registry=None) -> Expression:
     return node
 
 
-def _simplify_fixpoint(expression: Expression, registry=None) -> Expression:
-    previous = None
-    current = expression
-    # Each pass strictly shrinks or preserves the tree; iterate to a fixpoint
-    # (bounded, since the rules never grow the expression).
-    while current != previous:
-        previous = current
-        current = transform_bottom_up(current, lambda node: _simplify_node(node, registry))
-    return current
+#: Work-stack frame kinds of the iterative DAG rewriter.
+_VISIT, _COMBINE, _ALIAS = 0, 1, 2
+
+
+def _simplify_dag(root: Expression, registry, memo) -> Expression:
+    """Simplify ``root`` in one bottom-up pass over the shared expression DAG.
+
+    ``memo`` maps every unique subtree already processed to its fully
+    simplified form, so a shared subtree is simplified exactly once per pass —
+    not once per occurrence per fixpoint pass (the caller decides whether the
+    table is per-call or persistent).  The traversal is iterative (explicit
+    stack), so arbitrarily deep Union/Intersection chains are safe.
+
+    At each node the children are simplified first, then the local rules are
+    applied; when a rule fires, its (possibly brand-new) result is routed back
+    through the same pipeline until it is stable, which reproduces the old
+    whole-tree fixpoint exactly — the built-in rules only ever shrink the tree,
+    so the loop terminates.  Change detection is ``is``-identity: interning
+    collapses structurally equal subtrees onto one object, so "nothing
+    changed" never requires a deep comparison.
+    """
+    node_summary(root)  # warm summaries + hashes so memo probes stay shallow
+    stack = [(_VISIT, root, None)]
+    while stack:
+        kind, node, payload = stack.pop()
+        if kind == _ALIAS:
+            # ``node`` (a rewritten form) is simplified by now; alias its
+            # sources onto the final result.
+            result = memo[node]
+            for source in payload:
+                memo[source] = result
+            continue
+        if node in memo:
+            continue
+        children = node.children
+        if kind == _VISIT and children:
+            stack.append((_COMBINE, node, None))
+            for child in children:
+                if child not in memo:
+                    stack.append((_VISIT, child, None))
+            continue
+        # Combine: children (if any) are simplified; rebuild and rewrite.
+        candidate = node
+        if children:
+            new_children = tuple(memo[child] for child in children)
+            if any(new is not old for new, old in zip(new_children, children)):
+                candidate = node.with_children(new_children)
+        if candidate is not node:
+            node_summary(candidate)
+            done = memo.get(candidate)
+            if done is not None:
+                memo[node] = done
+                continue
+        rewritten = _simplify_node(candidate, registry)
+        if rewritten is candidate or rewritten == candidate:
+            memo[node] = candidate
+            memo[candidate] = candidate
+            continue
+        node_summary(rewritten)
+        done = memo.get(rewritten)
+        if done is not None:
+            memo[node] = done
+            if candidate is not node:
+                memo[candidate] = done
+            continue
+        sources = (node, candidate) if candidate is not node else (node,)
+        stack.append((_ALIAS, rewritten, sources))
+        stack.append((_VISIT, rewritten, None))
+    return memo[root]
 
 
 def simplify_expression(expression: Expression, registry=None) -> Expression:
-    """Simplify an expression by repeatedly applying the local rewrite rules.
+    """Simplify an expression by applying the local rewrite rules to a fixpoint.
 
-    When an expression cache is active (:mod:`repro.algebra.interning`), the
-    fixpoint computation is memoized per (expression, registry) pair, so
-    repeated sub-expressions — across the constraints of one composition or
-    across a whole batch of problems — are simplified once.
+    The rewriter is a single bottom-up pass over the expression DAG with
+    per-subtree memoization.  When an expression cache is active
+    (:mod:`repro.algebra.interning`), every output is stamped with an
+    "already a fixpoint for this registry" token, so re-simplifying an
+    expression that has been through the rewriter — which COMPOSE does after
+    every elimination round, chain hop, and batch problem — costs one
+    attribute read.
     """
     cache = interning.active_cache()
     if cache is not None:
-        return cache.simplify(expression, registry, _simplify_fixpoint)
-    return _simplify_fixpoint(expression, registry)
+        token = cache.simplify_token(registry)
+        # One attribute read proves "this object already came out of this
+        # rewriter for this registry".  COMPOSE threads the same immutable
+        # expression objects through hop after hop, so the token answers the
+        # overwhelming majority of re-simplifications; a persistent
+        # structural table was measured to cost more in insert and memory
+        # traffic than its extra equal-but-distinct hits saved.
+        if getattr(expression, "_simplified_for", None) is token:
+            cache.hits += 1
+            return expression
+        cache.misses += 1
+        result = _simplify_dag(expression, registry, {})
+        object.__setattr__(result, "_simplified_for", token)
+        return result
+    return _simplify_dag(expression, registry, {})
 
 
 def is_trivially_satisfied(constraint: Constraint) -> bool:
@@ -171,7 +247,22 @@ def is_trivially_satisfied(constraint: Constraint) -> bool:
 
 
 def simplify_constraint(constraint: Constraint, registry=None) -> Constraint:
-    """Simplify both sides of a constraint."""
+    """Simplify both sides of a constraint (token-memoized when a cache is
+    active — whole constraints recur verbatim across elimination rounds and
+    chain hops, and the token turns each repeat into one attribute read)."""
+    cache = interning.active_cache()
+    if cache is not None:
+        token = cache.constraint_token(registry)
+        # One attribute read answers "already a fixpoint for this registry".
+        if getattr(constraint, "_simplified_for", None) is token:
+            return constraint
+    result = _simplify_constraint(constraint, registry)
+    if cache is not None:
+        object.__setattr__(result, "_simplified_for", token)
+    return result
+
+
+def _simplify_constraint(constraint: Constraint, registry=None) -> Constraint:
     left = simplify_expression(constraint.left, registry)
     right = simplify_expression(constraint.right, registry)
     if left is constraint.left and right is constraint.right:
@@ -184,8 +275,20 @@ def simplify_constraint(constraint: Constraint, registry=None) -> Constraint:
 def simplify_constraint_set(
     constraints: ConstraintSet, registry=None, drop_trivial: bool = True
 ) -> ConstraintSet:
-    """Simplify every constraint and optionally drop the trivially-satisfied ones."""
+    """Simplify every constraint and optionally drop the trivially-satisfied ones.
+
+    Constraint sets are immutable, so a set that has already been through this
+    function for the same registry (and the same ``drop_trivial`` policy) is
+    returned as-is — COMPOSE's final pass then skips the re-walk whenever the
+    last elimination step already simplified its output.
+    """
+    # The marker includes the registry's rule version, so registering a new
+    # simplification rule mid-run invalidates the "already simplified" skip.
+    marker = (registry, getattr(registry, "version", 0), drop_trivial)
+    if getattr(constraints, "_simplified_marker", None) == marker:
+        return constraints
     simplified = constraints.map(lambda c: simplify_constraint(c, registry))
     if drop_trivial:
         simplified = simplified.filter(lambda c: not is_trivially_satisfied(c))
+    simplified._simplified_marker = marker
     return simplified

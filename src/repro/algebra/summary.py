@@ -1,0 +1,116 @@
+"""One-pass cached structural summaries of expression nodes.
+
+The composition algorithm keeps asking the same questions about the same
+(immutable) subtrees: how many operators does this expression contain (the
+blow-up guard), which relation symbols does it mention (substitution pruning
+and the "find a constraint mentioning S" scans), does it contain a Skolem
+application (the deskolemization gate)?  Answering each question with its own
+tree walk made the guards themselves a hot path.
+
+:func:`node_summary` computes every one of those facts in a single iterative
+bottom-up pass and stores the result directly on the node, so every later
+query — on the node or on any of its subtrees — is an attribute read.  The
+pass also warms the node's cached structural hash while the children's hashes
+are known, which keeps hashing shallow (no recursion) even for the very deep
+Union/Intersection chains that left- and right-normalization produce.
+
+Summaries are structural (no per-process salting), so they survive pickling
+and ship for free to process-pool workers.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, NamedTuple
+
+from repro.algebra.expressions import (
+    Domain,
+    Empty,
+    Expression,
+    Relation,
+    SkolemApplication,
+)
+
+__all__ = ["NodeSummary", "node_summary"]
+
+_EMPTY_NAMES: FrozenSet[str] = frozenset()
+
+
+class NodeSummary(NamedTuple):
+    """Everything the rewrite engine wants to know about a subtree, at once."""
+
+    operator_count: int
+    node_count: int
+    depth: int
+    relation_names: FrozenSet[str]
+    contains_skolem: bool
+    contains_domain: bool
+    contains_empty: bool
+
+
+def _leaf_summary(node: Expression) -> NodeSummary:
+    if isinstance(node, Relation):
+        names = frozenset((node.name,))
+    else:
+        names = _EMPTY_NAMES
+    return NodeSummary(
+        operator_count=0,
+        node_count=1,
+        depth=1,
+        relation_names=names,
+        contains_skolem=False,
+        contains_domain=isinstance(node, Domain),
+        contains_empty=isinstance(node, Empty),
+    )
+
+
+def _combine(node: Expression, children: tuple) -> NodeSummary:
+    summaries = [child._summary for child in children]
+    if len(summaries) == 1:
+        names = summaries[0].relation_names
+    else:
+        names = frozenset().union(*(s.relation_names for s in summaries))
+    return NodeSummary(
+        operator_count=1 + sum(s.operator_count for s in summaries),
+        node_count=1 + sum(s.node_count for s in summaries),
+        depth=1 + max(s.depth for s in summaries),
+        relation_names=names,
+        contains_skolem=isinstance(node, SkolemApplication)
+        or any(s.contains_skolem for s in summaries),
+        contains_domain=any(s.contains_domain for s in summaries),
+        contains_empty=any(s.contains_empty for s in summaries),
+    )
+
+
+def node_summary(expression: Expression) -> NodeSummary:
+    """Return the cached :class:`NodeSummary` of ``expression``, computing it once.
+
+    The computation is iterative (explicit stack), shares work across DAG-shaped
+    trees (a subtree reached twice is summarized once), and warms the cached
+    structural hash of every node it visits so later dictionary operations never
+    recurse through the tree.
+    """
+    try:
+        return expression._summary
+    except AttributeError:
+        pass
+
+    setattr_ = object.__setattr__
+    stack = [(expression, False)]
+    while stack:
+        node, ready = stack.pop()
+        if hasattr(node, "_summary"):
+            continue
+        if not ready:
+            children = node.children
+            if not children:
+                setattr_(node, "_summary", _leaf_summary(node))
+                hash(node)
+                continue
+            stack.append((node, True))
+            for child in children:
+                stack.append((child, False))
+        else:
+            setattr_(node, "_summary", _combine(node, node.children))
+            # Children hashes are cached by now, so this stays shallow.
+            hash(node)
+    return expression._summary

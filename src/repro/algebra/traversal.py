@@ -4,6 +4,13 @@ These helpers are the only way the rest of the library walks or rewrites
 expression trees, so new operators added through the registry automatically
 work with substitution, symbol collection and size metrics — the key to the
 paper's extensibility story.
+
+All helpers are iterative (explicit stacks, no Python recursion), so they are
+safe on the very deep Union/Intersection chains that left- and
+right-normalization produce.  The size and symbol queries are answered from
+the one-pass cached summary of :mod:`repro.algebra.summary`, so repeated
+probes — the blow-up guard, the "does this constraint mention S?" scans — cost
+an attribute read instead of a tree walk.
 """
 
 from __future__ import annotations
@@ -12,13 +19,12 @@ from typing import Callable, Dict, FrozenSet, Iterator, Set
 
 from repro.algebra import interning
 from repro.algebra.expressions import (
-    Domain,
-    Empty,
     Expression,
     Relation,
     SkolemApplication,
     SkolemFunction,
 )
+from repro.algebra.summary import node_summary
 from repro.exceptions import ArityError
 
 __all__ = [
@@ -54,14 +60,103 @@ def transform_bottom_up(
     """Rebuild the tree bottom-up, applying ``fn`` to every (rebuilt) node.
 
     ``fn`` receives a node whose children have already been transformed and
-    returns its replacement (possibly the same node).
+    returns its replacement (possibly the same node).  ``fn`` must be a pure
+    function of its argument: the rewrite is DAG-aware, so a subtree that is
+    shared (the same object reached through several parents) is transformed
+    once and the result reused.  Change detection uses object identity — when
+    ``fn`` and the children rebuilds return the very same objects, the original
+    node is kept, which makes no-op rewrites allocation-free.
     """
-    children = expression.children
-    if children:
-        new_children = tuple(transform_bottom_up(child, fn) for child in children)
-        if new_children != children:
-            expression = expression.with_children(new_children)
-    return fn(expression)
+    # Keyed by id(): valid while the input tree is alive (it is, for the whole
+    # call), and avoids hashing nodes — important both for speed and because a
+    # fresh deep tree has no cached hash to lean on.
+    memo: Dict[int, Expression] = {}
+    stack = [(expression, False)]
+    while stack:
+        node, ready = stack.pop()
+        key = id(node)
+        if key in memo:
+            continue
+        children = node.children
+        if not ready and children:
+            stack.append((node, True))
+            for child in children:
+                if id(child) not in memo:
+                    stack.append((child, False))
+            continue
+        if children:
+            new_children = tuple(memo[id(child)] for child in children)
+            if any(new is not old for new, old in zip(new_children, children)):
+                node = node.with_children(new_children)
+        memo[key] = fn(node)
+    return memo[id(expression)]
+
+
+def _substitute(
+    expression: Expression,
+    matches: Callable[[Relation], "Expression | None"],
+    targets: FrozenSet[str],
+    memo: Dict[Expression, Expression],
+) -> Expression:
+    """Shared iterative engine of the relation-substitution helpers.
+
+    ``matches`` maps a Relation leaf to its replacement (or ``None``);
+    ``targets`` is the set of symbol names being replaced.  The walk descends
+    *only* into children whose cached summary mentions a target symbol, so the
+    cost is proportional to the paths leading to actual occurrences, not to
+    the whole tree.  ``memo`` maps rewritten subtrees to their results;
+    summaries (and therefore node hashes) are warmed on entry and maintained
+    for rebuilt nodes, so the structural keying never deep-recurses and the
+    substituted tree comes out pre-summarized.
+
+    Precondition: ``expression``'s (and the replacements') summaries are warm
+    and ``expression`` mentions at least one target.
+    """
+    target = next(iter(targets)) if len(targets) == 1 else None
+    stack = [(expression, False)]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        node, ready = pop()
+        if ready:
+            # At least one child mentioned a target, so the rebuild always
+            # changes the node; pruned children fall back to themselves.
+            rebuilt = node.with_children(
+                tuple(memo.get(child, child) for child in node.children)
+            )
+            node_summary(rebuilt)
+            memo[node] = rebuilt
+            continue
+        if node in memo:
+            continue
+        if isinstance(node, Relation):
+            replacement = matches(node)
+            if replacement is None:
+                memo[node] = node
+            else:
+                if replacement.arity != node.arity:
+                    raise ArityError(
+                        f"cannot substitute relation {node.name!r} of arity {node.arity} "
+                        f"with an expression of arity {replacement.arity}"
+                    )
+                memo[node] = replacement
+            continue
+        push((node, True))
+        if target is not None:
+            for child in node.children:
+                if target in child._summary.relation_names and child not in memo:
+                    push((child, False))
+        else:
+            for child in node.children:
+                if targets & child._summary.relation_names and child not in memo:
+                    push((child, False))
+    return memo[expression]
+
+
+#: Trees below this node count are substituted with a throwaway memo — for
+#: them, probing the cache's persistent per-(symbol, replacement) table costs
+#: more than the walk itself.
+_SUBSTITUTION_MEMO_THRESHOLD = 32
 
 
 def substitute_relation(
@@ -73,66 +168,62 @@ def substitute_relation(
     otherwise the resulting expression would be ill-formed and an
     :class:`ArityError` is raised.
     """
-
-    cache = interning.active_cache()
-    if cache is not None and name not in cache.relation_names(expression):
+    if isinstance(expression, Relation):
+        # The dominant case on rename-heavy workloads: a bare-symbol side.
+        if expression.name != name:
+            return expression
+        if replacement.arity != expression.arity:
+            raise ArityError(
+                f"cannot substitute relation {name!r} of arity {expression.arity} "
+                f"with an expression of arity {replacement.arity}"
+            )
+        return replacement
+    summary = node_summary(expression)
+    if name not in summary.relation_names:
         return expression
-
-    def rewrite(node: Expression) -> Expression:
-        if isinstance(node, Relation) and node.name == name:
-            if replacement.arity != node.arity:
-                raise ArityError(
-                    f"cannot substitute relation {name!r} of arity {node.arity} "
-                    f"with an expression of arity {replacement.arity}"
-                )
-            return replacement
-        return node
-
-    return transform_bottom_up(expression, rewrite)
+    node_summary(replacement)  # rebuilt nodes combine child summaries shallowly
+    shared = None
+    if summary.node_count >= _SUBSTITUTION_MEMO_THRESHOLD:
+        cache = interning.active_cache()
+        if cache is not None:
+            shared = cache.substitution_memo(name, replacement)
+            cached = shared.get(expression)
+            if cached is not None:
+                return cached
+    # The walk always runs on a private memo — the shared table may be
+    # evicted (cleared) by another thread at any time, so it is only probed
+    # and published at whole-expression granularity.
+    result = _substitute(
+        expression,
+        lambda node: replacement if node.name == name else None,
+        frozenset((name,)),
+        {},
+    )
+    if shared is not None:
+        shared[expression] = result
+    return result
 
 
 def substitute_relations(
     expression: Expression, replacements: Dict[str, Expression]
 ) -> Expression:
     """Replace several relation symbols at once (non-recursively)."""
-    cache = interning.active_cache()
-    if cache is not None and not (
-        cache.relation_names(expression) & replacements.keys()
-    ):
+    targets = frozenset(replacements)
+    if not targets & node_summary(expression).relation_names:
         return expression
-
-    def rewrite(node: Expression) -> Expression:
-        if isinstance(node, Relation) and node.name in replacements:
-            replacement = replacements[node.name]
-            if replacement.arity != node.arity:
-                raise ArityError(
-                    f"cannot substitute relation {node.name!r} of arity {node.arity} "
-                    f"with an expression of arity {replacement.arity}"
-                )
-            return replacement
-        return node
-
-    return transform_bottom_up(expression, rewrite)
+    for replacement in replacements.values():
+        node_summary(replacement)
+    return _substitute(expression, lambda node: replacements.get(node.name), targets, {})
 
 
 def contains_relation(expression: Expression, name: str) -> bool:
     """Return ``True`` iff the expression references the relation symbol ``name``."""
-    cache = interning.active_cache()
-    if cache is not None:
-        return name in cache.relation_names(expression)
-    return any(isinstance(node, Relation) and node.name == name for node in walk(expression))
+    return name in node_summary(expression).relation_names
 
 
 def relation_names(expression: Expression) -> FrozenSet[str]:
     """Return the set of base relation symbols referenced by the expression."""
-    cache = interning.active_cache()
-    if cache is not None:
-        return cache.relation_names(expression)
-    names: Set[str] = set()
-    for node in walk(expression):
-        if isinstance(node, Relation):
-            names.add(node.name)
-    return frozenset(names)
+    return node_summary(expression).relation_names
 
 
 def relation_occurrences(expression: Expression, name: str) -> int:
@@ -144,6 +235,8 @@ def relation_occurrences(expression: Expression, name: str) -> int:
 
 def skolem_functions(expression: Expression) -> FrozenSet[SkolemFunction]:
     """Return the set of Skolem functions applied anywhere in the expression."""
+    if not node_summary(expression).contains_skolem:
+        return frozenset()
     functions: Set[SkolemFunction] = set()
     for node in walk(expression):
         if isinstance(node, SkolemApplication):
@@ -153,46 +246,35 @@ def skolem_functions(expression: Expression) -> FrozenSet[SkolemFunction]:
 
 def contains_skolem(expression: Expression) -> bool:
     """Return ``True`` iff the expression contains any Skolem application."""
-    return any(isinstance(node, SkolemApplication) for node in walk(expression))
+    return node_summary(expression).contains_skolem
 
 
 def contains_domain(expression: Expression) -> bool:
     """Return ``True`` iff the expression contains the active-domain relation ``D``."""
-    return any(isinstance(node, Domain) for node in walk(expression))
+    return node_summary(expression).contains_domain
 
 
 def contains_empty(expression: Expression) -> bool:
     """Return ``True`` iff the expression contains the empty relation ``∅``."""
-    return any(isinstance(node, Empty) for node in walk(expression))
+    return node_summary(expression).contains_empty
 
 
 def operator_count(expression: Expression) -> int:
     """Return the number of operator (non-leaf) nodes in the expression.
 
     This is the size metric the paper uses ("the total number of operators
-    across all constraints") for the blow-up abort criterion.  The count is
-    cached on the (immutable) node, since the blow-up guard re-measures the
+    across all constraints") for the blow-up abort criterion.  The count comes
+    from the one-pass cached summary, since the blow-up guard re-measures the
     same sub-trees after every candidate rewrite.
     """
-    try:
-        return object.__getattribute__(expression, "_operator_count")
-    except AttributeError:
-        pass
-    count = (0 if expression.is_leaf() else 1) + sum(
-        operator_count(child) for child in expression.children
-    )
-    object.__setattr__(expression, "_operator_count", count)
-    return count
+    return node_summary(expression).operator_count
 
 
 def node_count(expression: Expression) -> int:
     """Return the total number of AST nodes, leaves included."""
-    return sum(1 for _ in walk(expression))
+    return node_summary(expression).node_count
 
 
 def expression_depth(expression: Expression) -> int:
     """Return the height of the expression tree (a single leaf has depth 1)."""
-    children = expression.children
-    if not children:
-        return 1
-    return 1 + max(expression_depth(child) for child in children)
+    return node_summary(expression).depth

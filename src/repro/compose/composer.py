@@ -13,6 +13,7 @@ import time
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.algebra.interning import ExpressionCache, shared_expression_cache
 from repro.algebra.simplify import simplify_constraint_set
 from repro.compose.config import ComposerConfig
 from repro.compose.eliminate import eliminate
@@ -26,9 +27,20 @@ __all__ = ["compose", "compose_mappings"]
 
 
 def compose(
-    problem: CompositionProblem, config: Optional[ComposerConfig] = None
+    problem: CompositionProblem,
+    config: Optional[ComposerConfig] = None,
+    cache: Optional[ExpressionCache] = None,
 ) -> CompositionResult:
-    """Run COMPOSE on a composition problem and return the detailed result."""
+    """Run COMPOSE on a composition problem and return the detailed result.
+
+    ``cache`` activates an :class:`ExpressionCache` for the duration of this
+    composition (restoring the previous activation afterwards), so repeated
+    standalone calls can share one cache without going through the batch
+    engine.  When omitted, whatever cache is already active is used.
+    """
+    if cache is not None:
+        with shared_expression_cache(cache):
+            return compose(problem, config)
     config = config or ComposerConfig()
     started = time.perf_counter()
 

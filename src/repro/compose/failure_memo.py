@@ -1,0 +1,70 @@
+"""Shared probe/record helper for the normalization-failure memo.
+
+Whether one constraint can be left-/right-normalized for a symbol — or passes
+the per-constraint monotonicity and both-sides gates — is a pure function of
+that constraint, the symbol and the registry's rules.  The best-effort
+algorithm retries failed symbols after every chain hop and schema edit,
+re-deriving the same dead ends; recording them in the active cache's failure
+memo (:meth:`repro.algebra.interning.ExpressionCache.failure_memo`) turns
+each retry into one set probe per affected constraint.
+
+Both compose directions use the same machinery; only the ``kind`` tag and the
+call sites differ, so the bookkeeping lives here once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.algebra import interning
+from repro.constraints.constraint import Constraint, EqualityConstraint
+
+__all__ = ["NormalizationFailureMemo"]
+
+
+class NormalizationFailureMemo:
+    """Per-(constraint, symbol) failure bookkeeping for one compose attempt.
+
+    Inactive (every method a cheap no-op) when no expression cache is active.
+    """
+
+    def __init__(self, kind: str, registry: Optional[object], symbol: str):
+        cache = interning.active_cache()
+        self._failures = (
+            cache.failure_memo(kind, registry) if cache is not None else None
+        )
+        self._symbol = symbol
+        self._origins: dict = {}
+
+    def any_known(self, constraints: Iterable[Constraint]) -> bool:
+        """True if any of ``constraints`` is already known to fail for the symbol."""
+        failures = self._failures
+        if failures is None:
+            return False
+        symbol = self._symbol
+        return any((constraint, symbol) in failures for constraint in constraints)
+
+    def map_split_origins(self, mentioning: Iterable[Constraint]) -> None:
+        """Trace equality-split containments back to their source equality.
+
+        Failures must be recorded against constraints the entry probe can see
+        — members of the original set — not against the transient split
+        parts.
+        """
+        if self._failures is None:
+            return
+        for constraint in mentioning:
+            if isinstance(constraint, EqualityConstraint):
+                for part in constraint.as_containments():
+                    self._origins[part] = constraint
+
+    def record(self, constraint: Constraint) -> None:
+        """Record that ``constraint`` (or its split origin) fails for the symbol."""
+        if self._failures is not None:
+            origin = self._origins.get(constraint, constraint)
+            self._failures.add((origin, self._symbol))
+
+    @property
+    def sink(self):
+        """``failure_sink`` callback for the normalize drivers (or ``None``)."""
+        return self.record if self._failures is not None else None

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.algebra.traversal import contains_relation, substitute_relation
 from repro.compose.domain_elimination import eliminate_domain
+from repro.compose.failure_memo import NormalizationFailureMemo
 from repro.compose.left_normalize import left_normalize
 from repro.compose.normalize_context import NormalizationContext
 from repro.constraints.constraint import Constraint, ContainmentConstraint
@@ -46,24 +47,42 @@ def left_compose(
     2. some right-hand side containing the symbol is not monotone in it;
     3. left-normalization fails;
     4. the post-normalization monotonicity re-check fails.
+
+    Failures of kinds 1-3 are pure per-constraint properties; with an active
+    expression cache they are recorded in a failure memo, so the best-effort
+    retries COMPOSE performs after every chain hop / schema edit fast-fail as
+    soon as a known-dead constraint is still present.
     """
-    # Step 0: the paper exits immediately if S appears on both sides of a constraint.
-    for constraint in constraints:
+    mentioning = [constraints[i] for i in constraints.indices_mentioning(symbol)]
+    memo = NormalizationFailureMemo("left-compose", registry, symbol)
+    if memo.any_known(mentioning):
+        return None
+
+    # Step 0: the paper exits immediately if S appears on both sides of a
+    # constraint.  The symbol index narrows every scan to the constraints
+    # that mention S at all.
+    for constraint in mentioning:
         if constraint.mentions_on_left(symbol) and constraint.mentions_on_right(symbol):
+            memo.record(constraint)
             return None
 
     # Convert equalities mentioning S into pairs of containments.
     working = constraints.with_equalities_split(symbol)
+    memo.map_split_origins(mentioning)
 
     # Step 1: right-monotonicity check — every RHS that mentions S must be monotone in S.
-    for constraint in working:
+    for index in working.indices_mentioning(symbol):
+        constraint = working[index]
         if constraint.mentions_on_right(symbol):
             if monotonicity(constraint.right, symbol, registry) not in _SAFE:
+                memo.record(constraint)
                 return None
 
     # Step 2: left-normalize, producing the single upper bound ξ : S ⊆ E1.
     context = NormalizationContext(symbol=symbol, symbol_arity=symbol_arity, registry=registry)
-    normalized = left_normalize(working, symbol, context, max_steps=max_steps)
+    normalized = left_normalize(
+        working, symbol, context, max_steps=max_steps, failure_sink=memo.sink
+    )
     if normalized is None:
         return None
     normalized_set, xi = normalized

@@ -20,6 +20,7 @@ operators may contribute rules through the operator registry.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional, Tuple
 
 from repro.algebra.builders import column_placement
@@ -95,6 +96,7 @@ def left_normalize(
     symbol: str,
     context: NormalizationContext,
     max_steps: int = 500,
+    failure_sink=None,
 ) -> Optional[Tuple[ConstraintSet, ContainmentConstraint]]:
     """Bring ``constraints`` into left normal form for ``symbol``.
 
@@ -103,31 +105,43 @@ def left_normalize(
     mentions the symbol on both sides.
 
     Returns ``(normalized_set, ξ)`` where ``ξ`` is the single ``S ⊆ E``
-    constraint, or ``None`` if normalization fails.
+    constraint, or ``None`` if normalization fails.  ``failure_sink``, when
+    given, is called with the *input* constraint whose rewriting derivation
+    hit a dead end (not with the step-budget exhaustion, which is a global
+    property) — the failure memo uses it to fast-fail retries.
     """
-    working: List[Constraint] = list(constraints)
-
-    for _ in range(max_steps):
-        target_index = None
-        for index, constraint in enumerate(working):
-            if not isinstance(constraint, ContainmentConstraint):
-                continue
-            if contains_relation(constraint.left, symbol) and not _is_bare_symbol(
-                constraint.left, symbol
-            ):
-                target_index = index
-                break
-        if target_index is None:
-            break
-        constraint = working[target_index]
-        rewritten = rewrite_left_once(constraint.left, constraint.right, symbol, context)
-        if rewritten is None:
-            return None
-        replacement = [ContainmentConstraint(left, right) for left, right in rewritten]
-        working = working[:target_index] + replacement + working[target_index + 1 :]
-    else:
-        # Exhausted the step budget without reaching a fixpoint.
-        return None
+    # Worklist version of the paper's "rewrite the first offending constraint"
+    # loop: constraints are immutable and a constraint once inspected never
+    # becomes rewritable again, so expanding each constraint depth-first and
+    # left-to-right visits exactly the same rewrite sequence as re-scanning
+    # the whole list from the start after every step — without the O(n²)
+    # rescans and list-slice rebuilding.  Each worklist entry carries the
+    # input constraint its derivation started from.
+    working: List[Constraint] = []
+    pending = deque((constraint, constraint) for constraint in constraints)
+    steps = 0
+    while pending:
+        constraint, origin = pending.popleft()
+        if (
+            isinstance(constraint, ContainmentConstraint)
+            and contains_relation(constraint.left, symbol)
+            and not _is_bare_symbol(constraint.left, symbol)
+        ):
+            rewritten = rewrite_left_once(
+                constraint.left, constraint.right, symbol, context
+            )
+            if rewritten is None:
+                if failure_sink is not None:
+                    failure_sink(origin)
+                return None
+            steps += 1
+            if steps >= max_steps:
+                # Exhausted the step budget without reaching a fixpoint.
+                return None
+            for left, right in reversed(rewritten):
+                pending.appendleft((ContainmentConstraint(left, right), origin))
+        else:
+            working.append(constraint)
 
     # Collapse all ``S ⊆ E_i`` constraints into a single ``S ⊆ E_1 ∩ ... ∩ E_n``.
     bounds: List[Expression] = []

@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.algebra.traversal import contains_relation, substitute_relation
 from repro.compose.deskolemize import deskolemize
 from repro.compose.empty_elimination import eliminate_empty
+from repro.compose.failure_memo import NormalizationFailureMemo
 from repro.compose.normalize_context import NormalizationContext
 from repro.compose.right_normalize import right_normalize
 from repro.constraints.constraint import Constraint, ContainmentConstraint
@@ -47,24 +48,39 @@ def right_compose(
     3. right-normalization fails (e.g. an unknown operator on the right);
     4. the post-normalization monotonicity re-check fails;
     5. deskolemization fails.
+
+    As in left compose, the per-constraint failures (kinds 1-3) are recorded
+    in the active cache's failure memo so retries fast-fail.
     """
-    # Step 0: exit if S appears on both sides of some constraint.
-    for constraint in constraints:
+    mentioning = [constraints[i] for i in constraints.indices_mentioning(symbol)]
+    memo = NormalizationFailureMemo("right-compose", registry, symbol)
+    if memo.any_known(mentioning):
+        return None
+
+    # Step 0: exit if S appears on both sides of some constraint.  The symbol
+    # index narrows every scan to the constraints that mention S at all.
+    for constraint in mentioning:
         if constraint.mentions_on_left(symbol) and constraint.mentions_on_right(symbol):
+            memo.record(constraint)
             return None
 
     # Convert equalities mentioning S into pairs of containments.
     working = constraints.with_equalities_split(symbol)
+    memo.map_split_origins(mentioning)
 
     # Step 1: left-monotonicity check — every LHS that mentions S must be monotone in S.
-    for constraint in working:
+    for index in working.indices_mentioning(symbol):
+        constraint = working[index]
         if constraint.mentions_on_left(symbol):
             if monotonicity(constraint.left, symbol, registry) not in _SAFE:
+                memo.record(constraint)
                 return None
 
     # Step 2: right-normalize, producing the single lower bound ξ : E1 ⊆ S.
     context = NormalizationContext(symbol=symbol, symbol_arity=symbol_arity, registry=registry)
-    normalized = right_normalize(working, symbol, context, max_steps=max_steps)
+    normalized = right_normalize(
+        working, symbol, context, max_steps=max_steps, failure_sink=memo.sink
+    )
     if normalized is None:
         return None
     normalized_set, xi = normalized

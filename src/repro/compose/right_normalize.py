@@ -19,6 +19,7 @@ step must later remove.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional, Tuple
 
 from repro.algebra.expressions import (
@@ -139,6 +140,7 @@ def right_normalize(
     symbol: str,
     context: NormalizationContext,
     max_steps: int = 500,
+    failure_sink=None,
 ) -> Optional[Tuple[ConstraintSet, ContainmentConstraint]]:
     """Bring ``constraints`` into right normal form for ``symbol``.
 
@@ -147,30 +149,39 @@ def right_normalize(
     symbol on both sides.
 
     Returns ``(normalized_set, ξ)`` where ``ξ`` is the single ``E ⊆ S``
-    constraint, or ``None`` if normalization fails.
+    constraint, or ``None`` if normalization fails.  ``failure_sink``, when
+    given, receives the *input* constraint whose rewriting derivation hit a
+    dead end (step-budget exhaustion is global and is not reported).
     """
-    working: List[Constraint] = list(constraints)
-
-    for _ in range(max_steps):
-        target_index = None
-        for index, constraint in enumerate(working):
-            if not isinstance(constraint, ContainmentConstraint):
-                continue
-            if contains_relation(constraint.right, symbol) and not _is_bare_symbol(
-                constraint.right, symbol
-            ):
-                target_index = index
-                break
-        if target_index is None:
-            break
-        constraint = working[target_index]
-        rewritten = rewrite_right_once(constraint.left, constraint.right, symbol, context)
-        if rewritten is None:
-            return None
-        replacement = [ContainmentConstraint(left, right) for left, right in rewritten]
-        working = working[:target_index] + replacement + working[target_index + 1 :]
-    else:
-        return None
+    # Worklist version of the paper's "rewrite the first offending constraint"
+    # loop — see left_normalize for why depth-first, left-to-right expansion
+    # visits the same rewrite sequence without the O(n²) rescans.  Each entry
+    # carries the input constraint its derivation started from.
+    working: List[Constraint] = []
+    pending = deque((constraint, constraint) for constraint in constraints)
+    steps = 0
+    while pending:
+        constraint, origin = pending.popleft()
+        if (
+            isinstance(constraint, ContainmentConstraint)
+            and contains_relation(constraint.right, symbol)
+            and not _is_bare_symbol(constraint.right, symbol)
+        ):
+            rewritten = rewrite_right_once(
+                constraint.left, constraint.right, symbol, context
+            )
+            if rewritten is None:
+                if failure_sink is not None:
+                    failure_sink(origin)
+                return None
+            steps += 1
+            if steps >= max_steps:
+                # Exhausted the step budget without reaching a fixpoint.
+                return None
+            for left, right in reversed(rewritten):
+                pending.appendleft((ContainmentConstraint(left, right), origin))
+        else:
+            working.append(constraint)
 
     # Collapse all ``E_i ⊆ S`` constraints into ``E_1 ∪ ... ∪ E_n ⊆ S``.
     bounds: List[Expression] = []

@@ -25,12 +25,22 @@ def unfold_view(constraints: ConstraintSet, symbol: str) -> Optional[ConstraintS
     constraint of the form ``symbol = E`` (with ``E`` free of ``symbol``)
     exists.
     """
-    for constraint in constraints:
+    # The symbol index narrows the scan to the constraints that mention the
+    # symbol at all — a defining equality necessarily does.
+    positions = constraints.indices_mentioning(symbol)
+    for position in positions:
+        constraint = constraints[position]
         if not isinstance(constraint, EqualityConstraint):
             continue
         definition = constraint.definition_of(symbol)
         if definition is None:
             continue
-        remaining = constraints.removing(constraint)
-        return remaining.substituting(symbol, definition)
+        # Patch in place: rewrite the indexed constraints, drop the defining
+        # equality; everything else is reused as-is.
+        result = list(constraints)
+        for index in positions:
+            if index != position:
+                result[index] = result[index].substituting(symbol, definition)
+        del result[position]
+        return ConstraintSet(result)
     return None

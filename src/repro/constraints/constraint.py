@@ -12,13 +12,21 @@ from typing import FrozenSet, Tuple
 
 from repro.algebra.expressions import Expression, Relation, _install_cached_hash
 from repro.algebra import traversal
+from repro.algebra.summary import node_summary
 from repro.exceptions import ArityError, ConstraintError
 
 __all__ = ["Constraint", "ContainmentConstraint", "EqualityConstraint"]
 
 
 class Constraint:
-    """Abstract base class for the two constraint forms."""
+    """Abstract base class for the two constraint forms.
+
+    Symbol and size queries read the one-pass cached node summaries of both
+    sides (:mod:`repro.algebra.summary`), so after the first probe every later
+    ``mentions`` / ``operator_count`` call is a set lookup or an integer read —
+    the elimination drivers issue these queries for every σ2 symbol against
+    every constraint.
+    """
 
     left: Expression
     right: Expression
@@ -26,22 +34,28 @@ class Constraint:
     # -- symbol queries -------------------------------------------------------
 
     def relation_names(self) -> FrozenSet[str]:
-        """All base relation symbols mentioned on either side."""
-        return traversal.relation_names(self.left) | traversal.relation_names(self.right)
+        """All base relation symbols mentioned on either side (cached)."""
+        try:
+            return self._relation_names
+        except AttributeError:
+            pass
+        names = node_summary(self.left).relation_names | node_summary(
+            self.right
+        ).relation_names
+        object.__setattr__(self, "_relation_names", names)
+        return names
 
     def mentions(self, name: str) -> bool:
         """Return ``True`` iff the constraint mentions relation ``name``."""
-        return traversal.contains_relation(self.left, name) or traversal.contains_relation(
-            self.right, name
-        )
+        return name in self.relation_names()
 
     def mentions_on_left(self, name: str) -> bool:
         """Return ``True`` iff ``name`` occurs in the left-hand side."""
-        return traversal.contains_relation(self.left, name)
+        return name in node_summary(self.left).relation_names
 
     def mentions_on_right(self, name: str) -> bool:
         """Return ``True`` iff ``name`` occurs in the right-hand side."""
-        return traversal.contains_relation(self.right, name)
+        return name in node_summary(self.right).relation_names
 
     def occurrences(self, name: str) -> int:
         """Total number of occurrences of relation ``name`` in the constraint."""
@@ -51,19 +65,33 @@ class Constraint:
 
     def contains_skolem(self) -> bool:
         """Return ``True`` iff either side contains a Skolem application."""
-        return traversal.contains_skolem(self.left) or traversal.contains_skolem(self.right)
+        return node_summary(self.left).contains_skolem or node_summary(
+            self.right
+        ).contains_skolem
 
     def contains_domain(self) -> bool:
         """Return ``True`` iff either side contains the active-domain relation."""
-        return traversal.contains_domain(self.left) or traversal.contains_domain(self.right)
+        return node_summary(self.left).contains_domain or node_summary(
+            self.right
+        ).contains_domain
 
     def contains_empty(self) -> bool:
         """Return ``True`` iff either side contains the empty relation."""
-        return traversal.contains_empty(self.left) or traversal.contains_empty(self.right)
+        return node_summary(self.left).contains_empty or node_summary(
+            self.right
+        ).contains_empty
 
     def operator_count(self) -> int:
-        """Number of operator nodes on both sides (the paper's size metric)."""
-        return traversal.operator_count(self.left) + traversal.operator_count(self.right)
+        """Number of operator nodes on both sides (the paper's size metric, cached)."""
+        try:
+            return self._operator_count
+        except AttributeError:
+            pass
+        count = node_summary(self.left).operator_count + node_summary(
+            self.right
+        ).operator_count
+        object.__setattr__(self, "_operator_count", count)
+        return count
 
     # -- rewriting ------------------------------------------------------------
 
@@ -83,9 +111,13 @@ class Constraint:
         return f"<{type(self).__name__}: {self}>"
 
     def __getstate__(self):
-        # Drop the lazily cached hash; string hashing is salted per process.
+        # Drop the lazily cached hash (string hashing is salted per process)
+        # and the "already simplified" marker (it references a live memo
+        # table); the cached name set and operator count are structural and
+        # survive pickling.
         state = dict(self.__dict__)
         state.pop("_hash_value", None)
+        state.pop("_simplified_for", None)
         return state
 
 

@@ -23,7 +23,9 @@ experiment drivers build on.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import enum
+import gc
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -90,6 +92,16 @@ class BatchConfig:
         the ``process`` backend is used).
     cache_max_entries:
         Size bound of the shared cache.
+    pause_gc:
+        Disable the cyclic garbage collector for the duration of the batch
+        (re-enabled afterwards; no forced collection — composition allocates
+        (almost) no reference cycles, so refcounting reclaims the batch's
+        garbage and the next natural collection handles the rest).
+        Composition allocates millions of small immutable nodes and the
+        shared cache keeps large long-lived tables; periodic full collections
+        re-scan those tables for cycles they cannot contain.  Set to
+        ``False`` if jobs create reference cycles that must be reclaimed
+        mid-batch.
     fail_fast:
         Re-raise the first problem failure instead of isolating it.
     """
@@ -100,6 +112,7 @@ class BatchConfig:
     composer_config: ComposerConfig = field(default_factory=ComposerConfig)
     share_expression_cache: bool = True
     cache_max_entries: int = 200_000
+    pause_gc: bool = True
     fail_fast: bool = False
 
     def __post_init__(self) -> None:
@@ -265,10 +278,33 @@ def _compose_chain_job(args: Tuple[Sequence[Mapping], ComposerConfig]) -> ChainR
     return compose_chain(mappings, config)
 
 
-def _process_pool_initializer(cache_max_entries: int) -> None:
+@contextlib.contextmanager
+def _gc_paused(enabled: bool):
+    """Pause the cyclic collector for a batch run (see ``BatchConfig.pause_gc``).
+
+    No forced collection afterwards: composition allocates (almost) no
+    reference cycles, so refcounting reclaims the batch's garbage and the next
+    natural collection handles the rest.
+    """
+    if not enabled or not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _process_pool_initializer(cache_max_entries: int, seeds: Tuple = ()) -> None:
     # Each worker process gets its own cache: memory is not shared across
     # processes, but within one worker the batch's repetition still pays off.
-    activate_cache(ExpressionCache(max_entries=cache_max_entries))
+    # ``seeds`` are representative expressions from the batch (constraint
+    # sides); interning them up front ships a pre-warmed cache to the worker,
+    # so the first problems start from shared, summarized structure.
+    cache = activate_cache(ExpressionCache(max_entries=cache_max_entries))
+    for expression in seeds:
+        cache.intern(expression)
 
 
 class BatchComposer:
@@ -284,13 +320,16 @@ class BatchComposer:
         fn: Callable[[object], object],
         items: Sequence[object],
         labels: Optional[Sequence[str]] = None,
+        seeds: Tuple = (),
     ) -> BatchReport:
         """Apply ``fn`` to every item with the configured backend.
 
         Results are reported in submission order regardless of completion
         order.  With the ``process`` backend, ``fn`` and the items must be
         picklable (module-level functions; the built-in ``run`` and
-        ``run_chains`` jobs are).
+        ``run_chains`` jobs are) and ``seeds`` (representative expressions
+        gathered by the composition-aware entry points) pre-warm each worker's
+        expression cache.
         """
         if labels is None:
             labels = [f"problem[{index}]" for index in range(len(items))]
@@ -301,21 +340,22 @@ class BatchComposer:
         started = time.perf_counter()
         cache_stats: Optional[dict] = None
 
-        if backend == BatchBackend.PROCESS.value:
-            results = self._map_pool(fn, items, labels, process=True)
-        elif self.config.share_expression_cache:
-            cache = ExpressionCache(max_entries=self.config.cache_max_entries)
-            with shared_expression_cache(cache):
+        with _gc_paused(self.config.pause_gc):
+            if backend == BatchBackend.PROCESS.value:
+                results = self._map_pool(fn, items, labels, process=True, seeds=seeds)
+            elif self.config.share_expression_cache:
+                cache = ExpressionCache(max_entries=self.config.cache_max_entries)
+                with shared_expression_cache(cache):
+                    if backend == BatchBackend.THREAD.value:
+                        results = self._map_pool(fn, items, labels, process=False)
+                    else:
+                        results = self._map_serial(fn, items, labels)
+                cache_stats = cache.stats()
+            else:
                 if backend == BatchBackend.THREAD.value:
                     results = self._map_pool(fn, items, labels, process=False)
                 else:
                     results = self._map_serial(fn, items, labels)
-            cache_stats = cache.stats()
-        else:
-            if backend == BatchBackend.THREAD.value:
-                results = self._map_pool(fn, items, labels, process=False)
-            else:
-                results = self._map_serial(fn, items, labels)
 
         return BatchReport(
             items=tuple(results),
@@ -376,6 +416,7 @@ class BatchComposer:
         items: Sequence[object],
         labels: Sequence[str],
         process: bool,
+        seeds: Tuple = (),
     ) -> List[BatchItemResult]:
         if process:
             executor = concurrent.futures.ProcessPoolExecutor(
@@ -383,7 +424,7 @@ class BatchComposer:
                 initializer=_process_pool_initializer
                 if self.config.share_expression_cache
                 else None,
-                initargs=(self.config.cache_max_entries,)
+                initargs=(self.config.cache_max_entries, seeds)
                 if self.config.share_expression_cache
                 else (),
             )
@@ -416,13 +457,38 @@ class BatchComposer:
 
     # -- composition-aware entry points ---------------------------------------
 
+    #: Bound on the number of constraint-side expressions shipped to process
+    #: workers as cache seeds (keeps the pickled initializer payload small).
+    MAX_PROCESS_SEEDS = 512
+
+    def _collect_seeds(self, constraint_sets) -> Tuple:
+        """Unique constraint sides to pre-warm process-worker caches with."""
+        if self.config.resolved_backend() != BatchBackend.PROCESS.value or (
+            not self.config.share_expression_cache
+        ):
+            return ()
+        seeds = {}
+        for constraints in constraint_sets:
+            for constraint in constraints:
+                for side in (constraint.left, constraint.right):
+                    if side not in seeds:
+                        seeds[side] = None
+                        if len(seeds) >= self.MAX_PROCESS_SEEDS:
+                            return tuple(seeds)
+        return tuple(seeds)
+
     def run(self, problems: Sequence[CompositionProblem]) -> BatchReport:
         """Compose every problem; payloads are :class:`CompositionResult` objects."""
         labels = [
             problem.name or f"problem[{index}]" for index, problem in enumerate(problems)
         ]
         jobs = [(problem, self.config.composer_config) for problem in problems]
-        return self.map(_compose_job, jobs, labels=labels)
+        seeds = self._collect_seeds(
+            constraints
+            for problem in problems
+            for constraints in (problem.sigma12, problem.sigma23)
+        )
+        return self.map(_compose_job, jobs, labels=labels, seeds=seeds)
 
     def run_chains(self, chains: Sequence[Sequence[Mapping]]) -> BatchReport:
         """Compose every chain of mappings; payloads are :class:`ChainResult` objects.
@@ -437,4 +503,7 @@ class BatchComposer:
             mappings = getattr(chain, "mappings", chain)
             labels.append(label)
             jobs.append((tuple(mappings), self.config.composer_config))
-        return self.map(_compose_chain_job, jobs, labels=labels)
+        seeds = self._collect_seeds(
+            mapping.constraints for mappings, _ in jobs for mapping in mappings
+        )
+        return self.map(_compose_chain_job, jobs, labels=labels, seeds=seeds)

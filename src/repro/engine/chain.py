@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.interning import ExpressionCache
 
 from repro.compose.composer import compose
 from repro.compose.config import ComposerConfig
@@ -192,6 +195,7 @@ def compose_chain(
     mappings: Sequence[Mapping],
     config: Optional[ComposerConfig] = None,
     retry_residuals: bool = True,
+    cache: Optional["ExpressionCache"] = None,
 ) -> ChainResult:
     """Compose ``m12 ∘ m23 ∘ … ∘ m(n-1)(n)`` by folding through :func:`compose`.
 
@@ -207,10 +211,19 @@ def compose_chain(
         back into the intermediate signature of every later hop, giving the
         algorithm more chances as the surrounding constraints change.  When
         ``False``, residuals are frozen into the input signature immediately.
+    cache:
+        Optional :class:`~repro.algebra.interning.ExpressionCache` activated
+        for the whole chain, so every hop shares one set of fixpoint tokens
+        and memo tables (the batch engine threads its own cache this way).
 
     Returns the :class:`ChainResult`; a single-mapping chain returns a trivial
     result with zero hops.
     """
+    if cache is not None:
+        from repro.algebra.interning import shared_expression_cache
+
+        with shared_expression_cache(cache):
+            return compose_chain(mappings, config, retry_residuals)
     validate_chain(mappings)
     config = config or ComposerConfig()
     started = time.perf_counter()

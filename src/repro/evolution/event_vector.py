@@ -121,11 +121,21 @@ class EventVector:
 
     # -- queries --------------------------------------------------------------------
 
+    def _lookup(self) -> Dict[str, float]:
+        # Cached internal table: the simulator probes weights for every
+        # primitive on every edit, and the vector is immutable.
+        try:
+            return self._weights_dict
+        except AttributeError:
+            object.__setattr__(self, "_weights_dict", dict(self.weights))
+            return self._weights_dict
+
     def as_dict(self) -> Dict[str, float]:
-        return dict(self.weights)
+        # A fresh copy: callers may mutate their dict freely.
+        return dict(self._lookup())
 
     def weight_of(self, primitive: str) -> float:
-        return self.as_dict().get(primitive, 0.0)
+        return self._lookup().get(primitive, 0.0)
 
     def total_weight(self) -> float:
         return sum(weight for _, weight in self.weights)

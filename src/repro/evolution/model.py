@@ -82,16 +82,30 @@ class SchemaState:
         return len(self.relations)
 
     def __contains__(self, name: str) -> bool:
-        return any(relation.name == name for relation in self.relations)
+        return name in self._by_name()
 
     def get(self, name: str) -> SimulatedRelation:
-        for relation in self.relations:
-            if relation.name == name:
-                return relation
-        raise SimulatorError(f"unknown relation {name!r}")
+        relation = self._by_name().get(name)
+        if relation is None:
+            raise SimulatorError(f"unknown relation {name!r}")
+        return relation
+
+    def _by_name(self) -> Dict[str, SimulatedRelation]:
+        """Cached name → relation lookup (states are immutable)."""
+        try:
+            return self._by_name_cache
+        except AttributeError:
+            table = {relation.name: relation for relation in self.relations}
+            object.__setattr__(self, "_by_name_cache", table)
+            return table
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(relation.name for relation in self.relations)
+        try:
+            return self._names_cache
+        except AttributeError:
+            names = tuple(relation.name for relation in self.relations)
+            object.__setattr__(self, "_names_cache", names)
+            return names
 
     def signature(self) -> Signature:
         """The schema as a :class:`Signature`."""
@@ -104,7 +118,7 @@ class SchemaState:
     ) -> "SchemaState":
         """Return the state after removing ``consumed`` and adding ``produced``."""
         consumed_names = {relation.name for relation in consumed}
-        missing = consumed_names - set(self.names())
+        missing = consumed_names - self._by_name().keys()
         if missing:
             raise SimulatorError(f"cannot consume unknown relations: {sorted(missing)}")
         remaining = tuple(r for r in self.relations if r.name not in consumed_names)

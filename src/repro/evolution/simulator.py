@@ -38,6 +38,14 @@ class SchemaEvolutionSimulator:
         self.event_vector = event_vector or EventVector.default()
         self._rng = random.Random(seed)
         self._namer = RelationNamer(prefix=name_prefix)
+        # The event vector is immutable: resolve the positively-weighted
+        # primitives (name, implementation, weight) once instead of probing
+        # every primitive's weight on every edit.
+        self._active_primitives = [
+            (name, primitive, self.event_vector.weight_of(name))
+            for name, primitive in PRIMITIVES.items()
+            if self.event_vector.weight_of(name) > 0
+        ]
 
     # -- schema generation ---------------------------------------------------------
 
@@ -68,16 +76,20 @@ class SchemaEvolutionSimulator:
         """Names of primitives that can be applied to the current schema."""
         return [
             name
-            for name, primitive in PRIMITIVES.items()
-            if self.event_vector.weight_of(name) > 0 and primitive.applicable(state, self.config)
+            for name, primitive, _ in self._active_primitives
+            if primitive.applicable(state, self.config)
         ]
 
     def choose_primitive(self, state: SchemaState) -> str:
         """Draw an applicable primitive according to the event vector's weights."""
-        candidates = self.applicable_primitives(state)
+        candidates: List[str] = []
+        weights: List[float] = []
+        for name, primitive, weight in self._active_primitives:
+            if primitive.applicable(state, self.config):
+                candidates.append(name)
+                weights.append(weight)
         if not candidates:
             raise SimulatorError("no primitive is applicable to the current schema")
-        weights = [self.event_vector.weight_of(name) for name in candidates]
         return self._rng.choices(candidates, weights=weights, k=1)[0]
 
     def apply_primitive(self, state: SchemaState, name: str) -> EditStep:

@@ -68,6 +68,10 @@ class OperatorRegistry:
 
     def __init__(self) -> None:
         self._rules: Dict[Type[Expression], OperatorRule] = {}
+        #: Bumped on every (un)registration; rule-dependent memo tables (the
+        #: normalization-failure memo in repro.algebra.interning) key on it so
+        #: extending a registry mid-run invalidates stale entries.
+        self.version = 0
 
     # -- registration -----------------------------------------------------------
 
@@ -80,6 +84,7 @@ class OperatorRegistry:
                 f"operator_type must be an Expression subclass, got {rule.operator_type!r}"
             )
         self._rules[rule.operator_type] = rule
+        self.version += 1
 
     def register_operator(
         self,
@@ -105,6 +110,7 @@ class OperatorRegistry:
     def unregister(self, operator_type: Type[Expression]) -> None:
         """Remove the rule bundle for an operator type (no-op if absent)."""
         self._rules.pop(operator_type, None)
+        self.version += 1
 
     def copy(self) -> "OperatorRegistry":
         """Return an independent copy (so callers can extend without side effects)."""

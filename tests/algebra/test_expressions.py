@@ -202,3 +202,37 @@ class TestStringRendering:
 
     def test_repr_contains_type(self, r2):
         assert "Relation" in repr(r2)
+
+
+class TestStructuralEquality:
+    """The iterative __eq__ must handle user-defined operator types too."""
+
+    def test_user_defined_operator_equality(self):
+        from dataclasses import dataclass
+        from typing import Tuple
+
+        from repro.algebra.expressions import Expression, Relation, Union
+
+        @dataclass(frozen=True)
+        class MyMerge(Expression):
+            left: Expression
+            right: Expression
+
+            operator_name = "mymerge"
+
+            @property
+            def arity(self):
+                return self.left.arity
+
+            @property
+            def children(self):
+                return (self.left, self.right)
+
+            def with_children(self, children: Tuple[Expression, ...]) -> Expression:
+                return MyMerge(children[0], children[1])
+
+        a = Union(MyMerge(Relation("R", 2), Relation("S", 2)), Relation("T", 2))
+        b = Union(MyMerge(Relation("R", 2), Relation("S", 2)), Relation("T", 2))
+        c = Union(MyMerge(Relation("R", 2), Relation("X", 2)), Relation("T", 2))
+        assert a == b
+        assert a != c

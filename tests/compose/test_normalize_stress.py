@@ -1,0 +1,103 @@
+"""Stress tests for the worklist-based left/right normalization drivers.
+
+The drivers used to rebuild the working list with ``working[:i] + replacement
++ working[i+1:]`` and re-scan it from the start after every rewrite — O(n²)
+in the number of constraints.  These tests pin the rewritten drivers to the
+old semantics on a 500-constraint set and keep an eye on the wall clock (the
+bound is generous; the point is catching an accidental return to quadratic
+list rebuilding, which used to take orders of magnitude longer).
+"""
+
+import time
+
+from repro.algebra.builders import relation, select
+from repro.algebra.conditions import equals
+from repro.algebra.expressions import Relation, Union
+from repro.compose.left_normalize import left_normalize
+from repro.compose.normalize_context import NormalizationContext
+from repro.compose.right_normalize import right_normalize
+from repro.constraints.constraint import ContainmentConstraint
+from repro.constraints.constraint_set import ConstraintSet
+
+N = 500
+
+
+def _left_stress_set():
+    """500 containments whose left sides all need several rewriting steps."""
+    constraints = []
+    for index in range(N):
+        lhs = select(
+            Union(relation("S", 2), relation(f"A{index}", 2)), equals(0, 1)
+        )
+        constraints.append(ContainmentConstraint(lhs, relation(f"B{index}", 2)))
+    return ConstraintSet(constraints)
+
+
+def _right_stress_set():
+    """500 containments whose right sides all need several rewriting steps."""
+    constraints = []
+    for index in range(N):
+        rhs = select(
+            Union(relation("S", 2), relation(f"A{index}", 2)), equals(0, 1)
+        )
+        constraints.append(ContainmentConstraint(relation(f"B{index}", 2), rhs))
+    return ConstraintSet(constraints)
+
+
+class TestNormalizationStress:
+    def test_left_normalize_500_constraints(self):
+        constraints = _left_stress_set()
+        context = NormalizationContext(symbol="S", symbol_arity=2)
+        started = time.perf_counter()
+        normalized = left_normalize(constraints, "S", context, max_steps=10 * N)
+        elapsed = time.perf_counter() - started
+
+        assert normalized is not None
+        normalized_set, xi = normalized
+        assert xi.left == Relation("S", 2)
+        # Every constraint not about S survives; S has exactly one left bound.
+        lefts_mentioning = [
+            c for c in normalized_set if c.mentions_on_left("S")
+        ]
+        assert lefts_mentioning == [xi]
+        # Generous ceiling: the quadratic driver took far longer at this size.
+        assert elapsed < 10.0
+
+    def test_right_normalize_500_constraints(self):
+        constraints = _right_stress_set()
+        context = NormalizationContext(symbol="S", symbol_arity=2)
+        started = time.perf_counter()
+        normalized = right_normalize(constraints, "S", context, max_steps=10 * N)
+        elapsed = time.perf_counter() - started
+
+        assert normalized is not None
+        normalized_set, xi = normalized
+        assert xi.right == Relation("S", 2)
+        rights_mentioning = [
+            c for c in normalized_set if c.mentions_on_right("S")
+        ]
+        assert rights_mentioning == [xi]
+        assert elapsed < 10.0
+
+    def test_left_normalize_collapses_bounds_in_input_order(self):
+        # Three bounds on S collapse into one nested intersection, preserving
+        # the original left-to-right order (byte-identical output contract).
+        constraints = ConstraintSet(
+            [
+                ContainmentConstraint(relation("S", 2), relation("B0", 2)),
+                ContainmentConstraint(relation("S", 2), relation("B1", 2)),
+                ContainmentConstraint(relation("S", 2), relation("B2", 2)),
+            ]
+        )
+        context = NormalizationContext(symbol="S", symbol_arity=2)
+        normalized = left_normalize(constraints, "S", context)
+        assert normalized is not None
+        _, xi = normalized
+        assert str(xi.right) == "((B0/2 intersect B1/2) intersect B2/2)"
+
+    def test_step_budget_counts_rewrites(self):
+        # A union of k operands needs k-1 union splits plus selection steps;
+        # an insufficient budget must fail exactly as the quadratic driver did.
+        constraints = _left_stress_set()
+        context = NormalizationContext(symbol="S", symbol_arity=2)
+        assert left_normalize(constraints, "S", context, max_steps=5) is None
