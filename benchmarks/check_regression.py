@@ -33,11 +33,20 @@ EXACT_METRICS = {
     ),
     "figure7": ("fractions",),
     "engine_chain_batch": ("output_operator_count", "problems"),
+    "evolution_incremental": (
+        "edits",
+        "hops_total",
+        "hops_replayed",
+        "hops_replayed_ratio",
+        "outputs_identical",
+        "final_operator_count",
+    ),
 }
 
 #: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
 RATIO_METRICS = {
     "engine_chain_batch": ("batch_speedup_vs_serial", "cache_hit_rate"),
+    "evolution_incremental": ("incremental_speedup",),
 }
 
 TOLERANCE = 0.25
@@ -87,13 +96,15 @@ def main(argv) -> int:
                     f"{TOLERANCE:.0%} below the baseline {want:.4f} (floor {floor:.4f})"
                 )
 
+    def _wall(record: dict):
+        for metric in ("wall_seconds", "batch_seconds", "incremental_seconds"):
+            if record.get(metric) is not None:
+                return record[metric]
+        return None
+
     for workload in sorted(set(current) | set(baseline)):
-        cur_s = current.get(workload, {}).get("wall_seconds") or current.get(
-            workload, {}
-        ).get("batch_seconds")
-        base_s = baseline.get(workload, {}).get("wall_seconds") or baseline.get(
-            workload, {}
-        ).get("batch_seconds")
+        cur_s = _wall(current.get(workload, {}))
+        base_s = _wall(baseline.get(workload, {}))
         print(f"{workload:24s} baseline {base_s!s:>10}s  current {cur_s!s:>10}s")
 
     if failures:

@@ -1,0 +1,111 @@
+"""Benchmark: incremental recomposition vs. from-scratch on an edit sequence.
+
+The acceptance workload is the paper's schema-evolution loop: a 10-edit
+sequence where every edit appends one mapping and the end-to-end composition
+is rebuilt.  From scratch that costs 1+2+...+10 = 55 hops; the incremental
+engine must replay at most 2 hops per edit on average (it replays exactly 1
+for appends), be at least 2x faster end-to-end, and produce byte-identical
+outputs after every edit.
+
+Recorded as the ``evolution_incremental`` workload in BENCH_compose.json:
+structural metrics (hop counts, operator count, output identity) are gated
+exactly by ``check_regression.py``; the speedup is gated as a scale-free
+ratio.  As in the engine benchmark, the speedup is asserted and recorded on
+process CPU time (both contenders are single-threaded in-process loops, and
+the incremental side is only milliseconds of work — on busy 1-CPU runners a
+single scheduler stall would swamp a wall-clock ratio); wall-clock is
+measured and recorded alongside.
+"""
+
+import time
+
+from repro.engine import ChainGrower, IncrementalComposer, compose_chain
+
+
+def _timed(fn):
+    """Run ``fn`` once, returning (wall_seconds, cpu_seconds, result)."""
+    wall_started = time.perf_counter()
+    cpu_started = time.process_time()
+    result = fn()
+    return (
+        time.perf_counter() - wall_started,
+        time.process_time() - cpu_started,
+        result,
+    )
+
+#: The acceptance workload: 10 edits, each appending one mapping.  The schema
+#: size keeps each hop substantial enough that the measured ratio reflects
+#: composition work rather than timer noise.
+NUM_EDITS = 10
+SCHEMA_SIZE = 8
+
+
+def _edit_prefixes(seed):
+    grower = ChainGrower(seed=seed, schema_size=SCHEMA_SIZE)
+    mappings = grower.grow_many(NUM_EDITS + 1)
+    return [tuple(mappings[: k + 1]) for k in range(1, NUM_EDITS + 1)]
+
+
+def _fingerprint(result):
+    return (result.constraints.to_text(), tuple(result.residual_symbols))
+
+
+def test_bench_incremental_beats_from_scratch(benchmark, bench_params, bench_record):
+    prefixes = _edit_prefixes(bench_params["seed"])
+
+    # Warm both code paths once on a disjoint chain so interpreter warm-up is
+    # not part of the timing (same idiom as the engine benchmark).
+    warm = ChainGrower(seed=bench_params["seed"] + 1, schema_size=4).grow_many(3)
+    compose_chain(tuple(warm))
+    IncrementalComposer().compose_chain(tuple(warm))
+
+    from_scratch_seconds, from_scratch_cpu, scratch_results = _timed(
+        lambda: [compose_chain(prefix) for prefix in prefixes]
+    )
+
+    def run_incremental():
+        composer = IncrementalComposer()
+        return [composer.compose_chain(prefix) for prefix in prefixes]
+
+    incremental_seconds, incremental_cpu, incremental_results = _timed(run_incremental)
+    benchmark.pedantic(run_incremental, rounds=1, iterations=1)
+
+    # Byte-identical composed outputs after every edit.
+    outputs_identical = all(
+        _fingerprint(a) == _fingerprint(b)
+        for a, b in zip(scratch_results, incremental_results)
+    )
+    assert outputs_identical
+
+    # At most 2 hops replayed per edit on average (appends replay exactly 1).
+    replayed = sum(result.replayed_hops for result in incremental_results)
+    total_hops = sum(len(result.hops) for result in incremental_results)
+    mean_replayed_per_edit = replayed / NUM_EDITS
+    assert mean_replayed_per_edit <= 2.0, (
+        f"replayed {replayed} hops over {NUM_EDITS} edits"
+    )
+    assert total_hops == NUM_EDITS * (NUM_EDITS + 1) // 2
+
+    # At least 2x faster end-to-end than recomposing from scratch.
+    speedup = from_scratch_cpu / incremental_cpu
+    assert speedup >= 2.0, (
+        f"incremental {incremental_cpu:.3f}s CPU vs "
+        f"from-scratch {from_scratch_cpu:.3f}s CPU ({speedup:.2f}x; "
+        f"wall {incremental_seconds:.3f}s vs {from_scratch_seconds:.3f}s)"
+    )
+
+    bench_record(
+        "evolution_incremental",
+        edits=NUM_EDITS,
+        from_scratch_seconds=round(from_scratch_seconds, 4),
+        incremental_seconds=round(incremental_seconds, 4),
+        from_scratch_cpu_seconds=round(from_scratch_cpu, 4),
+        incremental_cpu_seconds=round(incremental_cpu, 4),
+        incremental_speedup=round(speedup, 4),
+        hops_total=total_hops,
+        hops_replayed=replayed,
+        hops_replayed_ratio=round(replayed / total_hops, 4),
+        mean_replayed_per_edit=round(mean_replayed_per_edit, 4),
+        outputs_identical=outputs_identical,
+        final_operator_count=incremental_results[-1].constraints.operator_count(),
+    )

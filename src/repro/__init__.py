@@ -72,8 +72,12 @@ from repro.engine import (
     BatchComposer,
     BatchConfig,
     BatchReport,
+    ChainGrower,
     ChainProblem,
     ChainResult,
+    CheckpointStore,
+    EvolutionSession,
+    IncrementalComposer,
     WorkloadConfig,
     compose_chain,
     generate_workload,
@@ -133,8 +137,12 @@ __all__ = [
     "BatchComposer",
     "BatchConfig",
     "BatchReport",
+    "ChainGrower",
     "ChainProblem",
     "ChainResult",
+    "CheckpointStore",
+    "EvolutionSession",
+    "IncrementalComposer",
     "WorkloadConfig",
     "compose_chain",
     "generate_workload",

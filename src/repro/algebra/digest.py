@@ -1,0 +1,73 @@
+"""Deterministic structural digests of expression trees.
+
+The cached structural *hashes* (:mod:`repro.algebra.summary` warms them, the
+interning tables key on them) are the right tool inside one process, but
+CPython salts string hashing per process, so they cannot name an expression
+across a pickle boundary.  Incremental recomposition needs exactly that: a
+checkpoint recorded in one process must still be recognized after it is
+pre-seeded into a process-pool worker.
+
+:func:`expression_digest` therefore computes a *deterministic* content digest
+(BLAKE2b over the node class, its non-child payload and the child digests) in
+the same iterative bottom-up style as :func:`repro.algebra.summary.node_summary`,
+and caches it on the (immutable) node.  Like the summaries — and unlike the
+salted ``_hash_value`` — the digest is structural, so it survives pickling and
+ships for free to process-pool workers; shared subtrees (the DAGs the rewrite
+engine builds) are digested once.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+from repro.algebra.expressions import _NO_GETTER, _PAYLOAD_GETTERS, Expression
+
+__all__ = ["DIGEST_SIZE", "expression_digest"]
+
+#: Digest width in bytes; 16 (128 bits) makes accidental collisions between
+#: constraint sides practically impossible while keeping tokens small.
+DIGEST_SIZE = 16
+
+
+def _node_digest(node: Expression, children: tuple) -> bytes:
+    h = blake2b(digest_size=DIGEST_SIZE)
+    h.update(node.__class__.__qualname__.encode())
+    getter = _PAYLOAD_GETTERS.get(node.__class__, _NO_GETTER)
+    if getter is _NO_GETTER:
+        # A user-defined operator type outside the structural-equality
+        # machinery: fall back to its repr, mirroring the __eq__ fallback.
+        h.update(repr(node).encode())
+    elif getter is not None:
+        h.update(repr(getter(node)).encode())
+    h.update(b"|%d|" % len(children))
+    for child in children:
+        h.update(child._digest)
+    return h.digest()
+
+
+def expression_digest(expression: Expression) -> bytes:
+    """Return the cached deterministic digest of ``expression``, computing it once.
+
+    The walk is iterative (explicit stack), so the deep operator chains
+    normalization produces are safe, and a subtree reached twice is digested
+    once.
+    """
+    try:
+        return expression._digest
+    except AttributeError:
+        pass
+
+    setattr_ = object.__setattr__
+    stack = [(expression, False)]
+    while stack:
+        node, ready = stack.pop()
+        if hasattr(node, "_digest"):
+            continue
+        children = node.children
+        if not ready and children:
+            stack.append((node, True))
+            for child in children:
+                stack.append((child, False))
+            continue
+        setattr_(node, "_digest", _node_digest(node, children))
+    return expression._digest

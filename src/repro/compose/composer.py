@@ -17,6 +17,7 @@ from repro.algebra.interning import ExpressionCache, shared_expression_cache
 from repro.algebra.simplify import simplify_constraint_set
 from repro.compose.config import ComposerConfig
 from repro.compose.eliminate import eliminate
+from repro.compose.phases import charge, collect_phases, timed
 from repro.compose.result import CompositionResult, EliminationOutcome
 from repro.constraints.constraint_set import ConstraintSet
 from repro.exceptions import CompositionError
@@ -63,25 +64,30 @@ def compose(
 
     outcomes: List[EliminationOutcome] = []
     eliminated: List[str] = []
-    for symbol in symbol_order:
-        symbol_started = time.perf_counter()
-        constraints, outcome = eliminate(
-            constraints,
-            symbol,
-            problem.sigma2.arity_of(symbol),
-            config,
-            baseline_operator_count=input_operator_count,
-        )
-        # Record the per-symbol elapsed time as COMPOSE observes it, so the
-        # outcomes' durations add up to the whole-run elapsed_seconds (minus
-        # the final simplification pass).
-        outcome = replace(outcome, duration_seconds=time.perf_counter() - symbol_started)
-        outcomes.append(outcome)
-        if outcome.success:
-            eliminated.append(symbol)
+    with collect_phases() as phase_buckets:
+        for symbol in symbol_order:
+            symbol_started = time.perf_counter()
+            constraints, outcome = eliminate(
+                constraints,
+                symbol,
+                problem.sigma2.arity_of(symbol),
+                config,
+                baseline_operator_count=input_operator_count,
+            )
+            # Record the per-symbol elapsed time as COMPOSE observes it, so the
+            # outcomes' durations add up to the whole-run elapsed_seconds (minus
+            # the final simplification pass); the same measurement feeds the
+            # "eliminate" phase bucket.
+            symbol_seconds = time.perf_counter() - symbol_started
+            charge("eliminate", symbol_seconds)
+            outcome = replace(outcome, duration_seconds=symbol_seconds)
+            outcomes.append(outcome)
+            if outcome.success:
+                eliminated.append(symbol)
 
-    if config.simplify_output:
-        constraints = simplify_constraint_set(constraints, config.registry)
+        if config.simplify_output:
+            with timed("simplify"):
+                constraints = simplify_constraint_set(constraints, config.registry)
 
     elapsed = time.perf_counter() - started
     residual = problem.sigma2.removing(*eliminated) if eliminated else problem.sigma2
@@ -94,6 +100,7 @@ def compose(
         elapsed_seconds=elapsed,
         input_operator_count=input_operator_count,
         output_operator_count=constraints.operator_count(),
+        phase_seconds=tuple(sorted(phase_buckets.items())),
     )
 
 

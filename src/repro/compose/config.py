@@ -81,6 +81,38 @@ class ComposerConfig:
         """The 'no left compose' configuration (discussed in Section 4.2)."""
         return cls(enable_left_compose=False)
 
+    def fingerprint(self) -> bytes:
+        """Deterministic content fingerprint of the configuration.
+
+        Every knob that can change a composition's output is covered — the
+        step toggles, the blow-up bound, the symbol order, the normalization
+        budget, the simplify switch, and the operator registry's own
+        fingerprint (which includes its mutation ``version``).  Incremental
+        recomposition mixes this into every checkpoint token, so changing any
+        knob — or registering a rule mid-run — invalidates recorded hops.
+
+        Not cached: the registry is mutable underneath the (frozen) config,
+        and recomputing is a handful of repr calls.
+        """
+        from hashlib import blake2b
+
+        h = blake2b(digest_size=16)
+        h.update(
+            repr(
+                (
+                    self.enable_view_unfolding,
+                    self.enable_left_compose,
+                    self.enable_right_compose,
+                    self.max_blowup_factor,
+                    tuple(self.symbol_order) if self.symbol_order is not None else None,
+                    self.max_normalization_steps,
+                    self.simplify_output,
+                )
+            ).encode()
+        )
+        h.update(self.registry.fingerprint())
+        return h.digest()
+
     def with_registry(self, registry: OperatorRegistry) -> "ComposerConfig":
         """Return a copy using a different operator registry."""
         return replace(self, registry=registry)

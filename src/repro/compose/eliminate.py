@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from repro.compose.config import ComposerConfig
 from repro.compose.left_compose import left_compose
+from repro.compose.phases import timed
 from repro.compose.result import EliminationMethod, EliminationOutcome
 from repro.compose.right_compose import right_compose
 from repro.compose.view_unfolding import unfold_view
@@ -72,7 +73,8 @@ def eliminate(
 
     # Step 1: view unfolding.
     if config.enable_view_unfolding:
-        candidate = unfold_view(constraints, symbol)
+        with timed("view_unfolding"):
+            candidate = unfold_view(constraints, symbol)
         if candidate is not None:
             if _within_blowup(candidate, baseline, config):
                 return finish(candidate, EliminationMethod.VIEW_UNFOLDING)
@@ -85,9 +87,10 @@ def eliminate(
 
     # Step 2: left compose.
     if config.enable_left_compose:
-        candidate = left_compose(
-            constraints, symbol, symbol_arity, registry, config.max_normalization_steps
-        )
+        with timed("left_compose"):
+            candidate = left_compose(
+                constraints, symbol, symbol_arity, registry, config.max_normalization_steps
+            )
         if candidate is not None:
             if _within_blowup(candidate, baseline, config):
                 return finish(candidate, EliminationMethod.LEFT_COMPOSE)
@@ -100,9 +103,10 @@ def eliminate(
 
     # Step 3: right compose.
     if config.enable_right_compose:
-        candidate = right_compose(
-            constraints, symbol, symbol_arity, registry, config.max_normalization_steps
-        )
+        with timed("right_compose"):
+            candidate = right_compose(
+                constraints, symbol, symbol_arity, registry, config.max_normalization_steps
+            )
         if candidate is not None:
             if _within_blowup(candidate, baseline, config):
                 return finish(candidate, EliminationMethod.RIGHT_COMPOSE)

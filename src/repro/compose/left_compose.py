@@ -22,6 +22,7 @@ from repro.compose.domain_elimination import eliminate_domain
 from repro.compose.failure_memo import NormalizationFailureMemo
 from repro.compose.left_normalize import left_normalize
 from repro.compose.normalize_context import NormalizationContext
+from repro.compose.phases import timed
 from repro.constraints.constraint import Constraint, ContainmentConstraint
 from repro.constraints.constraint_set import ConstraintSet
 from repro.operators.monotonicity import Monotonicity, monotonicity
@@ -80,9 +81,10 @@ def left_compose(
 
     # Step 2: left-normalize, producing the single upper bound ξ : S ⊆ E1.
     context = NormalizationContext(symbol=symbol, symbol_arity=symbol_arity, registry=registry)
-    normalized = left_normalize(
-        working, symbol, context, max_steps=max_steps, failure_sink=memo.sink
-    )
+    with timed("normalize"):
+        normalized = left_normalize(
+            working, symbol, context, max_steps=max_steps, failure_sink=memo.sink
+        )
     if normalized is None:
         return None
     normalized_set, xi = normalized

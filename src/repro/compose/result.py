@@ -73,6 +73,13 @@ class CompositionResult:
         Wall-clock time of the whole composition.
     input_operator_count / output_operator_count:
         The paper's size metric before and after.
+    phase_seconds:
+        Per-phase wall-clock buckets as sorted ``(name, seconds)`` pairs (see
+        :mod:`repro.compose.phases`; ``phase_breakdown()`` returns them as a
+        dict).  Buckets nest rather than partition: ``eliminate`` covers each
+        whole per-symbol attempt, ``left_compose``/``right_compose``/
+        ``view_unfolding`` are inside it, and ``normalize``/``deskolemize``
+        are inside the compose steps; ``simplify`` is the final pass.
     """
 
     sigma1: Signature
@@ -83,6 +90,7 @@ class CompositionResult:
     elapsed_seconds: float
     input_operator_count: int
     output_operator_count: int
+    phase_seconds: Tuple[Tuple[str, float], ...] = ()
 
     # -- derived statistics --------------------------------------------------------
 
@@ -121,6 +129,10 @@ class CompositionResult:
         simplification pass and bookkeeping.
         """
         return sum(outcome.duration_seconds for outcome in self.outcomes)
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """The per-phase wall-clock buckets as a ``{name: seconds}`` dict."""
+        return dict(self.phase_seconds)
 
     @property
     def output_signature(self) -> Signature:

@@ -21,6 +21,7 @@ from repro.compose.deskolemize import deskolemize
 from repro.compose.empty_elimination import eliminate_empty
 from repro.compose.failure_memo import NormalizationFailureMemo
 from repro.compose.normalize_context import NormalizationContext
+from repro.compose.phases import timed
 from repro.compose.right_normalize import right_normalize
 from repro.constraints.constraint import Constraint, ContainmentConstraint
 from repro.constraints.constraint_set import ConstraintSet
@@ -78,9 +79,10 @@ def right_compose(
 
     # Step 2: right-normalize, producing the single lower bound ξ : E1 ⊆ S.
     context = NormalizationContext(symbol=symbol, symbol_arity=symbol_arity, registry=registry)
-    normalized = right_normalize(
-        working, symbol, context, max_steps=max_steps, failure_sink=memo.sink
-    )
+    with timed("normalize"):
+        normalized = right_normalize(
+            working, symbol, context, max_steps=max_steps, failure_sink=memo.sink
+        )
     if normalized is None:
         return None
     normalized_set, xi = normalized
@@ -112,7 +114,8 @@ def right_compose(
 
     # Step 4: deskolemize if normalization introduced Skolem functions.
     if candidate.contains_skolem():
-        deskolemized = deskolemize(candidate)
+        with timed("deskolemize"):
+            deskolemized = deskolemize(candidate)
         if deskolemized is None:
             return None
         candidate = deskolemized

@@ -93,6 +93,30 @@ class Constraint:
         object.__setattr__(self, "_operator_count", count)
         return count
 
+    def digest(self) -> bytes:
+        """Deterministic content digest of the constraint (kind plus both sides).
+
+        Unlike the per-process salted structural hash, the digest survives
+        pickling and names the constraint identically in every process — the
+        property the incremental-recomposition checkpoints rely on.  Cached on
+        the (immutable) constraint.
+        """
+        try:
+            return self._digest
+        except AttributeError:
+            pass
+        from hashlib import blake2b
+
+        from repro.algebra.digest import DIGEST_SIZE, expression_digest
+
+        h = blake2b(digest_size=DIGEST_SIZE)
+        h.update(type(self).__name__.encode())
+        h.update(expression_digest(self.left))
+        h.update(expression_digest(self.right))
+        value = h.digest()
+        object.__setattr__(self, "_digest", value)
+        return value
+
     # -- rewriting ------------------------------------------------------------
 
     def substituting(self, name: str, replacement: Expression) -> "Constraint":

@@ -44,6 +44,7 @@ class ConstraintSet:
         self._names_cache: Optional[FrozenSet[str]] = None
         self._mention_index: Optional[Dict[str, Tuple[int, ...]]] = None
         self._operator_count: Optional[int] = None
+        self._fingerprint: Optional[bytes] = None
 
     # -- collection protocol ---------------------------------------------------
 
@@ -211,6 +212,28 @@ class ConstraintSet:
     def contains_skolem(self) -> bool:
         """Return ``True`` iff any constraint contains a Skolem application."""
         return any(c.contains_skolem() for c in self._constraints)
+
+    def fingerprint(self) -> bytes:
+        """Deterministic, order-sensitive content fingerprint of the set.
+
+        Derived from the per-constraint digests (which in turn come from the
+        cached structural summaries of the sides), so equal structure yields
+        an equal fingerprint in every process.  Order matters deliberately:
+        the composition algorithm attempts symbols and simplifies constraints
+        in set order, so two reorderings are distinct inputs.  Cached, and —
+        being structural — the cache survives pickling.
+        """
+        if self._fingerprint is None:
+            from hashlib import blake2b
+
+            from repro.algebra.digest import DIGEST_SIZE
+
+            h = blake2b(digest_size=DIGEST_SIZE)
+            h.update(b"%d|" % len(self._constraints))
+            for constraint in self._constraints:
+                h.update(constraint.digest())
+            self._fingerprint = h.digest()
+        return self._fingerprint
 
     def containments(self) -> Tuple[ContainmentConstraint, ...]:
         """The containment constraints of the set."""

@@ -35,6 +35,7 @@ from repro.algebra.interning import ExpressionCache, activate_cache, shared_expr
 from repro.compose.composer import compose
 from repro.compose.config import ComposerConfig
 from repro.engine.chain import ChainResult, compose_chain
+from repro.engine.checkpoint import ChainCheckpoint, CheckpointStore
 from repro.exceptions import EngineError
 from repro.mapping.composition_problem import CompositionProblem
 from repro.mapping.mapping import Mapping
@@ -92,6 +93,19 @@ class BatchConfig:
         the ``process`` backend is used).
     cache_max_entries:
         Size bound of the shared cache.
+    share_checkpoints:
+        Keep one hop-checkpoint store (:mod:`repro.engine.checkpoint`) on the
+        composer and thread it through every ``run_chains`` job, so chains
+        sharing a fingerprinted prefix — within one batch or across
+        successive batches on the same composer, the schema-evolution
+        edit-replay pattern — recompose incrementally.  This applies to the
+        ``serial`` and ``thread`` backends; ``process`` workers keep private
+        per-batch stores (pre-seeded from the composer's store, which the
+        parent can fill via ``composer.checkpoints.seed(...)``), because
+        checkpoints recorded in a worker die with that batch's pool — the
+        same memory-isolation trade the expression cache makes.
+    checkpoint_max_entries:
+        Size bound of the checkpoint store.
     pause_gc:
         Disable the cyclic garbage collector for the duration of the batch
         (re-enabled afterwards; no forced collection — composition allocates
@@ -112,6 +126,8 @@ class BatchConfig:
     composer_config: ComposerConfig = field(default_factory=ComposerConfig)
     share_expression_cache: bool = True
     cache_max_entries: int = 200_000
+    share_checkpoints: bool = True
+    checkpoint_max_entries: int = 4096
     pause_gc: bool = True
     fail_fast: bool = False
 
@@ -162,6 +178,7 @@ class BatchReport:
     backend: str
     elapsed_seconds: float
     cache_stats: Optional[dict] = None
+    checkpoint_stats: Optional[dict] = None
 
     # -- aggregate statistics ------------------------------------------------------
 
@@ -236,6 +253,11 @@ class BatchReport:
                 f"{self.cache_stats['misses']:.0f} misses "
                 f"({self.cache_stats['hit_rate']:.0%})"
             )
+        if self.checkpoint_stats is not None:
+            lines.append(
+                f"hop checkpoints: {self.checkpoint_stats['entries']:.0f} recorded, "
+                f"{self.checkpoint_stats['hits']:.0f} prefix reuses"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -273,9 +295,20 @@ def _compose_job(args: Tuple[CompositionProblem, ComposerConfig]) -> object:
     return compose(problem, config)
 
 
-def _compose_chain_job(args: Tuple[Sequence[Mapping], ComposerConfig]) -> ChainResult:
-    mappings, config = args
-    return compose_chain(mappings, config)
+#: Per-process checkpoint store installed by the process-pool initializer
+#: (``None`` in the parent process and in workers without checkpoint sharing).
+_worker_checkpoints: Optional[CheckpointStore] = None
+
+
+def _compose_chain_job(
+    args: Tuple[Sequence[Mapping], ComposerConfig, Optional[CheckpointStore]]
+) -> ChainResult:
+    mappings, config, checkpoints = args
+    if checkpoints is None:
+        # Process backend: the store does not travel with the job — each
+        # worker uses its own pre-seeded store installed by the initializer.
+        checkpoints = _worker_checkpoints
+    return compose_chain(mappings, config, checkpoints=checkpoints)
 
 
 @contextlib.contextmanager
@@ -296,22 +329,50 @@ def _gc_paused(enabled: bool):
         gc.enable()
 
 
-def _process_pool_initializer(cache_max_entries: int, seeds: Tuple = ()) -> None:
+def _process_pool_initializer(
+    cache_max_entries: int,
+    seeds: Tuple = (),
+    checkpoint_max_entries: int = 0,
+    checkpoint_seeds: Tuple[ChainCheckpoint, ...] = (),
+) -> None:
     # Each worker process gets its own cache: memory is not shared across
     # processes, but within one worker the batch's repetition still pays off.
     # ``seeds`` are representative expressions from the batch (constraint
     # sides); interning them up front ships a pre-warmed cache to the worker,
     # so the first problems start from shared, summarized structure.
-    cache = activate_cache(ExpressionCache(max_entries=cache_max_entries))
-    for expression in seeds:
-        cache.intern(expression)
+    if cache_max_entries > 0:
+        cache = activate_cache(ExpressionCache(max_entries=cache_max_entries))
+        for expression in seeds:
+            cache.intern(expression)
+    # Checkpoints are pre-seeded the same way: tokens are deterministic
+    # digests, so the parent's recorded prefixes are recognized verbatim in
+    # the worker and chain jobs resume after them.
+    global _worker_checkpoints
+    if checkpoint_max_entries > 0:
+        _worker_checkpoints = CheckpointStore(max_entries=checkpoint_max_entries)
+        _worker_checkpoints.seed(checkpoint_seeds)
+    else:
+        _worker_checkpoints = None
 
 
 class BatchComposer:
-    """Runs many composition problems through one configured engine."""
+    """Runs many composition problems through one configured engine.
+
+    The composer is stateful across runs: with ``share_checkpoints`` enabled
+    it keeps one hop-checkpoint store, so successive ``run_chains`` batches
+    over evolving chains (the schema-editing pattern: every batch is the
+    previous chain plus a delta) recompose incrementally on the serial and
+    thread backends (see ``BatchConfig.share_checkpoints`` for the process
+    backend's worker-local behaviour).
+    """
 
     def __init__(self, config: Optional[BatchConfig] = None):
         self.config = config or BatchConfig()
+        self.checkpoints: Optional[CheckpointStore] = (
+            CheckpointStore(max_entries=self.config.checkpoint_max_entries)
+            if self.config.share_checkpoints
+            else None
+        )
 
     # -- generic engine --------------------------------------------------------
 
@@ -321,6 +382,7 @@ class BatchComposer:
         items: Sequence[object],
         labels: Optional[Sequence[str]] = None,
         seeds: Tuple = (),
+        checkpoint_seeds: Tuple = (),
     ) -> BatchReport:
         """Apply ``fn`` to every item with the configured backend.
 
@@ -329,7 +391,8 @@ class BatchComposer:
         picklable (module-level functions; the built-in ``run`` and
         ``run_chains`` jobs are) and ``seeds`` (representative expressions
         gathered by the composition-aware entry points) pre-warm each worker's
-        expression cache.
+        expression cache; ``checkpoint_seeds`` pre-warm each worker's
+        hop-checkpoint store the same way.
         """
         if labels is None:
             labels = [f"problem[{index}]" for index in range(len(items))]
@@ -342,7 +405,14 @@ class BatchComposer:
 
         with _gc_paused(self.config.pause_gc):
             if backend == BatchBackend.PROCESS.value:
-                results = self._map_pool(fn, items, labels, process=True, seeds=seeds)
+                results = self._map_pool(
+                    fn,
+                    items,
+                    labels,
+                    process=True,
+                    seeds=seeds,
+                    checkpoint_seeds=checkpoint_seeds,
+                )
             elif self.config.share_expression_cache:
                 cache = ExpressionCache(max_entries=self.config.cache_max_entries)
                 with shared_expression_cache(cache):
@@ -362,6 +432,15 @@ class BatchComposer:
             backend=backend,
             elapsed_seconds=time.perf_counter() - started,
             cache_stats=cache_stats,
+            # Like cache_stats, checkpoint counters are only reported when the
+            # parent process can observe them: process workers keep private
+            # stores, so the parent's counters would misstate what happened.
+            checkpoint_stats=(
+                self.checkpoints.stats()
+                if self.checkpoints is not None
+                and backend != BatchBackend.PROCESS.value
+                else None
+            ),
         )
 
     def _classify(
@@ -417,15 +496,26 @@ class BatchComposer:
         labels: Sequence[str],
         process: bool,
         seeds: Tuple = (),
+        checkpoint_seeds: Tuple = (),
     ) -> List[BatchItemResult]:
         if process:
+            use_initializer = (
+                self.config.share_expression_cache or self.config.share_checkpoints
+            )
             executor = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.config.max_workers,
-                initializer=_process_pool_initializer
-                if self.config.share_expression_cache
-                else None,
-                initargs=(self.config.cache_max_entries, seeds)
-                if self.config.share_expression_cache
+                initializer=_process_pool_initializer if use_initializer else None,
+                initargs=(
+                    self.config.cache_max_entries
+                    if self.config.share_expression_cache
+                    else 0,
+                    seeds,
+                    self.config.checkpoint_max_entries
+                    if self.config.share_checkpoints
+                    else 0,
+                    checkpoint_seeds,
+                )
+                if use_initializer
                 else (),
             )
         else:
@@ -461,6 +551,11 @@ class BatchComposer:
     #: workers as cache seeds (keeps the pickled initializer payload small).
     MAX_PROCESS_SEEDS = 512
 
+    #: Bound on the number of hop checkpoints shipped to process workers
+    #: (deepest first — a deep prefix subsumes every shallower one; the
+    #: checkpoints carry whole constraint sets, so the bound is tighter).
+    MAX_PROCESS_CHECKPOINT_SEEDS = 64
+
     def _collect_seeds(self, constraint_sets) -> Tuple:
         """Unique constraint sides to pre-warm process-worker caches with."""
         if self.config.resolved_backend() != BatchBackend.PROCESS.value or (
@@ -494,16 +589,38 @@ class BatchComposer:
         """Compose every chain of mappings; payloads are :class:`ChainResult` objects.
 
         Accepts plain sequences of mappings or objects with a ``mappings``
-        attribute (e.g. the workload generator's ``ChainProblem``).
+        attribute (e.g. the workload generator's ``ChainProblem``).  With
+        ``share_checkpoints`` enabled, every serial/thread job records and
+        reuses hop checkpoints in the composer's store — within this batch
+        and across earlier batches on the same composer — so chains that
+        extend or edit previously composed chains replay only the changed
+        suffix.  Process workers keep private per-batch stores pre-seeded
+        with the composer's deepest recorded checkpoints; their new
+        checkpoints stay in the worker (like the expression cache), so
+        cross-batch reuse on the process backend requires seeding the
+        composer's store explicitly (``composer.checkpoints.seed(...)``).
         """
+        process = self.config.resolved_backend() == BatchBackend.PROCESS.value
+        shared_store = None if process else self.checkpoints
         labels = []
         jobs = []
         for index, chain in enumerate(chains):
             label = getattr(chain, "name", "") or f"chain[{index}]"
             mappings = getattr(chain, "mappings", chain)
             labels.append(label)
-            jobs.append((tuple(mappings), self.config.composer_config))
+            jobs.append((tuple(mappings), self.config.composer_config, shared_store))
         seeds = self._collect_seeds(
-            mapping.constraints for mappings, _ in jobs for mapping in mappings
+            mapping.constraints for mappings, _, _ in jobs for mapping in mappings
         )
-        return self.map(_compose_chain_job, jobs, labels=labels, seeds=seeds)
+        checkpoint_seeds: Tuple = ()
+        if process and self.checkpoints is not None:
+            checkpoint_seeds = self.checkpoints.snapshot(
+                limit=self.MAX_PROCESS_CHECKPOINT_SEEDS
+            )
+        return self.map(
+            _compose_chain_job,
+            jobs,
+            labels=labels,
+            seeds=seeds,
+            checkpoint_seeds=checkpoint_seeds,
+        )

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algebra.interning import ExpressionCache
+    from repro.engine.checkpoint import CheckpointStore
 
 from repro.compose.composer import compose
 from repro.compose.config import ComposerConfig
@@ -46,7 +47,13 @@ class ChainHop:
         The intermediate symbols this hop tried to eliminate, the ones it
         removed, and the ones that survive into the next hop.
     elapsed_seconds:
-        Wall-clock time of the hop (composition plus problem assembly).
+        Wall-clock time of the hop: problem assembly plus composition.
+    assembly_seconds:
+        The share of ``elapsed_seconds`` spent assembling the hop's
+        :class:`CompositionProblem` (signature unions, constraint-set
+        validation) before COMPOSE ran; ``elapsed_seconds -
+        assembly_seconds`` is the composition proper, and
+        ``result.phase_seconds`` breaks that down further.
     """
 
     index: int
@@ -55,11 +62,22 @@ class ChainHop:
     eliminated_symbols: Tuple[str, ...]
     residual_symbols: Tuple[str, ...]
     elapsed_seconds: float
+    assembly_seconds: float = 0.0
 
     @property
     def is_complete(self) -> bool:
         """``True`` iff the hop eliminated every symbol it attempted."""
         return not self.residual_symbols
+
+    @property
+    def compose_seconds(self) -> float:
+        """Wall-clock time of the composition alone (assembly excluded)."""
+        return self.elapsed_seconds - self.assembly_seconds
+
+    @property
+    def phase_seconds(self) -> Tuple[Tuple[str, float], ...]:
+        """The composition's per-phase buckets (see :mod:`repro.compose.phases`)."""
+        return self.result.phase_seconds
 
     def __repr__(self) -> str:
         return (
@@ -85,6 +103,10 @@ class ChainResult:
         Per-hop records, in composition order (``len(mappings) - 1`` entries).
     elapsed_seconds:
         Total wall-clock time of the chained composition.
+    reused_hops:
+        Number of leading hops restored from a checkpoint store instead of
+        being recomputed (0 without a store; their :class:`ChainHop` records —
+        including timings — are the originals).
     """
 
     sigma_first: Signature
@@ -93,8 +115,14 @@ class ChainResult:
     constraints: ConstraintSet
     hops: Tuple[ChainHop, ...]
     elapsed_seconds: float
+    reused_hops: int = 0
 
     # -- derived statistics --------------------------------------------------------
+
+    @property
+    def replayed_hops(self) -> int:
+        """Number of hops actually recomputed by this call."""
+        return len(self.hops) - self.reused_hops
 
     @property
     def is_complete(self) -> bool:
@@ -196,6 +224,7 @@ def compose_chain(
     config: Optional[ComposerConfig] = None,
     retry_residuals: bool = True,
     cache: Optional["ExpressionCache"] = None,
+    checkpoints: Optional["CheckpointStore"] = None,
 ) -> ChainResult:
     """Compose ``m12 ∘ m23 ∘ … ∘ m(n-1)(n)`` by folding through :func:`compose`.
 
@@ -213,8 +242,20 @@ def compose_chain(
         ``False``, residuals are frozen into the input signature immediately.
     cache:
         Optional :class:`~repro.algebra.interning.ExpressionCache` activated
-        for the whole chain, so every hop shares one set of fixpoint tokens
-        and memo tables (the batch engine threads its own cache this way).
+        for the whole chain — including the per-hop problem assembly — so
+        every hop shares one set of fixpoint tokens and memo tables (the
+        batch engine threads its own cache this way).
+    checkpoints:
+        Optional :class:`~repro.engine.checkpoint.CheckpointStore`.  When
+        given, the fold records a checkpoint after every hop, keyed by the
+        cumulative content fingerprint of the consumed prefix
+        (:mod:`repro.engine.fingerprint`), and a later call whose fingerprint
+        chain matches a recorded prefix resumes after it, replaying only the
+        hops at or after the first mismatch.  Reuse is sound because
+        residuals only flow forward: a hop's state is a deterministic
+        function of the config and the mappings up to it, which is exactly
+        what the token names.  Outputs are byte-identical with the store
+        hot, cold, or absent; ``ChainResult.reused_hops`` reports the savings.
 
     Returns the :class:`ChainResult`; a single-mapping chain returns a trivial
     result with zero hops.
@@ -223,7 +264,9 @@ def compose_chain(
         from repro.algebra.interning import shared_expression_cache
 
         with shared_expression_cache(cache):
-            return compose_chain(mappings, config, retry_residuals)
+            return compose_chain(
+                mappings, config, retry_residuals, checkpoints=checkpoints
+            )
     validate_chain(mappings)
     config = config or ComposerConfig()
     started = time.perf_counter()
@@ -235,7 +278,26 @@ def compose_chain(
     constraints = first.constraints
     hops: List[ChainHop] = []
 
-    for index, next_mapping in enumerate(mappings[1:]):
+    tokens: Optional[List[bytes]] = None
+    reused = 0
+    if checkpoints is not None and len(mappings) > 1:
+        from repro.engine.fingerprint import chain_tokens
+
+        tokens = chain_tokens(mappings, config, retry_residuals)
+        # Deepest matching prefix wins; every shallower checkpoint of the
+        # same chain is subsumed by it.
+        for hop_index in range(len(tokens) - 1, -1, -1):
+            checkpoint = checkpoints.get(tokens[hop_index])
+            if checkpoint is not None:
+                hops = list(checkpoint.hops)
+                constraints = checkpoint.constraints
+                residual = checkpoint.residual
+                current_output = checkpoint.current_output
+                reused = hop_index + 1
+                break
+
+    for index in range(reused, len(mappings) - 1):
+        next_mapping = mappings[index + 1]
         hop_started = time.perf_counter()
         if retry_residuals:
             sigma2 = current_output.union(residual)
@@ -251,6 +313,7 @@ def compose_chain(
             sigma23=next_mapping.constraints,
             name=f"chain hop {index}",
         )
+        assembly_seconds = time.perf_counter() - hop_started
         result = compose(problem, config)
         residual = result.residual_sigma2 if retry_residuals else residual.union(
             result.residual_sigma2
@@ -265,8 +328,21 @@ def compose_chain(
                 eliminated_symbols=result.eliminated_symbols,
                 residual_symbols=result.remaining_symbols,
                 elapsed_seconds=time.perf_counter() - hop_started,
+                assembly_seconds=assembly_seconds,
             )
         )
+        if tokens is not None:
+            from repro.engine.checkpoint import ChainCheckpoint
+
+            checkpoints.put(
+                ChainCheckpoint(
+                    token=tokens[index],
+                    hops=tuple(hops),
+                    constraints=constraints,
+                    residual=residual,
+                    current_output=current_output,
+                )
+            )
 
     return ChainResult(
         sigma_first=sigma1,
@@ -275,4 +351,5 @@ def compose_chain(
         constraints=constraints,
         hops=tuple(hops),
         elapsed_seconds=time.perf_counter() - started,
+        reused_hops=reused,
     )

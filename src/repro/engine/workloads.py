@@ -37,6 +37,7 @@ from repro.schema.instance import Instance
 __all__ = [
     "WorkloadConfig",
     "ChainProblem",
+    "ChainGrower",
     "generate_chain_problem",
     "generate_workload",
     "pairwise_problems",
@@ -143,6 +144,62 @@ def _rename_survivors(
     return copies, equalities
 
 
+class ChainGrower:
+    """Grows a chain of composable mappings one evolution hop at a time.
+
+    The batch generator builds whole chains up front;
+    :class:`~repro.engine.incremental.EvolutionSession` wants the opposite
+    shape — a designer applying edits one by one, each producing the next
+    mapping of the chain.  A grower keeps the simulator and renamer state
+    between hops, so :meth:`grow` can be called whenever the session needs
+    another edit, and the produced mappings always splice onto the chain so
+    far (each hop consumes its entire input schema, exactly like the
+    generator's chains).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        schema_size: int = 4,
+        simulator_config: Optional[SimulatorConfig] = None,
+        event_vector: Optional[EventVector] = None,
+    ):
+        simulator_config = simulator_config or SimulatorConfig(min_arity=2, max_arity=5)
+        self._simulator = SchemaEvolutionSimulator(
+            seed=seed, config=simulator_config, event_vector=event_vector
+        )
+        self._copy_namer = RelationNamer(prefix="C")
+        self._state = self._simulator.random_schema(schema_size)
+        self.primitives: List[str] = []
+
+    @property
+    def state(self) -> SchemaState:
+        """The current schema (the next mapping's input side)."""
+        return self._state
+
+    def grow(self) -> Mapping:
+        """Apply one random edit and return the mapping it induces."""
+        before = self._state
+        step = self._simulator.apply_random_edit(before)
+        self.primitives.append(step.primitive)
+
+        produced_names = set(step.produced_names)
+        survivors = [r for r in step.after.relations if r.name not in produced_names]
+        copies, equalities = _rename_survivors(before, survivors, self._copy_namer)
+        after = SchemaState(tuple(copies) + tuple(step.produced))
+        self._state = after
+
+        return Mapping(
+            input_signature=before.signature(),
+            output_signature=after.signature(),
+            constraints=ConstraintSet(tuple(step.constraints) + tuple(equalities)),
+        )
+
+    def grow_many(self, count: int) -> List[Mapping]:
+        """Apply ``count`` edits and return their mappings, in order."""
+        return [self.grow() for _ in range(count)]
+
+
 def generate_chain_problem(
     seed: int,
     chain_length: int = 4,
@@ -159,40 +216,18 @@ def generate_chain_problem(
     """
     if chain_length < 2:
         raise EngineError("a chain problem needs at least two mappings")
-    simulator_config = simulator_config or SimulatorConfig(min_arity=2, max_arity=5)
-    simulator = SchemaEvolutionSimulator(
-        seed=seed, config=simulator_config, event_vector=event_vector
+    grower = ChainGrower(
+        seed=seed,
+        schema_size=schema_size,
+        simulator_config=simulator_config,
+        event_vector=event_vector,
     )
-    copy_namer = RelationNamer(prefix="C")
-
-    state = simulator.random_schema(schema_size)
-    mappings: List[Mapping] = []
-    primitives: List[str] = []
-
-    for _ in range(chain_length):
-        before = state
-        step = simulator.apply_random_edit(before)
-        primitives.append(step.primitive)
-
-        produced_names = set(step.produced_names)
-        survivors = [r for r in step.after.relations if r.name not in produced_names]
-        copies, equalities = _rename_survivors(before, survivors, copy_namer)
-        after = SchemaState(tuple(copies) + tuple(step.produced))
-
-        mappings.append(
-            Mapping(
-                input_signature=before.signature(),
-                output_signature=after.signature(),
-                constraints=ConstraintSet(tuple(step.constraints) + tuple(equalities)),
-            )
-        )
-        state = after
-
+    mappings = grower.grow_many(chain_length)
     return ChainProblem(
         name=name or f"chain(seed={seed}, length={chain_length})",
         seed=seed,
         mappings=tuple(mappings),
-        primitives=tuple(primitives),
+        primitives=tuple(grower.primitives),
     )
 
 

@@ -81,6 +81,32 @@ class Mapping:
         """Number of constraints in the mapping."""
         return len(self.constraints)
 
+    def fingerprint(self) -> bytes:
+        """Deterministic content fingerprint of the mapping.
+
+        Combines the (order-sensitive) fingerprints of both signatures and of
+        the constraint set, so two mappings fingerprint equal iff they are the
+        same composition input: same relations in the same order with the same
+        arities and keys, same constraints in the same order.  Stable across
+        processes; cached on the (immutable) mapping and — being structural —
+        the cache survives pickling.
+        """
+        try:
+            return self._fingerprint
+        except AttributeError:
+            pass
+        from hashlib import blake2b
+
+        from repro.algebra.digest import DIGEST_SIZE
+
+        h = blake2b(digest_size=DIGEST_SIZE)
+        h.update(self.input_signature.fingerprint())
+        h.update(self.output_signature.fingerprint())
+        h.update(self.constraints.fingerprint())
+        value = h.digest()
+        object.__setattr__(self, "_fingerprint", value)
+        return value
+
     def relates(
         self,
         input_instance: Instance,

@@ -128,6 +128,39 @@ class OperatorRegistry:
         """Return the rule bundle for this expression's type, or ``None``."""
         return self._rules.get(type(expression))
 
+    def fingerprint(self) -> bytes:
+        """Deterministic content fingerprint of the registry's rule set.
+
+        Covers the registered operator types, which of the four rule slots
+        each fills (by the rule functions' qualified names), and the mutation
+        ``version``, so registering or removing a rule mid-run retires every
+        fingerprint derived from the old rule set — exactly how the
+        incremental-recomposition checkpoints are invalidated.  Two registries
+        built the same way (e.g. fresh :func:`default_registry` copies)
+        fingerprint equal, so checkpoint reuse survives config reconstruction.
+        """
+        from hashlib import blake2b
+
+        h = blake2b(digest_size=16)
+        h.update(b"v%d|" % self.version)
+        entries = []
+        for operator_type, rule in self._rules.items():
+            slots = tuple(
+                f"{fn.__module__}.{fn.__qualname__}" if fn is not None else None
+                for fn in (
+                    rule.monotonicity_rule,
+                    rule.left_normalization_rule,
+                    rule.right_normalization_rule,
+                    rule.simplification_rule,
+                )
+            )
+            entries.append(
+                (f"{operator_type.__module__}.{operator_type.__qualname__}", slots)
+            )
+        for entry in sorted(entries):
+            h.update(repr(entry).encode())
+        return h.digest()
+
     def knows(self, expression: Expression) -> bool:
         """Return ``True`` if the expression's operator has any registered rule."""
         return type(expression) in self._rules

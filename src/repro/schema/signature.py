@@ -154,6 +154,28 @@ class Signature:
         """Key columns of the named relation, or ``None``."""
         return self[name].key
 
+    def fingerprint(self) -> bytes:
+        """Deterministic, order-sensitive content fingerprint of the signature.
+
+        Covers the relation names, arities and keys *in insertion order* —
+        the order the composition algorithm attempts σ2 symbols in, so two
+        orderings of the same relations are distinct inputs.  Stable across
+        processes (no salted hashing), which the incremental-recomposition
+        checkpoints rely on.
+        """
+        from hashlib import blake2b
+
+        from repro.algebra.digest import DIGEST_SIZE
+
+        h = blake2b(digest_size=DIGEST_SIZE)
+        for relation_schema in self._relations.values():
+            h.update(
+                repr(
+                    (relation_schema.name, relation_schema.arity, relation_schema.key)
+                ).encode()
+            )
+        return h.digest()
+
     def is_disjoint_from(self, other: "Signature") -> bool:
         """Return ``True`` if no relation name is shared with ``other``."""
         return not (set(self._relations) & set(other._relations))

@@ -1,0 +1,89 @@
+"""Per-phase timing buckets of COMPOSE and the chain engine.
+
+``CompositionResult.phase_seconds`` splits the old ``elapsed_seconds`` lump
+into named buckets (normalize / view-unfold / left-right compose / eliminate /
+deskolemize / simplify), and ``ChainHop`` separates problem-assembly time
+from composition time.  The buckets nest (see ``repro.compose.phases``), so
+the invariants tested here compare children against their parents, not a sum
+against the total.
+"""
+
+from repro.compose.composer import compose
+from repro.compose.config import ComposerConfig
+from repro.compose.phases import PHASES, collect_phases, timed
+from repro.engine import ChainGrower, compose_chain
+from repro.literature.problems import all_problems
+
+
+def _sample_problems(count=5):
+    return [problem.problem for problem in all_problems()[:count]]
+
+
+class TestCompositionPhases:
+    def test_buckets_use_known_names_and_nonnegative_times(self):
+        for problem in _sample_problems():
+            result = compose(problem)
+            breakdown = result.phase_breakdown()
+            assert breakdown, "a composition that attempts symbols fills buckets"
+            assert set(breakdown) <= set(PHASES)
+            assert all(seconds >= 0.0 for seconds in breakdown.values())
+            assert result.phase_seconds == tuple(sorted(breakdown.items()))
+
+    def test_eliminate_bucket_bounded_by_total_elapsed(self):
+        for problem in _sample_problems():
+            result = compose(problem)
+            breakdown = result.phase_breakdown()
+            assert breakdown.get("eliminate", 0.0) <= result.elapsed_seconds
+            # The step buckets nest inside the eliminate bucket.
+            steps = sum(
+                breakdown.get(name, 0.0)
+                for name in ("view_unfolding", "left_compose", "right_compose")
+            )
+            assert steps <= breakdown.get("eliminate", 0.0)
+
+    def test_simplify_bucket_follows_the_config(self):
+        problem = _sample_problems(1)[0]
+        with_simplify = compose(problem, ComposerConfig())
+        without = compose(problem, ComposerConfig(simplify_output=False))
+        assert "simplify" in with_simplify.phase_breakdown()
+        assert "simplify" not in without.phase_breakdown()
+
+    def test_disabled_steps_produce_no_buckets(self):
+        problem = _sample_problems(1)[0]
+        crippled = ComposerConfig(
+            enable_view_unfolding=False,
+            enable_left_compose=False,
+            enable_right_compose=False,
+        )
+        breakdown = compose(problem, crippled).phase_breakdown()
+        for name in ("view_unfolding", "left_compose", "right_compose"):
+            assert name not in breakdown
+
+
+class TestChainHopTiming:
+    def test_assembly_separated_from_composition(self):
+        mappings = ChainGrower(seed=11, schema_size=3).grow_many(4)
+        result = compose_chain(tuple(mappings))
+        for hop in result.hops:
+            assert hop.assembly_seconds >= 0.0
+            assert hop.elapsed_seconds >= hop.assembly_seconds
+            assert hop.compose_seconds == hop.elapsed_seconds - hop.assembly_seconds
+            # The hop's phase view is the composition's.
+            assert hop.phase_seconds == hop.result.phase_seconds
+            assert dict(hop.phase_seconds).get("eliminate", 0.0) <= hop.compose_seconds
+
+
+class TestPhaseCollector:
+    def test_timed_is_a_noop_without_a_collection(self):
+        with timed("normalize"):
+            pass  # must not raise, must not record anywhere
+
+    def test_collections_nest_per_thread(self):
+        with collect_phases() as outer:
+            with timed("eliminate"):
+                with collect_phases() as inner:
+                    with timed("normalize"):
+                        pass
+                assert "normalize" in inner
+            assert "normalize" not in outer
+            assert "eliminate" in outer
