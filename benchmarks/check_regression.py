@@ -33,6 +33,13 @@ EXACT_METRICS = {
     ),
     "figure7": ("fractions",),
     "engine_chain_batch": ("output_operator_count", "problems"),
+    "engine_partitioned": (
+        "problems",
+        "components_per_problem",
+        "components_total",
+        "outputs_equivalent",
+        "output_operator_count",
+    ),
     "evolution_incremental": (
         "edits",
         "hops_total",
@@ -46,6 +53,7 @@ EXACT_METRICS = {
 #: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
 RATIO_METRICS = {
     "engine_chain_batch": ("batch_speedup_vs_serial", "cache_hit_rate"),
+    "engine_partitioned": ("partitioned_speedup",),
     "evolution_incremental": ("incremental_speedup",),
 }
 
@@ -97,7 +105,12 @@ def main(argv) -> int:
                 )
 
     def _wall(record: dict):
-        for metric in ("wall_seconds", "batch_seconds", "incremental_seconds"):
+        for metric in (
+            "wall_seconds",
+            "batch_seconds",
+            "incremental_seconds",
+            "partitioned_seconds",
+        ):
             if record.get(metric) is not None:
                 return record[metric]
         return None

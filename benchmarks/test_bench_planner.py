@@ -1,0 +1,153 @@
+"""Benchmark: the cost-guided partitioned planner vs. fixed-order COMPOSE.
+
+The acceptance workload is a seeded batch of multi-component composition
+problems (16 independent components merged per problem — the shape sharded
+metadata stores produce, where one mapping covers many unrelated schema
+islands).  Fixed-order COMPOSE drags every per-symbol scan, equality split
+and set rebuild across all components' constraints; the planner composes each
+connected component of the symbol co-occurrence graph on its own small set,
+cheapest eliminations first.  The planner must be >= 1.3x faster and its
+outputs must stay semantically equivalent — every constructed satisfying
+instance of the original chain must satisfy both outputs.
+
+Recorded as the ``engine_partitioned`` workload in BENCH_compose.json:
+structural metrics (problem/component counts, output operator count,
+equivalence) are gated exactly by ``check_regression.py``; the speedup is
+gated as a scale-free ratio.  As in the other engine benchmarks, the win is
+asserted on process CPU time (both contenders are single-threaded in-process
+loops; wall-clock on busy 1-CPU runners drowns in scheduler noise) while
+wall-clock is measured and recorded alongside.
+"""
+
+import time
+
+from repro.algebra.evaluation import SkolemInterpretation
+from repro.compose import ComposerConfig, compose
+from repro.constraints.satisfaction import satisfies_all
+from repro.engine import (
+    WorkloadConfig,
+    generate_partitioned_workload,
+    partitioned_forward_instance,
+)
+from repro.engine.workloads import forward_event_vector
+
+#: The acceptance workload: each problem merges 16 independent two-mapping
+#: components (schema size 4), so the whole-problem constraint set is ~16x
+#: the size each elimination actually needs to look at.
+NUM_PROBLEMS = 8
+NUM_COMPONENTS = 16
+SCHEMA_SIZE = 4
+
+DEFAULT_SKOLEMS = SkolemInterpretation(
+    default=lambda name, arguments: (name,) + tuple(arguments)
+)
+
+
+def _best_of_interleaved(fns, rounds=5):
+    """Best-of-N measurement for several contenders, round-robin (shared idiom
+    with ``test_bench_engine.py``: load spikes hit both contenders)."""
+    wall = [[] for _ in fns]
+    cpu = [[] for _ in fns]
+    results = [None] * len(fns)
+    for _ in range(rounds):
+        for position, fn in enumerate(fns):
+            wall_started = time.perf_counter()
+            cpu_started = time.process_time()
+            results[position] = fn()
+            cpu[position].append(time.process_time() - cpu_started)
+            wall[position].append(time.perf_counter() - wall_started)
+    return [
+        (min(wall_series), min(cpu_series), result)
+        for wall_series, cpu_series, result in zip(wall, cpu, results)
+    ]
+
+
+def _acceptance_workload(seed):
+    workload = generate_partitioned_workload(
+        WorkloadConfig(
+            num_problems=NUM_PROBLEMS,
+            schema_size=SCHEMA_SIZE,
+            keys_fraction=0.0,
+            event_vector=forward_event_vector(),
+            num_components=NUM_COMPONENTS,
+            seed=seed,
+        )
+    )
+    assert all(problem.num_components == NUM_COMPONENTS for problem in workload)
+    return workload
+
+
+def test_bench_planner_beats_fixed_order(benchmark, bench_params, bench_record):
+    workload = _acceptance_workload(bench_params["seed"])
+    fixed_config = ComposerConfig()
+    cost_config = ComposerConfig.cost_guided()
+
+    # Warm both code paths once so interpreter warm-up is not part of the timing.
+    compose(workload[0].problem, fixed_config)
+    compose(workload[0].problem, cost_config)
+
+    (
+        (fixed_seconds, fixed_cpu, fixed_results),
+        (cost_seconds, cost_cpu, cost_results),
+    ) = _best_of_interleaved(
+        (
+            lambda: [compose(p.problem, fixed_config) for p in workload],
+            lambda: [compose(p.problem, cost_config) for p in workload],
+        )
+    )
+    benchmark.pedantic(
+        lambda: [compose(p.problem, cost_config) for p in workload],
+        rounds=1,
+        iterations=1,
+    )
+
+    # The planner actually decomposed the problems.
+    assert all(result.components >= NUM_COMPONENTS for result in cost_results)
+    assert all("planner" in result.phase_breakdown() for result in cost_results)
+
+    # Semantic equivalence: every constructed satisfying instance of the
+    # original constraints satisfies both outputs.
+    outputs_equivalent = True
+    for partitioned, fixed_result, cost_result in zip(
+        workload, fixed_results, cost_results
+    ):
+        for instance_seed in range(2):
+            instance = partitioned_forward_instance(
+                partitioned, seed=partitioned.seed + instance_seed
+            )
+            assert satisfies_all(
+                instance, partitioned.problem.all_constraints, skolems=DEFAULT_SKOLEMS
+            ), f"{partitioned.name}: bad construction"
+            outputs_equivalent = outputs_equivalent and satisfies_all(
+                instance, fixed_result.constraints, skolems=DEFAULT_SKOLEMS
+            )
+            outputs_equivalent = outputs_equivalent and satisfies_all(
+                instance, cost_result.constraints, skolems=DEFAULT_SKOLEMS
+            )
+    assert outputs_equivalent
+
+    # The acceptance bar: >= 1.3x on CPU time over the same problems.
+    speedup = fixed_cpu / cost_cpu
+    assert speedup >= 1.3, (
+        f"planner {cost_cpu:.3f}s CPU vs fixed order {fixed_cpu:.3f}s CPU "
+        f"({speedup:.2f}x; wall {cost_seconds:.3f}s vs {fixed_seconds:.3f}s)"
+    )
+
+    bench_record(
+        "engine_partitioned",
+        problems=NUM_PROBLEMS,
+        components_per_problem=NUM_COMPONENTS,
+        fixed_seconds=round(fixed_seconds, 4),
+        partitioned_seconds=round(cost_seconds, 4),
+        fixed_cpu_seconds=round(fixed_cpu, 4),
+        partitioned_cpu_seconds=round(cost_cpu, 4),
+        # The gated ratio compares CPU seconds: scale-free and immune to
+        # co-tenant load on 1-CPU runners.
+        partitioned_speedup=round(speedup, 4),
+        outputs_equivalent=outputs_equivalent,
+        components_total=sum(result.components for result in cost_results),
+        reorderings_total=sum(result.reorderings for result in cost_results),
+        output_operator_count=sum(
+            result.output_operator_count for result in cost_results
+        ),
+    )

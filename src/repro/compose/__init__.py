@@ -3,6 +3,16 @@
 from repro.compose.config import ComposerConfig
 from repro.compose.composer import compose, compose_mappings
 from repro.compose.eliminate import eliminate
+from repro.compose.planner import (
+    ComponentResult,
+    CompositionPlan,
+    PlannedComponent,
+    build_plan,
+    compose_component,
+    order_symbols,
+    plan_compose,
+    symbol_cost,
+)
 from repro.compose.result import CompositionResult, EliminationMethod, EliminationOutcome
 from repro.compose.view_unfolding import unfold_view
 from repro.compose.left_compose import left_compose
@@ -19,6 +29,14 @@ __all__ = [
     "compose",
     "compose_mappings",
     "eliminate",
+    "ComponentResult",
+    "CompositionPlan",
+    "PlannedComponent",
+    "build_plan",
+    "compose_component",
+    "order_symbols",
+    "plan_compose",
+    "symbol_cost",
     "CompositionResult",
     "EliminationMethod",
     "EliminationOutcome",

@@ -31,6 +31,7 @@ def compose(
     problem: CompositionProblem,
     config: Optional[ComposerConfig] = None,
     cache: Optional[ExpressionCache] = None,
+    executor=None,
 ) -> CompositionResult:
     """Run COMPOSE on a composition problem and return the detailed result.
 
@@ -38,11 +39,23 @@ def compose(
     composition (restoring the previous activation afterwards), so repeated
     standalone calls can share one cache without going through the batch
     engine.  When omitted, whatever cache is already active is used.
+
+    With ``config.elimination_order == "cost"`` the composition is routed
+    through the cost-guided planner (:mod:`repro.compose.planner`):
+    independent connected components of the symbol co-occurrence graph are
+    composed separately, cheapest eliminations first, with failed symbols
+    re-queued after the cheaper ones.  ``executor`` (a ``concurrent.futures``
+    executor) then runs the components as parallel sub-tasks; it is ignored
+    by the fixed-order path.
     """
     if cache is not None:
         with shared_expression_cache(cache):
-            return compose(problem, config)
+            return compose(problem, config, executor=executor)
     config = config or ComposerConfig()
+    if config.elimination_order == "cost":
+        from repro.compose.planner import plan_compose
+
+        return plan_compose(problem, config, executor=executor)
     started = time.perf_counter()
 
     constraints: ConstraintSet = problem.all_constraints

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.exceptions import CompositionError
 from repro.operators.registry import OperatorRegistry, default_registry
 
 __all__ = ["ComposerConfig"]
@@ -38,6 +39,17 @@ class ComposerConfig:
         Optional explicit order in which σ2 symbols are attempted.  When
         ``None``, the order of the intermediate signature is used (the paper
         follows "the user-specified ordering on the relation symbols in σ2").
+        Only meaningful with ``elimination_order="fixed"``; the cost-guided
+        planner computes its own order, so combining the two is rejected.
+    elimination_order:
+        ``"fixed"`` (the default) walks the σ2 symbols in one configured
+        order over the whole constraint set — the paper's behaviour, byte-
+        identical to previous releases.  ``"cost"`` routes the composition
+        through :mod:`repro.compose.planner`: the problem is split into
+        independent connected components of the symbol co-occurrence graph,
+        each component orders its eliminations by a cost model fed from the
+        cached constraint summaries, and symbols that fail are re-queued
+        after the cheaper ones instead of being given up in one pass.
     max_normalization_steps:
         Safety bound on the number of rewriting iterations inside left/right
         normalization (prevents pathological non-termination).
@@ -57,7 +69,20 @@ class ComposerConfig:
     symbol_order: Optional[Sequence[str]] = None
     max_normalization_steps: int = 500
     simplify_output: bool = True
+    elimination_order: str = "fixed"
     registry: OperatorRegistry = field(default_factory=default_registry)
+
+    def __post_init__(self) -> None:
+        if self.elimination_order not in ("fixed", "cost"):
+            raise CompositionError(
+                f"unknown elimination_order {self.elimination_order!r}; "
+                "expected 'fixed' or 'cost'"
+            )
+        if self.elimination_order == "cost" and self.symbol_order is not None:
+            raise CompositionError(
+                "symbol_order is only honoured with elimination_order='fixed'; "
+                "the cost-guided planner computes its own order"
+            )
 
     # -- convenience constructors matching the paper's configurations -------------
 
@@ -81,12 +106,18 @@ class ComposerConfig:
         """The 'no left compose' configuration (discussed in Section 4.2)."""
         return cls(enable_left_compose=False)
 
+    @classmethod
+    def cost_guided(cls) -> "ComposerConfig":
+        """The cost-guided planner configuration (see :mod:`repro.compose.planner`)."""
+        return cls(elimination_order="cost")
+
     def fingerprint(self) -> bytes:
         """Deterministic content fingerprint of the configuration.
 
         Every knob that can change a composition's output is covered — the
         step toggles, the blow-up bound, the symbol order, the normalization
-        budget, the simplify switch, and the operator registry's own
+        budget, the simplify switch, the elimination-order mode (fixed vs.
+        cost-guided planner), and the operator registry's own
         fingerprint (which includes its mutation ``version``).  Incremental
         recomposition mixes this into every checkpoint token, so changing any
         knob — or registering a rule mid-run — invalidates recorded hops.
@@ -107,6 +138,7 @@ class ComposerConfig:
                     tuple(self.symbol_order) if self.symbol_order is not None else None,
                     self.max_normalization_steps,
                     self.simplify_output,
+                    self.elimination_order,
                 )
             ).encode()
         )

@@ -5,6 +5,13 @@ running, in order, view unfolding, left compose and right compose, and returns
 the first success.  The paper's blow-up guard is applied to each candidate:
 if a step's output exceeds the configured multiple of the baseline size, the
 candidate is rejected and the step is counted as failed.
+
+Inapplicable steps are skipped up front via the constraint set's mention
+index: a symbol absent from the set drops for free, view unfolding requires an
+*equality* mentioning the symbol (a defining equality necessarily is one), and
+a constraint mentioning the symbol on both sides defeats left and right
+compose before any normalization runs — each skip records the same failure
+reason the full attempt would have produced, so outcomes are unchanged.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.compose.phases import timed
 from repro.compose.result import EliminationMethod, EliminationOutcome
 from repro.compose.right_compose import right_compose
 from repro.compose.view_unfolding import unfold_view
+from repro.constraints.constraint import EqualityConstraint
 from repro.constraints.constraint_set import ConstraintSet
 
 __all__ = ["eliminate"]
@@ -67,53 +75,77 @@ def eliminate(
         )
         return result, outcome
 
-    if not constraints.mentions(symbol):
+    mentioning = constraints.constraints_mentioning(symbol)
+    if not mentioning:
         # Nothing mentions the symbol: dropping it from the signature is free.
         return finish(constraints, EliminationMethod.NOT_MENTIONED)
 
+    # Mention-index pre-checks.  A defining equality is necessarily an
+    # equality mentioning the symbol, so without one view unfolding cannot
+    # apply; a constraint mentioning the symbol on both sides makes both
+    # left and right compose exit in their step 0.  Each skip appends the
+    # exact reason the full attempt would have produced, keeping outcomes
+    # byte-identical to the unshortened path.
+    mentions_in_equality = any(
+        isinstance(constraint, EqualityConstraint) for constraint in mentioning
+    )
+    mentions_both_sides = any(
+        constraint.mentions_on_left(symbol) and constraint.mentions_on_right(symbol)
+        for constraint in mentioning
+    )
+
     # Step 1: view unfolding.
     if config.enable_view_unfolding:
-        with timed("view_unfolding"):
-            candidate = unfold_view(constraints, symbol)
-        if candidate is not None:
-            if _within_blowup(candidate, baseline, config):
-                return finish(candidate, EliminationMethod.VIEW_UNFOLDING)
-            blowup_aborted = True
-            reasons.append("view unfolding exceeded the blow-up bound")
-        else:
+        if not mentions_in_equality:
             reasons.append("no defining equality for view unfolding")
+        else:
+            with timed("view_unfolding"):
+                candidate = unfold_view(constraints, symbol)
+            if candidate is not None:
+                if _within_blowup(candidate, baseline, config):
+                    return finish(candidate, EliminationMethod.VIEW_UNFOLDING)
+                blowup_aborted = True
+                reasons.append("view unfolding exceeded the blow-up bound")
+            else:
+                reasons.append("no defining equality for view unfolding")
     else:
         reasons.append("view unfolding disabled")
 
     # Step 2: left compose.
     if config.enable_left_compose:
-        with timed("left_compose"):
-            candidate = left_compose(
-                constraints, symbol, symbol_arity, registry, config.max_normalization_steps
-            )
-        if candidate is not None:
-            if _within_blowup(candidate, baseline, config):
-                return finish(candidate, EliminationMethod.LEFT_COMPOSE)
-            blowup_aborted = True
-            reasons.append("left compose exceeded the blow-up bound")
-        else:
+        if mentions_both_sides:
             reasons.append("left compose failed")
+        else:
+            with timed("left_compose"):
+                candidate = left_compose(
+                    constraints, symbol, symbol_arity, registry, config.max_normalization_steps
+                )
+            if candidate is not None:
+                if _within_blowup(candidate, baseline, config):
+                    return finish(candidate, EliminationMethod.LEFT_COMPOSE)
+                blowup_aborted = True
+                reasons.append("left compose exceeded the blow-up bound")
+            else:
+                reasons.append("left compose failed")
     else:
         reasons.append("left compose disabled")
 
     # Step 3: right compose.
     if config.enable_right_compose:
-        with timed("right_compose"):
-            candidate = right_compose(
-                constraints, symbol, symbol_arity, registry, config.max_normalization_steps
-            )
-        if candidate is not None:
-            if _within_blowup(candidate, baseline, config):
-                return finish(candidate, EliminationMethod.RIGHT_COMPOSE)
-            blowup_aborted = True
-            reasons.append("right compose exceeded the blow-up bound")
-        else:
+        if mentions_both_sides:
             reasons.append("right compose failed")
+        else:
+            with timed("right_compose"):
+                candidate = right_compose(
+                    constraints, symbol, symbol_arity, registry, config.max_normalization_steps
+                )
+            if candidate is not None:
+                if _within_blowup(candidate, baseline, config):
+                    return finish(candidate, EliminationMethod.RIGHT_COMPOSE)
+                blowup_aborted = True
+                reasons.append("right compose exceeded the blow-up bound")
+            else:
+                reasons.append("right compose failed")
     else:
         reasons.append("right compose disabled")
 

@@ -13,8 +13,12 @@ calls pay nothing).
 
 Buckets *nest* rather than partition: ``eliminate`` covers the whole
 per-symbol attempt, ``left_compose``/``right_compose`` are inside it, and
-``normalize``/``deskolemize`` are inside those.  Consumers compare siblings
-(e.g. ``normalize`` against ``left_compose``), not the sum against the total.
+``normalize``/``deskolemize`` are inside those.  ``planner`` (cost-guided
+compositions only) covers plan construction — the co-occurrence partition and
+the component sub-problem assembly — and is a sibling of ``eliminate``, so
+planning overhead is directly comparable to the elimination work it saves.
+Consumers compare siblings (e.g. ``normalize`` against ``left_compose``), not
+the sum against the total.
 
 The collection is thread-local, so batch workers running compositions
 concurrently never mix buckets.
@@ -33,6 +37,7 @@ __all__ = ["PHASES", "charge", "collect_phases", "timed"]
 #: the nesting).  ``timed`` accepts any name; this tuple documents the ones
 #: the library itself produces.
 PHASES = (
+    "planner",
     "eliminate",
     "view_unfolding",
     "left_compose",

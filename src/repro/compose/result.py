@@ -80,6 +80,18 @@ class CompositionResult:
         whole per-symbol attempt, ``left_compose``/``right_compose``/
         ``view_unfolding`` are inside it, and ``normalize``/``deskolemize``
         are inside the compose steps; ``simplify`` is the final pass.
+    plan:
+        The cost-guided planner's per-component elimination orders (one tuple
+        of σ2 symbols per connected component of the symbol co-occurrence
+        graph, in the order the first pass attempted them).  Empty for
+        fixed-order compositions.
+    components:
+        Number of independent components the planner composed (0 for
+        fixed-order compositions).
+    reorderings:
+        Number of retry attempts the planner's bounded backtracking made —
+        elimination attempts beyond each symbol's first (0 when every symbol
+        settled in one pass, and for fixed-order compositions).
     """
 
     sigma1: Signature
@@ -91,6 +103,9 @@ class CompositionResult:
     input_operator_count: int
     output_operator_count: int
     phase_seconds: Tuple[Tuple[str, float], ...] = ()
+    plan: Tuple[Tuple[str, ...], ...] = ()
+    components: int = 0
+    reorderings: int = 0
 
     # -- derived statistics --------------------------------------------------------
 

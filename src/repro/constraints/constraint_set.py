@@ -112,6 +112,14 @@ class ConstraintSet:
         """Return the union of two constraint sets (order: self then other)."""
         return ConstraintSet(tuple(self._constraints) + tuple(other._constraints))
 
+    def subset(self, indices: Iterable[int]) -> "ConstraintSet":
+        """Return the set of constraints at ``indices``, in the given order.
+
+        The composition planner carves a problem's constraint set into
+        per-component sub-sets this way (see :mod:`repro.compose.planner`).
+        """
+        return ConstraintSet(self._constraints[index] for index in indices)
+
     def map(self, fn: Callable[[Constraint], Constraint]) -> "ConstraintSet":
         """Return a new set with ``fn`` applied to every constraint.
 

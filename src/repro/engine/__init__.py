@@ -31,10 +31,14 @@ from repro.engine.incremental import EvolutionSession, IncrementalComposer, Sess
 from repro.engine.workloads import (
     ChainGrower,
     ChainProblem,
+    PartitionedProblem,
     WorkloadConfig,
     generate_chain_problem,
+    generate_partitioned_problem,
+    generate_partitioned_workload,
     generate_workload,
     pairwise_problems,
+    partitioned_forward_instance,
 )
 
 __all__ = [
@@ -56,8 +60,12 @@ __all__ = [
     "SessionEvent",
     "ChainGrower",
     "ChainProblem",
+    "PartitionedProblem",
     "WorkloadConfig",
     "generate_chain_problem",
+    "generate_partitioned_problem",
+    "generate_partitioned_workload",
     "generate_workload",
     "pairwise_problems",
+    "partitioned_forward_instance",
 ]

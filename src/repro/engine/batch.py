@@ -28,7 +28,7 @@ import enum
 import gc
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.algebra.interning import ExpressionCache, activate_cache, shared_expression_cache
@@ -571,6 +571,91 @@ class BatchComposer:
                         if len(seeds) >= self.MAX_PROCESS_SEEDS:
                             return tuple(seeds)
         return tuple(seeds)
+
+    def run_partitioned(self, problems: Sequence[CompositionProblem]) -> BatchReport:
+        """Compose every problem with the cost-guided planner, running each
+        problem's independent constraint-graph components as sub-tasks on this
+        composer's backend (*intra*-problem parallelism, unlike :meth:`run`,
+        which parallelizes across problems).
+
+        The problems are walked in order; for each one, :func:`compose` plans
+        the partition and fans the per-component eliminations out to the
+        backend's pool (``serial`` composes components in-process).  Merging
+        happens in plan order, so payloads are byte-identical across backends.
+        A ``composer_config`` with ``elimination_order="fixed"`` is switched
+        to ``"cost"`` for these runs — partitioning *is* the planner — and an
+        explicit ``symbol_order`` is dropped with it (the planner computes
+        its own order; the two cannot be combined).
+
+        Accepts plain :class:`CompositionProblem` objects or objects with a
+        ``problem`` attribute (e.g. the workload generator's
+        ``PartitionedProblem``).  Payloads are :class:`CompositionResult`
+        objects; per-problem failures and soft timeouts are isolated exactly
+        as in :meth:`map`.
+        """
+        config = self.config.composer_config
+        if config.elimination_order != "cost":
+            config = replace(config, elimination_order="cost", symbol_order=None)
+        unwrapped = [getattr(problem, "problem", problem) for problem in problems]
+        labels = [
+            problem.name or f"problem[{index}]"
+            for index, problem in enumerate(unwrapped)
+        ]
+        backend = self.config.resolved_backend()
+        started = time.perf_counter()
+        cache_stats: Optional[dict] = None
+        results: List[BatchItemResult] = []
+
+        def run_all(executor) -> None:
+            for index, (problem, label) in enumerate(zip(unwrapped, labels)):
+                payload, elapsed, succeeded = _timed_call(
+                    lambda item: compose(item, config, executor=executor), problem
+                )
+                if succeeded:
+                    results.append(self._classify(index, label, payload, elapsed))
+                else:
+                    results.append(self._failure(index, label, payload, elapsed))
+
+        cache: Optional[ExpressionCache] = None
+        with _gc_paused(self.config.pause_gc), contextlib.ExitStack() as stack:
+            executor = None
+            if backend == BatchBackend.PROCESS.value:
+                seeds = self._collect_seeds(
+                    constraints
+                    for problem in unwrapped
+                    for constraints in (problem.sigma12, problem.sigma23)
+                )
+                warm_workers = self.config.share_expression_cache
+                executor = stack.enter_context(
+                    concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.config.max_workers,
+                        initializer=_process_pool_initializer if warm_workers else None,
+                        initargs=(self.config.cache_max_entries, seeds)
+                        if warm_workers
+                        else (),
+                    )
+                )
+            elif backend == BatchBackend.THREAD.value:
+                executor = stack.enter_context(
+                    concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.config.max_workers
+                    )
+                )
+            if self.config.share_expression_cache and backend != BatchBackend.PROCESS.value:
+                # The module-level activation is visible to the pool's worker
+                # threads, so component sub-tasks share the cache too.
+                cache = ExpressionCache(max_entries=self.config.cache_max_entries)
+                stack.enter_context(shared_expression_cache(cache))
+            run_all(executor)
+        if cache is not None:
+            cache_stats = cache.stats()
+
+        return BatchReport(
+            items=tuple(results),
+            backend=backend,
+            elapsed_seconds=time.perf_counter() - started,
+            cache_stats=cache_stats,
+        )
 
     def run(self, problems: Sequence[CompositionProblem]) -> BatchReport:
         """Compose every problem; payloads are :class:`CompositionResult` objects."""

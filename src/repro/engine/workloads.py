@@ -33,13 +33,18 @@ from repro.exceptions import EngineError
 from repro.mapping.composition_problem import CompositionProblem
 from repro.mapping.mapping import Mapping
 from repro.schema.instance import Instance
+from repro.schema.signature import RelationSchema, Signature
 
 __all__ = [
     "WorkloadConfig",
     "ChainProblem",
     "ChainGrower",
+    "PartitionedProblem",
     "generate_chain_problem",
     "generate_workload",
+    "generate_partitioned_problem",
+    "generate_partitioned_workload",
+    "partitioned_forward_instance",
     "pairwise_problems",
     "FORWARD_PRIMITIVES",
     "forward_event_vector",
@@ -72,6 +77,14 @@ class WorkloadConfig:
         vertical-partitioning primitives and key constraints).
     event_vector:
         Primitive weights used by the simulator (``None`` = paper default).
+    num_components:
+        Number of independent sub-problems merged into each problem by
+        :func:`generate_partitioned_workload` — each component's relations
+        are namespaced apart, so no constraint of the merged problem links
+        two components and its symbol co-occurrence graph has at least this
+        many connected components (the shape the cost-guided planner
+        partitions; symbols that happen not to co-occur *within* a component
+        split it further).  Ignored by :func:`generate_workload`.
     seed:
         Master seed; every problem derives its own sub-seed from it.
     """
@@ -84,6 +97,7 @@ class WorkloadConfig:
     max_arity: int = 6
     keys_fraction: float = 0.3
     event_vector: Optional[EventVector] = None
+    num_components: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -97,6 +111,8 @@ class WorkloadConfig:
             raise EngineError("invalid arity range")
         if not 0.0 <= self.keys_fraction <= 1.0:
             raise EngineError("keys_fraction must be in [0, 1]")
+        if self.num_components < 1:
+            raise EngineError("num_components must be positive")
 
 
 @dataclass(frozen=True)
@@ -257,6 +273,188 @@ def generate_workload(config: Optional[WorkloadConfig] = None) -> List[ChainProb
             )
         )
     return problems
+
+
+@dataclass(frozen=True)
+class PartitionedProblem:
+    """One multi-component composition problem plus its generating parts.
+
+    ``problem`` merges ``components`` — independent two-mapping chains whose
+    relation names are namespaced apart — into a single
+    :class:`CompositionProblem`: no constraint mentions symbols of two
+    different components, so the problem's symbol co-occurrence graph has at
+    least ``len(components)`` connected components (symbols that do not
+    co-occur within a component split it further).  The per-component chains
+    are kept so satisfying instances can be built component-wise
+    (:func:`partitioned_forward_instance`).
+    """
+
+    name: str
+    seed: int
+    problem: CompositionProblem
+    components: Tuple[ChainProblem, ...]
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionedProblem {self.name!r}: {self.num_components} components, "
+            f"{len(self.problem.all_constraints)} constraints>"
+        )
+
+
+def _prefixed_mapping(mapping: Mapping, prefix: str) -> Mapping:
+    """Return ``mapping`` with every relation name namespaced under ``prefix``.
+
+    Prefixed names are fresh (no generated name starts with a component
+    prefix), so renaming one symbol at a time cannot capture another.
+    """
+
+    def prefixed(signature):
+        return Signature(
+            RelationSchema(prefix + schema.name, schema.arity, schema.key)
+            for schema in signature.relations()
+        )
+
+    constraints = mapping.constraints
+    for signature in (mapping.input_signature, mapping.output_signature):
+        for schema in signature.relations():
+            constraints = constraints.substituting(
+                schema.name, Relation(prefix + schema.name, schema.arity)
+            )
+    return Mapping(
+        input_signature=prefixed(mapping.input_signature),
+        output_signature=prefixed(mapping.output_signature),
+        constraints=constraints,
+    )
+
+
+def _merged_mapping(mappings: Sequence[Mapping]) -> Mapping:
+    """Union of mappings over pairwise-disjoint signatures."""
+    input_signature = mappings[0].input_signature
+    output_signature = mappings[0].output_signature
+    constraints = mappings[0].constraints
+    for mapping in mappings[1:]:
+        input_signature = input_signature.union(mapping.input_signature)
+        output_signature = output_signature.union(mapping.output_signature)
+        constraints = constraints.union(mapping.constraints)
+    return Mapping(input_signature, output_signature, constraints)
+
+
+def generate_partitioned_problem(
+    seed: int,
+    num_components: int = 4,
+    schema_size: int = 3,
+    simulator_config: Optional[SimulatorConfig] = None,
+    event_vector: Optional[EventVector] = None,
+    name: str = "",
+) -> PartitionedProblem:
+    """Generate one composition problem made of independent components.
+
+    Each component is a two-mapping evolution chain generated on its own
+    sub-seed; its relation names are prefixed ``P{i}_`` so the merged
+    signatures stay disjoint and no constraint links two components.  The
+    merged problem is exactly the shape the cost-guided planner partitions:
+    composing it fixed-order drags every elimination across all components'
+    constraints, while the planner composes each component on its own set.
+    """
+    if num_components < 1:
+        raise EngineError("num_components must be positive")
+    rng = random.Random(seed)
+    components: List[ChainProblem] = []
+    first_hops: List[Mapping] = []
+    second_hops: List[Mapping] = []
+    for index in range(num_components):
+        component_seed = rng.randrange(2**31)
+        chain = generate_chain_problem(
+            seed=component_seed,
+            chain_length=2,
+            schema_size=schema_size,
+            simulator_config=simulator_config,
+            event_vector=event_vector,
+        )
+        prefix = f"P{index}_"
+        mappings = tuple(_prefixed_mapping(m, prefix) for m in chain.mappings)
+        components.append(
+            ChainProblem(
+                name=f"component[{index}](seed={component_seed})",
+                seed=component_seed,
+                mappings=mappings,
+                primitives=chain.primitives,
+            )
+        )
+        first_hops.append(mappings[0])
+        second_hops.append(mappings[1])
+    problem = CompositionProblem.from_mappings(
+        _merged_mapping(first_hops),
+        _merged_mapping(second_hops),
+        name=name or f"partitioned(seed={seed}, components={num_components})",
+    )
+    return PartitionedProblem(
+        name=problem.name,
+        seed=seed,
+        problem=problem,
+        components=tuple(components),
+    )
+
+
+def generate_partitioned_workload(
+    config: Optional[WorkloadConfig] = None,
+) -> List[PartitionedProblem]:
+    """Generate ``config.num_problems`` multi-component problems, deterministically.
+
+    Every problem merges ``config.num_components`` independent components
+    (see :func:`generate_partitioned_problem`); the remaining knobs vary
+    per problem exactly as in :func:`generate_workload`.
+    """
+    config = config or WorkloadConfig()
+    rng = random.Random(config.seed)
+    problems: List[PartitionedProblem] = []
+    for index in range(config.num_problems):
+        problem_seed = rng.randrange(2**31)
+        keys_enabled = rng.random() < config.keys_fraction
+        max_arity = rng.randint(max(config.min_arity, 3), config.max_arity)
+        simulator_config = SimulatorConfig(
+            keys_enabled=keys_enabled,
+            min_arity=config.min_arity,
+            max_arity=max_arity,
+        )
+        problems.append(
+            generate_partitioned_problem(
+                seed=problem_seed,
+                num_components=config.num_components,
+                schema_size=config.schema_size,
+                simulator_config=simulator_config,
+                event_vector=config.event_vector,
+                name=f"partitioned[{index}](seed={problem_seed})",
+            )
+        )
+    return problems
+
+
+def partitioned_forward_instance(
+    partitioned: PartitionedProblem,
+    seed: int = 0,
+    domain_size: int = 4,
+    max_rows: int = 4,
+) -> Instance:
+    """A satisfying instance of a partitioned problem's combined signature.
+
+    Built component-wise with :func:`forward_instance` (components share no
+    relation names, so the union of per-component satisfying instances
+    satisfies the merged constraint set).  Same restriction as
+    :func:`forward_instance`: the components must be generated from
+    :data:`FORWARD_PRIMITIVES`.
+    """
+    combined: Optional[Instance] = None
+    for offset, component in enumerate(partitioned.components):
+        instance = forward_instance(
+            component, seed=seed + offset, domain_size=domain_size, max_rows=max_rows
+        )
+        combined = instance if combined is None else combined.merged_with(instance)
+    return combined if combined is not None else Instance({})
 
 
 def forward_event_vector() -> EventVector:

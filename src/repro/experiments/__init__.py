@@ -4,6 +4,7 @@ from repro.experiments.runner import (
     EditingStudy,
     ExperimentConfiguration,
     STANDARD_CONFIGURATIONS,
+    planner_configurations,
     run_editing_study,
 )
 from repro.experiments.figure2 import Figure2Result, run_figure2
@@ -19,6 +20,7 @@ __all__ = [
     "EditingStudy",
     "ExperimentConfiguration",
     "STANDARD_CONFIGURATIONS",
+    "planner_configurations",
     "run_editing_study",
     "Figure2Result",
     "run_figure2",

@@ -32,6 +32,7 @@ __all__ = [
     "ExperimentConfiguration",
     "STANDARD_CONFIGURATIONS",
     "EditingStudy",
+    "planner_configurations",
     "run_editing_study",
     "median",
     "mean",
@@ -79,6 +80,21 @@ def _standard_configurations() -> Tuple[ExperimentConfiguration, ...]:
 
 #: The four configurations of Figures 2 and 3.
 STANDARD_CONFIGURATIONS: Tuple[ExperimentConfiguration, ...] = _standard_configurations()
+
+
+def planner_configurations() -> Tuple[ExperimentConfiguration, ...]:
+    """The standard configurations plus a cost-guided planner column.
+
+    Not part of :data:`STANDARD_CONFIGURATIONS` (the figures reproduce the
+    paper's fixed-order algorithm); pass this to :func:`run_editing_study` to
+    ablate the planner (:mod:`repro.compose.planner`) against the paper's
+    columns on the same editing workload.
+    """
+    return STANDARD_CONFIGURATIONS + (
+        ExperimentConfiguration(
+            "cost planner", SimulatorConfig.no_keys(), ComposerConfig.cost_guided()
+        ),
+    )
 
 
 @dataclass

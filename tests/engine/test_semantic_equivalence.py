@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algebra.evaluation import Evaluator, SkolemInterpretation
+from repro.algebra.evaluation import SkolemInterpretation
 from repro.compose.composer import compose_mappings
-from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.satisfaction import satisfies_all
 from repro.engine.chain import compose_chain
 from repro.engine.workloads import (
     WorkloadConfig,
@@ -61,20 +61,9 @@ def _hop_by_hop(mappings, config=None):
 
 
 def _holds(constraints, instance) -> bool:
-    """Evaluate every constraint with the Evaluator, Skolem-ready."""
-    evaluator = Evaluator(instance, skolems=DEFAULT_SKOLEMS)
-    for constraint in constraints:
-        left = evaluator.evaluate(constraint.left)
-        right = evaluator.evaluate(constraint.right)
-        if isinstance(constraint, ContainmentConstraint):
-            if not left <= right:
-                return False
-        elif isinstance(constraint, EqualityConstraint):
-            if left != right:
-                return False
-        else:  # pragma: no cover - defensive
-            raise AssertionError(f"unknown constraint {constraint!r}")
-    return True
+    """Evaluate every constraint with the library's satisfaction checker,
+    Skolem-ready (shared with ``test_partitioned.py``)."""
+    return satisfies_all(instance, constraints, skolems=DEFAULT_SKOLEMS)
 
 
 @pytest.mark.parametrize("master_seed", [2006, 41, 97])
