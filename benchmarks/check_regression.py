@@ -48,6 +48,13 @@ EXACT_METRICS = {
         "outputs_identical",
         "final_operator_count",
     ),
+    "service_warm_restart": (
+        "hops_total",
+        "hops_replayed_warm",
+        "outputs_identical",
+        "disk_checkpoints",
+        "final_operator_count",
+    ),
 }
 
 #: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
@@ -55,6 +62,7 @@ RATIO_METRICS = {
     "engine_chain_batch": ("batch_speedup_vs_serial", "cache_hit_rate"),
     "engine_partitioned": ("partitioned_speedup",),
     "evolution_incremental": ("incremental_speedup",),
+    "service_warm_restart": ("warm_speedup",),
 }
 
 TOLERANCE = 0.25
@@ -110,6 +118,7 @@ def main(argv) -> int:
             "batch_seconds",
             "incremental_seconds",
             "partitioned_seconds",
+            "cold_seconds",
         ):
             if record.get(metric) is not None:
                 return record[metric]

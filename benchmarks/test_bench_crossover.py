@@ -1,0 +1,86 @@
+"""Benchmark: the thread/process crossover for planner component sizes.
+
+The ROADMAP's open question from the planner PR: per-component process tasks
+pay pickling of component constraint sets, so parallel backends only win once
+components are large enough — *where* is the crossover?  This sweep measures
+``run_partitioned`` on the serial, thread and process backends over three
+component scales (the per-component schema size drives the constraint-set
+size each sub-task composes and, for the process backend, pickles).
+
+The numbers are recorded — per size and backend, plus the process-vs-serial
+ratio — as the ``planner_crossover`` workload in BENCH_compose.json so the
+trajectory is machine-readable, but **not gated**: which backend wins is a
+property of the host (core count, fork cost), not of the algorithm, and CI
+runners range from 1 to many cores.  What *is* asserted is correctness —
+every backend must succeed on every problem and produce byte-identical
+outputs.  The interpretation (when to pick which backend) lives in the
+README's "when to use which backend" note, which these measurements back.
+"""
+
+import time
+
+from repro.engine import BatchComposer, WorkloadConfig, generate_partitioned_workload
+from repro.engine.batch import BatchConfig
+from repro.engine.workloads import forward_event_vector
+
+#: Per-component schema sizes of the sweep: the paper-scale small components
+#: the planner usually sees, and two progressively heavier scales.
+COMPONENT_SCALES = (("small", 3), ("medium", 6), ("large", 9))
+NUM_PROBLEMS = 3
+NUM_COMPONENTS = 8
+BACKENDS = ("serial", "thread", "process")
+
+
+def _workload(schema_size, seed):
+    return generate_partitioned_workload(
+        WorkloadConfig(
+            num_problems=NUM_PROBLEMS,
+            schema_size=schema_size,
+            keys_fraction=0.0,
+            event_vector=forward_event_vector(),
+            num_components=NUM_COMPONENTS,
+            seed=seed,
+        )
+    )
+
+
+def _constraint_texts(report):
+    return [result.constraints.to_text() for result in report.results()]
+
+
+def test_bench_backend_crossover(benchmark, bench_params, bench_record):
+    metrics = {
+        "problems": NUM_PROBLEMS,
+        "components_per_problem": NUM_COMPONENTS,
+    }
+    for label, schema_size in COMPONENT_SCALES:
+        workload = _workload(schema_size, bench_params["seed"])
+        reference = None
+        for backend in BACKENDS:
+            composer = BatchComposer(
+                BatchConfig(backend=backend, max_workers=4)
+            )
+            started = time.perf_counter()
+            report = composer.run_partitioned(workload)
+            elapsed = time.perf_counter() - started
+            assert report.all_succeeded, report.summary()
+            texts = _constraint_texts(report)
+            if reference is None:
+                reference = texts
+            else:
+                # Byte-identical outputs across backends at every scale.
+                assert texts == reference, f"{backend} diverged at scale {label}"
+            metrics[f"{backend}_{label}_seconds"] = round(elapsed, 4)
+        metrics[f"process_vs_serial_{label}"] = round(
+            metrics[f"serial_{label}_seconds"]
+            / max(metrics[f"process_{label}_seconds"], 1e-9),
+            4,
+        )
+    benchmark.pedantic(
+        lambda: BatchComposer(BatchConfig(backend="serial")).run_partitioned(
+            _workload(COMPONENT_SCALES[0][1], bench_params["seed"])
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    bench_record("planner_crossover", **metrics)

@@ -82,9 +82,11 @@ from repro.engine import (
     compose_chain,
     generate_workload,
 )
+from repro.catalog import CatalogEntry, MappingCatalog, PersistentCheckpointStore
 from repro.mapping import CompositionProblem, Mapping, identity_mapping
 from repro.operators import Monotonicity, OperatorRegistry, default_registry, monotonicity
 from repro.schema import Instance, RelationSchema, Signature
+from repro.service import CompositionService, ServiceConfig
 
 __version__ = "1.0.0"
 
@@ -151,4 +153,10 @@ __all__ = [
     "monotonicity",
     "OperatorRegistry",
     "default_registry",
+    # catalog + service
+    "CatalogEntry",
+    "MappingCatalog",
+    "PersistentCheckpointStore",
+    "CompositionService",
+    "ServiceConfig",
 ]

@@ -1,0 +1,264 @@
+"""``python -m repro`` — the command-line face of the catalog and service.
+
+Subcommands::
+
+    repro catalog add FILE [FILE ...]    ingest record files (kind auto-detected)
+    repro catalog list                   list stored entries (latest versions)
+    repro catalog show KIND NAME         print a stored record text
+    repro compose [FILE]                 compose a problem/chain record file or
+                                         a stored catalog entry (--name/--kind)
+    repro serve                          start the HTTP composition service
+
+Every subcommand operates on one catalog root directory (``--root``,
+defaulting to ``$REPRO_CATALOG_ROOT`` or ``./repro-catalog``).  ``compose``
+threads the catalog's *persistent* checkpoint store through chained
+compositions, so recomposing a stored chain after a process restart replays
+only the hops that changed — run ``repro compose --kind chain --name X``
+twice and compare the ``reused hops`` line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mapping catalog and composition service (VLDB 2006 reproduction).",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="catalog root directory (default: $REPRO_CATALOG_ROOT or ./repro-catalog)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    catalog = commands.add_parser("catalog", help="inspect and grow the mapping catalog")
+    catalog_commands = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    add = catalog_commands.add_parser("add", help="ingest record files into the catalog")
+    add.add_argument("files", nargs="+", metavar="FILE", help="record text files")
+    add.add_argument("--name", help="store under this name (default: the record's # name:)")
+    add.add_argument("--kind", help="force a record kind instead of auto-detection")
+
+    listing = catalog_commands.add_parser("list", help="list stored entries")
+    listing.add_argument("--kind", help="only this kind")
+    listing.add_argument("--json", action="store_true", help="machine-readable output")
+
+    show = catalog_commands.add_parser("show", help="print one stored record")
+    show.add_argument("kind", help="schema | mapping | chain | problem | result")
+    show.add_argument("name")
+    show.add_argument("--version", type=int, help="a specific version (default: latest)")
+
+    compose = commands.add_parser(
+        "compose", help="compose a record file or a stored catalog entry"
+    )
+    compose.add_argument(
+        "file", nargs="?", metavar="FILE", help="a problem or chain record file"
+    )
+    compose.add_argument("--name", help="compose a stored catalog entry instead of a file")
+    compose.add_argument(
+        "--kind", choices=("problem", "chain"), default="problem",
+        help="kind of the stored entry named by --name (default: problem)",
+    )
+    compose.add_argument("--version", type=int, help="catalog version (default: latest)")
+    compose.add_argument(
+        "--order", choices=("fixed", "cost"), default="fixed",
+        help="elimination order: the paper's fixed order or the cost-guided planner",
+    )
+    compose.add_argument("--store", metavar="NAME", help="store the result in the catalog")
+
+    serve = commands.add_parser("serve", help="start the HTTP composition service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8075)
+    serve.add_argument(
+        "--backend", default="auto", choices=("auto", "serial", "thread", "process"),
+        help="micro-batch execution backend",
+    )
+    serve.add_argument("--max-workers", type=int, default=None)
+    serve.add_argument("--micro-batch-size", type=int, default=16)
+    serve.add_argument("--micro-batch-wait", type=float, default=0.002, metavar="SECONDS")
+    serve.add_argument("--max-pending", type=int, default=1024)
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    serve.add_argument("--verbose", action="store_true", help="log every request")
+
+    return parser
+
+
+def _catalog_root(args) -> Path:
+    import os
+
+    if args.root:
+        return Path(args.root)
+    return Path(os.environ.get("REPRO_CATALOG_ROOT", "repro-catalog"))
+
+
+def _open_catalog(args):
+    from repro.catalog import MappingCatalog
+
+    return MappingCatalog(_catalog_root(args))
+
+
+def _cmd_catalog_add(args) -> int:
+    catalog = _open_catalog(args)
+    for file in args.files:
+        text = Path(file).read_text(encoding="utf-8")
+        entry = catalog.add_text(text, name=args.name, kind=args.kind)
+        print(f"{entry.kind}/{entry.name} v{entry.version}  {entry.fingerprint[:12]}  {file}")
+    return 0
+
+
+def _cmd_catalog_list(args) -> int:
+    catalog = _open_catalog(args)
+    entries = catalog.entries(args.kind)
+    if args.json:
+        payload = [
+            {
+                "kind": entry.kind,
+                "name": entry.name,
+                "version": entry.version,
+                "fingerprint": entry.fingerprint,
+                "created_at": entry.created_at,
+            }
+            for entry in entries
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not entries:
+        print("catalog is empty", file=sys.stderr)
+        return 0
+    width = max(len(f"{entry.kind}/{entry.name}") for entry in entries)
+    for entry in entries:
+        label = f"{entry.kind}/{entry.name}"
+        print(f"{label:<{width}}  v{entry.version}  {entry.fingerprint[:12]}  {entry.created_at}")
+    return 0
+
+
+def _cmd_catalog_show(args) -> int:
+    catalog = _open_catalog(args)
+    sys.stdout.write(catalog.text(args.kind, args.name, args.version))
+    return 0
+
+
+def _composer_config(order: str):
+    from repro.compose.config import ComposerConfig
+
+    return ComposerConfig.cost_guided() if order == "cost" else ComposerConfig()
+
+
+def _cmd_compose(args) -> int:
+    from repro.compose.composer import compose
+    from repro.engine.chain import compose_chain
+    from repro.textio.format import problem_from_text
+    from repro.textio.records import chain_from_text, detect_kind, result_to_text
+
+    catalog = _open_catalog(args)
+    config = _composer_config(args.order)
+
+    if args.name:
+        kind = args.kind
+        payload = (
+            catalog.get_chain(args.name, args.version)
+            if kind == "chain"
+            else catalog.get_problem(args.name, args.version)
+        )
+    elif args.file:
+        text = Path(args.file).read_text(encoding="utf-8")
+        kind = detect_kind(text)
+        if kind == "chain":
+            payload = chain_from_text(text)
+        elif kind == "problem":
+            payload = problem_from_text(text)
+        else:
+            print(f"error: cannot compose a {kind!r} record", file=sys.stderr)
+            return 1
+    else:
+        print("error: pass a FILE or --name", file=sys.stderr)
+        return 1
+
+    if kind == "chain":
+        chain_result = compose_chain(payload, config, checkpoints=catalog.checkpoints)
+        print(chain_result.summary(), file=sys.stderr)
+        print(
+            f"reused hops: {chain_result.reused_hops}/{len(chain_result.hops)} "
+            "(persistent checkpoints)",
+            file=sys.stderr,
+        )
+        composed = chain_result.to_mapping_with_residue()
+        if args.store:
+            entry = catalog.put_mapping(args.store, composed)
+            print(f"stored mapping/{entry.name} v{entry.version}", file=sys.stderr)
+        from repro.textio.records import mapping_to_text
+
+        sys.stdout.write(mapping_to_text(composed, name=args.store or ""))
+        return 0
+
+    result = compose(payload, config)
+    print(result.summary(), file=sys.stderr)
+    if args.store:
+        entry = catalog.put_result(args.store, result)
+        print(f"stored result/{entry.name} v{entry.version}", file=sys.stderr)
+    sys.stdout.write(result_to_text(result, name=args.store or ""))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import CompositionService, ServiceConfig, ServiceHTTPServer
+
+    catalog = _open_catalog(args)
+    service = CompositionService(
+        catalog,
+        ServiceConfig(
+            max_pending=args.max_pending,
+            micro_batch_size=args.micro_batch_size,
+            micro_batch_wait_seconds=args.micro_batch_wait,
+            backend=args.backend,
+            max_workers=args.max_workers,
+            timeout_seconds=args.timeout,
+        ),
+    )
+    service.start()
+    server = ServiceHTTPServer(service, host=args.host, port=args.port, verbose=args.verbose)
+    host, port = server.address
+    print(f"repro composition service on http://{host}:{port}", flush=True)
+    print(f"catalog root: {catalog.root}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "catalog":
+            if args.catalog_command == "add":
+                return _cmd_catalog_add(args)
+            if args.catalog_command == "list":
+                return _cmd_catalog_list(args)
+            return _cmd_catalog_show(args)
+        if args.command == "compose":
+            return _cmd_compose(args)
+        return _cmd_serve(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""The mapping catalog: persistent, versioned storage for the composition engine.
+
+Two pieces form the durability layer under :mod:`repro.service`:
+
+* :mod:`repro.catalog.catalog` — :class:`MappingCatalog`, a disk-backed,
+  versioned store of named schemas, mappings, chains, problems and composed
+  results, content-addressed by the library's deterministic fingerprints and
+  serialized in the extended plain-text format of :mod:`repro.textio.records`;
+* :mod:`repro.catalog.checkpoints` — :class:`PersistentCheckpointStore`, the
+  on-disk mirror of the hop-checkpoint store, so ``compose_chain`` prefix
+  reuse survives process restarts.
+
+All writes are atomic (:mod:`repro.catalog.storage`).
+"""
+
+from repro.catalog.catalog import KINDS, CatalogEntry, MappingCatalog
+from repro.catalog.checkpoints import PersistentCheckpointStore
+from repro.catalog.storage import atomic_write_bytes, atomic_write_text
+
+__all__ = [
+    "KINDS",
+    "CatalogEntry",
+    "MappingCatalog",
+    "PersistentCheckpointStore",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]

@@ -1,0 +1,419 @@
+"""The mapping catalog: a disk-backed, versioned store of named objects.
+
+The paper frames COMPOSE as one operator inside a model-management system
+that keeps *many* named schemas and mappings alive over time.  This module
+is that memory: a :class:`MappingCatalog` persists schemas, mappings, whole
+mapping chains, composition problems and composed results under stable names,
+serialized in the extended plain-text format of :mod:`repro.textio.records`
+(the paper's own distribution syntax), with
+
+* **content addressing** — every stored version is keyed by its deterministic
+  content fingerprint (:mod:`repro.algebra.digest`), so re-registering
+  identical content is a no-op that returns the existing version;
+* **version history** — registering changed content under an existing name
+  appends a new version instead of overwriting (a schema-evolution edit is a
+  new catalog version, never a lost one);
+* **atomic writes** — record files and the JSON index are replaced atomically
+  (:mod:`repro.catalog.storage`), so a crash never leaves a torn file; and
+* **durable hop checkpoints** — the catalog owns a
+  :class:`~repro.catalog.checkpoints.PersistentCheckpointStore` under its
+  root, so ``compose_chain`` prefix reuse survives process restarts.
+
+On-disk layout::
+
+    <root>/catalog.json                     the index (version history per name)
+    <root>/objects/<kind>/<name>/v<N>.txt   one record file per stored version
+    <root>/checkpoints/<token>.ckpt         pickled hop checkpoints
+
+The catalog is safe for concurrent readers and threaded writers within one
+process (one writer mutates the index at a time under an internal lock).
+Multiple *processes* writing the same root concurrently are not coordinated —
+run one catalog-owning service per root, which is exactly what
+:mod:`repro.service` provides.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.algebra.digest import DIGEST_SIZE
+from repro.catalog.checkpoints import PersistentCheckpointStore
+from repro.catalog.storage import atomic_write_text
+from repro.compose.result import CompositionResult
+from repro.engine.checkpoint import DEFAULT_MAX_CHECKPOINTS
+from repro.engine.fingerprint import chain_fingerprint
+from repro.exceptions import CatalogError, ParseError
+from repro.mapping.composition_problem import CompositionProblem
+from repro.mapping.mapping import Mapping
+from repro.schema.signature import Signature
+from repro.textio.format import problem_from_text, problem_to_text
+from repro.textio.records import (
+    chain_from_text,
+    chain_to_text,
+    detect_kind,
+    mapping_from_text,
+    mapping_to_text,
+    result_from_text,
+    result_to_text,
+    signature_from_text,
+    signature_to_text,
+)
+
+__all__ = ["CatalogEntry", "MappingCatalog", "KINDS"]
+
+#: The kinds of objects the catalog stores, in display order.
+KINDS = ("schema", "mapping", "chain", "problem", "result")
+
+#: Entry names become path components, so they are restricted to a safe set.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+_INDEX_FILE = "catalog.json"
+_INDEX_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One stored version of one named object."""
+
+    kind: str
+    name: str
+    version: int
+    fingerprint: str
+    created_at: str
+    path: str  # record file, relative to the catalog root
+
+    def __repr__(self) -> str:
+        return (
+            f"<CatalogEntry {self.kind}/{self.name} v{self.version} "
+            f"{self.fingerprint[:8]}>"
+        )
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _result_fingerprint(result: CompositionResult) -> bytes:
+    """Structural fingerprint of a composed result.
+
+    Covers the output content — signatures, residual, constraints, per-symbol
+    outcome structure and the planner's orders — but *not* the wall-clock
+    timings, so recomposing the same inputs dedupes to one stored version
+    even though its timings differ run to run.
+    """
+    h = blake2b(digest_size=DIGEST_SIZE)
+    h.update(result.sigma1.fingerprint())
+    h.update(result.residual_sigma2.fingerprint())
+    h.update(result.sigma3.fingerprint())
+    h.update(result.constraints.fingerprint())
+    for outcome in result.outcomes:
+        h.update(
+            repr(
+                (outcome.symbol, outcome.success, outcome.method.value, outcome.blowup_aborted)
+            ).encode()
+        )
+    h.update(repr(result.plan).encode())
+    return h.digest()
+
+
+class MappingCatalog:
+    """A persistent, versioned store rooted at one directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        checkpoint_max_entries: int = DEFAULT_MAX_CHECKPOINTS,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._checkpoint_max_entries = checkpoint_max_entries
+        self._checkpoints: Optional[PersistentCheckpointStore] = None
+        self._index: Dict[str, Dict[str, List[dict]]] = self._load_index()
+
+    # -- index persistence ---------------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_FILE
+
+    def _load_index(self) -> Dict[str, Dict[str, List[dict]]]:
+        if not self._index_path.exists():
+            return {}
+        try:
+            payload = json.loads(self._index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CatalogError(f"cannot read catalog index {self._index_path}: {exc}") from exc
+        if payload.get("schema_version") != _INDEX_SCHEMA_VERSION:
+            raise CatalogError(
+                f"catalog index {self._index_path} has schema version "
+                f"{payload.get('schema_version')!r}; this library reads version "
+                f"{_INDEX_SCHEMA_VERSION}"
+            )
+        return payload.get("entries", {})
+
+    def _write_index(self) -> None:
+        payload = {
+            "schema_version": _INDEX_SCHEMA_VERSION,
+            "updated_at": _utc_now(),
+            "entries": self._index,
+        }
+        atomic_write_text(self._index_path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # -- checkpoints ---------------------------------------------------------------
+
+    @property
+    def checkpoints(self) -> PersistentCheckpointStore:
+        """The catalog's durable hop-checkpoint store (created lazily)."""
+        with self._lock:
+            if self._checkpoints is None:
+                self._checkpoints = PersistentCheckpointStore(
+                    self.root / "checkpoints",
+                    max_entries=self._checkpoint_max_entries,
+                )
+            return self._checkpoints
+
+    # -- generic storage -----------------------------------------------------------
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        if kind not in KINDS:
+            raise CatalogError(f"unknown catalog kind {kind!r}; expected one of {KINDS}")
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name or ""):
+            raise CatalogError(
+                f"invalid entry name {name!r}: names must be 1-128 characters "
+                "from [A-Za-z0-9._-] and start with a letter or digit"
+            )
+
+    def _entry_from_record(self, kind: str, name: str, record: dict) -> CatalogEntry:
+        return CatalogEntry(
+            kind=kind,
+            name=name,
+            version=record["version"],
+            fingerprint=record["fingerprint"],
+            created_at=record["created_at"],
+            path=record["path"],
+        )
+
+    def _put(self, kind: str, name: str, text: str, fingerprint: bytes) -> CatalogEntry:
+        self._check_kind(kind)
+        self._check_name(name)
+        digest = fingerprint.hex()
+        with self._lock:
+            versions = self._index.setdefault(kind, {}).setdefault(name, [])
+            if versions and versions[-1]["fingerprint"] == digest:
+                # Content-addressed dedupe: identical content is the same version.
+                return self._entry_from_record(kind, name, versions[-1])
+            version = len(versions) + 1
+            relative = f"objects/{kind}/{name}/v{version}.txt"
+            atomic_write_text(self.root / relative, text)
+            record = {
+                "version": version,
+                "fingerprint": digest,
+                "created_at": _utc_now(),
+                "path": relative,
+            }
+            versions.append(record)
+            self._write_index()
+            return self._entry_from_record(kind, name, record)
+
+    def _versions(self, kind: str, name: str) -> List[dict]:
+        self._check_kind(kind)
+        versions = self._index.get(kind, {}).get(name)
+        if not versions:
+            raise CatalogError(f"no {kind} named {name!r} in the catalog")
+        return versions
+
+    def _record(self, kind: str, name: str, version: Optional[int]) -> dict:
+        versions = self._versions(kind, name)
+        if version is None:
+            return versions[-1]
+        for record in versions:
+            if record["version"] == version:
+                return record
+        raise CatalogError(
+            f"{kind} {name!r} has no version {version} "
+            f"(available: 1..{versions[-1]['version']})"
+        )
+
+    # -- writing -------------------------------------------------------------------
+
+    def put_schema(self, name: str, signature: Signature, description: str = "") -> CatalogEntry:
+        """Store a named schema; identical content returns the existing version."""
+        text = signature_to_text(signature, name=name, description=description)
+        return self._put("schema", name, text, signature.fingerprint())
+
+    def put_mapping(self, name: str, mapping: Mapping, description: str = "") -> CatalogEntry:
+        """Store a named mapping (a schema-evolution edit appends a new version)."""
+        text = mapping_to_text(mapping, name=name, description=description)
+        return self._put("mapping", name, text, mapping.fingerprint())
+
+    def put_chain(
+        self, name: str, mappings: Sequence[Mapping], description: str = ""
+    ) -> CatalogEntry:
+        """Store a whole mapping chain under one name."""
+        text = chain_to_text(mappings, name=name, description=description)
+        return self._put("chain", name, text, chain_fingerprint(mappings))
+
+    def put_problem(self, name: str, problem: CompositionProblem) -> CatalogEntry:
+        """Store a composition problem (the paper's task-distribution format)."""
+        text = "# kind: problem\n" + problem_to_text(problem)
+        return self._put("problem", name, text, problem.fingerprint())
+
+    def put_result(
+        self, name: str, result: CompositionResult, description: str = ""
+    ) -> CatalogEntry:
+        """Store a composed result (plan and phase timings included)."""
+        text = result_to_text(result, name=name, description=description)
+        return self._put("result", name, text, _result_fingerprint(result))
+
+    def add_text(
+        self, text: str, name: Optional[str] = None, kind: Optional[str] = None
+    ) -> CatalogEntry:
+        """Ingest a raw record text (the CLI's ``catalog add``).
+
+        The kind is detected from the ``# kind:`` metadata (kind-less texts in
+        the original problem format are accepted as problems); the record is
+        parsed back into its object — rejecting malformed input before
+        anything touches disk — and stored under ``name`` (defaulting to the
+        record's ``# name:`` metadata).
+        """
+        detected = kind or detect_kind(text)
+        self._check_kind(detected)
+        try:
+            if detected == "schema":
+                obj = signature_from_text(text)
+                record_name = name or _record_name(text)
+                return self.put_schema(record_name, obj, description=_record_description(text))
+            if detected == "mapping":
+                obj = mapping_from_text(text)
+                record_name = name or _record_name(text)
+                return self.put_mapping(record_name, obj, description=_record_description(text))
+            if detected == "chain":
+                obj = chain_from_text(text)
+                record_name = name or _record_name(text)
+                return self.put_chain(record_name, obj, description=_record_description(text))
+            if detected == "result":
+                obj = result_from_text(text)
+                record_name = name or _record_name(text)
+                return self.put_result(record_name, obj, description=_record_description(text))
+            problem = problem_from_text(text)
+            return self.put_problem(name or problem.name, problem)
+        except ParseError as exc:
+            raise CatalogError(f"cannot ingest {detected} record: {exc}") from exc
+
+    # -- reading -------------------------------------------------------------------
+
+    def text(self, kind: str, name: str, version: Optional[int] = None) -> str:
+        """The stored record text of one version (latest by default)."""
+        record = self._record(kind, name, version)
+        path = self.root / record["path"]
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CatalogError(f"catalog file {path} is missing or unreadable: {exc}") from exc
+
+    def get_schema(self, name: str, version: Optional[int] = None) -> Signature:
+        return signature_from_text(self.text("schema", name, version))
+
+    def get_mapping(self, name: str, version: Optional[int] = None) -> Mapping:
+        return mapping_from_text(self.text("mapping", name, version))
+
+    def get_chain(self, name: str, version: Optional[int] = None) -> Tuple[Mapping, ...]:
+        return chain_from_text(self.text("chain", name, version))
+
+    def get_problem(self, name: str, version: Optional[int] = None) -> CompositionProblem:
+        return problem_from_text(self.text("problem", name, version))
+
+    def get_result(self, name: str, version: Optional[int] = None) -> CompositionResult:
+        return result_from_text(self.text("result", name, version))
+
+    # -- queries -------------------------------------------------------------------
+
+    def entry(self, kind: str, name: str, version: Optional[int] = None) -> CatalogEntry:
+        """The :class:`CatalogEntry` of one version (latest by default)."""
+        return self._entry_from_record(kind, name, self._record(kind, name, version))
+
+    def versions(self, kind: str, name: str) -> Tuple[CatalogEntry, ...]:
+        """Every stored version of one name, oldest first."""
+        return tuple(
+            self._entry_from_record(kind, name, record)
+            for record in self._versions(kind, name)
+        )
+
+    def names(self, kind: str) -> Tuple[str, ...]:
+        """The stored names of one kind, sorted."""
+        self._check_kind(kind)
+        return tuple(sorted(self._index.get(kind, {})))
+
+    def entries(self, kind: Optional[str] = None) -> Tuple[CatalogEntry, ...]:
+        """Latest version of every stored name (optionally of one kind)."""
+        kinds = (kind,) if kind is not None else KINDS
+        collected = []
+        for each in kinds:
+            self._check_kind(each)
+            for name in self.names(each):
+                collected.append(self.entry(each, name))
+        return tuple(collected)
+
+    def find_fingerprint(self, fingerprint: str) -> Tuple[CatalogEntry, ...]:
+        """Every entry (any kind, any version) whose content has this fingerprint."""
+        matches = []
+        for kind, by_name in self._index.items():
+            for name, versions in by_name.items():
+                for record in versions:
+                    if record["fingerprint"] == fingerprint:
+                        matches.append(self._entry_from_record(kind, name, record))
+        return tuple(matches)
+
+    def __len__(self) -> int:
+        """Total number of stored versions across all kinds and names."""
+        return sum(
+            len(versions)
+            for by_name in self._index.values()
+            for versions in by_name.values()
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Per-kind name/version counts plus checkpoint-store counters."""
+        per_kind = {}
+        for kind in KINDS:
+            by_name = self._index.get(kind, {})
+            per_kind[kind] = {
+                "names": len(by_name),
+                "versions": sum(len(versions) for versions in by_name.values()),
+            }
+        stats: Dict[str, object] = {"kinds": per_kind, "total_versions": len(self)}
+        if self._checkpoints is not None:
+            stats["checkpoints"] = self._checkpoints.stats()
+        return stats
+
+    def __repr__(self) -> str:
+        return f"<MappingCatalog at {str(self.root)!r}: {len(self)} stored versions>"
+
+
+def _record_name(text: str) -> str:
+    from repro.textio.records import parse_record
+
+    name = parse_record(text).name
+    if not name:
+        raise CatalogError(
+            "record declares no '# name:'; pass an explicit name to store it"
+        )
+    return name
+
+
+def _record_description(text: str) -> str:
+    from repro.textio.records import parse_record
+
+    return parse_record(text).description

@@ -1,0 +1,175 @@
+"""A disk-backed hop-checkpoint store: chain-prefix reuse that survives restarts.
+
+:class:`~repro.engine.checkpoint.CheckpointStore` makes recomposition after a
+schema edit near-linear — but its entries die with the Python process, so a
+restarted service pays the full from-scratch cost for chains it has composed
+hundreds of times.  :class:`PersistentCheckpointStore` mirrors every recorded
+checkpoint to a file named by its content token:
+
+* :meth:`put` writes through — the in-memory table is updated as before, and
+  the pickled checkpoint is written atomically to ``<token.hex>.ckpt`` (first
+  write wins; tokens are content digests, so a file that exists is already
+  correct);
+* :meth:`get` reads through — an in-memory miss falls back to disk and, when
+  the file exists and validates, installs the loaded checkpoint in memory.
+
+Tokens are deterministic content digests (:mod:`repro.engine.fingerprint`),
+so checkpoints written by one process are recognized verbatim by the next —
+the same property that lets the batch engine ship checkpoints to process-pool
+workers makes them durable here.  The store remains a pure accelerator:
+deleting any file (or the whole directory) is always safe, and composition
+outputs are byte-identical with the store hot, cold, warm-from-disk or
+absent.
+
+Files are pickles and are trusted exactly as far as the catalog directory
+is: load checkpoints only from directories you write yourself.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.catalog.storage import atomic_write_bytes
+from repro.engine.checkpoint import (
+    DEFAULT_MAX_CHECKPOINTS,
+    ChainCheckpoint,
+    CheckpointStore,
+)
+
+__all__ = ["PersistentCheckpointStore"]
+
+#: Leading element of every pickled checkpoint file; files whose magic or
+#: format version disagree are treated as absent (never an error).
+_MAGIC = "repro-checkpoint"
+_FORMAT_VERSION = 1
+
+_SUFFIX = ".ckpt"
+
+
+class PersistentCheckpointStore(CheckpointStore):
+    """A :class:`CheckpointStore` mirrored to a directory of checkpoint files.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live (created if missing).  The catalog places
+        this under its root as ``checkpoints/``.
+    max_entries:
+        Bound on the *in-memory* table, exactly as in the base class; the
+        wholesale in-memory eviction never touches the files, so an evicted
+        entry is transparently reloaded on its next probe.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_entries: int = DEFAULT_MAX_CHECKPOINTS,
+    ):
+        super().__init__(max_entries=max_entries)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.disk_hits = 0
+        self.disk_writes = 0
+
+    # -- persistence hooks ---------------------------------------------------------
+
+    def _path(self, token: bytes) -> Path:
+        return self.directory / (token.hex() + _SUFFIX)
+
+    def _load_fallback(self, token: bytes) -> Optional[ChainCheckpoint]:
+        try:
+            data = self._path(token).read_bytes()
+        except OSError:
+            return None
+        try:
+            magic, version, checkpoint = pickle.loads(data)
+        except Exception:  # noqa: BLE001 - a corrupt file is a miss, not a crash
+            return None
+        if magic != _MAGIC or version != _FORMAT_VERSION:
+            return None
+        if not isinstance(checkpoint, ChainCheckpoint) or checkpoint.token != token:
+            return None
+        self.disk_hits += 1
+        return checkpoint
+
+    def _persist(self, checkpoint: ChainCheckpoint) -> None:
+        path = self._path(checkpoint.token)
+        if path.exists():
+            # Content-keyed: an existing file already holds this state.
+            return
+        payload = pickle.dumps(
+            (_MAGIC, _FORMAT_VERSION, checkpoint), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        atomic_write_bytes(path, payload)
+        self.disk_writes += 1
+
+    # -- disk management -----------------------------------------------------------
+
+    def disk_entries(self) -> int:
+        """Number of checkpoint files currently on disk."""
+        return sum(1 for _ in self.directory.glob("*" + _SUFFIX))
+
+    def warm(self, limit: Optional[int] = None) -> int:
+        """Load up to ``limit`` checkpoints from disk into memory.
+
+        Useful before a batch whose process-pool workers are pre-seeded from
+        :meth:`snapshot` (the snapshot only sees in-memory entries).  Stops at
+        the in-memory bound; returns the number of checkpoints loaded.
+        """
+        loaded = 0
+        for path in sorted(self.directory.glob("*" + _SUFFIX)):
+            if len(self._entries) >= self.max_entries:
+                break
+            if limit is not None and loaded >= limit:
+                break
+            try:
+                token = bytes.fromhex(path.name[: -len(_SUFFIX)])
+            except ValueError:
+                continue
+            if token in self._entries:
+                continue
+            checkpoint = self._load_fallback(token)
+            if checkpoint is not None:
+                self._entries.setdefault(token, checkpoint)
+                loaded += 1
+        return loaded
+
+    def purge(self) -> int:
+        """Delete every checkpoint file (and the in-memory table); returns count.
+
+        Always safe — the store is a pure accelerator — but unlike
+        :meth:`clear` this removes the durable state too.
+        """
+        removed = 0
+        for path in self.directory.glob("*" + _SUFFIX):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.clear()
+        return removed
+
+    def clear(self) -> None:
+        """Drop the in-memory table and reset all counters (files are kept)."""
+        super().clear()
+        self.disk_hits = self.disk_writes = 0
+
+    def stats(self) -> Dict[str, float]:
+        stats = super().stats()
+        stats.update(
+            {
+                "disk_hits": self.disk_hits,
+                "disk_writes": self.disk_writes,
+                "disk_entries": self.disk_entries(),
+            }
+        )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"<PersistentCheckpointStore at {str(self.directory)!r}: "
+            f"{len(self._entries)} in memory, {self.disk_entries()} on disk>"
+        )

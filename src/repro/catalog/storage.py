@@ -1,0 +1,44 @@
+"""Atomic file writes for the catalog's on-disk state.
+
+Every file the catalog owns — record texts, the JSON index, pickled
+checkpoints — is written with the same discipline: the content goes to a
+temporary file in the destination directory, is flushed and fsynced, and is
+then moved over the destination with :func:`os.replace`.  On POSIX the
+replace is atomic, so a reader (or a crash) never observes a half-written
+file: it sees either the old content or the new content, nothing in between.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (parent dirs are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # The temp file must live on the same filesystem as the destination for
+    # os.replace to be atomic, hence dir=parent rather than the default tmpdir.
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with UTF-8 encoded ``text``."""
+    atomic_write_bytes(path, text.encode("utf-8"))

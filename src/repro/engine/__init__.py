@@ -26,7 +26,7 @@ from repro.engine.batch import (
 )
 from repro.engine.chain import ChainHop, ChainResult, compose_chain, validate_chain
 from repro.engine.checkpoint import ChainCheckpoint, CheckpointStore
-from repro.engine.fingerprint import chain_tokens
+from repro.engine.fingerprint import chain_fingerprint, chain_tokens
 from repro.engine.incremental import EvolutionSession, IncrementalComposer, SessionEvent
 from repro.engine.workloads import (
     ChainGrower,
@@ -54,6 +54,7 @@ __all__ = [
     "ProblemStatus",
     "ChainCheckpoint",
     "CheckpointStore",
+    "chain_fingerprint",
     "chain_tokens",
     "EvolutionSession",
     "IncrementalComposer",

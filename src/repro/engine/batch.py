@@ -366,13 +366,26 @@ class BatchComposer:
     backend's worker-local behaviour).
     """
 
-    def __init__(self, config: Optional[BatchConfig] = None):
+    def __init__(
+        self,
+        config: Optional[BatchConfig] = None,
+        checkpoints: Optional[CheckpointStore] = None,
+    ):
+        """``checkpoints`` overrides the composer's own store — pass a
+        :class:`~repro.catalog.checkpoints.PersistentCheckpointStore` (or any
+        other externally owned store) to share recorded hops beyond this
+        composer's lifetime.  An explicit store wins over the
+        ``share_checkpoints`` setting (it is threaded through ``run_chains``
+        either way); process workers still keep private pre-seeded copies."""
         self.config = config or BatchConfig()
-        self.checkpoints: Optional[CheckpointStore] = (
-            CheckpointStore(max_entries=self.config.checkpoint_max_entries)
-            if self.config.share_checkpoints
-            else None
-        )
+        if checkpoints is not None:
+            self.checkpoints: Optional[CheckpointStore] = checkpoints
+        else:
+            self.checkpoints = (
+                CheckpointStore(max_entries=self.config.checkpoint_max_entries)
+                if self.config.share_checkpoints
+                else None
+            )
 
     # -- generic engine --------------------------------------------------------
 
@@ -699,6 +712,13 @@ class BatchComposer:
         )
         checkpoint_seeds: Tuple = ()
         if process and self.checkpoints is not None:
+            # A persistent store freshly constructed after a restart has an
+            # empty in-memory table; pull its disk entries in first so the
+            # deepest-first snapshot below actually sees them and process
+            # workers resume recorded prefixes across restarts too.
+            warm = getattr(self.checkpoints, "warm", None)
+            if warm is not None:
+                warm()
             checkpoint_seeds = self.checkpoints.snapshot(
                 limit=self.MAX_PROCESS_CHECKPOINT_SEEDS
             )

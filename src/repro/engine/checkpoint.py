@@ -97,8 +97,17 @@ class CheckpointStore:
         self.evictions = 0
 
     def get(self, token: bytes) -> Optional[ChainCheckpoint]:
-        """The checkpoint recorded for ``token``, or ``None`` (counts hit/miss)."""
+        """The checkpoint recorded for ``token``, or ``None`` (counts hit/miss).
+
+        On an in-memory miss the store consults :meth:`_load_fallback` — a
+        no-op here, overridden by persistent stores to read through to disk —
+        and installs whatever it returns, so fallback loads count as hits.
+        """
         checkpoint = self._entries.get(token)
+        if checkpoint is None:
+            checkpoint = self._load_fallback(token)
+            if checkpoint is not None:
+                self._entries.setdefault(token, checkpoint)
         if checkpoint is None:
             self.misses += 1
         else:
@@ -116,6 +125,22 @@ class CheckpointStore:
                     self._entries.clear()
                     self.evictions += 1
         self._entries.setdefault(checkpoint.token, checkpoint)
+        self._persist(checkpoint)
+
+    # -- persistence hooks ---------------------------------------------------------
+    #
+    # The in-memory store is the whole story here; subclasses that mirror
+    # checkpoints to durable storage (``repro.catalog.checkpoints``) override
+    # these two methods.  Keeping the hooks on the base class means every
+    # consumer — ``compose_chain``, the batch engine, the incremental
+    # composer — works with a persistent store without knowing it.
+
+    def _load_fallback(self, token: bytes) -> Optional[ChainCheckpoint]:
+        """Second-level lookup consulted on an in-memory miss (``None`` here)."""
+        return None
+
+    def _persist(self, checkpoint: ChainCheckpoint) -> None:
+        """Write-through hook invoked after every :meth:`put` (no-op here)."""
 
     def seed(self, checkpoints: Iterable[ChainCheckpoint]) -> None:
         """Record many checkpoints (used to pre-warm process-pool workers)."""

@@ -28,7 +28,23 @@ from repro.algebra.digest import DIGEST_SIZE
 from repro.compose.config import ComposerConfig
 from repro.mapping.mapping import Mapping
 
-__all__ = ["chain_tokens"]
+__all__ = ["chain_fingerprint", "chain_tokens"]
+
+
+def chain_fingerprint(mappings: Sequence[Mapping]) -> bytes:
+    """Deterministic content fingerprint of a whole chain of mappings.
+
+    Unlike :func:`chain_tokens` this covers only the chain's content (no
+    composer configuration, no threading mode): the catalog uses it to
+    content-address stored chains, and the service folds it — together with
+    the config fingerprint — into request-deduplication keys.  Per-mapping
+    fingerprints are fixed-width digests, so the concatenation is
+    unambiguous.
+    """
+    h = blake2b(digest_size=DIGEST_SIZE)
+    for mapping in mappings:
+        h.update(mapping.fingerprint())
+    return h.digest()
 
 
 def chain_tokens(

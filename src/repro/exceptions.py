@@ -99,3 +99,28 @@ class SimulatorError(ReproError):
 
 class RegistryError(ReproError):
     """An operator was registered incorrectly or looked up but never registered."""
+
+
+class CatalogError(ReproError):
+    """The mapping catalog was misused or its on-disk state is inconsistent.
+
+    Raised for unknown entries or versions, invalid entry names (entry names
+    become file names, so they are restricted to a safe alphabet), kind
+    mismatches, and records whose serialized form cannot be parsed back.
+    """
+
+
+class ServiceError(ReproError):
+    """A composition request submitted to the service failed.
+
+    Carries the failure detail of the underlying batch item (the original
+    traceback text for crashed compositions, or a timeout notice).
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service rejected a request because its queue is at capacity.
+
+    Admission control: the request was *not* enqueued; the caller may retry
+    later or raise ``max_pending``.
+    """

@@ -115,6 +115,35 @@ class CompositionProblem:
         """Total operators in the input constraints (the paper's size metric)."""
         return self.all_constraints.operator_count()
 
+    def fingerprint(self) -> bytes:
+        """Deterministic content fingerprint of the composition inputs.
+
+        Combines the (order-sensitive) fingerprints of the three signatures
+        and the two constraint sets — everything :func:`repro.compose.compose`
+        reads; the metadata fields (name, description, expected outcome) do
+        not affect the composition and are excluded.  Stable across processes
+        and cached on the (frozen) problem, like
+        :meth:`repro.mapping.mapping.Mapping.fingerprint`; the composition
+        service keys its request deduplication on this.
+        """
+        try:
+            return self._fingerprint
+        except AttributeError:
+            pass
+        from hashlib import blake2b
+
+        from repro.algebra.digest import DIGEST_SIZE
+
+        h = blake2b(digest_size=DIGEST_SIZE)
+        h.update(self.sigma1.fingerprint())
+        h.update(self.sigma2.fingerprint())
+        h.update(self.sigma3.fingerprint())
+        h.update(self.sigma12.fingerprint())
+        h.update(self.sigma23.fingerprint())
+        value = h.digest()
+        object.__setattr__(self, "_fingerprint", value)
+        return value
+
     def __repr__(self) -> str:
         label = self.name or "composition problem"
         return (

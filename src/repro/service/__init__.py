@@ -1,0 +1,26 @@
+"""The composition service: a concurrent serving front-end over the engine.
+
+* :mod:`repro.service.server` — :class:`CompositionService`: a request queue
+  with admission control, in-flight deduplication (identical fingerprints
+  coalesce to one computation), micro-batching into
+  :class:`~repro.engine.batch.BatchComposer` calls, per-request
+  :class:`~repro.compose.config.ComposerConfig` overrides, and durable hop
+  checkpoints when backed by a :class:`~repro.catalog.MappingCatalog`;
+* :mod:`repro.service.metrics` — the metrics the service aggregates
+  (hit rates, per-phase timings, queue/batch statistics);
+* :mod:`repro.service.http` — a stdlib HTTP front-end exposing ``/compose``,
+  ``/catalog`` and ``/metrics`` (the CLI's ``repro serve``).
+"""
+
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import CompositionService, ServiceConfig, Ticket
+
+__all__ = [
+    "CompositionService",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
+    "Ticket",
+    "serve",
+]

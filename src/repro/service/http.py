@@ -1,0 +1,246 @@
+"""A minimal HTTP front-end for the composition service (stdlib only).
+
+``repro serve`` binds this to a port.  The surface is intentionally small and
+text-first — everything speaks the plain-text record formats of
+:mod:`repro.textio`, so ``curl`` is a complete client:
+
+* ``GET /healthz`` — liveness probe (``ok``).
+* ``GET /metrics`` — the service's metrics snapshot as JSON.
+* ``GET /catalog`` — JSON listing of the latest catalog entries
+  (``?kind=mapping`` filters).
+* ``GET /catalog/<kind>/<name>`` — the stored record text
+  (``?version=N`` selects an old version).
+* ``POST /compose`` — body is a record text: a composition problem (the
+  paper's task format) is composed and answered with a ``result`` record; a
+  ``chain`` record is chain-composed and answered with a ``mapping`` record
+  of the composed output (residual symbols folded into the input signature),
+  plus ``X-Repro-*`` headers with hop-reuse counts.  ``?order=cost`` serves
+  the request through the cost-guided planner; ``?store=<name>`` also
+  registers the result in the catalog.
+
+Requests funnel through the shared :class:`CompositionService`, so HTTP
+clients get the same admission control, deduplication, micro-batching and
+metrics as in-process callers.  Overload answers ``429``, malformed records
+``400``, unknown entries ``404``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.compose.config import ComposerConfig
+from repro.exceptions import CatalogError, ParseError, ReproError, ServiceOverloadedError
+from repro.service.server import CompositionService
+from repro.textio.format import problem_from_text
+from repro.textio.records import chain_from_text, detect_kind, mapping_to_text, result_to_text
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # ``self.server`` is the ThreadingHTTPServer; ServiceHTTPServer pins the
+    # ``service`` and ``verbose`` attributes onto it before serving starts.
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str, headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in headers:
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self._send(status, text.encode("utf-8"), "text/plain; charset=utf-8", headers)
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        self._send(status, body.encode("utf-8"), "application/json")
+
+    # -- routes --------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_text(200, "ok\n")
+            elif parts == ["metrics"]:
+                self._send_json(200, self.server.service.metrics())
+            elif parts == ["catalog"]:
+                self._get_catalog_listing(parse_qs(url.query))
+            elif len(parts) == 3 and parts[0] == "catalog":
+                self._get_catalog_record(parts[1], parts[2], parse_qs(url.query))
+            else:
+                self._send_text(404, f"unknown path {url.path!r}\n")
+        except CatalogError as exc:
+            self._send_text(404, f"{exc}\n")
+        except ReproError as exc:
+            self._send_text(400, f"{exc}\n")
+
+    def _get_catalog_listing(self, query) -> None:
+        catalog = self.server.service.catalog
+        if catalog is None:
+            self._send_text(404, "this service has no catalog attached\n")
+            return
+        kind = query.get("kind", [None])[0]
+        entries = [
+            {
+                "kind": entry.kind,
+                "name": entry.name,
+                "version": entry.version,
+                "fingerprint": entry.fingerprint,
+                "created_at": entry.created_at,
+            }
+            for entry in catalog.entries(kind)
+        ]
+        self._send_json(200, {"entries": entries, "stats": catalog.stats()})
+
+    def _get_catalog_record(self, kind: str, name: str, query) -> None:
+        catalog = self.server.service.catalog
+        if catalog is None:
+            self._send_text(404, "this service has no catalog attached\n")
+            return
+        version: Optional[int] = None
+        if "version" in query:
+            try:
+                version = int(query["version"][0])
+            except ValueError:
+                self._send_text(400, "version must be an integer\n")
+                return
+        self._send_text(200, catalog.text(kind, name, version))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        if url.path.rstrip("/") != "/compose":
+            self._send_text(404, f"unknown path {url.path!r}\n")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_text(400, "malformed Content-Length header\n")
+            return
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._send_text(400, "request body required (a record text)\n")
+            return
+        text = self.rfile.read(length).decode("utf-8", errors="replace")
+        query = parse_qs(url.query)
+        config: Optional[ComposerConfig] = None
+        if query.get("order", [None])[0] == "cost":
+            config = ComposerConfig.cost_guided()
+        store_as = query.get("store", [None])[0]
+        try:
+            self._compose(text, config, store_as)
+        except ServiceOverloadedError as exc:
+            self._send_text(429, f"{exc}\n")
+        except (ParseError, ReproError) as exc:
+            self._send_text(400, f"{exc}\n")
+
+    def _compose(self, text: str, config: Optional[ComposerConfig], store_as: Optional[str]) -> None:
+        service = self.server.service
+        kind = detect_kind(text)
+        if kind == "problem":
+            result = service.compose(problem_from_text(text), config)
+            if store_as and service.catalog is not None:
+                service.catalog.put_result(store_as, result)
+            self._send_text(
+                200,
+                result_to_text(result, name=store_as or ""),
+                headers=(
+                    ("X-Repro-Eliminated", str(len(result.eliminated_symbols))),
+                    ("X-Repro-Residual", str(len(result.remaining_symbols))),
+                ),
+            )
+        elif kind == "chain":
+            chain_result = service.compose_chain(chain_from_text(text), config)
+            composed = chain_result.to_mapping_with_residue()
+            if store_as and service.catalog is not None:
+                service.catalog.put_mapping(store_as, composed)
+            self._send_text(
+                200,
+                mapping_to_text(composed, name=store_as or ""),
+                headers=(
+                    ("X-Repro-Hops", str(len(chain_result.hops))),
+                    ("X-Repro-Reused-Hops", str(chain_result.reused_hops)),
+                    ("X-Repro-Residual", str(len(chain_result.residual_signature))),
+                ),
+            )
+        else:
+            self._send_text(
+                400, f"cannot compose a {kind!r} record (expected problem or chain)\n"
+            )
+
+
+class ServiceHTTPServer:
+    """Owns a :class:`ThreadingHTTPServer` bound to one composition service."""
+
+    def __init__(
+        self,
+        service: CompositionService,
+        host: str = "127.0.0.1",
+        port: int = 8075,
+        verbose: bool = False,
+    ):
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        # Handlers reach the service through their ``server`` attribute.
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0`` (ephemeral)."""
+        return self._httpd.server_address[:2]
+
+    def start(self) -> "ServiceHTTPServer":
+        """Serve in a background thread (the service must be started too)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI's ``serve``)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(
+    service: CompositionService,
+    host: str = "127.0.0.1",
+    port: int = 8075,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Convenience: build and start a :class:`ServiceHTTPServer`."""
+    return ServiceHTTPServer(service, host=host, port=port, verbose=verbose).start()

@@ -1,0 +1,137 @@
+"""Thread-safe metrics for the composition service.
+
+One :class:`ServiceMetrics` instance rides on each
+:class:`~repro.service.server.CompositionService`; the serving loop feeds it
+and :meth:`ServiceMetrics.snapshot` renders everything as one plain dict —
+the payload of the HTTP ``/metrics`` endpoint and the CLI's ``metrics``
+output.  Collected:
+
+* request counters — submitted, completed, failed, timed out, coalesced into
+  an in-flight duplicate, rejected by admission control;
+* batching — number of micro-batches executed, mean batch size, per-backend
+  batch counts;
+* latency — cumulative queue-wait and execution seconds (with means);
+* composition phases — the per-phase wall-clock buckets of every served
+  result (:mod:`repro.compose.phases`), summed; and
+* engine stores — expression-cache hits/misses accumulated over batch
+  reports, plus a live view of the (possibly persistent) checkpoint store.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Aggregated counters of one service instance (all methods thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.timed_out = 0
+        self.deduplicated = 0
+        self.rejected = 0
+        self.batches = 0
+        self.batched_items = 0
+        self.queue_seconds = 0.0
+        self.execution_seconds = 0.0
+        self._batch_backends: Dict[str, int] = {}
+        self._phase_seconds: Dict[str, float] = {}
+        self._cache_hits = 0.0
+        self._cache_misses = 0.0
+
+    # -- recording -----------------------------------------------------------------
+
+    def record_submitted(self, coalesced: bool = False) -> None:
+        with self._lock:
+            self.submitted += 1
+            if coalesced:
+                self.deduplicated += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, size: int, backend: str, cache_stats: Optional[dict]) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_items += size
+            self._batch_backends[backend] = self._batch_backends.get(backend, 0) + 1
+            if cache_stats:
+                self._cache_hits += cache_stats.get("hits", 0)
+                self._cache_misses += cache_stats.get("misses", 0)
+
+    def record_completed(
+        self,
+        status: str,
+        queue_seconds: float,
+        execution_seconds: float,
+        phase_seconds=(),
+    ) -> None:
+        """Record one finished request (``status`` is a ``ProblemStatus`` value)."""
+        with self._lock:
+            if status == "succeeded":
+                self.completed += 1
+            elif status == "timed_out":
+                self.timed_out += 1
+            else:
+                self.failed += 1
+            self.queue_seconds += queue_seconds
+            self.execution_seconds += execution_seconds
+            for phase, seconds in phase_seconds:
+                self._phase_seconds[phase] = self._phase_seconds.get(phase, 0.0) + seconds
+
+    # -- reading -------------------------------------------------------------------
+
+    def snapshot(
+        self,
+        pending: int = 0,
+        in_flight: int = 0,
+        checkpoint_stats: Optional[dict] = None,
+    ) -> dict:
+        """Everything as one JSON-serializable dict."""
+        with self._lock:
+            finished = self.completed + self.failed + self.timed_out
+            cache_total = self._cache_hits + self._cache_misses
+            return {
+                "requests": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "timed_out": self.timed_out,
+                    "deduplicated": self.deduplicated,
+                    "rejected": self.rejected,
+                    "pending": pending,
+                    "in_flight": in_flight,
+                },
+                "batching": {
+                    "batches": self.batches,
+                    "batched_items": self.batched_items,
+                    "mean_batch_size": (
+                        self.batched_items / self.batches if self.batches else 0.0
+                    ),
+                    "backends": dict(self._batch_backends),
+                },
+                "latency": {
+                    "queue_seconds_total": self.queue_seconds,
+                    "execution_seconds_total": self.execution_seconds,
+                    "mean_queue_seconds": (
+                        self.queue_seconds / finished if finished else 0.0
+                    ),
+                    "mean_execution_seconds": (
+                        self.execution_seconds / finished if finished else 0.0
+                    ),
+                },
+                "phases": dict(sorted(self._phase_seconds.items())),
+                "expression_cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": (self._cache_hits / cache_total if cache_total else 0.0),
+                },
+                "checkpoints": dict(checkpoint_stats) if checkpoint_stats else {},
+            }

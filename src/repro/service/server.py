@@ -1,0 +1,511 @@
+"""The composition service: a concurrent serving front-end over the engine.
+
+The ROADMAP's north star is a *system*, not a library: many clients submit
+composition work concurrently, and the engine's accelerators — the shared
+expression cache, hop checkpoints, the cost-guided planner — should work for
+all of them at once.  :class:`CompositionService` is that front-end:
+
+* **request queue with admission control** — submissions return a
+  :class:`Ticket` immediately; when the queue is at ``max_pending`` work
+  items, new requests are rejected with
+  :class:`~repro.exceptions.ServiceOverloadedError` instead of growing the
+  backlog without bound;
+* **deduplication** — every request is keyed by the content fingerprint of
+  its inputs plus its effective :class:`ComposerConfig`; a request whose key
+  matches one that is queued *or currently executing* coalesces onto that
+  computation and receives the same payload (sound because composition is
+  deterministic in exactly those inputs);
+* **micro-batching** — the serving loop drains up to ``micro_batch_size``
+  requests (waiting ``micro_batch_wait_seconds`` for stragglers), groups them
+  by kind and configuration, and executes each group through one
+  :class:`~repro.engine.batch.BatchComposer` call (``run`` / ``run_chains`` /
+  ``run_partitioned``), so batched requests share one expression cache and
+  one checkpoint store per batch;
+* **per-request configuration** — a submission may carry its own
+  ``ComposerConfig``; configs are part of the dedup key and the grouping, so
+  requests only share work when their results would be identical;
+* **durability** — given a :class:`~repro.catalog.MappingCatalog`, chain
+  requests record hop checkpoints in the catalog's *persistent* store, so a
+  restarted service answers warm.  Write-through happens on the ``serial``
+  and ``thread`` backends (the default); ``process``-backend workers are
+  *seeded* from the disk store at pool startup (so restarts still reuse
+  previously persisted prefixes) but hops they record stay worker-local —
+  the engine's usual process-isolation trade
+  (:attr:`~repro.engine.batch.BatchConfig.share_checkpoints`); and
+* **metrics** — :meth:`CompositionService.metrics` surfaces queue depths,
+  dedup/rejection counters, batch sizes, cache/checkpoint hit rates and the
+  summed per-phase timings of everything served
+  (:mod:`repro.service.metrics`).
+
+Results are byte-identical to calling :func:`repro.compose.compose` /
+:func:`repro.engine.compose_chain` directly — the service only adds
+scheduling, never semantics (``tests/service/test_service.py`` asserts this
+under concurrent overlapping load).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.digest import DIGEST_SIZE
+from repro.catalog.catalog import MappingCatalog
+from repro.compose.config import ComposerConfig
+from repro.engine.batch import BatchComposer, BatchConfig, BatchItemResult, ProblemStatus
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.fingerprint import chain_fingerprint
+from repro.exceptions import EngineError, ServiceError, ServiceOverloadedError
+from repro.mapping.composition_problem import CompositionProblem
+from repro.mapping.mapping import Mapping
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["ServiceConfig", "Ticket", "CompositionService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable parameters of a :class:`CompositionService`.
+
+    Attributes
+    ----------
+    max_pending:
+        Admission bound: maximum number of *distinct* work items queued (not
+        yet executing).  Coalesced duplicates ride along for free; past the
+        bound, :meth:`CompositionService.submit_problem` and friends raise
+        :class:`ServiceOverloadedError`.
+    micro_batch_size:
+        Maximum requests drained into one serving batch.
+    micro_batch_wait_seconds:
+        How long the serving loop waits for stragglers once it holds at least
+        one request; ``0`` serves immediately (lowest latency, least
+        batching).
+    backend / max_workers / timeout_seconds:
+        Forwarded to the underlying :class:`~repro.engine.batch.BatchConfig`
+        (execution backend of each micro-batch, pool width, soft per-request
+        budget).
+    composer_config:
+        The default :class:`ComposerConfig` for requests that do not carry
+        their own override.
+    share_expression_cache / cache_max_entries:
+        Expression-cache settings of each micro-batch, as in
+        :class:`~repro.engine.batch.BatchConfig`.
+    """
+
+    max_pending: int = 1024
+    micro_batch_size: int = 16
+    micro_batch_wait_seconds: float = 0.002
+    backend: str = "auto"
+    max_workers: Optional[int] = None
+    timeout_seconds: Optional[float] = None
+    composer_config: ComposerConfig = field(default_factory=ComposerConfig)
+    share_expression_cache: bool = True
+    cache_max_entries: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise EngineError("max_pending must be positive")
+        if self.micro_batch_size < 1:
+            raise EngineError("micro_batch_size must be positive")
+        if self.micro_batch_wait_seconds < 0:
+            raise EngineError("micro_batch_wait_seconds must be non-negative")
+
+
+class Ticket:
+    """A claim on one submitted request (a minimal, thread-safe future).
+
+    ``coalesced`` is ``True`` when this submission deduplicated onto an
+    already in-flight identical request.  :meth:`result` blocks until the
+    serving loop delivers, then returns the payload
+    (:class:`~repro.compose.result.CompositionResult` or
+    :class:`~repro.engine.chain.ChainResult`) or raises
+    :class:`~repro.exceptions.ServiceError`.
+    """
+
+    def __init__(self, coalesced: bool = False):
+        self._event = threading.Event()
+        self._payload: object = None
+        self._error: Optional[ServiceError] = None
+        self.coalesced = coalesced
+
+    def done(self) -> bool:
+        """``True`` once a payload or an error has been delivered."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        """Block for the payload (raises ``ServiceError`` on failure/timeout)."""
+        if not self._event.wait(timeout):
+            raise ServiceError(f"no result within {timeout} seconds")
+        if self._error is not None:
+            raise self._error
+        return self._payload
+
+    def _deliver(self, payload: object) -> None:
+        self._payload = payload
+        self._event.set()
+
+    def _fail(self, error: ServiceError) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _WorkItem:
+    """One distinct queued computation and every ticket coalesced onto it."""
+
+    __slots__ = ("key", "kind", "payload", "config", "tickets", "enqueued_at")
+
+    def __init__(self, key: bytes, kind: str, payload: object, config: ComposerConfig):
+        self.key = key
+        self.kind = kind
+        self.payload = payload
+        self.config = config
+        self.tickets: List[Ticket] = []
+        self.enqueued_at = time.perf_counter()
+
+
+class CompositionService:
+    """A concurrent composition server over one (optional) catalog.
+
+    Parameters
+    ----------
+    catalog:
+        When given, chain requests use the catalog's persistent checkpoint
+        store (hop reuse survives restarts) and :meth:`compose_catalog` can
+        serve stored problems and chains by name.  Without a catalog the
+        service keeps a process-local in-memory checkpoint store.
+    config:
+        Service tuning; see :class:`ServiceConfig`.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[MappingCatalog] = None,
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.catalog = catalog
+        self.config = config or ServiceConfig()
+        self.metrics_store = ServiceMetrics()
+        self.checkpoints: CheckpointStore = (
+            catalog.checkpoints if catalog is not None else CheckpointStore()
+        )
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._queue: Deque[_WorkItem] = deque()
+        self._in_flight: Dict[bytes, _WorkItem] = {}
+        self._composers: Dict[bytes, BatchComposer] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "CompositionService":
+        """Start the serving loop (idempotent); returns ``self``."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="repro-composition-service", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the serving loop.
+
+        With ``drain`` (the default) everything already queued is served
+        first; otherwise queued requests fail with :class:`ServiceError`.
+        """
+        with self._lock:
+            if not drain:
+                while self._queue:
+                    item = self._queue.popleft()
+                    self._in_flight.pop(item.key, None)
+                    for ticket in item.tickets:
+                        ticket._fail(ServiceError("service stopped before serving"))
+            self._stopping = True
+            self._work_available.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+        with self._lock:
+            self._thread = None
+
+    def __enter__(self) -> "CompositionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit_problem(
+        self,
+        problem: CompositionProblem,
+        config: Optional[ComposerConfig] = None,
+        partitioned: bool = False,
+    ) -> Ticket:
+        """Queue one composition problem; returns immediately with a ticket.
+
+        ``partitioned`` routes the problem through
+        :meth:`~repro.engine.batch.BatchComposer.run_partitioned` (the
+        cost-guided planner with intra-problem parallel sub-tasks).
+
+        Submissions are accepted before :meth:`start` (they queue and are
+        served once the loop runs) but refused after :meth:`stop`.
+        """
+        kind = "partitioned" if partitioned else "problem"
+        effective = config or self.config.composer_config
+        key = self._request_key(kind, problem.fingerprint(), effective)
+        return self._enqueue(key, kind, problem, effective)
+
+    def submit_chain(
+        self,
+        mappings: Sequence[Mapping],
+        config: Optional[ComposerConfig] = None,
+    ) -> Ticket:
+        """Queue one chained composition; returns immediately with a ticket."""
+        chain = tuple(mappings)
+        if not chain:
+            raise ServiceError("cannot submit an empty chain")
+        effective = config or self.config.composer_config
+        key = self._request_key("chain", chain_fingerprint(chain), effective)
+        return self._enqueue(key, "chain", chain, effective)
+
+    def compose(
+        self,
+        problem: CompositionProblem,
+        config: Optional[ComposerConfig] = None,
+        partitioned: bool = False,
+        timeout: Optional[float] = None,
+    ):
+        """Submit one problem and block for its result."""
+        return self.submit_problem(problem, config, partitioned).result(timeout)
+
+    def compose_chain(
+        self,
+        mappings: Sequence[Mapping],
+        config: Optional[ComposerConfig] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Submit one chain and block for its result."""
+        return self.submit_chain(mappings, config).result(timeout)
+
+    def compose_catalog(
+        self,
+        kind: str,
+        name: str,
+        version: Optional[int] = None,
+        config: Optional[ComposerConfig] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Serve a stored catalog ``problem`` or ``chain`` by name."""
+        if self.catalog is None:
+            raise ServiceError("this service has no catalog attached")
+        if kind == "problem":
+            return self.compose(self.catalog.get_problem(name, version), config, timeout=timeout)
+        if kind == "chain":
+            return self.compose_chain(self.catalog.get_chain(name, version), config, timeout=timeout)
+        raise ServiceError(f"cannot compose catalog kind {kind!r} (expected problem or chain)")
+
+    def _request_key(self, kind: str, content: bytes, config: ComposerConfig) -> bytes:
+        h = blake2b(digest_size=DIGEST_SIZE)
+        h.update(kind.encode())
+        h.update(content)
+        h.update(config.fingerprint())
+        return h.digest()
+
+    def _enqueue(
+        self, key: bytes, kind: str, payload: object, config: ComposerConfig
+    ) -> Ticket:
+        with self._lock:
+            # Before the first start() submissions simply accumulate in the
+            # queue; only a *stopped* service refuses work.
+            if self._stopping:
+                raise ServiceError("the service is stopped; call start() first")
+            existing = self._in_flight.get(key)
+            if existing is not None:
+                # Identical in-flight request (queued or executing): coalesce.
+                ticket = Ticket(coalesced=True)
+                existing.tickets.append(ticket)
+                self.metrics_store.record_submitted(coalesced=True)
+                return ticket
+            if len(self._queue) >= self.config.max_pending:
+                self.metrics_store.record_rejected()
+                raise ServiceOverloadedError(
+                    f"request queue is at capacity ({self.config.max_pending} pending)"
+                )
+            item = _WorkItem(key, kind, payload, config)
+            ticket = Ticket()
+            item.tickets.append(ticket)
+            self._in_flight[key] = item
+            self._queue.append(item)
+            self.metrics_store.record_submitted()
+            self._work_available.notify()
+            return ticket
+
+    # -- serving loop --------------------------------------------------------------
+
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if not batch:
+                return
+            for (kind, _), group in _grouped(batch).items():
+                self._execute_group(kind, group)
+
+    def _next_batch(self) -> List[_WorkItem]:
+        """Block for work, then drain up to one micro-batch of items."""
+        with self._lock:
+            while not self._queue and not self._stopping:
+                self._work_available.wait()
+            if not self._queue:
+                return []  # stopping and drained
+            batch = [self._queue.popleft()]
+        # Hold the door briefly for stragglers so bursts batch together.
+        deadline = time.perf_counter() + self.config.micro_batch_wait_seconds
+        while len(batch) < self.config.micro_batch_size:
+            with self._lock:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                if self._stopping:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._work_available.wait(remaining)
+        return batch
+
+    def _composer_for(self, config: ComposerConfig) -> BatchComposer:
+        """One cached :class:`BatchComposer` per composer-config fingerprint.
+
+        Caching keeps the composer's state — above all the shared checkpoint
+        store — warm across micro-batches.
+        """
+        fingerprint = config.fingerprint()
+        composer = self._composers.get(fingerprint)
+        if composer is None:
+            composer = BatchComposer(
+                BatchConfig(
+                    backend=self.config.backend,
+                    max_workers=self.config.max_workers,
+                    timeout_seconds=self.config.timeout_seconds,
+                    composer_config=config,
+                    share_expression_cache=self.config.share_expression_cache,
+                    cache_max_entries=self.config.cache_max_entries,
+                ),
+                checkpoints=self.checkpoints,
+            )
+            self._composers[fingerprint] = composer
+        return composer
+
+    def _execute_group(self, kind: str, group: List[_WorkItem]) -> None:
+        composer = self._composer_for(group[0].config)
+        started = time.perf_counter()
+        try:
+            if kind == "chain":
+                report = composer.run_chains([item.payload for item in group])
+            elif kind == "partitioned":
+                report = composer.run_partitioned([item.payload for item in group])
+            else:
+                report = composer.run([item.payload for item in group])
+        except Exception as exc:  # noqa: BLE001 - a broken batch must not kill the loop
+            elapsed = time.perf_counter() - started
+            error = ServiceError(f"batch execution failed: {exc!r}")
+            for item in group:
+                self._finish(item, None, error, elapsed / max(len(group), 1))
+            return
+        self.metrics_store.record_batch(
+            size=len(group), backend=report.backend, cache_stats=report.cache_stats
+        )
+        for item, outcome in zip(group, report.items):
+            if outcome.status is ProblemStatus.SUCCEEDED:
+                self._finish(item, outcome, None, outcome.elapsed_seconds)
+            else:
+                self._finish(item, outcome, _item_error(outcome), outcome.elapsed_seconds)
+
+    def _finish(
+        self,
+        item: _WorkItem,
+        outcome: Optional[BatchItemResult],
+        error: Optional[ServiceError],
+        execution_seconds: float,
+    ) -> None:
+        # Pop from the in-flight table *before* delivering: once tickets are
+        # woken, an identical new request must start a fresh computation
+        # rather than coalesce onto this finished one.
+        with self._lock:
+            self._in_flight.pop(item.key, None)
+            tickets = list(item.tickets)
+        payload = outcome.result if outcome is not None and error is None else None
+        status = (
+            outcome.status.value
+            if outcome is not None
+            else ProblemStatus.FAILED.value
+        )
+        for ticket in tickets:
+            if error is None:
+                ticket._deliver(payload)
+            else:
+                ticket._fail(error)
+        self.metrics_store.record_completed(
+            status=status,
+            queue_seconds=max(0.0, time.perf_counter() - item.enqueued_at - execution_seconds),
+            execution_seconds=execution_seconds,
+            phase_seconds=_phase_seconds(payload),
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """A JSON-serializable snapshot of everything the service measures."""
+        with self._lock:
+            pending = len(self._queue)
+            in_flight = len(self._in_flight)
+        return self.metrics_store.snapshot(
+            pending=pending,
+            in_flight=in_flight,
+            checkpoint_stats=self.checkpoints.stats(),
+        )
+
+    def __repr__(self) -> str:
+        state = "running" if self.is_running else "stopped"
+        return f"<CompositionService ({state}): {len(self._queue)} queued>"
+
+
+def _grouped(batch: Sequence[_WorkItem]) -> Dict[Tuple[str, bytes], List[_WorkItem]]:
+    """Group a micro-batch by (kind, composer-config fingerprint), in order."""
+    groups: Dict[Tuple[str, bytes], List[_WorkItem]] = {}
+    for item in batch:
+        groups.setdefault((item.kind, item.config.fingerprint()), []).append(item)
+    return groups
+
+
+def _item_error(outcome: BatchItemResult) -> ServiceError:
+    if outcome.status is ProblemStatus.TIMED_OUT:
+        return ServiceError(f"request timed out: {outcome.error}")
+    return ServiceError(outcome.error or "composition failed")
+
+
+def _phase_seconds(payload: object):
+    """The per-phase buckets of a served payload (chains sum over their hops)."""
+    if payload is None:
+        return ()
+    if hasattr(payload, "phase_seconds") and not hasattr(payload, "hops"):
+        return payload.phase_seconds
+    if hasattr(payload, "hops"):
+        totals: Dict[str, float] = {}
+        for hop in payload.hops:
+            for phase, seconds in hop.result.phase_seconds:
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return tuple(sorted(totals.items()))
+    return ()

@@ -1,5 +1,40 @@
-"""Plain-text serialization of composition problems (the paper's task format)."""
+"""Plain-text serialization: the paper's task format plus catalog records.
+
+:mod:`repro.textio.format` is the paper's distribution format for composition
+problems; :mod:`repro.textio.records` extends the same syntax to the other
+objects the mapping catalog persists — schemas, mappings, chains and composed
+results.
+"""
 
 from repro.textio.format import problem_from_text, problem_to_text, read_problem, write_problem
+from repro.textio.records import (
+    Record,
+    chain_from_text,
+    chain_to_text,
+    detect_kind,
+    mapping_from_text,
+    mapping_to_text,
+    parse_record,
+    result_from_text,
+    result_to_text,
+    signature_from_text,
+    signature_to_text,
+)
 
-__all__ = ["problem_to_text", "problem_from_text", "write_problem", "read_problem"]
+__all__ = [
+    "problem_to_text",
+    "problem_from_text",
+    "write_problem",
+    "read_problem",
+    "Record",
+    "parse_record",
+    "detect_kind",
+    "signature_to_text",
+    "signature_from_text",
+    "mapping_to_text",
+    "mapping_from_text",
+    "chain_to_text",
+    "chain_from_text",
+    "result_to_text",
+    "result_from_text",
+]

@@ -1,0 +1,230 @@
+"""Tests for the disk-backed mapping catalog and the persistent checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.catalog import MappingCatalog, PersistentCheckpointStore
+from repro.compose.composer import compose
+from repro.compose.config import ComposerConfig
+from repro.engine import ChainGrower, compose_chain
+from repro.engine.checkpoint import CheckpointStore
+from repro.exceptions import CatalogError
+from repro.literature.problems import problem_by_name
+from repro.schema.signature import RelationSchema, Signature
+from repro.textio.records import mapping_to_text
+
+
+@pytest.fixture()
+def chain():
+    return tuple(ChainGrower(seed=5, schema_size=4).grow_many(5))
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    return MappingCatalog(tmp_path / "catalog")
+
+
+class TestVersioning:
+    def test_identical_content_dedupes(self, catalog, chain):
+        first = catalog.put_mapping("m", chain[0])
+        second = catalog.put_mapping("m", chain[0])
+        assert first.version == second.version == 1
+        assert first.fingerprint == second.fingerprint
+        assert len(catalog.versions("mapping", "m")) == 1
+
+    def test_changed_content_appends_version(self, catalog, chain):
+        catalog.put_mapping("m", chain[0])
+        entry = catalog.put_mapping("m", chain[1])
+        assert entry.version == 2
+        assert catalog.get_mapping("m") == chain[1]
+        assert catalog.get_mapping("m", version=1) == chain[0]
+
+    def test_history_is_never_lost(self, catalog, chain):
+        for mapping in chain:
+            catalog.put_mapping("evolving", mapping)
+        versions = catalog.versions("mapping", "evolving")
+        assert [entry.version for entry in versions] == [1, 2, 3, 4, 5]
+        for entry, mapping in zip(versions, chain):
+            assert catalog.get_mapping("evolving", entry.version) == mapping
+
+    def test_fingerprint_lookup(self, catalog, chain):
+        entry = catalog.put_mapping("m", chain[0])
+        matches = catalog.find_fingerprint(entry.fingerprint)
+        assert matches == (entry,)
+        assert entry.fingerprint == chain[0].fingerprint().hex()
+
+    def test_unknown_entries_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get_mapping("missing")
+        with pytest.raises(CatalogError):
+            catalog.text("bogus-kind", "x")
+
+    def test_unknown_version_rejected(self, catalog, chain):
+        catalog.put_mapping("m", chain[0])
+        with pytest.raises(CatalogError):
+            catalog.get_mapping("m", version=7)
+
+    def test_invalid_names_rejected(self, catalog, chain):
+        for bad in ("", "../escape", "a/b", "a b", "-leading", "x" * 200):
+            with pytest.raises(CatalogError):
+                catalog.put_mapping(bad, chain[0])
+
+
+class TestPersistence:
+    def test_all_kinds_survive_reopen(self, tmp_path, chain):
+        problem = problem_by_name("example1_movies").problem
+        result = compose(problem)
+        catalog = MappingCatalog(tmp_path / "cat")
+        catalog.put_schema("s", chain[0].input_signature, description="first schema")
+        catalog.put_mapping("m", chain[0])
+        catalog.put_chain("c", chain)
+        catalog.put_problem("p", problem)
+        catalog.put_result("r", result)
+
+        reopened = MappingCatalog(tmp_path / "cat")
+        assert reopened.get_schema("s") == chain[0].input_signature
+        assert reopened.get_mapping("m") == chain[0]
+        assert reopened.get_chain("c") == chain
+        assert reopened.get_problem("p").sigma12 == problem.sigma12
+        assert reopened.get_result("r") == result
+        assert len(reopened) == 5
+
+    def test_index_is_valid_json(self, catalog, chain):
+        catalog.put_mapping("m", chain[0])
+        payload = json.loads((catalog.root / "catalog.json").read_text())
+        assert payload["schema_version"] == 1
+        assert payload["entries"]["mapping"]["m"][0]["version"] == 1
+
+    def test_record_files_are_the_text_format(self, catalog, chain):
+        entry = catalog.put_mapping("m", chain[0], description="readable on disk")
+        stored = (catalog.root / entry.path).read_text()
+        assert stored == mapping_to_text(chain[0], name="m", description="readable on disk")
+
+    def test_result_dedupe_ignores_timings(self, catalog):
+        problem = problem_by_name("example1_movies").problem
+        first = catalog.put_result("r", compose(problem))
+        second = catalog.put_result("r", compose(problem))
+        assert first.version == second.version == 1
+
+    def test_add_text_ingests_and_validates(self, catalog, chain):
+        entry = catalog.add_text(mapping_to_text(chain[0], name="imported"))
+        assert entry.kind == "mapping" and entry.name == "imported"
+        with pytest.raises(CatalogError):
+            catalog.add_text("# kind: mapping\n[input]\nR/2\n")  # malformed
+        with pytest.raises(CatalogError):
+            catalog.add_text(mapping_to_text(chain[0]))  # nameless
+
+    def test_stats(self, catalog, chain):
+        catalog.put_mapping("m", chain[0])
+        catalog.put_chain("c", chain)
+        stats = catalog.stats()
+        assert stats["kinds"]["mapping"] == {"names": 1, "versions": 1}
+        assert stats["total_versions"] == 2
+
+
+class TestPersistentCheckpoints:
+    def test_writes_through_and_reads_back(self, tmp_path, chain):
+        store = PersistentCheckpointStore(tmp_path / "ckpt")
+        result = compose_chain(chain, checkpoints=store)
+        assert store.disk_writes == len(result.hops)
+        assert store.disk_entries() == len(result.hops)
+
+        fresh = PersistentCheckpointStore(tmp_path / "ckpt")
+        warm = compose_chain(chain, checkpoints=fresh)
+        assert warm.reused_hops == len(warm.hops)
+        assert warm.constraints.to_text() == result.constraints.to_text()
+        assert fresh.disk_hits == 1  # the deepest prefix probe answered from disk
+
+    def test_restart_reuse_via_catalog(self, tmp_path, chain):
+        catalog = MappingCatalog(tmp_path / "cat")
+        catalog.put_chain("history", chain)
+        cold = compose_chain(catalog.get_chain("history"), checkpoints=catalog.checkpoints)
+        assert cold.reused_hops == 0
+
+        restarted = MappingCatalog(tmp_path / "cat")  # fresh instance = new process
+        warm = compose_chain(
+            restarted.get_chain("history"), checkpoints=restarted.checkpoints
+        )
+        assert warm.reused_hops == len(warm.hops)
+        assert warm.constraints.to_text() == cold.constraints.to_text()
+        assert tuple(warm.residual_symbols) == tuple(cold.residual_symbols)
+
+    def test_shorter_chain_reuses_the_stored_prefix(self, tmp_path, chain):
+        store = PersistentCheckpointStore(tmp_path / "ckpt")
+        compose_chain(chain, checkpoints=store)
+
+        fresh = PersistentCheckpointStore(tmp_path / "ckpt")
+        result = compose_chain(chain[:-1], checkpoints=fresh)
+        assert result.reused_hops == len(result.hops)  # strict prefix fully reused
+        assert fresh.disk_hits == 1
+
+    def test_config_change_invalidates(self, tmp_path, chain):
+        store = PersistentCheckpointStore(tmp_path / "ckpt")
+        compose_chain(chain, checkpoints=store)
+        fresh = PersistentCheckpointStore(tmp_path / "ckpt")
+        other = compose_chain(chain, ComposerConfig.cost_guided(), checkpoints=fresh)
+        assert other.reused_hops == 0
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, chain):
+        store = PersistentCheckpointStore(tmp_path / "ckpt")
+        compose_chain(chain, checkpoints=store)
+        for path in (tmp_path / "ckpt").glob("*.ckpt"):
+            path.write_bytes(b"not a pickle")
+        fresh = PersistentCheckpointStore(tmp_path / "ckpt")
+        result = compose_chain(chain, checkpoints=fresh)
+        assert result.reused_hops == 0  # corrupt files ignored, outputs recomputed
+        assert result.constraints.to_text()
+
+    def test_outputs_identical_with_and_without_store(self, tmp_path, chain):
+        bare = compose_chain(chain)
+        stored = compose_chain(
+            chain, checkpoints=PersistentCheckpointStore(tmp_path / "ckpt")
+        )
+        memory = compose_chain(chain, checkpoints=CheckpointStore())
+        assert (
+            bare.constraints.to_text()
+            == stored.constraints.to_text()
+            == memory.constraints.to_text()
+        )
+
+    def test_warm_and_purge(self, tmp_path, chain):
+        store = PersistentCheckpointStore(tmp_path / "ckpt")
+        compose_chain(chain, checkpoints=store)
+        on_disk = store.disk_entries()
+
+        fresh = PersistentCheckpointStore(tmp_path / "ckpt")
+        assert fresh.warm() == on_disk
+        assert len(fresh.snapshot()) == on_disk  # now visible to process seeding
+
+        assert fresh.purge() == on_disk
+        assert fresh.disk_entries() == 0
+        assert compose_chain(chain, checkpoints=fresh).reused_hops == 0
+
+    def test_process_backend_restart_seeded_from_disk(self, tmp_path, chain):
+        from repro.engine import BatchComposer
+        from repro.engine.batch import BatchConfig
+
+        store = PersistentCheckpointStore(tmp_path / "ckpt")
+        reference = compose_chain(chain, checkpoints=store)
+
+        # A restarted process-backend composer: its persistent store starts
+        # with an empty memory table, but run_chains warms it from disk
+        # before seeding the pool, so workers resume the recorded prefix.
+        fresh = PersistentCheckpointStore(tmp_path / "ckpt")
+        composer = BatchComposer(
+            BatchConfig(backend="process", max_workers=1), checkpoints=fresh
+        )
+        report = composer.run_chains([chain])
+        assert report.all_succeeded
+        (warm,) = report.results()
+        assert warm.reused_hops == len(warm.hops)
+        assert warm.constraints.to_text() == reference.constraints.to_text()
+
+    def test_memory_eviction_falls_back_to_disk(self, tmp_path, chain):
+        store = PersistentCheckpointStore(tmp_path / "ckpt", max_entries=2)
+        result = compose_chain(chain, checkpoints=store)
+        # The bounded memory table evicted, but the files remain.
+        assert store.disk_entries() == len(result.hops)
+        warm = compose_chain(chain, checkpoints=store)
+        assert warm.reused_hops == len(warm.hops)

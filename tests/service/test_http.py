@@ -1,0 +1,138 @@
+"""Tests for the HTTP front-end — including the service smoke contract.
+
+The smoke contract CI relies on: start the service, submit one composition
+over HTTP, and the answer must be byte-identical to a direct ``compose()``.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.catalog import MappingCatalog
+from repro.compose.composer import compose
+from repro.engine import ChainGrower, compose_chain
+from repro.literature.problems import problem_by_name
+from repro.service import CompositionService, ServiceConfig, ServiceHTTPServer
+from repro.textio.format import problem_to_text
+from repro.textio.records import (
+    chain_to_text,
+    mapping_from_text,
+    result_from_text,
+    signature_to_text,
+)
+
+
+@pytest.fixture()
+def stack(tmp_path):
+    catalog = MappingCatalog(tmp_path / "cat")
+    service = CompositionService(catalog, ServiceConfig(micro_batch_wait_seconds=0.0))
+    service.start()
+    server = ServiceHTTPServer(service, port=0)  # ephemeral port
+    server.start()
+    host, port = server.address
+    yield catalog, service, f"http://{host}:{port}"
+    server.stop()
+    service.stop()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, response.read().decode()
+
+
+def _post(url: str, body: str):
+    request = urllib.request.Request(url, data=body.encode(), method="POST")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, response.read().decode(), dict(response.headers)
+
+
+class TestEndpoints:
+    def test_healthz(self, stack):
+        _, _, base = stack
+        assert _get(base + "/healthz") == (200, "ok\n")
+
+    def test_smoke_compose_byte_identical_to_direct(self, stack):
+        """Submit one composition; assert byte-identity with direct compose()."""
+        _, _, base = stack
+        problem = problem_by_name("example1_movies").problem
+        status, text, headers = _post(base + "/compose", problem_to_text(problem))
+        assert status == 200
+        served = result_from_text(text)
+        direct = compose(problem)
+        assert served.constraints.to_text() == direct.constraints.to_text()
+        assert served.residual_sigma2 == direct.residual_sigma2
+        assert headers["X-Repro-Eliminated"] == str(len(direct.eliminated_symbols))
+
+    def test_compose_chain_record(self, stack):
+        _, _, base = stack
+        chain = ChainGrower(seed=21, schema_size=4).grow_many(4)
+        status, text, headers = _post(base + "/compose", chain_to_text(chain))
+        assert status == 200
+        direct = compose_chain(chain)
+        assert mapping_from_text(text) == direct.to_mapping_with_residue()
+        assert headers["X-Repro-Hops"] == str(len(direct.hops))
+
+    def test_compose_stores_in_catalog(self, stack):
+        catalog, _, base = stack
+        problem = problem_by_name("glav_chain").problem
+        status, _, _ = _post(
+            base + "/compose?store=glav&order=cost", problem_to_text(problem)
+        )
+        assert status == 200
+        stored = catalog.get_result("glav")
+        assert stored.components >= 1  # served through the planner
+
+    def test_metrics_endpoint(self, stack):
+        _, _, base = stack
+        problem = problem_by_name("example1_movies").problem
+        _post(base + "/compose", problem_to_text(problem))
+        status, body = _get(base + "/metrics")
+        assert status == 200
+        metrics = json.loads(body)
+        assert metrics["requests"]["completed"] >= 1
+        assert "checkpoints" in metrics and "phases" in metrics
+
+    def test_catalog_endpoints(self, stack):
+        catalog, _, base = stack
+        chain = ChainGrower(seed=22, schema_size=3).grow_many(3)
+        catalog.put_chain("history", chain)
+        catalog.put_schema("first", chain[0].input_signature)
+
+        status, body = _get(base + "/catalog")
+        listing = json.loads(body)
+        assert status == 200
+        assert {entry["name"] for entry in listing["entries"]} == {"history", "first"}
+
+        status, body = _get(base + "/catalog/schema/first")
+        assert status == 200
+        assert body == catalog.text("schema", "first")
+        assert body == signature_to_text(chain[0].input_signature, name="first")
+
+    def test_errors(self, stack):
+        _, _, base = stack
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/catalog/mapping/missing")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/nope")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base + "/compose", "[garbage\n")
+        assert excinfo.value.code == 400
+
+    def test_malformed_content_length_is_400(self, stack):
+        import http.client
+
+        _, _, base = stack
+        host, port = base.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            connection.putrequest("POST", "/compose")
+            connection.putheader("Content-Length", "not-a-number")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+        finally:
+            connection.close()

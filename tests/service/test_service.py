@@ -1,0 +1,240 @@
+"""Tests for the concurrent composition service.
+
+The load-bearing guarantee: the service adds scheduling — queueing,
+deduplication, micro-batching, concurrency — but never semantics.  Every
+payload must be byte-identical to calling ``compose`` / ``compose_chain``
+directly, including under concurrent overlapping submissions (the
+acceptance-criterion proof lives in :class:`TestConcurrentClients`).
+"""
+
+import threading
+
+import pytest
+
+from repro.catalog import MappingCatalog
+from repro.compose.composer import compose
+from repro.compose.config import ComposerConfig
+from repro.engine import ChainGrower, compose_chain
+from repro.engine.workloads import WorkloadConfig, generate_workload, pairwise_problems
+from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.literature.problems import problem_by_name
+from repro.service import CompositionService, ServiceConfig
+
+
+def _constraints_text(result) -> str:
+    return result.constraints.to_text()
+
+
+@pytest.fixture()
+def chains():
+    return [tuple(problem.mappings) for problem in generate_workload(
+        WorkloadConfig(num_problems=6, min_chain_length=3, max_chain_length=4, seed=17)
+    )]
+
+
+@pytest.fixture()
+def service():
+    with CompositionService() as svc:
+        yield svc
+
+
+class TestBasics:
+    def test_problem_identical_to_direct_compose(self, service):
+        problem = problem_by_name("example1_movies").problem
+        direct = compose(problem)
+        served = service.compose(problem)
+        assert _constraints_text(served) == _constraints_text(direct)
+        assert served.residual_sigma2 == direct.residual_sigma2
+        assert served.attempted_symbols == direct.attempted_symbols
+
+    def test_chain_identical_to_direct_compose_chain(self, service, chains):
+        for chain in chains[:3]:
+            direct = compose_chain(chain)
+            served = service.compose_chain(chain)
+            assert _constraints_text(served) == _constraints_text(direct)
+            assert served.residual_symbols == direct.residual_symbols
+
+    def test_partitioned_request(self, service):
+        problem = problem_by_name("glav_chain").problem
+        direct = compose(problem, ComposerConfig.cost_guided())
+        served = service.compose(problem, partitioned=True)
+        assert _constraints_text(served) == _constraints_text(direct)
+
+    def test_per_request_config_override(self, service):
+        problem = problem_by_name("glav_chain").problem
+        fixed = service.compose(problem)
+        cost = service.compose(problem, config=ComposerConfig.cost_guided())
+        assert fixed.components == 0
+        assert cost.components >= 1
+        # Different configs never coalesce onto each other.
+        assert _constraints_text(fixed) == _constraints_text(
+            compose(problem, ComposerConfig())
+        )
+
+    def test_submissions_queue_before_start(self, chains):
+        svc = CompositionService()
+        ticket = svc.submit_chain(chains[0])  # accepted, waits for the loop
+        assert not ticket.done()
+        svc.start()
+        assert _constraints_text(ticket.result(60)) == _constraints_text(
+            compose_chain(chains[0])
+        )
+        svc.stop()
+        with pytest.raises(ServiceError):
+            svc.submit_chain(chains[0])  # a stopped service refuses work
+
+    def test_failure_is_reported_not_swallowed(self, service, chains):
+        # An unsatisfiable submission: empty chains are rejected immediately.
+        with pytest.raises(ServiceError):
+            service.submit_chain(())
+
+    def test_stop_drains_queue(self, chains):
+        svc = CompositionService(config=ServiceConfig(micro_batch_wait_seconds=0.0))
+        svc.start()
+        tickets = [svc.submit_chain(chain) for chain in chains]
+        svc.stop()  # drain=True: everything already queued is served
+        assert all(ticket.done() for ticket in tickets)
+        for chain, ticket in zip(chains, tickets):
+            assert _constraints_text(ticket.result(0)) == _constraints_text(
+                compose_chain(chain)
+            )
+
+
+class TestDeduplication:
+    def test_identical_requests_coalesce(self, chains):
+        config = ServiceConfig(micro_batch_wait_seconds=0.05, micro_batch_size=64)
+        with CompositionService(config=config) as svc:
+            tickets = [svc.submit_chain(chains[0]) for _ in range(20)]
+            results = [ticket.result(60) for ticket in tickets]
+        assert any(ticket.coalesced for ticket in tickets)
+        reference = _constraints_text(compose_chain(chains[0]))
+        assert all(_constraints_text(result) == reference for result in results)
+        metrics = svc.metrics()
+        assert metrics["requests"]["deduplicated"] >= 1
+        assert metrics["requests"]["submitted"] == 20
+
+    def test_different_configs_do_not_coalesce(self, service):
+        problem = problem_by_name("glav_chain").problem
+        a = service.submit_problem(problem)
+        b = service.submit_problem(problem, config=ComposerConfig.cost_guided())
+        assert not b.coalesced or not a.coalesced
+        assert a.result(60).components == 0
+        assert b.result(60).components >= 1
+
+
+class TestAdmissionControl:
+    def test_overload_rejected_deterministically(self, chains):
+        # The loop is not running yet, so the queue fills deterministically.
+        config = ServiceConfig(max_pending=2)
+        svc = CompositionService(config=config)
+        first = svc.submit_chain(chains[0])
+        second = svc.submit_chain(chains[1])
+        with pytest.raises(ServiceOverloadedError):
+            svc.submit_chain(chains[2])
+        # Coalesced duplicates ride on an existing item: still admitted.
+        duplicate = svc.submit_chain(chains[0])
+        assert duplicate.coalesced
+        assert svc.metrics()["requests"]["rejected"] == 1
+
+        svc.start()
+        svc.stop()  # drain serves the admitted items
+        for chain, ticket in ((chains[0], first), (chains[1], second), (chains[0], duplicate)):
+            assert _constraints_text(ticket.result(0)) == _constraints_text(
+                compose_chain(chain)
+            )
+
+
+class TestConcurrentClients:
+    def test_overlapping_concurrent_clients_byte_identical_to_serial(self, chains):
+        """Acceptance criterion: N concurrent clients with overlapping requests
+        receive results byte-identical to serial execution."""
+        problems = [problem_by_name("example1_movies").problem,
+                    problem_by_name("glav_chain").problem]
+        serial_chain = {
+            index: _constraints_text(compose_chain(chain))
+            for index, chain in enumerate(chains)
+        }
+        serial_problem = {
+            index: _constraints_text(compose(problem))
+            for index, problem in enumerate(problems)
+        }
+
+        num_clients = 8
+        outcomes = [[] for _ in range(num_clients)]
+        errors = []
+        config = ServiceConfig(micro_batch_wait_seconds=0.01, micro_batch_size=32)
+        with CompositionService(config=config) as svc:
+            barrier = threading.Barrier(num_clients)
+
+            def client(client_index: int) -> None:
+                try:
+                    barrier.wait(10)
+                    # Every client walks the same workload, offset so requests
+                    # overlap heavily but not identically.
+                    for step in range(len(chains)):
+                        chain_index = (client_index + step) % len(chains)
+                        ticket = svc.submit_chain(chains[chain_index])
+                        problem_index = (client_index + step) % len(problems)
+                        problem_ticket = svc.submit_problem(problems[problem_index])
+                        outcomes[client_index].append(
+                            ("chain", chain_index, ticket.result(120))
+                        )
+                        outcomes[client_index].append(
+                            ("problem", problem_index, problem_ticket.result(120))
+                        )
+                except Exception as exc:  # noqa: BLE001 - surface in the main thread
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(num_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        for per_client in outcomes:
+            assert len(per_client) == 2 * len(chains)
+            for kind, index, result in per_client:
+                expected = serial_chain[index] if kind == "chain" else serial_problem[index]
+                assert _constraints_text(result) == expected
+
+        metrics = svc.metrics()
+        assert metrics["requests"]["completed"] >= 1
+        assert metrics["requests"]["deduplicated"] >= 1  # overlap must coalesce
+        assert metrics["requests"]["failed"] == 0
+
+
+class TestCatalogIntegration:
+    def test_served_chains_warm_the_persistent_store(self, tmp_path, chains):
+        catalog = MappingCatalog(tmp_path / "cat")
+        catalog.put_chain("history", chains[0])
+        with CompositionService(catalog) as svc:
+            cold = svc.compose_catalog("chain", "history")
+        assert cold.reused_hops == 0
+
+        restarted = MappingCatalog(tmp_path / "cat")
+        with CompositionService(restarted) as svc:
+            warm = svc.compose_catalog("chain", "history")
+        assert warm.reused_hops == len(warm.hops)
+        assert _constraints_text(warm) == _constraints_text(cold)
+
+    def test_compose_catalog_requires_catalog(self, service):
+        with pytest.raises(ServiceError):
+            service.compose_catalog("chain", "x")
+
+
+class TestMetrics:
+    def test_snapshot_shape(self, service, chains):
+        service.compose_chain(chains[0])
+        metrics = service.metrics()
+        assert set(metrics) == {
+            "requests", "batching", "latency", "phases", "expression_cache", "checkpoints",
+        }
+        assert metrics["requests"]["completed"] == 1
+        assert metrics["batching"]["batches"] == 1
+        assert metrics["phases"]  # per-phase buckets aggregated from the hops
+        assert metrics["latency"]["execution_seconds_total"] > 0
+        assert metrics["checkpoints"]["entries"] >= 1

@@ -1,0 +1,181 @@
+"""Seeded randomized round-trip property tests for the textio formats.
+
+Every generated signature — random names, arities, ``key=i,j`` annotations —
+and every generated metadata pair (``# name:`` / ``# description:``, with
+hostile-but-legal content) must survive ``parse(print(x)) == x``, through the
+original problem format *and* the extended catalog records (schemas,
+mappings, chains, results).  All randomness flows through seeds, so failures
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.constraints.constraint import ContainmentConstraint, EqualityConstraint
+from repro.constraints.constraint_set import ConstraintSet
+from repro.mapping.composition_problem import CompositionProblem
+from repro.mapping.mapping import Mapping
+from repro.schema.signature import RelationSchema, Signature
+from repro.textio.format import problem_from_text, problem_to_text
+from repro.textio.records import (
+    chain_from_text,
+    chain_to_text,
+    mapping_from_text,
+    mapping_to_text,
+    parse_record,
+    result_from_text,
+    result_to_text,
+    signature_from_text,
+    signature_to_text,
+)
+
+NUM_CASES = 25
+
+
+def _random_signature(rng: random.Random, prefix: str, count: int) -> Signature:
+    relations = []
+    for index in range(count):
+        arity = rng.randint(1, 6)
+        key = None
+        if rng.random() < 0.5:
+            # Random key subsets exercise every shape of the key=i,j suffix:
+            # singletons, runs, gaps, the full width.
+            width = rng.randint(1, arity)
+            key = tuple(sorted(rng.sample(range(arity), width)))
+        relations.append(RelationSchema(f"{prefix}{index}", arity, key))
+    return Signature(relations)
+
+
+def _projected(rng: random.Random, schema: RelationSchema, width: int):
+    from repro.algebra.builders import project
+
+    expression = schema.to_expression()
+    if width == schema.arity and rng.random() < 0.5:
+        return expression  # bare relation reference for variety
+    columns = sorted(rng.sample(range(schema.arity), width))
+    return project(expression, columns)
+
+
+def _random_constraints(
+    rng: random.Random, left_signature: Signature, right_signature: Signature
+) -> ConstraintSet:
+    """Random containments/equalities between projections of the two sides."""
+    constraints = []
+    for left_schema in left_signature.relations():
+        right_schema = rng.choice(right_signature.relations())
+        width = rng.randint(1, min(left_schema.arity, right_schema.arity))
+        left_expr = _projected(rng, left_schema, width)
+        right_expr = _projected(rng, right_schema, width)
+        kind = EqualityConstraint if rng.random() < 0.3 else ContainmentConstraint
+        constraints.append(kind(left_expr, right_expr))
+    return ConstraintSet(constraints)
+
+
+def _random_mapping(rng: random.Random, prefix: str) -> Mapping:
+    input_signature = _random_signature(rng, f"{prefix}In", rng.randint(1, 4))
+    output_signature = _random_signature(rng, f"{prefix}Out", rng.randint(1, 4))
+    return Mapping(
+        input_signature,
+        output_signature,
+        _random_constraints(rng, input_signature, output_signature),
+    )
+
+
+#: Metadata values with hostile-but-legal content: inner '#', ':', section-ish
+#: brackets, unicode; single-line and strip-stable (the format's contract).
+_METADATA_VALUES = [
+    "plain",
+    "with spaces and   runs",
+    "colons: in # comments [and] brackets",
+    "key=0,1 looks like an annotation",
+    "unicode σ1→σ3 ünïcode",
+]
+
+
+class TestSignatureProperties:
+    @pytest.mark.parametrize("seed", range(NUM_CASES))
+    def test_signature_roundtrip(self, seed):
+        rng = random.Random(1000 + seed)
+        signature = _random_signature(rng, "R", rng.randint(1, 8))
+        text = signature_to_text(signature, name=f"sig{seed}")
+        parsed = signature_from_text(text)
+        assert parsed == signature
+        # Keys and order survive exactly.
+        assert parsed.names() == signature.names()
+        for name in signature.names():
+            assert parsed.key_of(name) == signature.key_of(name)
+
+    @pytest.mark.parametrize("value", _METADATA_VALUES)
+    def test_metadata_roundtrip(self, value):
+        signature = Signature([RelationSchema("R", 2)])
+        text = signature_to_text(signature, name="n", description=value)
+        record = parse_record(text)
+        assert record.description == value
+        assert record.name == "n"
+
+
+class TestProblemFormatProperties:
+    @pytest.mark.parametrize("seed", range(NUM_CASES))
+    def test_problem_roundtrip_with_keys_and_metadata(self, seed):
+        rng = random.Random(2000 + seed)
+        sigma1 = _random_signature(rng, "A", rng.randint(1, 3))
+        sigma2 = _random_signature(rng, "B", rng.randint(1, 3))
+        sigma3 = _random_signature(rng, "C", rng.randint(1, 3))
+        problem = CompositionProblem(
+            sigma1=sigma1,
+            sigma2=sigma2,
+            sigma3=sigma3,
+            sigma12=_random_constraints(rng, sigma1, sigma2),
+            sigma23=_random_constraints(rng, sigma2, sigma3),
+            name=f"problem{seed}",
+            description=rng.choice(_METADATA_VALUES),
+        )
+        parsed = problem_from_text(problem_to_text(problem))
+        assert parsed.sigma1 == problem.sigma1
+        assert parsed.sigma2 == problem.sigma2
+        assert parsed.sigma3 == problem.sigma3
+        assert parsed.sigma12 == problem.sigma12
+        assert parsed.sigma23 == problem.sigma23
+        assert parsed.name == problem.name
+        assert parsed.description == problem.description
+        for signature in (parsed.sigma1, parsed.sigma2, parsed.sigma3):
+            for name in signature.names():
+                assert signature.key_of(name) == problem.combined_signature.key_of(name)
+
+
+class TestCatalogRecordProperties:
+    @pytest.mark.parametrize("seed", range(NUM_CASES))
+    def test_mapping_roundtrip(self, seed):
+        rng = random.Random(3000 + seed)
+        mapping = _random_mapping(rng, f"M{seed}")
+        text = mapping_to_text(
+            mapping, name=f"m{seed}", description=rng.choice(_METADATA_VALUES)
+        )
+        assert mapping_from_text(text) == mapping
+
+    @pytest.mark.parametrize("seed", range(NUM_CASES))
+    def test_chain_roundtrip(self, seed):
+        from repro.engine.workloads import ChainGrower
+
+        rng = random.Random(4000 + seed)
+        chain = tuple(
+            ChainGrower(seed=seed, schema_size=rng.randint(2, 5)).grow_many(
+                rng.randint(2, 5)
+            )
+        )
+        assert chain_from_text(chain_to_text(chain, name=f"c{seed}")) == chain
+
+    @pytest.mark.parametrize("seed", range(NUM_CASES))
+    def test_result_roundtrip(self, seed):
+        from repro.compose.composer import compose
+        from repro.compose.config import ComposerConfig
+        from repro.engine.workloads import generate_chain_problem, pairwise_problems
+
+        config = ComposerConfig.cost_guided() if seed % 2 else ComposerConfig()
+        problem = generate_chain_problem(seed, chain_length=3, schema_size=3)
+        for pairwise in pairwise_problems(problem):
+            result = compose(pairwise, config)
+            assert result_from_text(result_to_text(result, name=f"r{seed}")) == result
