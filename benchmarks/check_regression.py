@@ -55,6 +55,14 @@ EXACT_METRICS = {
         "disk_checkpoints",
         "final_operator_count",
     ),
+    "service_swarm": (
+        "processes",
+        "rounds",
+        "requests_total",
+        "outputs_identical",
+        "lost_versions",
+        "composed_versions",
+    ),
 }
 
 #: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
@@ -119,6 +127,7 @@ def main(argv) -> int:
             "incremental_seconds",
             "partitioned_seconds",
             "cold_seconds",
+            "swarm_seconds",
         ):
             if record.get(metric) is not None:
                 return record[metric]

@@ -5,6 +5,7 @@ Subcommands::
     repro catalog add FILE [FILE ...]    ingest record files (kind auto-detected)
     repro catalog list                   list stored entries (latest versions)
     repro catalog show KIND NAME         print a stored record text
+    repro catalog gc                     bound disk usage (checkpoints, results)
     repro compose [FILE]                 compose a problem/chain record file or
                                          a stored catalog entry (--name/--kind)
     repro serve                          start the HTTP composition service
@@ -59,6 +60,30 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("name")
     show.add_argument("--version", type=int, help="a specific version (default: latest)")
 
+    gc = catalog_commands.add_parser(
+        "gc", help="garbage-collect checkpoints and old result versions"
+    )
+    gc.add_argument(
+        "--max-checkpoint-files", type=int, default=None, metavar="N",
+        help="keep at most N checkpoint files (least recently used evicted first)",
+    )
+    gc.add_argument(
+        "--checkpoint-max-age", type=float, default=None, metavar="SECONDS",
+        help="evict checkpoints not used for this many seconds",
+    )
+    gc.add_argument(
+        "--result-max-age", type=float, default=None, metavar="SECONDS",
+        help="prune stored result versions older than this (latest always kept)",
+    )
+    gc.add_argument(
+        "--keep-result-versions", type=int, default=None, metavar="N",
+        help="always retain the newest N versions of each result (default 1)",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed only"
+    )
+    gc.add_argument("--json", action="store_true", help="machine-readable report")
+
     compose = commands.add_parser(
         "compose", help="compose a record file or a stored catalog entry"
     )
@@ -88,7 +113,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--micro-batch-size", type=int, default=16)
     serve.add_argument("--micro-batch-wait", type=float, default=0.002, metavar="SECONDS")
     serve.add_argument("--max-pending", type=int, default=1024)
+    serve.add_argument(
+        "--admission", choices=("reject", "block"), default="reject",
+        help="past --max-pending: reject with 429, or block until space frees",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="with --admission block: how long a request may wait for queue space",
+    )
     serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    serve.add_argument(
+        "--gc-interval", type=float, default=None, metavar="SECONDS",
+        help="run a catalog GC sweep this often in the background",
+    )
+    serve.add_argument(
+        "--gc-max-checkpoint-files", type=int, default=None, metavar="N",
+        help="GC sweep policy: keep at most N checkpoint files",
+    )
+    serve.add_argument(
+        "--gc-checkpoint-max-age", type=float, default=None, metavar="SECONDS",
+        help="GC sweep policy: evict checkpoints unused for this long",
+    )
+    serve.add_argument(
+        "--gc-result-max-age", type=float, default=None, metavar="SECONDS",
+        help="GC sweep policy: prune result versions older than this",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
 
     return parser
@@ -146,6 +195,32 @@ def _cmd_catalog_list(args) -> int:
 def _cmd_catalog_show(args) -> int:
     catalog = _open_catalog(args)
     sys.stdout.write(catalog.text(args.kind, args.name, args.version))
+    return 0
+
+
+def _cmd_catalog_gc(args) -> int:
+    catalog = _open_catalog(args)
+    report = catalog.gc(
+        checkpoint_max_files=args.max_checkpoint_files,
+        checkpoint_max_age_seconds=args.checkpoint_max_age,
+        result_max_age_seconds=args.result_max_age,
+        result_keep_versions=args.keep_result_versions,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    verb = "would remove" if args.dry_run else "removed"
+    ckpt = report["checkpoints"]
+    res = report["results"]
+    print(
+        f"checkpoints: {verb} {ckpt['removed']}, retained {ckpt['retained']} "
+        f"(examined {ckpt['examined']})"
+    )
+    print(
+        f"results:     {verb} {res['removed']}, retained {res['retained']} "
+        f"(examined {res['examined']})"
+    )
     return 0
 
 
@@ -219,11 +294,17 @@ def _cmd_serve(args) -> int:
         catalog,
         ServiceConfig(
             max_pending=args.max_pending,
+            admission=args.admission,
+            deadline_seconds=args.deadline,
             micro_batch_size=args.micro_batch_size,
             micro_batch_wait_seconds=args.micro_batch_wait,
             backend=args.backend,
             max_workers=args.max_workers,
             timeout_seconds=args.timeout,
+            gc_interval_seconds=args.gc_interval,
+            gc_checkpoint_max_files=args.gc_max_checkpoint_files,
+            gc_checkpoint_max_age_seconds=args.gc_checkpoint_max_age,
+            gc_result_max_age_seconds=args.gc_result_max_age,
         ),
     )
     service.start()
@@ -236,6 +317,11 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        # Release the port before draining: serve_forever closes on clean
+        # exits, but a KeyboardInterrupt can land outside its try block, so
+        # close here too (idempotent) — otherwise the socket leaks while
+        # service.stop() drains the queue.
+        server.close()
         service.stop()
     return 0
 
@@ -248,6 +334,8 @@ def main(argv: Optional[list] = None) -> int:
                 return _cmd_catalog_add(args)
             if args.catalog_command == "list":
                 return _cmd_catalog_list(args)
+            if args.catalog_command == "gc":
+                return _cmd_catalog_gc(args)
             return _cmd_catalog_show(args)
         if args.command == "compose":
             return _cmd_compose(args)

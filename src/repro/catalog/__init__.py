@@ -10,17 +10,20 @@ Two pieces form the durability layer under :mod:`repro.service`:
   on-disk mirror of the hop-checkpoint store, so ``compose_chain`` prefix
   reuse survives process restarts.
 
-All writes are atomic (:mod:`repro.catalog.storage`).
+All writes are atomic and rename-durable, and multi-process writers are
+serialized with per-shard file locks (:mod:`repro.catalog.storage` —
+:class:`FileLock`), so several service processes can share one catalog root.
 """
 
 from repro.catalog.catalog import KINDS, CatalogEntry, MappingCatalog
 from repro.catalog.checkpoints import PersistentCheckpointStore
-from repro.catalog.storage import atomic_write_bytes, atomic_write_text
+from repro.catalog.storage import FileLock, atomic_write_bytes, atomic_write_text
 
 __all__ = [
     "KINDS",
     "CatalogEntry",
     "MappingCatalog",
+    "FileLock",
     "PersistentCheckpointStore",
     "atomic_write_bytes",
     "atomic_write_text",

@@ -13,39 +13,55 @@ serialized in the extended plain-text format of :mod:`repro.textio.records`
 * **version history** — registering changed content under an existing name
   appends a new version instead of overwriting (a schema-evolution edit is a
   new catalog version, never a lost one);
-* **atomic writes** — record files and the JSON index are replaced atomically
-  (:mod:`repro.catalog.storage`), so a crash never leaves a torn file; and
+* **delta-encoded chains** — a chain version that shares a prefix with the
+  previous version is stored as a ``chain-delta`` record (base version +
+  replacement suffix), so an n-edit evolution history costs O(n) hops of
+  text on disk instead of O(n²); readers always see materialized full
+  chains;
+* **atomic, durable writes** — record files and the index shards are
+  replaced atomically and the rename is made durable with a directory fsync
+  (:mod:`repro.catalog.storage`), so a crash never leaves a torn file or
+  silently rolls back a committed version;
+* **multi-process sharing** — the index is sharded by a hash of
+  ``kind/name`` into per-shard JSON files, and every read-modify-write cycle
+  holds an ``flock`` on that shard's lock file, so several service
+  *processes* appending versions to one catalog root never lose updates;
+  readers pick up other processes' writes by re-reading shards whose files
+  changed;
+* **bounded growth** — :meth:`MappingCatalog.gc` evicts hop checkpoints by
+  age/LRU and prunes old result versions (the CLI's ``repro catalog gc``;
+  the service can run it as a background sweep); and
 * **durable hop checkpoints** — the catalog owns a
   :class:`~repro.catalog.checkpoints.PersistentCheckpointStore` under its
   root, so ``compose_chain`` prefix reuse survives process restarts.
 
 On-disk layout::
 
-    <root>/catalog.json                     the index (version history per name)
+    <root>/index/shard-<NN>.json            one index shard (version history per name)
+    <root>/index/shard-<NN>.lock            the shard's inter-process lock file
     <root>/objects/<kind>/<name>/v<N>.txt   one record file per stored version
     <root>/checkpoints/<token>.ckpt         pickled hop checkpoints
 
-The catalog is safe for concurrent readers and threaded writers within one
-process (one writer mutates the index at a time under an internal lock).
-Multiple *processes* writing the same root concurrently are not coordinated —
-run one catalog-owning service per root, which is exactly what
-:mod:`repro.service` provides.
+A legacy single-file ``catalog.json`` index (schema version 1) is migrated
+into shards the first time a catalog of this version opens the root.
 """
 
 from __future__ import annotations
 
+import calendar
 import json
+import os
 import re
 import threading
 import time
 from dataclasses import dataclass
 from hashlib import blake2b
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.digest import DIGEST_SIZE
 from repro.catalog.checkpoints import PersistentCheckpointStore
-from repro.catalog.storage import atomic_write_text
+from repro.catalog.storage import FileLock, atomic_write_text
 from repro.compose.result import CompositionResult
 from repro.engine.checkpoint import DEFAULT_MAX_CHECKPOINTS
 from repro.engine.fingerprint import chain_fingerprint
@@ -55,11 +71,14 @@ from repro.mapping.mapping import Mapping
 from repro.schema.signature import Signature
 from repro.textio.format import problem_from_text, problem_to_text
 from repro.textio.records import (
+    chain_delta_from_text,
+    chain_delta_to_text,
     chain_from_text,
     chain_to_text,
     detect_kind,
     mapping_from_text,
     mapping_to_text,
+    parse_record,
     result_from_text,
     result_to_text,
     signature_from_text,
@@ -74,8 +93,18 @@ KINDS = ("schema", "mapping", "chain", "problem", "result")
 #: Entry names become path components, so they are restricted to a safe set.
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 
-_INDEX_FILE = "catalog.json"
-_INDEX_SCHEMA_VERSION = 1
+_INDEX_DIR = "index"
+_LEGACY_INDEX_FILE = "catalog.json"
+_INDEX_SCHEMA_VERSION = 2
+_NUM_SHARDS = 16
+
+#: A chain version stored as a delta is reconstructed by walking its base
+#: references back to a full record; storing a full record every so often
+#: bounds that walk (and the blast radius of a damaged base file).
+_MAX_DELTA_DEPTH = 64
+
+#: One shard's entries: kind -> name -> [version records].
+_ShardEntries = Dict[str, Dict[str, List[dict]]]
 
 
 @dataclass(frozen=True)
@@ -98,6 +127,14 @@ class CatalogEntry:
 
 def _utc_now() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _created_at_epoch(record: dict) -> Optional[float]:
+    try:
+        parsed = time.strptime(record["created_at"], "%Y-%m-%dT%H:%M:%SZ")
+    except (KeyError, TypeError, ValueError):
+        return None
+    return float(calendar.timegm(parsed))
 
 
 def _result_fingerprint(result: CompositionResult) -> bytes:
@@ -124,7 +161,15 @@ def _result_fingerprint(result: CompositionResult) -> bytes:
 
 
 class MappingCatalog:
-    """A persistent, versioned store rooted at one directory."""
+    """A persistent, versioned store rooted at one directory.
+
+    Safe for concurrent readers and writers both *within* one process
+    (threads share an internal lock) and *across* processes sharing the same
+    root (writers hold a per-shard file lock around every read-modify-write
+    of the index, and version numbers are assigned from the freshly re-read
+    shard, so concurrent ``put_*`` calls from separate processes append
+    distinct versions instead of overwriting each other).
+    """
 
     def __init__(
         self,
@@ -136,36 +181,128 @@ class MappingCatalog:
         self._lock = threading.RLock()
         self._checkpoint_max_entries = checkpoint_max_entries
         self._checkpoints: Optional[PersistentCheckpointStore] = None
-        self._index: Dict[str, Dict[str, List[dict]]] = self._load_index()
+        #: Per-shard cache: shard id -> (file stat stamp, entries).  A stale
+        #: stamp means another process wrote the shard; it is then re-read.
+        self._shards: Dict[int, Tuple[Optional[tuple], _ShardEntries]] = {}
+        self._migrate_legacy_index()
 
-    # -- index persistence ---------------------------------------------------------
+    # -- index sharding ------------------------------------------------------------
 
-    @property
-    def _index_path(self) -> Path:
-        return self.root / _INDEX_FILE
+    @staticmethod
+    def _shard_id(kind: str, name: str) -> int:
+        digest = blake2b(f"{kind}/{name}".encode(), digest_size=1).digest()
+        return digest[0] % _NUM_SHARDS
 
-    def _load_index(self) -> Dict[str, Dict[str, List[dict]]]:
-        if not self._index_path.exists():
-            return {}
+    def _shard_path(self, shard: int) -> Path:
+        return self.root / _INDEX_DIR / f"shard-{shard:02d}.json"
+
+    def _shard_lock_path(self, shard: int) -> Path:
+        return self.root / _INDEX_DIR / f"shard-{shard:02d}.lock"
+
+    @staticmethod
+    def _stat_stamp(path: Path) -> Optional[tuple]:
         try:
-            payload = json.loads(self._index_path.read_text(encoding="utf-8"))
+            stat = os.stat(path)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    def _read_shard(self, shard: int) -> Tuple[Optional[tuple], _ShardEntries]:
+        path = self._shard_path(shard)
+        stamp = self._stat_stamp(path)
+        if stamp is None:
+            return None, {}
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
-            raise CatalogError(f"cannot read catalog index {self._index_path}: {exc}") from exc
+            raise CatalogError(f"cannot read catalog index shard {path}: {exc}") from exc
         if payload.get("schema_version") != _INDEX_SCHEMA_VERSION:
             raise CatalogError(
-                f"catalog index {self._index_path} has schema version "
+                f"catalog index shard {path} has schema version "
                 f"{payload.get('schema_version')!r}; this library reads version "
                 f"{_INDEX_SCHEMA_VERSION}"
             )
-        return payload.get("entries", {})
+        return stamp, payload.get("entries", {})
 
-    def _write_index(self) -> None:
+    def _write_shard(self, shard: int, entries: _ShardEntries) -> None:
         payload = {
             "schema_version": _INDEX_SCHEMA_VERSION,
+            "shard": shard,
             "updated_at": _utc_now(),
-            "entries": self._index,
+            "entries": entries,
         }
-        atomic_write_text(self._index_path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            self._shard_path(shard), json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    def _shard_entries(self, shard: int) -> _ShardEntries:
+        """This shard's entries, re-read from disk whenever the file changed."""
+        with self._lock:
+            stamp = self._stat_stamp(self._shard_path(shard))
+            cached = self._shards.get(shard)
+            if cached is not None and cached[0] == stamp:
+                return cached[1]
+            stamp, entries = self._read_shard(shard)
+            self._shards[shard] = (stamp, entries)
+            return entries
+
+    def _mutate_shard(self, shard: int, mutate: Callable[[_ShardEntries], Tuple[object, bool]]):
+        """Run one read-modify-write cycle on a shard under its file lock.
+
+        ``mutate`` receives the freshly re-read entries — never a cached copy,
+        so concurrent writers in other processes are always merged in — and
+        returns ``(result, changed)``; the shard file is rewritten only when
+        ``changed`` is true.
+        """
+        with self._lock:
+            with FileLock(self._shard_lock_path(shard)):
+                stamp, entries = self._read_shard(shard)
+                result, changed = mutate(entries)
+                if changed:
+                    self._write_shard(shard, entries)
+                    stamp = self._stat_stamp(self._shard_path(shard))
+                self._shards[shard] = (stamp, entries)
+                return result
+
+    def _combined_index(self) -> _ShardEntries:
+        """Every shard's entries merged into one kind -> name -> versions view."""
+        combined: _ShardEntries = {}
+        for shard in range(_NUM_SHARDS):
+            for kind, by_name in self._shard_entries(shard).items():
+                combined.setdefault(kind, {}).update(by_name)
+        return combined
+
+    def _migrate_legacy_index(self) -> None:
+        """Split a schema-version-1 single-file index into shards (one-shot).
+
+        Serialized across processes by the migration lock; completion is
+        marked by renaming the legacy file, so a crashed migration simply
+        re-runs (shard writes are idempotent — the legacy file's contents
+        are authoritative until the rename).
+        """
+        legacy = self.root / _LEGACY_INDEX_FILE
+        if not legacy.exists():
+            return
+        with FileLock(self.root / _INDEX_DIR / "migrate.lock"):
+            if not legacy.exists():
+                return  # another process migrated while we waited
+            try:
+                payload = json.loads(legacy.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise CatalogError(f"cannot read catalog index {legacy}: {exc}") from exc
+            if payload.get("schema_version") != 1:
+                raise CatalogError(
+                    f"catalog index {legacy} has schema version "
+                    f"{payload.get('schema_version')!r}; cannot migrate"
+                )
+            shards: Dict[int, _ShardEntries] = {}
+            for kind, by_name in payload.get("entries", {}).items():
+                for name, versions in by_name.items():
+                    shard = shards.setdefault(self._shard_id(kind, name), {})
+                    shard.setdefault(kind, {})[name] = versions
+            for shard_id, entries in shards.items():
+                self._write_shard(shard_id, entries)
+            legacy.rename(legacy.with_name(_LEGACY_INDEX_FILE + ".migrated"))
 
     # -- checkpoints ---------------------------------------------------------------
 
@@ -205,17 +342,32 @@ class MappingCatalog:
             path=record["path"],
         )
 
-    def _put(self, kind: str, name: str, text: str, fingerprint: bytes) -> CatalogEntry:
+    def _put(
+        self,
+        kind: str,
+        name: str,
+        fingerprint: bytes,
+        make_text: Callable[[List[dict]], Tuple[str, dict]],
+    ) -> CatalogEntry:
+        """Append one version under the shard lock.
+
+        ``make_text`` runs inside the locked read-modify-write cycle and sees
+        the freshly merged version history, so it may serialize against the
+        *actual* previous version (delta chains depend on this); it returns
+        the record text plus extra bookkeeping fields for the index record.
+        """
         self._check_kind(kind)
         self._check_name(name)
         digest = fingerprint.hex()
-        with self._lock:
-            versions = self._index.setdefault(kind, {}).setdefault(name, [])
+
+        def mutate(entries: _ShardEntries) -> Tuple[CatalogEntry, bool]:
+            versions = entries.setdefault(kind, {}).setdefault(name, [])
             if versions and versions[-1]["fingerprint"] == digest:
                 # Content-addressed dedupe: identical content is the same version.
-                return self._entry_from_record(kind, name, versions[-1])
-            version = len(versions) + 1
+                return self._entry_from_record(kind, name, versions[-1]), False
+            version = versions[-1]["version"] + 1 if versions else 1
             relative = f"objects/{kind}/{name}/v{version}.txt"
+            text, extra = make_text(versions)
             atomic_write_text(self.root / relative, text)
             record = {
                 "version": version,
@@ -223,13 +375,19 @@ class MappingCatalog:
                 "created_at": _utc_now(),
                 "path": relative,
             }
+            record.update(extra)
             versions.append(record)
-            self._write_index()
-            return self._entry_from_record(kind, name, record)
+            return self._entry_from_record(kind, name, record), True
+
+        return self._mutate_shard(self._shard_id(kind, name), mutate)
+
+    def _put_text(self, kind: str, name: str, text: str, fingerprint: bytes) -> CatalogEntry:
+        return self._put(kind, name, fingerprint, lambda versions: (text, {}))
 
     def _versions(self, kind: str, name: str) -> List[dict]:
         self._check_kind(kind)
-        versions = self._index.get(kind, {}).get(name)
+        entries = self._shard_entries(self._shard_id(kind, name))
+        versions = entries.get(kind, {}).get(name)
         if not versions:
             raise CatalogError(f"no {kind} named {name!r} in the catalog")
         return versions
@@ -246,36 +404,82 @@ class MappingCatalog:
             f"(available: 1..{versions[-1]['version']})"
         )
 
+    def _read_object(self, record: dict) -> str:
+        path = self.root / record["path"]
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CatalogError(f"catalog file {path} is missing or unreadable: {exc}") from exc
+
     # -- writing -------------------------------------------------------------------
 
     def put_schema(self, name: str, signature: Signature, description: str = "") -> CatalogEntry:
         """Store a named schema; identical content returns the existing version."""
         text = signature_to_text(signature, name=name, description=description)
-        return self._put("schema", name, text, signature.fingerprint())
+        return self._put_text("schema", name, text, signature.fingerprint())
 
     def put_mapping(self, name: str, mapping: Mapping, description: str = "") -> CatalogEntry:
         """Store a named mapping (a schema-evolution edit appends a new version)."""
         text = mapping_to_text(mapping, name=name, description=description)
-        return self._put("mapping", name, text, mapping.fingerprint())
+        return self._put_text("mapping", name, text, mapping.fingerprint())
 
     def put_chain(
         self, name: str, mappings: Sequence[Mapping], description: str = ""
     ) -> CatalogEntry:
-        """Store a whole mapping chain under one name."""
-        text = chain_to_text(mappings, name=name, description=description)
-        return self._put("chain", name, text, chain_fingerprint(mappings))
+        """Store a whole mapping chain under one name.
+
+        A version that shares a prefix with the previous stored version is
+        written as a ``chain-delta`` record — the base version's number and
+        fingerprint plus only the replacement suffix — so an n-edit history
+        costs O(n) hops of text on disk.  Readers always get materialized
+        full chains (:meth:`get_chain`, :meth:`text`); the delta layout is
+        visible only through :meth:`raw_text`.
+        """
+        chain = tuple(mappings)
+        fingerprint = chain_fingerprint(chain)
+
+        def make_text(versions: List[dict]) -> Tuple[str, dict]:
+            full = chain_to_text(chain, name=name, description=description)
+            if not versions:
+                return full, {}
+            latest = versions[-1]
+            depth = latest.get("delta_depth", 0)
+            if depth >= _MAX_DELTA_DEPTH:
+                return full, {}
+            try:
+                base = self._chain_from_record(name, versions, latest)
+            except (CatalogError, ParseError):
+                # An unreadable base must never poison new versions.
+                return full, {}
+            shared = 0
+            limit = min(len(base), len(chain) - 1)  # a delta needs >= 1 suffix hop
+            while shared < limit and base[shared].fingerprint() == chain[shared].fingerprint():
+                shared += 1
+            if shared < 1:
+                return full, {}
+            delta = chain_delta_to_text(
+                chain[shared:],
+                base_version=latest["version"],
+                base_fingerprint=latest["fingerprint"],
+                prefix_hops=shared,
+                name=name,
+                description=description,
+            )
+            return delta, {"delta_base": latest["version"], "delta_depth": depth + 1}
+
+        return self._put("chain", name, fingerprint, make_text)
 
     def put_problem(self, name: str, problem: CompositionProblem) -> CatalogEntry:
         """Store a composition problem (the paper's task-distribution format)."""
         text = "# kind: problem\n" + problem_to_text(problem)
-        return self._put("problem", name, text, problem.fingerprint())
+        return self._put_text("problem", name, text, problem.fingerprint())
 
     def put_result(
         self, name: str, result: CompositionResult, description: str = ""
     ) -> CatalogEntry:
         """Store a composed result (plan and phase timings included)."""
         text = result_to_text(result, name=name, description=description)
-        return self._put("result", name, text, _result_fingerprint(result))
+        return self._put_text("result", name, text, _result_fingerprint(result))
 
     def add_text(
         self, text: str, name: Optional[str] = None, kind: Optional[str] = None
@@ -314,14 +518,93 @@ class MappingCatalog:
 
     # -- reading -------------------------------------------------------------------
 
+    def raw_text(self, kind: str, name: str, version: Optional[int] = None) -> str:
+        """The stored on-disk record text of one version (latest by default).
+
+        Unlike :meth:`text` this does *not* materialize ``chain-delta``
+        records into full chains.
+        """
+        return self._read_object(self._record(kind, name, version))
+
     def text(self, kind: str, name: str, version: Optional[int] = None) -> str:
-        """The stored record text of one version (latest by default)."""
+        """The record text of one version (latest by default), materialized.
+
+        Chain versions stored as deltas are reconstructed into full ``chain``
+        records, so callers (the CLI's ``catalog show``, the HTTP catalog
+        endpoint) always see self-contained, re-ingestable texts.
+        """
         record = self._record(kind, name, version)
-        path = self.root / record["path"]
-        try:
-            return path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise CatalogError(f"catalog file {path} is missing or unreadable: {exc}") from exc
+        raw = self._read_object(record)
+        if kind == "chain":
+            try:
+                stored_kind = detect_kind(raw)
+            except ParseError:
+                return raw
+            if stored_kind == "chain-delta":
+                parsed = parse_record(raw)
+                chain = self._chain_from_record(name, self._versions(kind, name), record)
+                return chain_to_text(
+                    chain, name=parsed.name or name, description=parsed.description
+                )
+        return raw
+
+    def _chain_from_record(
+        self, name: str, versions: List[dict], record: dict
+    ) -> Tuple[Mapping, ...]:
+        """Materialize one stored chain version, resolving delta references.
+
+        Walks base references back to a full ``chain`` record (iteratively —
+        histories are long), then replays the deltas forward:
+        ``base[:prefix_hops] + suffix`` per step.
+        """
+        deltas = []
+        seen = set()
+        current = record
+        while True:
+            if current["version"] in seen:
+                raise CatalogError(
+                    f"chain {name!r} has a cyclic delta reference at version "
+                    f"{current['version']}"
+                )
+            seen.add(current["version"])
+            text = self._read_object(current)
+            try:
+                stored_kind = detect_kind(text)
+            except ParseError as exc:
+                raise CatalogError(
+                    f"chain {name!r} v{current['version']} is unreadable: {exc}"
+                ) from exc
+            if stored_kind == "chain":
+                chain = chain_from_text(text)
+                break
+            if stored_kind != "chain-delta":
+                raise CatalogError(
+                    f"chain {name!r} v{current['version']} holds a {stored_kind!r} record"
+                )
+            delta = chain_delta_from_text(text)
+            base = next(
+                (rec for rec in versions if rec["version"] == delta.base_version), None
+            )
+            if base is None:
+                raise CatalogError(
+                    f"chain {name!r} v{current['version']} references missing base "
+                    f"version {delta.base_version}"
+                )
+            if base["fingerprint"] != delta.base_fingerprint:
+                raise CatalogError(
+                    f"chain {name!r} v{current['version']} references base version "
+                    f"{delta.base_version} whose fingerprint does not match"
+                )
+            deltas.append(delta)
+            current = base
+        for delta in reversed(deltas):
+            if delta.prefix_hops > len(chain):
+                raise CatalogError(
+                    f"chain {name!r} delta expects a base of at least "
+                    f"{delta.prefix_hops} hops, found {len(chain)}"
+                )
+            chain = chain[: delta.prefix_hops] + delta.suffix
+        return chain
 
     def get_schema(self, name: str, version: Optional[int] = None) -> Signature:
         return signature_from_text(self.text("schema", name, version))
@@ -330,13 +613,98 @@ class MappingCatalog:
         return mapping_from_text(self.text("mapping", name, version))
 
     def get_chain(self, name: str, version: Optional[int] = None) -> Tuple[Mapping, ...]:
-        return chain_from_text(self.text("chain", name, version))
+        return self._chain_from_record(
+            name, self._versions("chain", name), self._record("chain", name, version)
+        )
 
     def get_problem(self, name: str, version: Optional[int] = None) -> CompositionProblem:
         return problem_from_text(self.text("problem", name, version))
 
     def get_result(self, name: str, version: Optional[int] = None) -> CompositionResult:
         return result_from_text(self.text("result", name, version))
+
+    # -- garbage collection --------------------------------------------------------
+
+    def gc(
+        self,
+        checkpoint_max_files: Optional[int] = None,
+        checkpoint_max_age_seconds: Optional[float] = None,
+        result_max_age_seconds: Optional[float] = None,
+        result_keep_versions: Optional[int] = None,
+        dry_run: bool = False,
+    ) -> dict:
+        """Bound the catalog's disk growth (checkpoints and result history).
+
+        * ``checkpoint_max_files`` / ``checkpoint_max_age_seconds`` evict hop
+          checkpoints least-recently-used first (mtimes are freshened on
+          every hit) and by age; retained checkpoints keep working — prefix
+          reuse needs only the deepest matching file.
+        * ``result_max_age_seconds`` / ``result_keep_versions`` prune stored
+          *result* versions: the newest ``result_keep_versions`` versions of
+          each name are always retained (default 1 — the latest version is
+          never pruned), and with an age bound only older versions beyond
+          that are removed.  Schemas, mappings, chains and problems are
+          never pruned — they are the modeled history, and chain deltas may
+          reference any earlier chain version.
+
+        Parameters left at ``None`` disable that policy.  ``dry_run``
+        reports what would be removed without touching disk.  Safe to run
+        concurrently with other processes: index pruning happens under the
+        shard locks (record files are unlinked after the index no longer
+        references them).
+        """
+        if result_keep_versions is not None and result_keep_versions < 1:
+            raise CatalogError("result_keep_versions must be positive")
+        report: dict = {"dry_run": dry_run}
+        if checkpoint_max_files is not None or checkpoint_max_age_seconds is not None:
+            report["checkpoints"] = self.checkpoints.gc(
+                max_files=checkpoint_max_files,
+                max_age_seconds=checkpoint_max_age_seconds,
+                dry_run=dry_run,
+            )
+        else:
+            report["checkpoints"] = {"examined": 0, "removed": 0, "retained": 0}
+
+        removed_results = 0
+        examined_results = 0
+        if result_max_age_seconds is not None or result_keep_versions is not None:
+            keep = result_keep_versions if result_keep_versions is not None else 1
+            now = time.time()
+
+            def prune(entries: _ShardEntries):
+                examined = 0
+                doomed: List[Tuple[str, dict]] = []
+                for result_name, versions in entries.get("result", {}).items():
+                    examined += len(versions)
+                    for record in versions[:-keep] if len(versions) > keep else []:
+                        if result_max_age_seconds is not None:
+                            created = _created_at_epoch(record)
+                            if created is None or now - created <= result_max_age_seconds:
+                                continue
+                        doomed.append((result_name, record))
+                if dry_run or not doomed:
+                    return (examined, doomed), False
+                by_name = entries["result"]
+                for result_name, record in doomed:
+                    by_name[result_name].remove(record)
+                return (examined, doomed), True
+
+            for shard in range(_NUM_SHARDS):
+                examined, doomed = self._mutate_shard(shard, prune)
+                examined_results += examined
+                removed_results += len(doomed)
+                if not dry_run:
+                    for _, record in doomed:
+                        try:
+                            (self.root / record["path"]).unlink()
+                        except OSError:
+                            pass
+        report["results"] = {
+            "examined": examined_results,
+            "removed": removed_results,
+            "retained": examined_results - removed_results,
+        }
+        return report
 
     # -- queries -------------------------------------------------------------------
 
@@ -354,7 +722,10 @@ class MappingCatalog:
     def names(self, kind: str) -> Tuple[str, ...]:
         """The stored names of one kind, sorted."""
         self._check_kind(kind)
-        return tuple(sorted(self._index.get(kind, {})))
+        collected = set()
+        for shard in range(_NUM_SHARDS):
+            collected.update(self._shard_entries(shard).get(kind, {}))
+        return tuple(sorted(collected))
 
     def entries(self, kind: Optional[str] = None) -> Tuple[CatalogEntry, ...]:
         """Latest version of every stored name (optionally of one kind)."""
@@ -369,7 +740,7 @@ class MappingCatalog:
     def find_fingerprint(self, fingerprint: str) -> Tuple[CatalogEntry, ...]:
         """Every entry (any kind, any version) whose content has this fingerprint."""
         matches = []
-        for kind, by_name in self._index.items():
+        for kind, by_name in self._combined_index().items():
             for name, versions in by_name.items():
                 for record in versions:
                     if record["fingerprint"] == fingerprint:
@@ -380,20 +751,21 @@ class MappingCatalog:
         """Total number of stored versions across all kinds and names."""
         return sum(
             len(versions)
-            for by_name in self._index.values()
+            for by_name in self._combined_index().values()
             for versions in by_name.values()
         )
 
     def stats(self) -> Dict[str, object]:
         """Per-kind name/version counts plus checkpoint-store counters."""
+        combined = self._combined_index()
         per_kind = {}
+        total = 0
         for kind in KINDS:
-            by_name = self._index.get(kind, {})
-            per_kind[kind] = {
-                "names": len(by_name),
-                "versions": sum(len(versions) for versions in by_name.values()),
-            }
-        stats: Dict[str, object] = {"kinds": per_kind, "total_versions": len(self)}
+            by_name = combined.get(kind, {})
+            versions = sum(len(records) for records in by_name.values())
+            per_kind[kind] = {"names": len(by_name), "versions": versions}
+            total += versions
+        stats: Dict[str, object] = {"kinds": per_kind, "total_versions": total}
         if self._checkpoints is not None:
             stats["checkpoints"] = self._checkpoints.stats()
         return stats
@@ -403,8 +775,6 @@ class MappingCatalog:
 
 
 def _record_name(text: str) -> str:
-    from repro.textio.records import parse_record
-
     name = parse_record(text).name
     if not name:
         raise CatalogError(
@@ -414,6 +784,4 @@ def _record_name(text: str) -> str:
 
 
 def _record_description(text: str) -> str:
-    from repro.textio.records import parse_record
-
     return parse_record(text).description

@@ -27,7 +27,9 @@ is: load checkpoints only from directories you write yourself.
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -72,6 +74,7 @@ class PersistentCheckpointStore(CheckpointStore):
         self.directory.mkdir(parents=True, exist_ok=True)
         self.disk_hits = 0
         self.disk_writes = 0
+        self.disk_invalid = 0
 
     # -- persistence hooks ---------------------------------------------------------
 
@@ -79,25 +82,53 @@ class PersistentCheckpointStore(CheckpointStore):
         return self.directory / (token.hex() + _SUFFIX)
 
     def _load_fallback(self, token: bytes) -> Optional[ChainCheckpoint]:
+        path = self._path(token)
         try:
-            data = self._path(token).read_bytes()
+            data = path.read_bytes()
         except OSError:
             return None
         try:
             magic, version, checkpoint = pickle.loads(data)
         except Exception:  # noqa: BLE001 - a corrupt file is a miss, not a crash
+            self._discard_invalid(path)
             return None
         if magic != _MAGIC or version != _FORMAT_VERSION:
+            self._discard_invalid(path)
             return None
         if not isinstance(checkpoint, ChainCheckpoint) or checkpoint.token != token:
+            self._discard_invalid(path)
             return None
         self.disk_hits += 1
+        self._touch(path)
         return checkpoint
+
+    def _discard_invalid(self, path: Path) -> None:
+        # A file that exists but does not load would otherwise be permanent:
+        # _persist skips existing paths (content-keyed, first write wins), so
+        # without this unlink the corrupt file could never be rewritten and
+        # its checkpoint would be lost forever.  Removing it turns the next
+        # put() into a fresh write.
+        self.disk_invalid += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        # Freshen the mtime so gc()'s LRU ordering sees recently *used*
+        # checkpoints as recent, not just recently written ones.
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
 
     def _persist(self, checkpoint: ChainCheckpoint) -> None:
         path = self._path(checkpoint.token)
         if path.exists():
-            # Content-keyed: an existing file already holds this state.
+            # Content-keyed: an existing file already holds this state (a
+            # corrupt file cannot linger here — _load_fallback unlinks it).
+            self._touch(path)
             return
         payload = pickle.dumps(
             (_MAGIC, _FORMAT_VERSION, checkpoint), protocol=pickle.HIGHEST_PROTOCOL
@@ -136,6 +167,70 @@ class PersistentCheckpointStore(CheckpointStore):
                 loaded += 1
         return loaded
 
+    def gc(
+        self,
+        max_files: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, int]:
+        """Bound the on-disk checkpoint footprint by age and/or LRU count.
+
+        ``max_age_seconds`` removes every file whose mtime is older than that
+        (mtimes are freshened on every hit, so this is time-since-last-use,
+        not time-since-creation); ``max_files`` then keeps only the most
+        recently used files up to the bound.  Removed tokens are dropped from
+        the in-memory table too, so :meth:`stats` stays honest.
+
+        Deleting checkpoints is always safe — the store is a pure
+        accelerator, and every *retained* file keeps working: checkpoints are
+        independent, content-keyed states, so prefix reuse needs only the
+        deepest matching file, not an unbroken set.  With ``dry_run`` nothing
+        is deleted; the report counts what would be.
+
+        Returns ``{"examined": ..., "removed": ..., "retained": ...}``.
+        """
+        if max_files is not None and max_files < 0:
+            raise ValueError("max_files must be non-negative")
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ValueError("max_age_seconds must be non-negative")
+        aged = []
+        for path in self.directory.glob("*" + _SUFFIX):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # deleted concurrently
+            aged.append((mtime, path))
+        aged.sort()  # least recently used first
+        now = time.time()
+        doomed = []
+        if max_age_seconds is not None:
+            while aged and now - aged[0][0] > max_age_seconds:
+                doomed.append(aged.pop(0)[1])
+        if max_files is not None and len(aged) > max_files:
+            excess = len(aged) - max_files
+            doomed.extend(path for _, path in aged[:excess])
+            del aged[:excess]
+        removed = 0
+        if not dry_run:
+            for path in doomed:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                try:
+                    token = bytes.fromhex(path.name[: -len(_SUFFIX)])
+                except ValueError:
+                    continue
+                self._entries.pop(token, None)
+        else:
+            removed = len(doomed)
+        return {
+            "examined": len(aged) + len(doomed),
+            "removed": removed,
+            "retained": len(aged),
+        }
+
     def purge(self) -> int:
         """Delete every checkpoint file (and the in-memory table); returns count.
 
@@ -155,7 +250,7 @@ class PersistentCheckpointStore(CheckpointStore):
     def clear(self) -> None:
         """Drop the in-memory table and reset all counters (files are kept)."""
         super().clear()
-        self.disk_hits = self.disk_writes = 0
+        self.disk_hits = self.disk_writes = self.disk_invalid = 0
 
     def stats(self) -> Dict[str, float]:
         stats = super().stats()
@@ -163,6 +258,7 @@ class PersistentCheckpointStore(CheckpointStore):
             {
                 "disk_hits": self.disk_hits,
                 "disk_writes": self.disk_writes,
+                "disk_invalid": self.disk_invalid,
                 "disk_entries": self.disk_entries(),
             }
         )

@@ -1,11 +1,21 @@
-"""Atomic file writes for the catalog's on-disk state.
+"""Atomic file writes and inter-process locks for the catalog's on-disk state.
 
-Every file the catalog owns — record texts, the JSON index, pickled
+Every file the catalog owns — record texts, the JSON index shards, pickled
 checkpoints — is written with the same discipline: the content goes to a
 temporary file in the destination directory, is flushed and fsynced, and is
-then moved over the destination with :func:`os.replace`.  On POSIX the
-replace is atomic, so a reader (or a crash) never observes a half-written
-file: it sees either the old content or the new content, nothing in between.
+then moved over the destination with :func:`os.replace`, after which the
+*parent directory* is fsynced too.  On POSIX the replace is atomic, so a
+reader (or a crash) never observes a half-written file; the directory fsync
+makes the rename itself durable — without it a crash shortly after the
+replace can roll the directory entry back and silently drop the new version
+even though the write "succeeded".
+
+:class:`FileLock` is the companion primitive for *multi-process* writers: an
+advisory ``flock``-based exclusive lock on a dedicated lock file.  The
+catalog takes one per index shard around its read-modify-write cycle, so two
+service processes appending versions to the same shard serialize instead of
+losing updates.  On platforms without ``fcntl`` the lock degrades to a
+process-local no-op (single-writer semantics, as before).
 """
 
 from __future__ import annotations
@@ -13,13 +23,44 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
-__all__ = ["atomic_write_bytes", "atomic_write_text"]
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "FileLock", "fsync_directory"]
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Fsync a directory so a just-completed rename inside it is durable.
+
+    Best-effort: some platforms/filesystems refuse to fsync directories
+    (Windows has no directory handles to fsync at all); those refusals are
+    swallowed — the write is still atomic, just not crash-durable beyond
+    what the OS already guarantees.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
-    """Atomically replace ``path`` with ``data`` (parent dirs are created)."""
+    """Atomically and durably replace ``path`` with ``data``.
+
+    Parent directories are created; the temp file is fsynced before the
+    rename and the parent directory after it, so a crash at any point leaves
+    either the complete old content or the complete new content.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     # The temp file must live on the same filesystem as the destination for
@@ -31,6 +72,7 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(temp_name)
@@ -42,3 +84,58 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
     """Atomically replace ``path`` with UTF-8 encoded ``text``."""
     atomic_write_bytes(path, text.encode("utf-8"))
+
+
+class FileLock:
+    """An advisory, exclusive, inter-process lock on one lock file.
+
+    Usable as a context manager::
+
+        with FileLock(root / "index" / "shard-03.lock"):
+            ...read-modify-write the shard...
+
+    The lock is held by an open file descriptor, so it is released on process
+    death (including SIGKILL) — a crashed writer never wedges the catalog.
+    Within one process, two threads locking the same path through *separate*
+    ``FileLock`` instances also exclude each other (each instance opens its
+    own file description).  Instances are not reentrant and not shared
+    between threads.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> "FileLock":
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is already held by this instance")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except BaseException:
+                os.close(fd)
+                raise
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "held" if self._fd is not None else "free"
+        return f"<FileLock {str(self.path)!r} ({state})>"

@@ -124,3 +124,15 @@ class ServiceOverloadedError(ServiceError):
     Admission control: the request was *not* enqueued; the caller may retry
     later or raise ``max_pending``.
     """
+
+
+class ServiceDeadlineError(ServiceOverloadedError):
+    """A blocking-admission request waited past its deadline for queue space.
+
+    Raised only with ``ServiceConfig(admission="block")`` and a deadline (the
+    service-wide ``deadline_seconds`` or a per-request override): the request
+    blocked for its whole budget without the queue draining below
+    ``max_pending``.  Subclasses :class:`ServiceOverloadedError` because the
+    meaning to the caller is the same — not enqueued, retry later — which
+    also keeps HTTP 429 handling uniform.
+    """

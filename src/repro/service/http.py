@@ -194,6 +194,7 @@ class ServiceHTTPServer:
         verbose: bool = False,
     ):
         self.service = service
+        self._closed = False
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Handlers reach the service through their ``server`` attribute.
@@ -220,14 +221,25 @@ class ServiceHTTPServer:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
-        self._httpd.server_close()
+        self.close()
+
+    def close(self) -> None:
+        """Release the listening socket (idempotent; safe after any exit path).
+
+        Without this the port stays held until process exit — an interrupted
+        foreground ``serve_forever`` (Ctrl-C) must close the socket before
+        the CLI goes on to drain the service.
+        """
+        if not self._closed:
+            self._closed = True
+            self._httpd.server_close()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (the CLI's ``serve``)."""
         try:
             self._httpd.serve_forever()
         finally:
-            self._httpd.server_close()
+            self.close()
 
     def __enter__(self) -> "ServiceHTTPServer":
         return self.start()

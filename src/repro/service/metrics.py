@@ -7,14 +7,17 @@ the payload of the HTTP ``/metrics`` endpoint and the CLI's ``metrics``
 output.  Collected:
 
 * request counters — submitted, completed, failed, timed out, coalesced into
-  an in-flight duplicate, rejected by admission control;
+  an in-flight duplicate, rejected by admission control, blocked waiting for
+  queue space, expired past their admission deadline;
 * batching — number of micro-batches executed, mean batch size, per-backend
   batch counts;
 * latency — cumulative queue-wait and execution seconds (with means);
 * composition phases — the per-phase wall-clock buckets of every served
   result (:mod:`repro.compose.phases`), summed; and
 * engine stores — expression-cache hits/misses accumulated over batch
-  reports, plus a live view of the (possibly persistent) checkpoint store.
+  reports, plus a live view of the (possibly persistent) checkpoint store;
+  and
+* garbage collection — background-sweep counts and what they removed.
 """
 
 from __future__ import annotations
@@ -36,6 +39,11 @@ class ServiceMetrics:
         self.timed_out = 0
         self.deduplicated = 0
         self.rejected = 0
+        self.blocked = 0
+        self.deadline_expired = 0
+        self.gc_sweeps = 0
+        self.gc_checkpoints_removed = 0
+        self.gc_results_removed = 0
         self.batches = 0
         self.batched_items = 0
         self.queue_seconds = 0.0
@@ -56,6 +64,22 @@ class ServiceMetrics:
     def record_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def record_blocked(self) -> None:
+        """One request entered the blocking-admission wait (counted once)."""
+        with self._lock:
+            self.blocked += 1
+
+    def record_deadline_expired(self) -> None:
+        with self._lock:
+            self.deadline_expired += 1
+
+    def record_gc(self, report: dict) -> None:
+        """Accumulate one :meth:`MappingCatalog.gc` report (sweep or manual)."""
+        with self._lock:
+            self.gc_sweeps += 1
+            self.gc_checkpoints_removed += report.get("checkpoints", {}).get("removed", 0)
+            self.gc_results_removed += report.get("results", {}).get("removed", 0)
 
     def record_batch(self, size: int, backend: str, cache_stats: Optional[dict]) -> None:
         with self._lock:
@@ -106,6 +130,8 @@ class ServiceMetrics:
                     "timed_out": self.timed_out,
                     "deduplicated": self.deduplicated,
                     "rejected": self.rejected,
+                    "blocked": self.blocked,
+                    "deadline_expired": self.deadline_expired,
                     "pending": pending,
                     "in_flight": in_flight,
                 },
@@ -134,4 +160,9 @@ class ServiceMetrics:
                     "hit_rate": (self._cache_hits / cache_total if cache_total else 0.0),
                 },
                 "checkpoints": dict(checkpoint_stats) if checkpoint_stats else {},
+                "gc": {
+                    "sweeps": self.gc_sweeps,
+                    "checkpoints_removed": self.gc_checkpoints_removed,
+                    "results_removed": self.gc_results_removed,
+                },
             }

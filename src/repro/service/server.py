@@ -8,8 +8,11 @@ all of them at once.  :class:`CompositionService` is that front-end:
 * **request queue with admission control** — submissions return a
   :class:`Ticket` immediately; when the queue is at ``max_pending`` work
   items, new requests are rejected with
-  :class:`~repro.exceptions.ServiceOverloadedError` instead of growing the
-  backlog without bound;
+  :class:`~repro.exceptions.ServiceOverloadedError`
+  (``admission="reject"``, the default) or *block until space frees*
+  (``admission="block"``), optionally bounded by a per-request deadline
+  after which :class:`~repro.exceptions.ServiceDeadlineError` is raised —
+  bursty clients wait instead of erroring, with bounded patience;
 * **deduplication** — every request is keyed by the content fingerprint of
   its inputs plus its effective :class:`ComposerConfig`; a request whose key
   matches one that is queued *or currently executing* coalesces onto that
@@ -31,7 +34,12 @@ all of them at once.  :class:`CompositionService` is that front-end:
   *seeded* from the disk store at pool startup (so restarts still reuse
   previously persisted prefixes) but hops they record stay worker-local —
   the engine's usual process-isolation trade
-  (:attr:`~repro.engine.batch.BatchConfig.share_checkpoints`); and
+  (:attr:`~repro.engine.batch.BatchConfig.share_checkpoints`);
+* **bounded disk growth** — with a catalog attached and
+  ``gc_interval_seconds`` set, a background sweep runs
+  :meth:`~repro.catalog.MappingCatalog.gc` periodically (checkpoint age/LRU
+  eviction, old result versions), so a long-lived service does not grow its
+  catalog without bound; and
 * **metrics** — :meth:`CompositionService.metrics` surfaces queue depths,
   dedup/rejection counters, batch sizes, cache/checkpoint hit rates and the
   summed per-phase timings of everything served
@@ -58,7 +66,12 @@ from repro.compose.config import ComposerConfig
 from repro.engine.batch import BatchComposer, BatchConfig, BatchItemResult, ProblemStatus
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.fingerprint import chain_fingerprint
-from repro.exceptions import EngineError, ServiceError, ServiceOverloadedError
+from repro.exceptions import (
+    EngineError,
+    ServiceDeadlineError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.mapping.composition_problem import CompositionProblem
 from repro.mapping.mapping import Mapping
 from repro.service.metrics import ServiceMetrics
@@ -74,9 +87,16 @@ class ServiceConfig:
     ----------
     max_pending:
         Admission bound: maximum number of *distinct* work items queued (not
-        yet executing).  Coalesced duplicates ride along for free; past the
-        bound, :meth:`CompositionService.submit_problem` and friends raise
-        :class:`ServiceOverloadedError`.
+        yet executing).  Coalesced duplicates ride along for free.
+    admission:
+        What happens to a submission past the bound: ``"reject"`` (the
+        default) raises :class:`ServiceOverloadedError` immediately;
+        ``"block"`` waits for the queue to drain below ``max_pending``.
+    deadline_seconds:
+        With ``admission="block"``, how long a submission may wait for queue
+        space before :class:`~repro.exceptions.ServiceDeadlineError` is
+        raised; ``None`` waits indefinitely.  Each ``submit_*`` call may
+        override it per request.
     micro_batch_size:
         Maximum requests drained into one serving batch.
     micro_batch_wait_seconds:
@@ -93,9 +113,16 @@ class ServiceConfig:
     share_expression_cache / cache_max_entries:
         Expression-cache settings of each micro-batch, as in
         :class:`~repro.engine.batch.BatchConfig`.
+    gc_interval_seconds:
+        With a catalog attached, run :meth:`~repro.catalog.MappingCatalog.gc`
+        in a background sweep every this many seconds (``None``, the default,
+        disables the sweep).  The remaining ``gc_*`` fields are the sweep's
+        policy and mirror the ``gc`` parameters.
     """
 
     max_pending: int = 1024
+    admission: str = "reject"
+    deadline_seconds: Optional[float] = None
     micro_batch_size: int = 16
     micro_batch_wait_seconds: float = 0.002
     backend: str = "auto"
@@ -104,14 +131,31 @@ class ServiceConfig:
     composer_config: ComposerConfig = field(default_factory=ComposerConfig)
     share_expression_cache: bool = True
     cache_max_entries: int = 200_000
+    gc_interval_seconds: Optional[float] = None
+    gc_checkpoint_max_files: Optional[int] = None
+    gc_checkpoint_max_age_seconds: Optional[float] = None
+    gc_result_max_age_seconds: Optional[float] = None
+    gc_result_keep_versions: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
             raise EngineError("max_pending must be positive")
+        if self.admission not in ("reject", "block"):
+            raise EngineError(
+                f"admission must be 'reject' or 'block', not {self.admission!r}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise EngineError("deadline_seconds must be positive")
         if self.micro_batch_size < 1:
             raise EngineError("micro_batch_size must be positive")
         if self.micro_batch_wait_seconds < 0:
             raise EngineError("micro_batch_wait_seconds must be non-negative")
+        if self.gc_interval_seconds is not None and self.gc_interval_seconds <= 0:
+            raise EngineError("gc_interval_seconds must be positive")
+        if self.gc_checkpoint_max_files is not None and self.gc_checkpoint_max_files < 0:
+            raise EngineError("gc_checkpoint_max_files must be non-negative")
+        if self.gc_result_keep_versions is not None and self.gc_result_keep_versions < 1:
+            raise EngineError("gc_result_keep_versions must be positive")
 
 
 class Ticket:
@@ -193,10 +237,13 @@ class CompositionService:
         )
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)
+        self._space_available = threading.Condition(self._lock)
         self._queue: Deque[_WorkItem] = deque()
         self._in_flight: Dict[bytes, _WorkItem] = {}
         self._composers: Dict[bytes, BatchComposer] = {}
         self._thread: Optional[threading.Thread] = None
+        self._gc_thread: Optional[threading.Thread] = None
+        self._gc_stop = threading.Event()
         self._stopping = False
 
     # -- lifecycle -----------------------------------------------------------------
@@ -211,6 +258,16 @@ class CompositionService:
                 target=self._serve_loop, name="repro-composition-service", daemon=True
             )
             self._thread.start()
+            if (
+                self.catalog is not None
+                and self.config.gc_interval_seconds is not None
+                and (self._gc_thread is None or not self._gc_thread.is_alive())
+            ):
+                self._gc_stop.clear()
+                self._gc_thread = threading.Thread(
+                    target=self._gc_loop, name="repro-service-gc", daemon=True
+                )
+                self._gc_thread.start()
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -218,7 +275,11 @@ class CompositionService:
 
         With ``drain`` (the default) everything already queued is served
         first; otherwise queued requests fail with :class:`ServiceError`.
+        Submissions blocked in admission are woken and fail with
+        :class:`ServiceError` (the service is stopping, space will never
+        free for them).
         """
+        self._gc_stop.set()
         with self._lock:
             if not drain:
                 while self._queue:
@@ -228,11 +289,16 @@ class CompositionService:
                         ticket._fail(ServiceError("service stopped before serving"))
             self._stopping = True
             self._work_available.notify_all()
+            self._space_available.notify_all()
             thread = self._thread
+            gc_thread = self._gc_thread
         if thread is not None:
             thread.join()
+        if gc_thread is not None:
+            gc_thread.join()
         with self._lock:
             self._thread = None
+            self._gc_thread = None
 
     def __enter__(self) -> "CompositionService":
         return self.start()
@@ -252,12 +318,15 @@ class CompositionService:
         problem: CompositionProblem,
         config: Optional[ComposerConfig] = None,
         partitioned: bool = False,
+        deadline_seconds: Optional[float] = None,
     ) -> Ticket:
-        """Queue one composition problem; returns immediately with a ticket.
+        """Queue one composition problem; returns with a ticket once admitted.
 
         ``partitioned`` routes the problem through
         :meth:`~repro.engine.batch.BatchComposer.run_partitioned` (the
         cost-guided planner with intra-problem parallel sub-tasks).
+        ``deadline_seconds`` overrides the service-wide admission deadline
+        for this request (meaningful with ``admission="block"``).
 
         Submissions are accepted before :meth:`start` (they queue and are
         served once the loop runs) but refused after :meth:`stop`.
@@ -265,20 +334,21 @@ class CompositionService:
         kind = "partitioned" if partitioned else "problem"
         effective = config or self.config.composer_config
         key = self._request_key(kind, problem.fingerprint(), effective)
-        return self._enqueue(key, kind, problem, effective)
+        return self._enqueue(key, kind, problem, effective, deadline_seconds)
 
     def submit_chain(
         self,
         mappings: Sequence[Mapping],
         config: Optional[ComposerConfig] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> Ticket:
-        """Queue one chained composition; returns immediately with a ticket."""
+        """Queue one chained composition; returns with a ticket once admitted."""
         chain = tuple(mappings)
         if not chain:
             raise ServiceError("cannot submit an empty chain")
         effective = config or self.config.composer_config
         key = self._request_key("chain", chain_fingerprint(chain), effective)
-        return self._enqueue(key, "chain", chain, effective)
+        return self._enqueue(key, "chain", chain, effective, deadline_seconds)
 
     def compose(
         self,
@@ -324,25 +394,51 @@ class CompositionService:
         return h.digest()
 
     def _enqueue(
-        self, key: bytes, kind: str, payload: object, config: ComposerConfig
+        self,
+        key: bytes,
+        kind: str,
+        payload: object,
+        config: ComposerConfig,
+        deadline_seconds: Optional[float] = None,
     ) -> Ticket:
+        budget = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.config.deadline_seconds
+        )
+        deadline = time.monotonic() + budget if budget is not None else None
+        blocked = False
         with self._lock:
-            # Before the first start() submissions simply accumulate in the
-            # queue; only a *stopped* service refuses work.
-            if self._stopping:
-                raise ServiceError("the service is stopped; call start() first")
-            existing = self._in_flight.get(key)
-            if existing is not None:
-                # Identical in-flight request (queued or executing): coalesce.
-                ticket = Ticket(coalesced=True)
-                existing.tickets.append(ticket)
-                self.metrics_store.record_submitted(coalesced=True)
-                return ticket
-            if len(self._queue) >= self.config.max_pending:
-                self.metrics_store.record_rejected()
-                raise ServiceOverloadedError(
-                    f"request queue is at capacity ({self.config.max_pending} pending)"
-                )
+            while True:
+                # Before the first start() submissions simply accumulate in
+                # the queue; only a *stopped* service refuses work.
+                if self._stopping:
+                    raise ServiceError("the service is stopped; call start() first")
+                existing = self._in_flight.get(key)
+                if existing is not None:
+                    # Identical in-flight request (queued or executing): coalesce.
+                    ticket = Ticket(coalesced=True)
+                    existing.tickets.append(ticket)
+                    self.metrics_store.record_submitted(coalesced=True)
+                    return ticket
+                if len(self._queue) < self.config.max_pending:
+                    break
+                if self.config.admission == "reject":
+                    self.metrics_store.record_rejected()
+                    raise ServiceOverloadedError(
+                        f"request queue is at capacity ({self.config.max_pending} pending)"
+                    )
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.metrics_store.record_deadline_expired()
+                    raise ServiceDeadlineError(
+                        f"queue stayed at capacity ({self.config.max_pending} pending) "
+                        f"for the whole {budget}-second admission deadline"
+                    )
+                if not blocked:
+                    blocked = True
+                    self.metrics_store.record_blocked()
+                self._space_available.wait(remaining)
             item = _WorkItem(key, kind, payload, config)
             ticket = Ticket()
             item.tickets.append(ticket)
@@ -370,12 +466,14 @@ class CompositionService:
             if not self._queue:
                 return []  # stopping and drained
             batch = [self._queue.popleft()]
+            self._space_available.notify()
         # Hold the door briefly for stragglers so bursts batch together.
         deadline = time.perf_counter() + self.config.micro_batch_wait_seconds
         while len(batch) < self.config.micro_batch_size:
             with self._lock:
                 if self._queue:
                     batch.append(self._queue.popleft())
+                    self._space_available.notify()
                     continue
                 if self._stopping:
                     break
@@ -463,6 +561,35 @@ class CompositionService:
             execution_seconds=execution_seconds,
             phase_seconds=_phase_seconds(payload),
         )
+
+    # -- garbage collection --------------------------------------------------------
+
+    def run_gc(self) -> Optional[dict]:
+        """Run one catalog GC pass with the configured policy; returns the report.
+
+        No-op (returns ``None``) without a catalog.  The background sweep
+        calls this every ``gc_interval_seconds``; it is also safe to call
+        manually at any time — GC only removes rebuildable checkpoints and
+        old result versions, never current state.
+        """
+        if self.catalog is None:
+            return None
+        report = self.catalog.gc(
+            checkpoint_max_files=self.config.gc_checkpoint_max_files,
+            checkpoint_max_age_seconds=self.config.gc_checkpoint_max_age_seconds,
+            result_max_age_seconds=self.config.gc_result_max_age_seconds,
+            result_keep_versions=self.config.gc_result_keep_versions,
+        )
+        self.metrics_store.record_gc(report)
+        return report
+
+    def _gc_loop(self) -> None:
+        interval = self.config.gc_interval_seconds
+        while not self._gc_stop.wait(interval):
+            try:
+                self.run_gc()
+            except Exception:  # noqa: BLE001 - a failed sweep must not kill the loop
+                continue
 
     # -- introspection -------------------------------------------------------------
 

@@ -52,6 +52,9 @@ __all__ = [
     "mapping_from_text",
     "chain_to_text",
     "chain_from_text",
+    "ChainDelta",
+    "chain_delta_to_text",
+    "chain_delta_from_text",
     "result_to_text",
     "result_from_text",
 ]
@@ -248,20 +251,16 @@ def chain_to_text(
     return "\n".join(lines) + "\n"
 
 
-def chain_from_text(text: str) -> Tuple[Mapping, ...]:
-    """Parse a ``chain`` record back into its tuple of mappings."""
-    record = parse_record(text)
-    record.expect_kind("chain")
-    # The sections are authoritative; the '# length:' metadata is only a
+def _chain_mappings_from_record(record: Record, declared_length: Optional[str]) -> Tuple[Mapping, ...]:
+    # The sections are authoritative; the length metadata is only a
     # cross-check (a truncated or hand-edited record must fail loudly, not
     # silently drop mappings).
     length = sum(1 for key in record.sections if key.startswith("constraints."))
     if length < 1:
         raise ParseError("chain record declares no mappings")
-    declared = record.metadata.get("length")
-    if declared is not None and declared != str(length):
+    if declared_length is not None and declared_length != str(length):
         raise ParseError(
-            f"chain record declares '# length: {declared}' but has {length} "
+            f"chain record declares length {declared_length} but has {length} "
             "constraint sections"
         )
     signatures = [
@@ -274,6 +273,108 @@ def chain_from_text(text: str) -> Tuple[Mapping, ...]:
             constraints=_parse_constraints(record.section(f"constraints.{index}")),
         )
         for index in range(length)
+    )
+
+
+def chain_from_text(text: str) -> Tuple[Mapping, ...]:
+    """Parse a ``chain`` record back into its tuple of mappings."""
+    record = parse_record(text)
+    record.expect_kind("chain")
+    return _chain_mappings_from_record(record, record.metadata.get("length"))
+
+
+# ---------------------------------------------------------------------------
+# Chain deltas
+#
+# An n-edit evolution history stores n chain versions whose bodies are almost
+# identical — the full-record layout costs O(n^2) hops of text across the
+# history.  A ``chain-delta`` record stores one version as a reference to an
+# earlier stored version (its catalog version number and content fingerprint)
+# plus only the mappings after the shared prefix, making the whole history
+# O(n) hops of text.  The suffix is serialized with the same interleaved
+# schema/constraints sections as a full chain record, so the two formats
+# share their parser.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainDelta:
+    """A parsed ``chain-delta`` record: base reference plus replacement suffix.
+
+    The represented chain is ``base[:prefix_hops] + suffix`` where ``base``
+    is the chain stored as version ``base_version`` of the same catalog
+    entry (whose full-chain fingerprint must equal ``base_fingerprint``).
+    """
+
+    base_version: int
+    base_fingerprint: str
+    prefix_hops: int
+    length: int
+    suffix: Tuple[Mapping, ...]
+
+
+def chain_delta_to_text(
+    suffix: Sequence[Mapping],
+    base_version: int,
+    base_fingerprint: str,
+    prefix_hops: int,
+    name: str = "",
+    description: str = "",
+) -> str:
+    """Serialize a chain version as a delta against an earlier version."""
+    suffix = tuple(suffix)
+    if not suffix:
+        raise ParseError("a chain delta must carry at least one suffix mapping")
+    if prefix_hops < 1:
+        raise ParseError("a chain delta must share at least one prefix hop")
+    for index in range(len(suffix) - 1):
+        if suffix[index].output_signature != suffix[index + 1].input_signature:
+            raise ParseError(
+                f"delta suffix breaks between mappings {index} and {index + 1}; "
+                "adjacent mappings must share their middle signature"
+            )
+    lines = _metadata_lines(
+        "chain-delta",
+        name,
+        description,
+        extra=(
+            ("base-version", str(base_version)),
+            ("base-fingerprint", base_fingerprint),
+            ("prefix-hops", str(prefix_hops)),
+            ("suffix-length", str(len(suffix))),
+        ),
+    )
+    for index, mapping in enumerate(suffix):
+        lines.extend(_signature_section(f"schema.{index}", mapping.input_signature))
+        lines.append(f"[constraints.{index}]")
+        lines.extend(str(constraint) for constraint in mapping.constraints)
+    lines.extend(_signature_section(f"schema.{len(suffix)}", suffix[-1].output_signature))
+    return "\n".join(lines) + "\n"
+
+
+def chain_delta_from_text(text: str) -> ChainDelta:
+    """Parse a ``chain-delta`` record back into its :class:`ChainDelta`."""
+    record = parse_record(text)
+    record.expect_kind("chain-delta")
+    try:
+        base_version = int(record.metadata["base-version"])
+        prefix_hops = int(record.metadata["prefix-hops"])
+    except KeyError as exc:
+        raise ParseError(f"chain-delta record is missing the {exc.args[0]!r} metadata") from None
+    except ValueError as exc:
+        raise ParseError(f"chain-delta record has malformed metadata: {exc}") from None
+    base_fingerprint = record.metadata.get("base-fingerprint", "")
+    if not base_fingerprint:
+        raise ParseError("chain-delta record is missing the 'base-fingerprint' metadata")
+    if base_version < 1 or prefix_hops < 1:
+        raise ParseError("chain-delta base-version and prefix-hops must be positive")
+    suffix = _chain_mappings_from_record(record, record.metadata.get("suffix-length"))
+    return ChainDelta(
+        base_version=base_version,
+        base_fingerprint=base_fingerprint,
+        prefix_hops=prefix_hops,
+        length=prefix_hops + len(suffix),
+        suffix=suffix,
     )
 
 

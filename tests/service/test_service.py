@@ -8,6 +8,7 @@ acceptance-criterion proof lives in :class:`TestConcurrentClients`).
 """
 
 import threading
+import time
 
 import pytest
 
@@ -16,7 +17,11 @@ from repro.compose.composer import compose
 from repro.compose.config import ComposerConfig
 from repro.engine import ChainGrower, compose_chain
 from repro.engine.workloads import WorkloadConfig, generate_workload, pairwise_problems
-from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.exceptions import (
+    ServiceDeadlineError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.literature.problems import problem_by_name
 from repro.service import CompositionService, ServiceConfig
 
@@ -144,6 +149,147 @@ class TestAdmissionControl:
             )
 
 
+class TestBlockingAdmission:
+    def test_deadline_expires_deterministically(self, chains):
+        # Loop not running: the queue can never drain, so a blocked request
+        # must ride out its whole deadline and then fail.
+        config = ServiceConfig(max_pending=1, admission="block")
+        svc = CompositionService(config=config)
+        svc.submit_chain(chains[0])
+        with pytest.raises(ServiceDeadlineError):
+            svc.submit_chain(chains[1], deadline_seconds=0.05)
+        metrics = svc.metrics()["requests"]
+        assert metrics["blocked"] == 1
+        assert metrics["deadline_expired"] == 1
+        assert metrics["rejected"] == 0
+
+    def test_deadline_error_is_an_overload_error(self):
+        # HTTP keeps answering 429: the deadline error is a refinement of
+        # overload, not a new failure class.
+        assert issubclass(ServiceDeadlineError, ServiceOverloadedError)
+
+    def test_service_wide_deadline_applies(self, chains):
+        config = ServiceConfig(max_pending=1, admission="block", deadline_seconds=0.05)
+        svc = CompositionService(config=config)
+        svc.submit_chain(chains[0])
+        with pytest.raises(ServiceDeadlineError):
+            svc.submit_chain(chains[1])
+
+    def test_blocked_submission_admitted_when_space_frees(self, chains):
+        config = ServiceConfig(max_pending=1, admission="block")
+        svc = CompositionService(config=config)
+        first = svc.submit_chain(chains[0])
+        admitted = {}
+
+        def blocked_submit():
+            admitted["ticket"] = svc.submit_chain(chains[1])
+
+        waiter = threading.Thread(target=blocked_submit)
+        waiter.start()
+        time.sleep(0.05)
+        assert waiter.is_alive()  # genuinely blocked, not rejected
+        svc.start()  # draining the queue frees space and admits the waiter
+        waiter.join(timeout=30)
+        assert not waiter.is_alive()
+        svc.stop()
+        assert _constraints_text(first.result(0)) == _constraints_text(
+            compose_chain(chains[0])
+        )
+        assert _constraints_text(admitted["ticket"].result(30)) == _constraints_text(
+            compose_chain(chains[1])
+        )
+        assert svc.metrics()["requests"]["blocked"] == 1
+
+    def test_stop_wakes_blocked_submitters(self, chains):
+        config = ServiceConfig(max_pending=1, admission="block")
+        svc = CompositionService(config=config)
+        svc.submit_chain(chains[0])
+        outcome = {}
+
+        def blocked_submit():
+            try:
+                svc.submit_chain(chains[1])
+            except ServiceError as exc:
+                outcome["error"] = exc
+
+        waiter = threading.Thread(target=blocked_submit)
+        waiter.start()
+        time.sleep(0.05)
+        svc.stop(drain=False)
+        waiter.join(timeout=30)
+        assert not waiter.is_alive()
+        assert isinstance(outcome["error"], ServiceError)
+
+    def test_blocking_identical_results_under_burst(self, chains):
+        # A tiny queue with blocking admission: every client eventually gets
+        # a byte-identical result — blocking changes timing, never payloads.
+        config = ServiceConfig(max_pending=1, admission="block", micro_batch_size=2)
+        expected = {
+            index: _constraints_text(compose_chain(chain))
+            for index, chain in enumerate(chains)
+        }
+        results = {}
+        errors = []
+        with CompositionService(config=config) as svc:
+
+            def client(index):
+                try:
+                    results[index] = _constraints_text(
+                        svc.compose_chain(chains[index], timeout=120)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(len(chains))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        assert not errors
+        assert results == expected
+
+
+class TestServiceGC:
+    def test_run_gc_bounds_checkpoints_and_counts(self, tmp_path, chains):
+        catalog = MappingCatalog(tmp_path / "cat")
+        config = ServiceConfig(gc_checkpoint_max_files=1)
+        with CompositionService(catalog, config) as svc:
+            for chain in chains[:3]:
+                svc.compose_chain(chain)
+            assert catalog.checkpoints.disk_entries() > 1
+            report = svc.run_gc()
+        assert report["checkpoints"]["retained"] == 1
+        assert catalog.checkpoints.disk_entries() == 1
+        gc_metrics = svc.metrics()["gc"]
+        assert gc_metrics["sweeps"] == 1
+        assert gc_metrics["checkpoints_removed"] == report["checkpoints"]["removed"]
+
+    def test_background_sweep_runs_periodically(self, tmp_path, chains):
+        catalog = MappingCatalog(tmp_path / "cat")
+        config = ServiceConfig(
+            gc_interval_seconds=0.05, gc_checkpoint_max_files=1
+        )
+        with CompositionService(catalog, config) as svc:
+            svc.compose_chain(chains[0])
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                metrics = svc.metrics()["gc"]
+                if metrics["sweeps"] >= 1 and catalog.checkpoints.disk_entries() <= 1:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("background sweep never bounded the checkpoint files")
+        # Stopping the service stops the sweeper with it.
+        sweeps = svc.metrics()["gc"]["sweeps"]
+        time.sleep(0.15)
+        assert svc.metrics()["gc"]["sweeps"] == sweeps
+
+    def test_run_gc_without_catalog_is_a_noop(self, service):
+        assert service.run_gc() is None
+
+
 class TestConcurrentClients:
     def test_overlapping_concurrent_clients_byte_identical_to_serial(self, chains):
         """Acceptance criterion: N concurrent clients with overlapping requests
@@ -231,7 +377,8 @@ class TestMetrics:
         service.compose_chain(chains[0])
         metrics = service.metrics()
         assert set(metrics) == {
-            "requests", "batching", "latency", "phases", "expression_cache", "checkpoints",
+            "requests", "batching", "latency", "phases", "expression_cache",
+            "checkpoints", "gc",
         }
         assert metrics["requests"]["completed"] == 1
         assert metrics["batching"]["batches"] == 1

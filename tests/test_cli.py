@@ -96,6 +96,74 @@ class TestComposeCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCatalogGCCommand:
+    def test_gc_bounds_checkpoints_and_prefix_reuse_survives(self, root, record_files, capsys):
+        assert main(["--root", root, "catalog", "add", record_files["chain"]]) == 0
+        assert main(["--root", root, "compose", "--name", "history", "--kind", "chain"]) == 0
+        capsys.readouterr()
+        checkpoint_dir = Path(root) / "checkpoints"
+        assert len(list(checkpoint_dir.glob("*.ckpt"))) == 3
+
+        assert main(["--root", root, "catalog", "gc",
+                     "--max-checkpoint-files", "1", "--dry-run", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+        assert report["checkpoints"]["removed"] == 2
+        assert len(list(checkpoint_dir.glob("*.ckpt"))) == 3  # dry run
+
+        assert main(["--root", root, "catalog", "gc",
+                     "--max-checkpoint-files", "1", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["checkpoints"] == {"examined": 3, "removed": 2, "retained": 1}
+        assert len(list(checkpoint_dir.glob("*.ckpt"))) == 1
+
+        # The retained (deepest) checkpoint still covers the whole chain.
+        assert main(["--root", root, "compose", "--name", "history", "--kind", "chain"]) == 0
+        assert "reused hops: 3/3" in capsys.readouterr().err
+
+    def test_gc_prunes_old_result_versions(self, root, record_files, capsys):
+        assert main(["--root", root, "compose", record_files["problem"],
+                     "--store", "r"]) == 0
+        capsys.readouterr()
+        catalog = MappingCatalog(root)
+        catalog.put_result("r", compose(problem_by_name("glav_chain").problem))
+        assert len(catalog.versions("result", "r")) == 2
+        assert main(["--root", root, "catalog", "gc", "--keep-result-versions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "results:     removed 1" in out
+        assert [e.version for e in MappingCatalog(root).versions("result", "r")] == [2]
+
+
+def _spawn_serve(root: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--root", root, "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    assert "http://" in line, f"unexpected banner: {line!r}"
+    return process, line.strip().rsplit(" ", 1)[-1]
+
+
+def _post_compose(base: str, body: bytes, query: str = "") -> str:
+    deadline = time.time() + 30
+    while True:
+        try:
+            request = urllib.request.Request(
+                base + "/compose" + query, data=body, method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.read().decode()
+        except (urllib.error.URLError, ConnectionError):
+            if time.time() > deadline:
+                raise
+            time.sleep(0.1)
+
+
 class TestServeSubprocess:
     def test_serve_smoke_byte_identical(self, root, tmp_path):
         env = dict(os.environ)
@@ -132,3 +200,50 @@ class TestServeSubprocess:
         finally:
             process.terminate()
             process.wait(timeout=10)
+
+    def test_two_servers_share_one_catalog(self, root):
+        """CI's shared-catalog smoke: two serve processes on one root,
+        interleaved composes byte-identical to direct compose, and writes by
+        either server visible to both."""
+        chain = ChainGrower(seed=13, schema_size=4).grow_many(4)
+        chain_body = chain_to_text(chain, name="history").encode()
+        problem = problem_by_name("example1_movies").problem
+        problem_body = problem_to_text(problem).encode()
+
+        first, first_base = _spawn_serve(root)
+        second, second_base = _spawn_serve(root)
+        try:
+            direct_problem = compose(problem)
+            # Interleave requests across the two processes.
+            a = _post_compose(first_base, problem_body)
+            b = _post_compose(second_base, chain_body, "?store=composed")
+            c = _post_compose(second_base, problem_body)
+            d = _post_compose(first_base, chain_body, "?store=composed")
+            assert (
+                result_from_text(a).constraints.to_text()
+                == result_from_text(c).constraints.to_text()
+                == direct_problem.constraints.to_text()
+            )
+            assert b == d  # byte-identical composed mapping across processes
+
+            # Both stored the identical mapping: content addressing dedupes
+            # across processes, so one version exists (no lost/duped writes).
+            deadline = time.time() + 30
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                        second_base + "/catalog/mapping/composed", timeout=30
+                    ) as response:
+                        stored = response.read().decode()
+                    break
+                except (urllib.error.URLError, ConnectionError):
+                    if time.time() > deadline:
+                        raise
+                    time.sleep(0.1)
+            assert stored
+            versions = MappingCatalog(root).versions("mapping", "composed")
+            assert [entry.version for entry in versions] == [1]
+        finally:
+            for process in (first, second):
+                process.terminate()
+                process.wait(timeout=10)
