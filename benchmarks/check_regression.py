@@ -63,6 +63,14 @@ EXACT_METRICS = {
         "lost_versions",
         "composed_versions",
     ),
+    "service_chaos": (
+        "processes",
+        "rounds",
+        "requests_total",
+        "outputs_identical",
+        "lost_versions",
+        "composed_versions",
+    ),
 }
 
 #: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
@@ -128,6 +136,7 @@ def main(argv) -> int:
             "partitioned_seconds",
             "cold_seconds",
             "swarm_seconds",
+            "chaos_seconds",
         ):
             if record.get(metric) is not None:
                 return record[metric]

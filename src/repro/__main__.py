@@ -80,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="always retain the newest N versions of each result (default 1)",
     )
     gc.add_argument(
+        "--grace", type=float, default=0.0, metavar="SECONDS",
+        help="never evict checkpoints/results used or written this recently",
+    )
+    gc.add_argument(
         "--dry-run", action="store_true", help="report what would be removed only"
     )
     gc.add_argument("--json", action="store_true", help="machine-readable report")
@@ -137,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--gc-result-max-age", type=float, default=None, metavar="SECONDS",
         help="GC sweep policy: prune result versions older than this",
+    )
+    serve.add_argument(
+        "--gc-grace", type=float, default=5.0, metavar="SECONDS",
+        help="GC sweeps never evict entries used/written this recently (default 5)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="claim each request across processes with leases of this TTL "
+        "(enables cross-process dedup; unset disables)",
+    )
+    serve.add_argument(
+        "--lease-wait", type=float, default=None, metavar="SECONDS",
+        help="wait this long for a peer's live claim before composing anyway "
+        "(default: 4x the TTL)",
     )
     serve.add_argument("--verbose", action="store_true", help="log every request")
 
@@ -205,6 +223,7 @@ def _cmd_catalog_gc(args) -> int:
         checkpoint_max_age_seconds=args.checkpoint_max_age,
         result_max_age_seconds=args.result_max_age,
         result_keep_versions=args.keep_result_versions,
+        grace_seconds=args.grace,
         dry_run=args.dry_run,
     )
     if args.json:
@@ -305,6 +324,9 @@ def _cmd_serve(args) -> int:
             gc_checkpoint_max_files=args.gc_max_checkpoint_files,
             gc_checkpoint_max_age_seconds=args.gc_checkpoint_max_age,
             gc_result_max_age_seconds=args.gc_result_max_age,
+            gc_grace_seconds=args.gc_grace,
+            lease_ttl_seconds=args.lease_ttl,
+            lease_wait_seconds=args.lease_wait,
         ),
     )
     service.start()

@@ -8,15 +8,22 @@ Two pieces form the durability layer under :mod:`repro.service`:
   serialized in the extended plain-text format of :mod:`repro.textio.records`;
 * :mod:`repro.catalog.checkpoints` — :class:`PersistentCheckpointStore`, the
   on-disk mirror of the hop-checkpoint store, so ``compose_chain`` prefix
-  reuse survives process restarts.
+  reuse survives process restarts;
+* :mod:`repro.catalog.leases` — :class:`LeaseTable`, cross-process work
+  claims with heartbeat renewal and stale-lease takeover, so two service
+  processes fed the identical request do the work once.
 
 All writes are atomic and rename-durable, and multi-process writers are
 serialized with per-shard file locks (:mod:`repro.catalog.storage` —
-:class:`FileLock`), so several service processes can share one catalog root.
+:class:`FileLock`, with optional timeouts), so several service processes can
+share one catalog root.  Disk reads and writes retry transient errors under
+:class:`~repro.retry.RetryPolicy`, and every durability-critical code path
+carries :mod:`repro.faults` injection points exercised by the chaos suite.
 """
 
 from repro.catalog.catalog import KINDS, CatalogEntry, MappingCatalog
 from repro.catalog.checkpoints import PersistentCheckpointStore
+from repro.catalog.leases import Lease, LeaseTable
 from repro.catalog.storage import FileLock, atomic_write_bytes, atomic_write_text
 
 __all__ = [
@@ -24,6 +31,8 @@ __all__ = [
     "CatalogEntry",
     "MappingCatalog",
     "FileLock",
+    "Lease",
+    "LeaseTable",
     "PersistentCheckpointStore",
     "atomic_write_bytes",
     "atomic_write_text",

@@ -59,10 +59,12 @@ from hashlib import blake2b
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.algebra.digest import DIGEST_SIZE
 from repro.catalog.checkpoints import PersistentCheckpointStore
 from repro.catalog.storage import FileLock, atomic_write_text
 from repro.compose.result import CompositionResult
+from repro.retry import RetryPolicy, RetryStats
 from repro.engine.checkpoint import DEFAULT_MAX_CHECKPOINTS
 from repro.engine.fingerprint import chain_fingerprint
 from repro.exceptions import CatalogError, ParseError
@@ -97,6 +99,11 @@ _INDEX_DIR = "index"
 _LEGACY_INDEX_FILE = "catalog.json"
 _INDEX_SCHEMA_VERSION = 2
 _NUM_SHARDS = 16
+
+#: Default bound on waiting for a shard lock held by a live peer; a crashed
+#: peer releases instantly (fd-held flock), so only a stalled process can
+#: consume this.
+DEFAULT_LOCK_TIMEOUT_SECONDS = 30.0
 
 #: A chain version stored as a delta is reconstructed by walking its base
 #: references back to a full record; storing a full record every so often
@@ -175,10 +182,17 @@ class MappingCatalog:
         self,
         root: Union[str, Path],
         checkpoint_max_entries: int = DEFAULT_MAX_CHECKPOINTS,
+        lock_timeout_seconds: Optional[float] = DEFAULT_LOCK_TIMEOUT_SECONDS,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
+        self._lock_timeout = lock_timeout_seconds
+        self._retry = retry_policy or RetryPolicy()
+        #: Classified retry counters of every disk operation this handle ran;
+        #: surfaced through :meth:`stats` and the service's ``/metrics``.
+        self.retry_stats = RetryStats()
         self._checkpoint_max_entries = checkpoint_max_entries
         self._checkpoints: Optional[PersistentCheckpointStore] = None
         #: Per-shard cache: shard id -> (file stat stamp, entries).  A stale
@@ -212,8 +226,17 @@ class MappingCatalog:
         stamp = self._stat_stamp(path)
         if stamp is None:
             return None, {}
+
+        def read() -> str:
+            faults.fire("catalog.shard.read", path=str(path))
+            return path.read_text(encoding="utf-8")
+
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload = json.loads(
+                self._retry.run(
+                    read, stats=self.retry_stats, description=f"read shard {shard}"
+                )
+            )
         except (OSError, json.JSONDecodeError) as exc:
             raise CatalogError(f"cannot read catalog index shard {path}: {exc}") from exc
         if payload.get("schema_version") != _INDEX_SCHEMA_VERSION:
@@ -231,8 +254,11 @@ class MappingCatalog:
             "updated_at": _utc_now(),
             "entries": entries,
         }
-        atomic_write_text(
-            self._shard_path(shard), json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        self._retry.run(
+            lambda: atomic_write_text(self._shard_path(shard), text),
+            stats=self.retry_stats,
+            description=f"write shard {shard}",
         )
 
     def _shard_entries(self, shard: int) -> _ShardEntries:
@@ -253,9 +279,18 @@ class MappingCatalog:
         so concurrent writers in other processes are always merged in — and
         returns ``(result, changed)``; the shard file is rewritten only when
         ``changed`` is true.
+
+        The shard lock is taken with the catalog's ``lock_timeout_seconds``
+        (a live peer stalling past it raises
+        :class:`~repro.exceptions.CatalogLockTimeoutError`); transient I/O
+        faults during acquisition are retried under the retry policy.
         """
         with self._lock:
-            with FileLock(self._shard_lock_path(shard)):
+            lock = FileLock(self._shard_lock_path(shard), timeout=self._lock_timeout)
+            self._retry.run(
+                lock.acquire, stats=self.retry_stats, description=f"lock shard {shard}"
+            )
+            try:
                 stamp, entries = self._read_shard(shard)
                 result, changed = mutate(entries)
                 if changed:
@@ -263,6 +298,8 @@ class MappingCatalog:
                     stamp = self._stat_stamp(self._shard_path(shard))
                 self._shards[shard] = (stamp, entries)
                 return result
+            finally:
+                lock.release()
 
     def _combined_index(self) -> _ShardEntries:
         """Every shard's entries merged into one kind -> name -> versions view."""
@@ -283,7 +320,7 @@ class MappingCatalog:
         legacy = self.root / _LEGACY_INDEX_FILE
         if not legacy.exists():
             return
-        with FileLock(self.root / _INDEX_DIR / "migrate.lock"):
+        with FileLock(self.root / _INDEX_DIR / "migrate.lock", timeout=self._lock_timeout):
             if not legacy.exists():
                 return  # another process migrated while we waited
             try:
@@ -368,7 +405,11 @@ class MappingCatalog:
             version = versions[-1]["version"] + 1 if versions else 1
             relative = f"objects/{kind}/{name}/v{version}.txt"
             text, extra = make_text(versions)
-            atomic_write_text(self.root / relative, text)
+            self._retry.run(
+                lambda: atomic_write_text(self.root / relative, text),
+                stats=self.retry_stats,
+                description=f"write {relative}",
+            )
             record = {
                 "version": version,
                 "fingerprint": digest,
@@ -631,6 +672,7 @@ class MappingCatalog:
         checkpoint_max_age_seconds: Optional[float] = None,
         result_max_age_seconds: Optional[float] = None,
         result_keep_versions: Optional[int] = None,
+        grace_seconds: float = 0.0,
         dry_run: bool = False,
     ) -> dict:
         """Bound the catalog's disk growth (checkpoints and result history).
@@ -647,19 +689,26 @@ class MappingCatalog:
           never pruned — they are the modeled history, and chain deltas may
           reference any earlier chain version.
 
-        Parameters left at ``None`` disable that policy.  ``dry_run``
-        reports what would be removed without touching disk.  Safe to run
-        concurrently with other processes: index pruning happens under the
-        shard locks (record files are unlinked after the index no longer
-        references them).
+        Parameters left at ``None`` disable that policy.  ``grace_seconds``
+        is the multi-process age floor: checkpoints used and result versions
+        created within the last ``grace_seconds`` are never evicted, no
+        matter what the other policies say — so a sweep in one process
+        cannot race a peer that wrote (and is about to reuse) an entry
+        microseconds ago.  ``dry_run`` reports what would be removed without
+        touching disk.  Safe to run concurrently with other processes: index
+        pruning happens under the shard locks (record files are unlinked
+        after the index no longer references them).
         """
         if result_keep_versions is not None and result_keep_versions < 1:
             raise CatalogError("result_keep_versions must be positive")
-        report: dict = {"dry_run": dry_run}
+        if grace_seconds < 0:
+            raise CatalogError("grace_seconds must be non-negative")
+        report: dict = {"dry_run": dry_run, "grace_seconds": grace_seconds}
         if checkpoint_max_files is not None or checkpoint_max_age_seconds is not None:
             report["checkpoints"] = self.checkpoints.gc(
                 max_files=checkpoint_max_files,
                 max_age_seconds=checkpoint_max_age_seconds,
+                grace_seconds=grace_seconds,
                 dry_run=dry_run,
             )
         else:
@@ -677,8 +726,16 @@ class MappingCatalog:
                 for result_name, versions in entries.get("result", {}).items():
                     examined += len(versions)
                     for record in versions[:-keep] if len(versions) > keep else []:
+                        created = _created_at_epoch(record)
+                        if (
+                            grace_seconds > 0
+                            and created is not None
+                            and now - created < grace_seconds
+                        ):
+                            # Age floor: a version written moments ago may still
+                            # be mid-handoff to a peer process — never evict it.
+                            continue
                         if result_max_age_seconds is not None:
-                            created = _created_at_epoch(record)
                             if created is None or now - created <= result_max_age_seconds:
                                 continue
                         doomed.append((result_name, record))
@@ -768,6 +825,7 @@ class MappingCatalog:
         stats: Dict[str, object] = {"kinds": per_kind, "total_versions": total}
         if self._checkpoints is not None:
             stats["checkpoints"] = self._checkpoints.stats()
+        stats["retries"] = self.retry_stats.snapshot()
         return stats
 
     def __repr__(self) -> str:

@@ -21,6 +21,16 @@ deleting any file (or the whole directory) is always safe, and composition
 outputs are byte-identical with the store hot, cold, warm-from-disk or
 absent.
 
+The store is a *pure accelerator*, and its failure behaviour follows from
+that: a disk write that keeps failing (after the
+:class:`~repro.retry.RetryPolicy` gives up on transient errors) is counted
+in ``disk_errors`` and **swallowed** — the composition that produced the
+checkpoint already succeeded, and failing it over a cache write would invert
+the dependency.  :meth:`set_degradation_hooks` lets the service tier wire a
+circuit breaker in: a ``gate`` that returns ``False`` skips disk writes
+entirely (counted in ``disk_skipped``), and ``on_failure`` / ``on_success``
+listeners observe every persist outcome so the breaker can open and close.
+
 Files are pickles and are trusted exactly as far as the catalog directory
 is: load checkpoints only from directories you write yourself.
 """
@@ -31,14 +41,16 @@ import os
 import pickle
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
+from repro import faults
 from repro.catalog.storage import atomic_write_bytes
 from repro.engine.checkpoint import (
     DEFAULT_MAX_CHECKPOINTS,
     ChainCheckpoint,
     CheckpointStore,
 )
+from repro.retry import RetryPolicy, RetryStats
 
 __all__ = ["PersistentCheckpointStore"]
 
@@ -68,6 +80,7 @@ class PersistentCheckpointStore(CheckpointStore):
         self,
         directory: Union[str, Path],
         max_entries: int = DEFAULT_MAX_CHECKPOINTS,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         super().__init__(max_entries=max_entries)
         self.directory = Path(directory)
@@ -75,6 +88,30 @@ class PersistentCheckpointStore(CheckpointStore):
         self.disk_hits = 0
         self.disk_writes = 0
         self.disk_invalid = 0
+        self.disk_errors = 0
+        self.disk_skipped = 0
+        self._retry = retry_policy or RetryPolicy()
+        self.retry_stats = RetryStats()
+        self._write_gate: Optional[Callable[[], bool]] = None
+        self._on_persist_failure: Optional[Callable[[BaseException], None]] = None
+        self._on_persist_success: Optional[Callable[[], None]] = None
+
+    def set_degradation_hooks(
+        self,
+        gate: Optional[Callable[[], bool]] = None,
+        on_failure: Optional[Callable[[BaseException], None]] = None,
+        on_success: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Wire a circuit breaker (or any health tracker) into disk persists.
+
+        ``gate`` is consulted before every disk write; ``False`` skips the
+        write (the in-memory entry is unaffected) and bumps ``disk_skipped``.
+        ``on_failure(exc)`` / ``on_success()`` fire after each attempted
+        persist, *including* the no-op touch of an already-present file.
+        """
+        self._write_gate = gate
+        self._on_persist_failure = on_failure
+        self._on_persist_success = on_success
 
     # -- persistence hooks ---------------------------------------------------------
 
@@ -84,6 +121,7 @@ class PersistentCheckpointStore(CheckpointStore):
     def _load_fallback(self, token: bytes) -> Optional[ChainCheckpoint]:
         path = self._path(token)
         try:
+            faults.fire("checkpoint.load", path=str(path))
             data = path.read_bytes()
         except OSError:
             return None
@@ -124,17 +162,42 @@ class PersistentCheckpointStore(CheckpointStore):
             pass
 
     def _persist(self, checkpoint: ChainCheckpoint) -> None:
+        if self._write_gate is not None and not self._write_gate():
+            self.disk_skipped += 1
+            return
         path = self._path(checkpoint.token)
         if path.exists():
             # Content-keyed: an existing file already holds this state (a
             # corrupt file cannot linger here — _load_fallback unlinks it).
             self._touch(path)
+            if self._on_persist_success is not None:
+                self._on_persist_success()
             return
         payload = pickle.dumps(
             (_MAGIC, _FORMAT_VERSION, checkpoint), protocol=pickle.HIGHEST_PROTOCOL
         )
-        atomic_write_bytes(path, payload)
+
+        def write() -> None:
+            faults.fire("checkpoint.persist", path=str(path))
+            atomic_write_bytes(path, payload)
+
+        try:
+            self._retry.run(
+                write,
+                stats=self.retry_stats,
+                description=f"persist checkpoint {path.name}",
+            )
+        except (OSError, pickle.PicklingError) as exc:
+            # The store is a pure accelerator: the composition this checkpoint
+            # came from already succeeded, so a cache write must never fail
+            # it.  Count the error, tell the breaker, keep going memory-only.
+            self.disk_errors += 1
+            if self._on_persist_failure is not None:
+                self._on_persist_failure(exc)
+            return
         self.disk_writes += 1
+        if self._on_persist_success is not None:
+            self._on_persist_success()
 
     # -- disk management -----------------------------------------------------------
 
@@ -171,6 +234,7 @@ class PersistentCheckpointStore(CheckpointStore):
         self,
         max_files: Optional[int] = None,
         max_age_seconds: Optional[float] = None,
+        grace_seconds: float = 0.0,
         dry_run: bool = False,
     ) -> Dict[str, int]:
         """Bound the on-disk checkpoint footprint by age and/or LRU count.
@@ -178,8 +242,13 @@ class PersistentCheckpointStore(CheckpointStore):
         ``max_age_seconds`` removes every file whose mtime is older than that
         (mtimes are freshened on every hit, so this is time-since-last-use,
         not time-since-creation); ``max_files`` then keeps only the most
-        recently used files up to the bound.  Removed tokens are dropped from
-        the in-memory table too, so :meth:`stats` stays honest.
+        recently used files up to the bound.  ``grace_seconds`` is an age
+        floor over both rules: a file used within the last ``grace_seconds``
+        is never deleted, even if that leaves more than ``max_files`` behind —
+        it closes the cross-process race where one process sweeps a
+        checkpoint another process wrote (and is about to read back)
+        milliseconds ago.  Removed tokens are dropped from the in-memory
+        table too, so :meth:`stats` stays honest.
 
         Deleting checkpoints is always safe — the store is a pure
         accelerator, and every *retained* file keeps working: checkpoints are
@@ -193,21 +262,27 @@ class PersistentCheckpointStore(CheckpointStore):
             raise ValueError("max_files must be non-negative")
         if max_age_seconds is not None and max_age_seconds < 0:
             raise ValueError("max_age_seconds must be non-negative")
+        if grace_seconds < 0:
+            raise ValueError("grace_seconds must be non-negative")
         aged = []
+        protected = 0
+        now = time.time()
         for path in self.directory.glob("*" + _SUFFIX):
             try:
                 mtime = path.stat().st_mtime
             except OSError:
                 continue  # deleted concurrently
+            if grace_seconds > 0 and now - mtime < grace_seconds:
+                protected += 1
+                continue  # inside the grace window: exempt from every rule
             aged.append((mtime, path))
         aged.sort()  # least recently used first
-        now = time.time()
         doomed = []
         if max_age_seconds is not None:
             while aged and now - aged[0][0] > max_age_seconds:
                 doomed.append(aged.pop(0)[1])
-        if max_files is not None and len(aged) > max_files:
-            excess = len(aged) - max_files
+        if max_files is not None and len(aged) + protected > max_files:
+            excess = min(len(aged) + protected - max_files, len(aged))
             doomed.extend(path for _, path in aged[:excess])
             del aged[:excess]
         removed = 0
@@ -226,9 +301,9 @@ class PersistentCheckpointStore(CheckpointStore):
         else:
             removed = len(doomed)
         return {
-            "examined": len(aged) + len(doomed),
+            "examined": len(aged) + len(doomed) + protected,
             "removed": removed,
-            "retained": len(aged),
+            "retained": len(aged) + protected,
         }
 
     def purge(self) -> int:
@@ -251,6 +326,7 @@ class PersistentCheckpointStore(CheckpointStore):
         """Drop the in-memory table and reset all counters (files are kept)."""
         super().clear()
         self.disk_hits = self.disk_writes = self.disk_invalid = 0
+        self.disk_errors = self.disk_skipped = 0
 
     def stats(self) -> Dict[str, float]:
         stats = super().stats()
@@ -259,7 +335,10 @@ class PersistentCheckpointStore(CheckpointStore):
                 "disk_hits": self.disk_hits,
                 "disk_writes": self.disk_writes,
                 "disk_invalid": self.disk_invalid,
+                "disk_errors": self.disk_errors,
+                "disk_skipped": self.disk_skipped,
                 "disk_entries": self.disk_entries(),
+                "retries": self.retry_stats.snapshot(),
             }
         )
         return stats

@@ -14,16 +14,31 @@ even though the write "succeeded".
 advisory ``flock``-based exclusive lock on a dedicated lock file.  The
 catalog takes one per index shard around its read-modify-write cycle, so two
 service processes appending versions to the same shard serialize instead of
-losing updates.  On platforms without ``fcntl`` the lock degrades to a
-process-local no-op (single-writer semantics, as before).
+losing updates.  With a ``timeout`` the lock is taken non-blocking
+(``LOCK_NB``) under a jittered retry loop and raises
+:class:`~repro.exceptions.CatalogLockTimeoutError` on expiry, so a stalled
+peer degrades to a classified error instead of wedging the caller forever.
+On platforms without ``fcntl`` the lock degrades to a process-local no-op
+(single-writer semantics, as before).
+
+Both primitives are instrumented with :mod:`repro.faults` points
+(``storage.write.*``, ``storage.fsync``, ``catalog.lock.acquire``), so every
+durability claim in this file is exercised by the chaos suite under
+replayable fault schedules rather than asserted on faith.
 """
 
 from __future__ import annotations
 
+import errno
 import os
+import random
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional, Union
+
+from repro import faults
+from repro.exceptions import CatalogLockTimeoutError
 
 try:  # POSIX
     import fcntl
@@ -60,18 +75,35 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
     Parent directories are created; the temp file is fsynced before the
     rename and the parent directory after it, so a crash at any point leaves
     either the complete old content or the complete new content.
+
+    Fault points: ``storage.write.begin`` (transient ``EIO`` / slow I/O
+    before anything touches disk), ``storage.write.torn`` (a prefix of the
+    data lands in the temp file and the write dies — the destination must
+    stay untouched), ``storage.fsync`` (the data fsync fails or stalls), and
+    ``storage.write.after_rename`` (crash in the classic window after
+    ``os.replace`` but before the directory fsync).
     """
     path = Path(path)
+    faults.fire("storage.write.begin", path=str(path))
     path.parent.mkdir(parents=True, exist_ok=True)
     # The temp file must live on the same filesystem as the destination for
     # os.replace to be atomic, hence dir=parent rather than the default tmpdir.
     fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
     try:
+        torn = faults.torn_data("storage.write.torn", data)
         with os.fdopen(fd, "wb") as handle:
+            if torn is not None:
+                # A torn write: some bytes land, then the writer dies.  The
+                # destination is untouched because the rename never happens.
+                handle.write(torn)
+                handle.flush()
+                raise OSError(errno.EIO, f"injected torn write to {path}")
             handle.write(data)
             handle.flush()
+            faults.fire("storage.fsync", path=str(path))
             os.fsync(handle.fileno())
         os.replace(temp_name, path)
+        faults.fire("storage.write.after_rename", path=str(path))
         fsync_directory(path.parent)
     except BaseException:
         try:
@@ -86,12 +118,17 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
     atomic_write_bytes(path, text.encode("utf-8"))
 
 
+#: Bounds of the jittered poll while waiting for a contended lock.
+_LOCK_POLL_MIN_SECONDS = 0.001
+_LOCK_POLL_MAX_SECONDS = 0.05
+
+
 class FileLock:
     """An advisory, exclusive, inter-process lock on one lock file.
 
     Usable as a context manager::
 
-        with FileLock(root / "index" / "shard-03.lock"):
+        with FileLock(root / "index" / "shard-03.lock", timeout=30.0):
             ...read-modify-write the shard...
 
     The lock is held by an open file descriptor, so it is released on process
@@ -100,25 +137,63 @@ class FileLock:
     ``FileLock`` instances also exclude each other (each instance opens its
     own file description).  Instances are not reentrant and not shared
     between threads.
+
+    ``timeout=None`` blocks indefinitely (the pre-timeout behaviour); with a
+    timeout the lock is polled non-blocking under jittered exponential
+    backoff and :class:`~repro.exceptions.CatalogLockTimeoutError` is raised
+    on expiry.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], timeout: Optional[float] = None):
+        if timeout is not None and timeout < 0:
+            raise ValueError("timeout must be non-negative")
         self.path = Path(path)
+        self.timeout = timeout
         self._fd: Optional[int] = None
 
-    def acquire(self) -> "FileLock":
+    def acquire(self, timeout: Optional[float] = None) -> "FileLock":
+        """Take the lock (``timeout`` overrides the instance default)."""
         if self._fd is not None:
             raise RuntimeError(f"lock {self.path} is already held by this instance")
+        budget = timeout if timeout is not None else self.timeout
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        faults.fire("catalog.lock.acquire", path=str(self.path))
         fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
         if fcntl is not None:
             try:
-                fcntl.flock(fd, fcntl.LOCK_EX)
+                if budget is None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                else:
+                    self._acquire_with_timeout(fd, budget)
             except BaseException:
                 os.close(fd)
                 raise
         self._fd = fd
         return self
+
+    def _acquire_with_timeout(self, fd: int, budget: float) -> None:
+        """Poll ``LOCK_EX | LOCK_NB`` with jittered backoff until ``budget`` runs out."""
+        deadline = time.monotonic() + budget
+        pause = _LOCK_POLL_MIN_SECONDS
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError as exc:
+                if exc.errno not in (errno.EAGAIN, errno.EWOULDBLOCK, errno.EACCES):
+                    raise
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CatalogLockTimeoutError(
+                    f"could not lock {self.path} within {budget} seconds "
+                    "(held by a live process)"
+                )
+            # Full jitter keeps a herd of blocked writers from polling in
+            # lockstep; the pause grows toward the cap but never overshoots
+            # the deadline.
+            sleep_for = min(pause * (0.5 + 0.5 * random.random()), remaining)
+            time.sleep(sleep_for)
+            pause = min(pause * 2.0, _LOCK_POLL_MAX_SECONDS)
 
     def release(self) -> None:
         fd, self._fd = self._fd, None

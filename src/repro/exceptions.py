@@ -110,6 +110,27 @@ class CatalogError(ReproError):
     """
 
 
+class CatalogLockTimeoutError(CatalogError):
+    """A shard/lease file lock could not be acquired within its timeout.
+
+    The lock is advisory and fd-held, so a *crashed* holder releases it
+    instantly — this error means a live process held the lock for the whole
+    timeout (a stalled writer, a stuck NFS mount, or an injected
+    lock-contention fault), which callers treat as a transient overload
+    rather than corruption.
+    """
+
+
+class LeaseUnavailableError(CatalogError):
+    """A cross-process work claim stayed held by a live peer past the wait bound.
+
+    Raised by :meth:`~repro.catalog.leases.LeaseTable.wait_acquire` when the
+    claimed key's lease was continuously renewed by another process for the
+    whole wait budget.  Crashed holders do not raise this: their leases stop
+    being renewed and are taken over after expiry.
+    """
+
+
 class ServiceError(ReproError):
     """A composition request submitted to the service failed.
 

@@ -1,0 +1,196 @@
+"""Classified retries for transient storage faults: bounded, jittered, counted.
+
+The catalog tier used to scatter ``except OSError: pass`` around its disk
+operations — every one of those sites either swallowed a real failure or
+retried nothing.  :class:`RetryPolicy` replaces them with one discipline:
+
+* errors are **classified** — :func:`classify_error` calls an ``OSError``
+  *transient* when its errno is one the OS routinely clears on its own
+  (``EIO``, ``EAGAIN``, ``EBUSY``, ``ETIMEDOUT``, ``EINTR``), and
+  *permanent* otherwise (``ENOENT``, ``EACCES``, ``ENOSPC`` … retrying those
+  just burns the deadline); non-``OSError`` exceptions are always permanent;
+* transient errors are retried with **jittered exponential backoff** under a
+  bounded attempt count and an optional per-operation deadline;
+* every decision is **counted** in a thread-safe :class:`RetryStats`, which
+  the catalog exposes through ``stats()`` and the service through
+  ``/metrics`` — a storage layer that is quietly retrying its way through a
+  sick disk shows up in the numbers instead of in a latency mystery.
+
+The policy re-raises the original exception once attempts or the deadline
+run out, so callers keep their existing error contracts; it never wraps.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, TypeVar
+
+__all__ = [
+    "TRANSIENT_ERRNOS",
+    "classify_error",
+    "RetryPolicy",
+    "RetryStats",
+]
+
+T = TypeVar("T")
+
+#: Errnos worth retrying: the OS reports a condition that routinely clears.
+TRANSIENT_ERRNOS = frozenset(
+    {
+        errno.EIO,
+        errno.EAGAIN,
+        errno.EWOULDBLOCK,
+        errno.EBUSY,
+        errno.ETIMEDOUT,
+        errno.EINTR,
+    }
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` or ``"permanent"`` — the retry/fail fork for ``exc``."""
+    if isinstance(exc, OSError) and exc.errno in TRANSIENT_ERRNOS:
+        return "transient"
+    return "permanent"
+
+
+class RetryStats:
+    """Thread-safe counters of one retry domain (a catalog, a checkpoint store)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.operations = 0
+        self.retries = 0
+        self.transient_errors = 0
+        self.permanent_errors = 0
+        self.exhausted = 0
+        self._slept_seconds = 0.0
+
+    def record_operation(self) -> None:
+        with self._lock:
+            self.operations += 1
+
+    def record_retry(self, slept_seconds: float) -> None:
+        with self._lock:
+            self.retries += 1
+            self.transient_errors += 1
+            self._slept_seconds += slept_seconds
+
+    def record_permanent(self) -> None:
+        with self._lock:
+            self.permanent_errors += 1
+
+    def record_exhausted(self) -> None:
+        with self._lock:
+            self.transient_errors += 1
+            self.exhausted += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "operations": self.operations,
+                "retries": self.retries,
+                "transient_errors": self.transient_errors,
+                "permanent_errors": self.permanent_errors,
+                "exhausted": self.exhausted,
+                "backoff_seconds": round(self._slept_seconds, 6),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryStats {self.operations} ops, {self.retries} retries, "
+            f"{self.exhausted} exhausted>"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff with bounded attempts and a deadline.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retrying).
+    base_delay_seconds / backoff / max_delay_seconds:
+        Attempt ``n`` (0-based) sleeps ``base * backoff**n`` capped at
+        ``max_delay_seconds``, with the *full-jitter* strategy: the actual
+        sleep is uniform in ``[delay/2, delay]``, so a herd of writers that
+        failed together does not retry together.
+    deadline_seconds:
+        Optional wall-clock budget for the whole operation, retries and
+        sleeps included; once exceeded the last error is re-raised even if
+        attempts remain.
+    """
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.002
+    backoff: float = 2.0
+    max_delay_seconds: float = 0.25
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+
+    def delay_for(self, attempt: int, rng: Callable[[], float] = random.random) -> float:
+        """The jittered sleep before retry ``attempt`` (0-based)."""
+        delay = min(
+            self.base_delay_seconds * (self.backoff ** attempt),
+            self.max_delay_seconds,
+        )
+        return delay * (0.5 + 0.5 * rng())
+
+    def run(
+        self,
+        op: Callable[[], T],
+        stats: Optional[RetryStats] = None,
+        classify: Callable[[BaseException], str] = classify_error,
+        description: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Callable[[], float] = random.random,
+    ) -> T:
+        """Run ``op`` under this policy; re-raise its last error on give-up.
+
+        Permanent errors propagate immediately; transient errors retry until
+        attempts or the deadline run out.  ``description`` only labels the
+        operation in counters-adjacent logging by callers; the exception
+        always travels unwrapped.
+        """
+        if stats is not None:
+            stats.record_operation()
+        deadline = (
+            clock() + self.deadline_seconds if self.deadline_seconds is not None else None
+        )
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if classify(exc) != "transient":
+                    if stats is not None:
+                        stats.record_permanent()
+                    raise
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    if stats is not None:
+                        stats.record_exhausted()
+                    raise
+                pause = self.delay_for(attempt - 1, rng)
+                if deadline is not None and clock() + pause > deadline:
+                    if stats is not None:
+                        stats.record_exhausted()
+                    raise
+                if stats is not None:
+                    stats.record_retry(pause)
+                sleep(pause)

@@ -7,16 +7,24 @@
   :class:`~repro.compose.config.ComposerConfig` overrides, and durable hop
   checkpoints when backed by a :class:`~repro.catalog.MappingCatalog`;
 * :mod:`repro.service.metrics` — the metrics the service aggregates
-  (hit rates, per-phase timings, queue/batch statistics);
+  (hit rates, per-phase timings, queue/batch statistics, degradation
+  counters);
+* :mod:`repro.service.breaker` — :class:`CircuitBreaker`, the storage
+  circuit breaker behind graceful degradation: a sick disk flips the service
+  to memory-only serving instead of wedging it, and a background probe
+  closes the breaker when storage recovers;
 * :mod:`repro.service.http` — a stdlib HTTP front-end exposing ``/compose``,
-  ``/catalog`` and ``/metrics`` (the CLI's ``repro serve``).
+  ``/catalog``, ``/metrics`` and a truthful ``/healthz`` (the CLI's
+  ``repro serve``).
 """
 
+from repro.service.breaker import CircuitBreaker
 from repro.service.http import ServiceHTTPServer, serve
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import CompositionService, ServiceConfig, Ticket
 
 __all__ = [
+    "CircuitBreaker",
     "CompositionService",
     "ServiceConfig",
     "ServiceHTTPServer",

@@ -1,0 +1,161 @@
+"""A circuit breaker over the catalog's disk: fail fast, probe, recover.
+
+When the storage under the catalog goes bad — a full disk, a dying device, a
+hung NFS mount — every composition request would otherwise pay the storage
+failure's full latency (retries included) before the service notices the
+next one fails identically.  :class:`CircuitBreaker` is the standard cure,
+specialized to this service's write paths:
+
+* **closed** (healthy): writes proceed; consecutive failures are counted,
+  and ``failure_threshold`` of them in a row open the breaker;
+* **open** (storage presumed down): :meth:`allow` answers ``False`` — the
+  service skips disk writes and serves memory-only (*degraded* in
+  ``/healthz``) instead of queueing requests behind a dead disk;
+* **half-open** (probing): after ``recovery_seconds``, exactly one caller is
+  let through as a probe; its success closes the breaker, its failure
+  re-opens it for another interval.
+
+Only *writes* are gated.  Reads keep their own fallback semantics (a missing
+checkpoint is a miss, a failed shard read raises after retries), and gating
+them would turn a sick disk into a wrongly-empty catalog.
+
+Thread-safe; transitions use a monotonic clock.  The breaker never throws —
+it only answers :meth:`allow` and records outcomes — so wiring it into a
+write path cannot introduce a new failure mode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["CircuitBreaker", "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN"]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (successes reset the count) that open the
+        breaker.
+    recovery_seconds:
+        How long the breaker stays open before letting one probe through.
+    clock:
+        Injectable monotonic time source for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._open_count = 0
+        self._last_failure: Optional[str] = None
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a write proceed right now?
+
+        Closed: always.  Open: ``False`` until ``recovery_seconds`` have
+        passed, then ``True`` exactly once (the probe) while the breaker
+        moves to half-open.  Half-open: ``False`` while the probe is in
+        flight — its outcome decides the next state.
+        """
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at >= self.recovery_seconds:
+                    self._state = BREAKER_HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # Half-open: one probe at a time.
+            if not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A gated operation succeeded: close the breaker, whatever its state."""
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self, exc: Optional[BaseException] = None) -> None:
+        """A gated operation failed: count it, maybe open, re-arm the timer."""
+        with self._lock:
+            if exc is not None:
+                self._last_failure = f"{type(exc).__name__}: {exc}"
+            if self._state == BREAKER_CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._trip()
+            else:
+                # A failed probe (half-open) or a straggler failure while
+                # open: (re)start the recovery interval from now.
+                self._consecutive_failures += 1
+                self._trip()
+
+    def _trip(self) -> None:
+        # Caller holds the lock.
+        if self._state != BREAKER_OPEN:
+            self._open_count += 1
+        self._state = BREAKER_OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+
+    def force_open(self, reason: str = "forced") -> None:
+        """Open the breaker administratively (used by tests and ops tooling)."""
+        with self._lock:
+            self._last_failure = reason
+            self._trip()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            opened_age = (
+                self._clock() - self._opened_at if self._opened_at is not None else None
+            )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_seconds": self.recovery_seconds,
+                "opened_age_seconds": opened_age,
+                "open_count": self._open_count,
+                "last_failure": self._last_failure,
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"<CircuitBreaker {self._state} "
+                f"({self._consecutive_failures}/{self.failure_threshold} failures)>"
+            )

@@ -4,7 +4,12 @@
 text-first — everything speaks the plain-text record formats of
 :mod:`repro.textio`, so ``curl`` is a complete client:
 
-* ``GET /healthz`` — liveness probe (``ok``).
+* ``GET /healthz`` — the service's *real* health as JSON: ``200`` with
+  ``"status": "ok"`` when healthy, ``503`` with ``"status": "degraded"`` plus
+  the reasons (storage circuit breaker open, serving loop down, GC sweep
+  overdue), the breaker snapshot, the last GC sweep age, and the storage
+  error counters.  Load balancers key on the status code; operators read the
+  body.
 * ``GET /metrics`` — the service's metrics snapshot as JSON.
 * ``GET /catalog`` — JSON listing of the latest catalog entries
   (``?kind=mapping`` filters).
@@ -76,7 +81,8 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [part for part in url.path.split("/") if part]
         try:
             if parts == ["healthz"]:
-                self._send_text(200, "ok\n")
+                health = self.server.service.health()
+                self._send_json(200 if health["status"] == "ok" else 503, health)
             elif parts == ["metrics"]:
                 self._send_json(200, self.server.service.metrics())
             elif parts == ["catalog"]:
@@ -153,29 +159,31 @@ class _Handler(BaseHTTPRequestHandler):
         kind = detect_kind(text)
         if kind == "problem":
             result = service.compose(problem_from_text(text), config)
+            headers = [
+                ("X-Repro-Eliminated", str(len(result.eliminated_symbols))),
+                ("X-Repro-Residual", str(len(result.remaining_symbols))),
+            ]
             if store_as and service.catalog is not None:
-                service.catalog.put_result(store_as, result)
+                # Routed through the breaker-gated write: a degraded service
+                # still answers the composition, it just could not store it.
+                if not service.store_result(store_as, result):
+                    headers.append(("X-Repro-Store-Dropped", "1"))
             self._send_text(
-                200,
-                result_to_text(result, name=store_as or ""),
-                headers=(
-                    ("X-Repro-Eliminated", str(len(result.eliminated_symbols))),
-                    ("X-Repro-Residual", str(len(result.remaining_symbols))),
-                ),
+                200, result_to_text(result, name=store_as or ""), headers=tuple(headers)
             )
         elif kind == "chain":
             chain_result = service.compose_chain(chain_from_text(text), config)
             composed = chain_result.to_mapping_with_residue()
+            headers = [
+                ("X-Repro-Hops", str(len(chain_result.hops))),
+                ("X-Repro-Reused-Hops", str(chain_result.reused_hops)),
+                ("X-Repro-Residual", str(len(chain_result.residual_signature))),
+            ]
             if store_as and service.catalog is not None:
-                service.catalog.put_mapping(store_as, composed)
+                if not service.store_mapping(store_as, composed):
+                    headers.append(("X-Repro-Store-Dropped", "1"))
             self._send_text(
-                200,
-                mapping_to_text(composed, name=store_as or ""),
-                headers=(
-                    ("X-Repro-Hops", str(len(chain_result.hops))),
-                    ("X-Repro-Reused-Hops", str(chain_result.reused_hops)),
-                    ("X-Repro-Residual", str(len(chain_result.residual_signature))),
-                ),
+                200, mapping_to_text(composed, name=store_as or ""), headers=tuple(headers)
             )
         else:
             self._send_text(

@@ -16,8 +16,11 @@ output.  Collected:
   result (:mod:`repro.compose.phases`), summed; and
 * engine stores — expression-cache hits/misses accumulated over batch
   reports, plus a live view of the (possibly persistent) checkpoint store;
-  and
-* garbage collection — background-sweep counts and what they removed.
+* garbage collection — background-sweep counts and what they removed; and
+* degradation — batch-execution failures *by exception type* (a blanket
+  ``except`` that only bumped one opaque counter hid which failure mode was
+  firing), catalog writes dropped by the open circuit breaker or failed
+  against the disk, storage health probes, and lease-claim failures.
 """
 
 from __future__ import annotations
@@ -52,6 +55,16 @@ class ServiceMetrics:
         self._phase_seconds: Dict[str, float] = {}
         self._cache_hits = 0.0
         self._cache_misses = 0.0
+        self.batch_failures = 0
+        self.batch_failed_items = 0
+        self._batch_failure_types: Dict[str, int] = {}
+        self.catalog_writes = 0
+        self.catalog_writes_dropped = 0
+        self.catalog_write_failures = 0
+        self._catalog_write_failure_types: Dict[str, int] = {}
+        self.probes = 0
+        self.probe_failures = 0
+        self.lease_claim_failures = 0
 
     # -- recording -----------------------------------------------------------------
 
@@ -90,6 +103,48 @@ class ServiceMetrics:
                 self._cache_hits += cache_stats.get("hits", 0)
                 self._cache_misses += cache_stats.get("misses", 0)
 
+    def record_batch_failure(self, error_type: str, items: int) -> None:
+        """One whole micro-batch group died in execution, failing ``items`` tickets.
+
+        ``error_type`` is the exception class name — the point of this
+        counter is that "batch execution failed" stops being one opaque
+        number and becomes a per-failure-mode tally.
+        """
+        with self._lock:
+            self.batch_failures += 1
+            self.batch_failed_items += items
+            self._batch_failure_types[error_type] = (
+                self._batch_failure_types.get(error_type, 0) + 1
+            )
+
+    def record_catalog_write(self) -> None:
+        with self._lock:
+            self.catalog_writes += 1
+
+    def record_catalog_write_dropped(self) -> None:
+        """A catalog write was skipped because the circuit breaker is open."""
+        with self._lock:
+            self.catalog_writes_dropped += 1
+
+    def record_catalog_write_failure(self, error_type: str) -> None:
+        with self._lock:
+            self.catalog_write_failures += 1
+            self._catalog_write_failure_types[error_type] = (
+                self._catalog_write_failure_types.get(error_type, 0) + 1
+            )
+
+    def record_probe(self, ok: bool) -> None:
+        """One storage health probe (breaker recovery) completed."""
+        with self._lock:
+            self.probes += 1
+            if not ok:
+                self.probe_failures += 1
+
+    def record_lease_claim_failure(self) -> None:
+        """A cross-process lease claim failed; work proceeded unclaimed."""
+        with self._lock:
+            self.lease_claim_failures += 1
+
     def record_completed(
         self,
         status: str,
@@ -117,6 +172,8 @@ class ServiceMetrics:
         pending: int = 0,
         in_flight: int = 0,
         checkpoint_stats: Optional[dict] = None,
+        breaker: Optional[dict] = None,
+        leases: Optional[dict] = None,
     ) -> dict:
         """Everything as one JSON-serializable dict."""
         with self._lock:
@@ -165,4 +222,20 @@ class ServiceMetrics:
                     "checkpoints_removed": self.gc_checkpoints_removed,
                     "results_removed": self.gc_results_removed,
                 },
+                "degradation": {
+                    "batch_failures": self.batch_failures,
+                    "batch_failed_items": self.batch_failed_items,
+                    "batch_failure_types": dict(sorted(self._batch_failure_types.items())),
+                    "catalog_writes": self.catalog_writes,
+                    "catalog_writes_dropped": self.catalog_writes_dropped,
+                    "catalog_write_failures": self.catalog_write_failures,
+                    "catalog_write_failure_types": dict(
+                        sorted(self._catalog_write_failure_types.items())
+                    ),
+                    "probes": self.probes,
+                    "probe_failures": self.probe_failures,
+                    "lease_claim_failures": self.lease_claim_failures,
+                },
+                "breaker": dict(breaker) if breaker else {},
+                "leases": dict(leases) if leases else {},
             }

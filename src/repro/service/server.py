@@ -62,18 +62,24 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.digest import DIGEST_SIZE
 from repro.catalog.catalog import MappingCatalog
+from repro.catalog.checkpoints import PersistentCheckpointStore
+from repro.catalog.leases import Lease, LeaseTable
+from repro.catalog.storage import atomic_write_bytes
 from repro.compose.config import ComposerConfig
 from repro.engine.batch import BatchComposer, BatchConfig, BatchItemResult, ProblemStatus
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.fingerprint import chain_fingerprint
 from repro.exceptions import (
+    CatalogError,
     EngineError,
+    LeaseUnavailableError,
     ServiceDeadlineError,
     ServiceError,
     ServiceOverloadedError,
 )
 from repro.mapping.composition_problem import CompositionProblem
 from repro.mapping.mapping import Mapping
+from repro.service.breaker import CircuitBreaker
 from repro.service.metrics import ServiceMetrics
 
 __all__ = ["ServiceConfig", "Ticket", "CompositionService"]
@@ -118,6 +124,32 @@ class ServiceConfig:
         in a background sweep every this many seconds (``None``, the default,
         disables the sweep).  The remaining ``gc_*`` fields are the sweep's
         policy and mirror the ``gc`` parameters.
+    gc_grace_seconds:
+        Age floor for every sweep: checkpoints used and result versions
+        written within the last ``gc_grace_seconds`` are never evicted.  The
+        default (5 seconds) makes the cross-process "sweep races a peer's
+        fresh write" window impossible at serving time; pass ``0.0`` to
+        restore unconditional eviction (tests, offline compaction).
+    breaker_failure_threshold / breaker_recovery_seconds:
+        Circuit-breaker policy over catalog disk writes: after this many
+        *consecutive* write failures the service stops touching the disk and
+        serves memory-only (``/healthz`` reports ``degraded``); a background
+        probe re-checks storage every ``breaker_recovery_seconds`` and closes
+        the breaker on success.
+    lease_ttl_seconds:
+        When set (and a catalog is attached), the service claims each
+        request-group key in a cross-process
+        :class:`~repro.catalog.leases.LeaseTable` under
+        ``<catalog root>/leases`` before executing it, so two service
+        processes fed the same request do the work once while the claim is
+        live.  A lease outlives crashes by at most ``lease_ttl_seconds`` —
+        dead owners stop renewing and peers take over.  ``None`` (default)
+        disables cross-process claims.
+    lease_wait_seconds:
+        How long a submission waits for a peer's live claim before doing the
+        work itself anyway (the result is deterministic, so a duplicated
+        composition is wasted CPU, never a wrong answer).  Defaults to
+        ``4 * lease_ttl_seconds``.
     """
 
     max_pending: int = 1024
@@ -136,6 +168,11 @@ class ServiceConfig:
     gc_checkpoint_max_age_seconds: Optional[float] = None
     gc_result_max_age_seconds: Optional[float] = None
     gc_result_keep_versions: Optional[int] = None
+    gc_grace_seconds: float = 5.0
+    breaker_failure_threshold: int = 3
+    breaker_recovery_seconds: float = 1.0
+    lease_ttl_seconds: Optional[float] = None
+    lease_wait_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -156,6 +193,16 @@ class ServiceConfig:
             raise EngineError("gc_checkpoint_max_files must be non-negative")
         if self.gc_result_keep_versions is not None and self.gc_result_keep_versions < 1:
             raise EngineError("gc_result_keep_versions must be positive")
+        if self.gc_grace_seconds < 0:
+            raise EngineError("gc_grace_seconds must be non-negative")
+        if self.breaker_failure_threshold < 1:
+            raise EngineError("breaker_failure_threshold must be positive")
+        if self.breaker_recovery_seconds < 0:
+            raise EngineError("breaker_recovery_seconds must be non-negative")
+        if self.lease_ttl_seconds is not None and self.lease_ttl_seconds <= 0:
+            raise EngineError("lease_ttl_seconds must be positive")
+        if self.lease_wait_seconds is not None and self.lease_wait_seconds < 0:
+            raise EngineError("lease_wait_seconds must be non-negative")
 
 
 class Ticket:
@@ -245,6 +292,28 @@ class CompositionService:
         self._gc_thread: Optional[threading.Thread] = None
         self._gc_stop = threading.Event()
         self._stopping = False
+        self._last_gc_monotonic: Optional[float] = None
+        self._started_monotonic: Optional[float] = None
+        # Graceful degradation: the breaker gates every catalog disk write;
+        # while open the service serves memory-only and /healthz says so.
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            recovery_seconds=self.config.breaker_recovery_seconds,
+        )
+        if isinstance(self.checkpoints, PersistentCheckpointStore):
+            self.checkpoints.set_degradation_hooks(
+                gate=self.breaker.allow,
+                on_failure=self.breaker.record_failure,
+                on_success=self.breaker.record_success,
+            )
+        self._probe_thread: Optional[threading.Thread] = None
+        self._probe_stop = threading.Event()
+        # Cross-process claims (optional): one lease per request key.
+        self.leases: Optional[LeaseTable] = None
+        if catalog is not None and self.config.lease_ttl_seconds is not None:
+            self.leases = LeaseTable(
+                catalog.root / "leases", ttl_seconds=self.config.lease_ttl_seconds
+            )
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -254,6 +323,7 @@ class CompositionService:
             if self._thread is not None and self._thread.is_alive():
                 return self
             self._stopping = False
+            self._started_monotonic = time.monotonic()
             self._thread = threading.Thread(
                 target=self._serve_loop, name="repro-composition-service", daemon=True
             )
@@ -268,6 +338,16 @@ class CompositionService:
                     target=self._gc_loop, name="repro-service-gc", daemon=True
                 )
                 self._gc_thread.start()
+            if self.catalog is not None and (
+                self._probe_thread is None or not self._probe_thread.is_alive()
+            ):
+                self._probe_stop.clear()
+                self._probe_thread = threading.Thread(
+                    target=self._probe_loop, name="repro-service-probe", daemon=True
+                )
+                self._probe_thread.start()
+        if self.leases is not None:
+            self.leases.start_heartbeat()
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -280,6 +360,7 @@ class CompositionService:
         free for them).
         """
         self._gc_stop.set()
+        self._probe_stop.set()
         with self._lock:
             if not drain:
                 while self._queue:
@@ -292,13 +373,20 @@ class CompositionService:
             self._space_available.notify_all()
             thread = self._thread
             gc_thread = self._gc_thread
+            probe_thread = self._probe_thread
         if thread is not None:
             thread.join()
         if gc_thread is not None:
             gc_thread.join()
+        if probe_thread is not None:
+            probe_thread.join()
+        if self.leases is not None:
+            self.leases.stop_heartbeat()
+            self.leases.release_all()
         with self._lock:
             self._thread = None
             self._gc_thread = None
+            self._probe_thread = None
 
     def __enter__(self) -> "CompositionService":
         return self.start()
@@ -410,6 +498,19 @@ class CompositionService:
         blocked = False
         with self._lock:
             while True:
+                # A waiter whose deadline has expired gets ServiceDeadlineError
+                # *whatever* woke it — space freeing, a shutdown broadcast, a
+                # spurious wakeup.  Checking the deadline before the stop flag
+                # makes the deadline-expiry-races-stop() outcome deterministic:
+                # once the budget is spent, the answer is "deadline", never
+                # sometimes-"stopped".
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if blocked and remaining is not None and remaining <= 0:
+                    self.metrics_store.record_deadline_expired()
+                    raise ServiceDeadlineError(
+                        f"queue stayed at capacity ({self.config.max_pending} pending) "
+                        f"for the whole {budget}-second admission deadline"
+                    )
                 # Before the first start() submissions simply accumulate in
                 # the queue; only a *stopped* service refuses work.
                 if self._stopping:
@@ -428,7 +529,6 @@ class CompositionService:
                     raise ServiceOverloadedError(
                         f"request queue is at capacity ({self.config.max_pending} pending)"
                     )
-                remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     self.metrics_store.record_deadline_expired()
                     raise ServiceDeadlineError(
@@ -507,6 +607,13 @@ class CompositionService:
         return composer
 
     def _execute_group(self, kind: str, group: List[_WorkItem]) -> None:
+        claimed = self._claim_leases(group)
+        try:
+            self._execute_group_claimed(kind, group)
+        finally:
+            self._release_leases(claimed)
+
+    def _execute_group_claimed(self, kind: str, group: List[_WorkItem]) -> None:
         composer = self._composer_for(group[0].config)
         started = time.perf_counter()
         try:
@@ -518,7 +625,13 @@ class CompositionService:
                 report = composer.run([item.payload for item in group])
         except Exception as exc:  # noqa: BLE001 - a broken batch must not kill the loop
             elapsed = time.perf_counter() - started
-            error = ServiceError(f"batch execution failed: {exc!r}")
+            # The blanket catch used to erase *what* failed; record the
+            # exception type so /metrics distinguishes a sick disk from a
+            # code bug, and surface it in the error each ticket receives.
+            self.metrics_store.record_batch_failure(type(exc).__name__, len(group))
+            error = ServiceError(
+                f"batch execution failed with {type(exc).__name__}: {exc!r}"
+            )
             for item in group:
                 self._finish(item, None, error, elapsed / max(len(group), 1))
             return
@@ -530,6 +643,45 @@ class CompositionService:
                 self._finish(item, outcome, None, outcome.elapsed_seconds)
             else:
                 self._finish(item, outcome, _item_error(outcome), outcome.elapsed_seconds)
+
+    # -- cross-process claims --------------------------------------------------------
+
+    def _claim_leases(self, group: List[_WorkItem]) -> List[Lease]:
+        """Claim every item's request key before executing the group.
+
+        While a claim is live, a peer service process serving the identical
+        request waits instead of recomputing — cross-process deduplication
+        with crash tolerance (a dead claimant's leases expire and are taken
+        over).  Claim failures *degrade*, never block: an unclaimable key
+        (live peer past the wait bound, lease-table I/O error) is executed
+        unclaimed — composition is deterministic, so the worst case is
+        duplicated CPU, and refusing to serve would turn a dedup optimization
+        into an availability bug.
+        """
+        if self.leases is None:
+            return []
+        wait = (
+            self.config.lease_wait_seconds
+            if self.config.lease_wait_seconds is not None
+            else 4.0 * (self.config.lease_ttl_seconds or 0.0)
+        )
+        claimed: List[Lease] = []
+        for item in group:
+            key = item.key.hex()
+            try:
+                claimed.append(self.leases.wait_acquire(key, timeout=wait))
+            except (LeaseUnavailableError, CatalogError, OSError):
+                self.metrics_store.record_lease_claim_failure()
+        return claimed
+
+    def _release_leases(self, claimed: List[Lease]) -> None:
+        if self.leases is None:
+            return
+        for lease in claimed:
+            try:
+                self.leases.release(lease.key)
+            except (CatalogError, OSError):  # pragma: no cover - best-effort
+                pass
 
     def _finish(
         self,
@@ -579,7 +731,9 @@ class CompositionService:
             checkpoint_max_age_seconds=self.config.gc_checkpoint_max_age_seconds,
             result_max_age_seconds=self.config.gc_result_max_age_seconds,
             result_keep_versions=self.config.gc_result_keep_versions,
+            grace_seconds=self.config.gc_grace_seconds,
         )
+        self._last_gc_monotonic = time.monotonic()
         self.metrics_store.record_gc(report)
         return report
 
@@ -591,7 +745,127 @@ class CompositionService:
             except Exception:  # noqa: BLE001 - a failed sweep must not kill the loop
                 continue
 
+    # -- graceful degradation --------------------------------------------------------
+
+    def store_result(self, name: str, result) -> bool:
+        """Store a composition result, gated by the breaker; ``True`` if stored.
+
+        A degraded service (breaker open) *drops* the write — counted in
+        ``catalog_writes_dropped`` — and keeps serving; a failed write feeds
+        the breaker and is counted by exception type.  The composition result
+        the caller holds is unaffected either way.
+        """
+        if self.catalog is None:
+            return False
+        return self._catalog_write(lambda: self.catalog.put_result(name, result))
+
+    def store_mapping(self, name: str, mapping) -> bool:
+        """Store a composed mapping, gated by the breaker; ``True`` if stored."""
+        if self.catalog is None:
+            return False
+        return self._catalog_write(lambda: self.catalog.put_mapping(name, mapping))
+
+    def _catalog_write(self, op) -> bool:
+        if not self.breaker.allow():
+            self.metrics_store.record_catalog_write_dropped()
+            return False
+        try:
+            op()
+        except (CatalogError, OSError) as exc:
+            self.breaker.record_failure(exc)
+            self.metrics_store.record_catalog_write_failure(type(exc).__name__)
+            return False
+        self.breaker.record_success()
+        self.metrics_store.record_catalog_write()
+        return True
+
+    def probe_storage(self) -> bool:
+        """Write-and-read a probe file under the catalog root; feeds the breaker.
+
+        This is how an *open* breaker discovers the disk came back: the
+        background probe loop calls it every ``breaker_recovery_seconds``
+        while the breaker is not closed.  Safe to call manually.
+        """
+        if self.catalog is None:
+            return True
+        path = self.catalog.root / ".health-probe"
+        try:
+            atomic_write_bytes(path, b"ok")
+            ok = path.read_bytes() == b"ok"
+        except OSError as exc:
+            self.breaker.record_failure(exc)
+            self.metrics_store.record_probe(ok=False)
+            return False
+        if ok:
+            self.breaker.record_success()
+        else:  # pragma: no cover - a torn probe read
+            self.breaker.record_failure()
+        self.metrics_store.record_probe(ok=ok)
+        return ok
+
+    def _probe_loop(self) -> None:
+        interval = max(self.config.breaker_recovery_seconds, 0.05)
+        while not self._probe_stop.wait(interval):
+            if self.breaker.state == "closed":
+                continue  # healthy: no need to touch the disk
+            try:
+                self.probe_storage()
+            except Exception:  # noqa: BLE001 - a failed probe must not kill the loop
+                continue
+
     # -- introspection -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The service's real health: ``ok`` or ``degraded``, with reasons.
+
+        Degraded means the service still answers compositions but some
+        durability promise is suspended: the storage breaker is open (disk
+        writes are being dropped), the serving loop is not running, or the
+        configured GC sweep has not completed within two intervals.
+        """
+        breaker = self.breaker.snapshot()
+        reasons = []
+        if breaker["state"] != "closed":
+            reasons.append(
+                f"storage breaker {breaker['state']} "
+                f"(last failure: {breaker['last_failure']})"
+            )
+        if not self.is_running:
+            reasons.append("serving loop is not running")
+        last_gc_age: Optional[float] = None
+        if self._last_gc_monotonic is not None:
+            last_gc_age = time.monotonic() - self._last_gc_monotonic
+        interval = self.config.gc_interval_seconds
+        if interval is not None and self.catalog is not None:
+            if last_gc_age is None:
+                # No sweep yet: a freshly started service is not overdue —
+                # only one that has been running past two intervals is.
+                started = self._started_monotonic
+                if started is not None and time.monotonic() - started > 2 * interval:
+                    reasons.append("gc sweep overdue")
+            elif last_gc_age > 2 * interval:
+                reasons.append("gc sweep overdue")
+        snapshot = self.metrics_store
+        health: dict = {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "breaker": breaker,
+            "gc": {
+                "last_sweep_age_seconds": last_gc_age,
+                "interval_seconds": interval,
+                "sweeps": snapshot.gc_sweeps,
+            },
+            "storage": {
+                "catalog_writes": snapshot.catalog_writes,
+                "catalog_writes_dropped": snapshot.catalog_writes_dropped,
+                "catalog_write_failures": snapshot.catalog_write_failures,
+                "probes": snapshot.probes,
+                "probe_failures": snapshot.probe_failures,
+            },
+        }
+        if self.leases is not None:
+            health["leases"] = self.leases.stats()
+        return health
 
     def metrics(self) -> dict:
         """A JSON-serializable snapshot of everything the service measures."""
@@ -602,6 +876,8 @@ class CompositionService:
             pending=pending,
             in_flight=in_flight,
             checkpoint_stats=self.checkpoints.stats(),
+            breaker=self.breaker.snapshot(),
+            leases=self.leases.stats() if self.leases is not None else None,
         )
 
     def __repr__(self) -> str:

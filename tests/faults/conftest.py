@@ -1,0 +1,73 @@
+"""Shared fixtures for the fault-injection / chaos suite.
+
+Every test that installs a process-global injector must leave the process
+clean — a leaked schedule would silently fault *other* tests' I/O.  The
+autouse fixture guarantees it.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _run_python(code: str, *args: str, env_extra=None, wait: bool = True, timeout=120):
+    """Run ``code`` in a fresh interpreter with the repo on PYTHONPATH.
+
+    ``env_extra`` sets fault schedules (``REPRO_FAULTS`` etc.) for the child
+    only.  With ``wait`` the child must exit 0; otherwise the ``Popen`` is
+    returned for the caller to kill or communicate with.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.ENV_VAR, None)
+    env.pop(faults.LOG_ENV_VAR, None)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", code, *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if not wait:
+        return proc
+    out, err = proc.communicate(timeout=timeout)
+    assert proc.returncode == 0, f"worker failed (rc={proc.returncode}):\n{out}\n{err}"
+    return out
+
+
+@pytest.fixture()
+def run_python():
+    """Fixture handing tests the subprocess runner (tests dirs are not packages)."""
+    return _run_python
+
+
+@pytest.fixture()
+def chaos_log_dir(tmp_path):
+    """Where chaos workers drop their ``REPRO_FAULTS_LOG`` audit trails.
+
+    Defaults to the test's tmpdir; CI points ``REPRO_CHAOS_LOG_DIR`` at a
+    workspace directory so the logs survive the run and ride along as
+    artifacts.
+    """
+    base = os.environ.get("REPRO_CHAOS_LOG_DIR")
+    if not base:
+        return tmp_path
+    path = Path(base)
+    path.mkdir(parents=True, exist_ok=True)
+    return path

@@ -1,0 +1,178 @@
+"""Unit tests for the deterministic fault injector itself.
+
+The chaos suite is only as trustworthy as the injector: these tests pin the
+schedule grammar, the determinism guarantee (same seed, same call sequence →
+same decisions), and the semantics of every fault kind short of ``crash``
+(crash is exercised with real subprocesses in ``test_chaos.py``).
+"""
+
+import errno
+import json
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjector, FaultSpec
+
+
+class TestScheduleGrammar:
+    def test_parses_points_kinds_and_options(self):
+        injector = FaultInjector.from_text(
+            "seed=7; storage.write.begin:eio:p=0.25 ;"
+            "catalog.lock.acquire:stall:ms=25:after=2;"
+            "storage.write.after_rename:crash:nth=3:limit=1"
+        )
+        assert injector.seed == 7
+        assert [spec.label() for spec in injector.specs] == [
+            "storage.write.begin:eio",
+            "catalog.lock.acquire:stall",
+            "storage.write.after_rename:crash",
+        ]
+        assert injector.specs[0].probability == 0.25
+        assert injector.specs[1].delay_ms == 25.0
+        assert injector.specs[1].after == 2
+        assert injector.specs[2].nth == 3
+        assert injector.specs[2].limit == 1
+
+    def test_empty_schedule_and_blank_clauses(self):
+        assert FaultInjector.from_text("").specs == []
+        assert FaultInjector.from_text(" ; ; ").specs == []
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "storage.write.begin",  # no kind
+            "storage.write.begin:explode",  # unknown kind
+            "storage.write.begin:eio:p=2.0",  # probability out of range
+            "storage.write.begin:eio:frequency=3",  # unknown option
+            "storage.write.begin:eio:p=",  # empty value
+        ],
+    )
+    def test_malformed_clauses_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultInjector.from_text(bad)
+
+    def test_wildcard_point_matches_prefix(self):
+        spec = FaultSpec(point="storage.*", kind="eio")
+        assert spec.matches("storage.write.begin")
+        assert spec.matches("storage.fsync")
+        assert not spec.matches("catalog.shard.read")
+
+
+class TestDeterminism:
+    def _decisions(self, text, point, calls):
+        injector = FaultInjector.from_text(text)
+        outcomes = []
+        for _ in range(calls):
+            try:
+                injector.fire(point)
+                outcomes.append(False)
+            except OSError:
+                outcomes.append(True)
+        return outcomes
+
+    def test_same_seed_same_call_sequence_same_decisions(self):
+        text = "seed=42;storage.write.begin:eio:p=0.3"
+        first = self._decisions(text, "storage.write.begin", 200)
+        second = self._decisions(text, "storage.write.begin", 200)
+        assert first == second
+        assert any(first) and not all(first)  # p=0.3 actually fires sometimes
+
+    def test_different_seeds_differ(self):
+        point = "storage.write.begin"
+        a = self._decisions(f"seed=1;{point}:eio:p=0.3", point, 200)
+        b = self._decisions(f"seed=2;{point}:eio:p=0.3", point, 200)
+        assert a != b
+
+    def test_adding_a_clause_does_not_perturb_earlier_clauses(self):
+        # Per-spec PRNGs are seeded from (seed, point, kind, index), so a
+        # schedule extended with new clauses replays the old clauses' draws.
+        point = "storage.write.begin"
+        alone = self._decisions(f"seed=9;{point}:eio:p=0.3", point, 100)
+        extended = self._decisions(
+            f"seed=9;{point}:eio:p=0.3;checkpoint.load:slow:ms=1", point, 100
+        )
+        assert alone == extended
+
+
+class TestFiringSemantics:
+    def test_eio_is_a_real_transient_oserror(self):
+        injector = FaultInjector.from_text("storage.write.begin:eio")
+        with pytest.raises(OSError) as excinfo:
+            injector.fire("storage.write.begin")
+        assert excinfo.value.errno == errno.EIO
+
+    def test_slow_sleeps_but_does_not_raise(self):
+        injector = FaultInjector.from_text("checkpoint.load:slow:ms=30")
+        started = time.perf_counter()
+        injector.fire("checkpoint.load")
+        assert time.perf_counter() - started >= 0.025
+
+    def test_after_skips_and_limit_stops(self):
+        injector = FaultInjector.from_text("p:eio:after=2:limit=1")
+        injector.fire("p")  # call 1: skipped (after)
+        injector.fire("p")  # call 2: skipped (after)
+        with pytest.raises(OSError):
+            injector.fire("p")  # call 3: fires
+        injector.fire("p")  # limit reached: never again
+        assert injector.stats()["fired_total"] == 1
+
+    def test_nth_fires_every_nth_call(self):
+        injector = FaultInjector.from_text("p:eio:nth=3")
+        fired = []
+        for call in range(1, 10):
+            try:
+                injector.fire("p")
+                fired.append(False)
+            except OSError:
+                fired.append(True)
+        assert fired == [False, False, True] * 3
+
+    def test_torn_data_truncates_and_counts(self):
+        injector = FaultInjector.from_text("storage.write.torn:torn:limit=1")
+        payload = b"0123456789abcdef"
+        torn = injector.torn_data("storage.write.torn", payload)
+        assert torn == payload[: len(payload) // 2]
+        assert injector.torn_data("storage.write.torn", payload) is None  # limit
+        assert injector.stats()["fired_total"] == 1
+
+    def test_unmatched_points_are_no_ops(self):
+        injector = FaultInjector.from_text("checkpoint.load:eio")
+        injector.fire("storage.write.begin")  # different point: nothing
+        assert injector.stats()["fired_total"] == 0
+
+
+class TestGlobalActivation:
+    def test_install_fire_clear(self):
+        faults.install(FaultInjector.from_text("p:eio"))
+        with pytest.raises(OSError):
+            faults.fire("p")
+        faults.clear()
+        faults.fire("p")  # cleared: no-op
+
+    def test_module_level_fire_without_injector_is_free(self):
+        faults.clear()
+        faults.fire("storage.write.begin")
+        assert faults.torn_data("storage.write.torn", b"data") is None
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "p:eio")
+        injector = FaultInjector.from_env()
+        assert injector is not None and len(injector.specs) == 1
+        monkeypatch.setenv(faults.ENV_VAR, "")
+        assert FaultInjector.from_env() is None
+
+    def test_fired_faults_are_logged_as_jsonl(self, tmp_path):
+        log = tmp_path / "faults.jsonl"
+        injector = FaultInjector.from_text("p:eio:limit=2", log_path=str(log))
+        for _ in range(4):
+            try:
+                injector.fire("p")
+            except OSError:
+                pass
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        assert len(records) == 2
+        assert all(record["point"] == "p" for record in records)
+        assert all(record["spec"] == "p:eio" for record in records)
+        assert records[0]["fired"] == 1 and records[1]["fired"] == 2

@@ -1,0 +1,73 @@
+"""FileLock timeout behaviour under contention.
+
+``FileLock.acquire`` used to block indefinitely on flock; a crashed or hung
+peer holding the lock would wedge every writer forever.  With a timeout it
+polls non-blockingly under jittered backoff and raises a typed, catchable
+error instead.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.catalog.storage import FileLock
+from repro.exceptions import CatalogError, CatalogLockTimeoutError
+from repro.faults import FaultInjector
+
+
+class TestFileLockTimeout:
+    def test_timeout_raises_typed_catalog_error(self, tmp_path):
+        path = tmp_path / "x.lock"
+        holder_has_lock = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with FileLock(path):
+                holder_has_lock.set()
+                release.wait(timeout=30)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        try:
+            assert holder_has_lock.wait(timeout=10)
+            started = time.monotonic()
+            with pytest.raises(CatalogLockTimeoutError) as excinfo:
+                with FileLock(path, timeout=0.1):
+                    pass
+            assert time.monotonic() - started >= 0.1
+            assert isinstance(excinfo.value, CatalogError)
+            assert str(path) in str(excinfo.value)
+        finally:
+            release.set()
+            thread.join()
+
+    def test_acquires_when_holder_releases_within_the_timeout(self, tmp_path):
+        path = tmp_path / "x.lock"
+        holder_has_lock = threading.Event()
+
+        def hold_briefly():
+            with FileLock(path):
+                holder_has_lock.set()
+                time.sleep(0.1)
+
+        thread = threading.Thread(target=hold_briefly)
+        thread.start()
+        try:
+            assert holder_has_lock.wait(timeout=10)
+            with FileLock(path, timeout=10.0):
+                pass  # acquired after the holder let go
+        finally:
+            thread.join()
+
+    def test_no_timeout_preserves_blocking_semantics(self, tmp_path):
+        with FileLock(tmp_path / "x.lock"):
+            pass  # plain blocking acquire still works uncontended
+
+    def test_lock_acquire_fault_point_stalls(self, tmp_path):
+        faults.install(FaultInjector.from_text("catalog.lock.acquire:stall:ms=40"))
+        started = time.perf_counter()
+        with FileLock(tmp_path / "x.lock", timeout=5.0):
+            pass
+        assert time.perf_counter() - started >= 0.035

@@ -1,0 +1,148 @@
+"""Unit tests for the classified retry policy.
+
+The contract: transient errors retry under jittered bounded backoff,
+permanent errors propagate immediately, the original exception always
+travels unwrapped, and every decision lands in the stats.
+"""
+
+import errno
+
+import pytest
+
+from repro.retry import RetryPolicy, RetryStats, classify_error
+
+
+def _transient(message="sick disk"):
+    return OSError(errno.EIO, message)
+
+
+def _permanent():
+    return OSError(errno.ENOENT, "no such file")
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "code", [errno.EIO, errno.EAGAIN, errno.EBUSY, errno.ETIMEDOUT, errno.EINTR]
+    )
+    def test_transient_errnos(self, code):
+        assert classify_error(OSError(code, "x")) == "transient"
+
+    @pytest.mark.parametrize("code", [errno.ENOENT, errno.EACCES, errno.ENOSPC])
+    def test_permanent_errnos(self, code):
+        assert classify_error(OSError(code, "x")) == "permanent"
+
+    def test_non_oserror_is_permanent(self):
+        assert classify_error(ValueError("not I/O")) == "permanent"
+        assert classify_error(KeyboardInterrupt()) == "permanent"
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        stats = RetryStats()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise _transient()
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4)
+        assert policy.run(flaky, stats=stats, sleep=lambda _: None) == "ok"
+        assert len(attempts) == 3
+        snapshot = stats.snapshot()
+        assert snapshot["operations"] == 1
+        assert snapshot["retries"] == 2
+        assert snapshot["exhausted"] == 0
+
+    def test_permanent_error_propagates_immediately_unwrapped(self):
+        stats = RetryStats()
+        original = _permanent()
+
+        def broken():
+            raise original
+
+        with pytest.raises(OSError) as excinfo:
+            RetryPolicy(max_attempts=5).run(broken, stats=stats, sleep=lambda _: None)
+        assert excinfo.value is original
+        assert stats.snapshot()["permanent_errors"] == 1
+        assert stats.snapshot()["retries"] == 0
+
+    def test_exhaustion_reraises_the_last_transient_error(self):
+        stats = RetryStats()
+        errors = [_transient(f"attempt {i}") for i in range(3)]
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise errors[min(len(calls) - 1, 2)]
+
+        with pytest.raises(OSError) as excinfo:
+            RetryPolicy(max_attempts=3).run(failing, stats=stats, sleep=lambda _: None)
+        assert excinfo.value is errors[2]
+        assert len(calls) == 3
+        assert stats.snapshot()["exhausted"] == 1
+
+    def test_max_attempts_one_disables_retrying(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise _transient()
+
+        with pytest.raises(OSError):
+            RetryPolicy(max_attempts=1).run(failing, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_deadline_stops_retries_early(self):
+        # A fake clock that jumps past the deadline after the first failure:
+        # read once to arm the deadline, once at the first retry check.
+        times = iter([0.0, 10.0])
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise _transient()
+
+        policy = RetryPolicy(max_attempts=10, deadline_seconds=1.0)
+        with pytest.raises(OSError):
+            policy.run(failing, sleep=lambda _: None, clock=lambda: next(times))
+        assert len(calls) == 1  # the deadline killed attempt 2 before it ran
+
+    def test_backoff_is_exponential_capped_and_jittered(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.010, backoff=2.0, max_delay_seconds=0.050
+        )
+        # Full jitter: uniform in [delay/2, delay].
+        assert policy.delay_for(0, rng=lambda: 0.0) == pytest.approx(0.005)
+        assert policy.delay_for(0, rng=lambda: 1.0) == pytest.approx(0.010)
+        assert policy.delay_for(1, rng=lambda: 1.0) == pytest.approx(0.020)
+        assert policy.delay_for(10, rng=lambda: 1.0) == pytest.approx(0.050)  # cap
+
+    def test_slept_time_is_accounted(self):
+        stats = RetryStats()
+        slept = []
+
+        def failing_once(state=[0]):
+            state[0] += 1
+            if state[0] == 1:
+                raise _transient()
+            return "ok"
+
+        RetryPolicy().run(failing_once, stats=stats, sleep=slept.append)
+        assert len(slept) == 1
+        # The snapshot rounds to microseconds.
+        assert stats.snapshot()["backoff_seconds"] == pytest.approx(slept[0], abs=1e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_seconds": -1},
+            {"backoff": 0.5},
+            {"deadline_seconds": 0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

@@ -51,7 +51,26 @@ def _post(url: str, body: str):
 class TestEndpoints:
     def test_healthz(self, stack):
         _, _, base = stack
-        assert _get(base + "/healthz") == (200, "ok\n")
+        status, body = _get(base + "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["reasons"] == []
+        assert health["breaker"]["state"] == "closed"
+        assert "storage" in health and "gc" in health
+
+    def test_healthz_degraded_when_breaker_open(self, stack):
+        _, service, base = stack
+        service.breaker.force_open("test: storage down")
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base + "/healthz")
+            assert excinfo.value.code == 503
+            health = json.loads(excinfo.value.read().decode())
+            assert health["status"] == "degraded"
+            assert any("breaker" in reason for reason in health["reasons"])
+        finally:
+            service.breaker.record_success()
 
     def test_smoke_compose_byte_identical_to_direct(self, stack):
         """Submit one composition; assert byte-identity with direct compose()."""

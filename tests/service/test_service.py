@@ -220,6 +220,39 @@ class TestBlockingAdmission:
         assert not waiter.is_alive()
         assert isinstance(outcome["error"], ServiceError)
 
+    def test_expired_deadline_beats_stop_wakeup(self, chains):
+        # The race: a waiter whose deadline has already expired is woken by
+        # stop()'s broadcast (or by the drain freeing space).  The outcome
+        # must be deterministic — once the budget is spent the waiter gets
+        # ServiceDeadlineError, never the generic "service is stopped" error,
+        # whichever signal wins the wakeup.
+        for _ in range(20):
+            config = ServiceConfig(max_pending=1, admission="block")
+            svc = CompositionService(config=config)
+            svc.submit_chain(chains[0])
+            outcome = {}
+            started = threading.Event()
+
+            def blocked_submit():
+                started.set()
+                try:
+                    svc.submit_chain(chains[1], deadline_seconds=0.05)
+                except ServiceError as exc:
+                    outcome["error"] = exc
+
+            waiter = threading.Thread(target=blocked_submit)
+            waiter.start()
+            started.wait()
+            # Let the deadline expire while the waiter sleeps, then fire the
+            # shutdown broadcast so both wake reasons arrive together.
+            time.sleep(0.1)
+            svc.stop(drain=False)
+            waiter.join(timeout=30)
+            assert not waiter.is_alive()
+            assert isinstance(outcome["error"], ServiceDeadlineError), outcome[
+                "error"
+            ]
+
     def test_blocking_identical_results_under_burst(self, chains):
         # A tiny queue with blocking admission: every client eventually gets
         # a byte-identical result — blocking changes timing, never payloads.
@@ -254,7 +287,7 @@ class TestBlockingAdmission:
 class TestServiceGC:
     def test_run_gc_bounds_checkpoints_and_counts(self, tmp_path, chains):
         catalog = MappingCatalog(tmp_path / "cat")
-        config = ServiceConfig(gc_checkpoint_max_files=1)
+        config = ServiceConfig(gc_checkpoint_max_files=1, gc_grace_seconds=0.0)
         with CompositionService(catalog, config) as svc:
             for chain in chains[:3]:
                 svc.compose_chain(chain)
@@ -269,7 +302,7 @@ class TestServiceGC:
     def test_background_sweep_runs_periodically(self, tmp_path, chains):
         catalog = MappingCatalog(tmp_path / "cat")
         config = ServiceConfig(
-            gc_interval_seconds=0.05, gc_checkpoint_max_files=1
+            gc_interval_seconds=0.05, gc_checkpoint_max_files=1, gc_grace_seconds=0.0
         )
         with CompositionService(catalog, config) as svc:
             svc.compose_chain(chains[0])
@@ -378,7 +411,7 @@ class TestMetrics:
         metrics = service.metrics()
         assert set(metrics) == {
             "requests", "batching", "latency", "phases", "expression_cache",
-            "checkpoints", "gc",
+            "checkpoints", "gc", "degradation", "breaker", "leases",
         }
         assert metrics["requests"]["completed"] == 1
         assert metrics["batching"]["batches"] == 1
