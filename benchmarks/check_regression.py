@@ -71,6 +71,14 @@ EXACT_METRICS = {
         "lost_versions",
         "composed_versions",
     ),
+    "service_failover": (
+        "processes",
+        "writes_total",
+        "writes_acknowledged",
+        "outputs_identical",
+        "lost_versions",
+        "failovers_observed",
+    ),
 }
 
 #: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
@@ -137,6 +145,7 @@ def main(argv) -> int:
             "cold_seconds",
             "swarm_seconds",
             "chaos_seconds",
+            "failover_seconds",
         ):
             if record.get(metric) is not None:
                 return record[metric]

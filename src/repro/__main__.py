@@ -9,6 +9,11 @@ Subcommands::
     repro compose [FILE]                 compose a problem/chain record file or
                                          a stored catalog entry (--name/--kind)
     repro serve                          start the HTTP composition service
+    repro serve --follow TARGET          start as a replication follower that
+                                         tails TARGET (a primary's catalog root
+                                         or its http:// URL) and mirrors it
+    repro route --backend URL ...        start the health-routing front tier
+                                         over one primary and its followers
 
 Every subcommand operates on one catalog root directory (``--root``,
 defaulting to ``$REPRO_CATALOG_ROOT`` or ``./repro-catalog``).  ``compose``
@@ -78,6 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument(
         "--keep-result-versions", type=int, default=None, metavar="N",
         help="always retain the newest N versions of each result (default 1)",
+    )
+    gc.add_argument(
+        "--chain-max-age", type=float, default=None, metavar="SECONDS",
+        help="prune stored chain versions older than this (delta bases that "
+        "newer versions still reference are never evicted)",
+    )
+    gc.add_argument(
+        "--keep-chain-versions", type=int, default=None, metavar="N",
+        help="always retain the newest N versions of each chain (default 1)",
+    )
+    gc.add_argument(
+        "--journal-max-segments", type=int, default=None, metavar="N",
+        help="keep at most N replication-journal segments per shard",
+    )
+    gc.add_argument(
+        "--journal-max-age", type=float, default=None, metavar="SECONDS",
+        help="drop journal segments not written to for this long",
     )
     gc.add_argument(
         "--grace", type=float, default=0.0, metavar="SECONDS",
@@ -156,7 +178,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="wait this long for a peer's live claim before composing anyway "
         "(default: 4x the TTL)",
     )
+    serve.add_argument(
+        "--follow", metavar="TARGET", default=None,
+        help="run as a replication follower of TARGET: a primary's catalog "
+        "root directory or its http(s):// base URL (tails the journal, "
+        "mirrors every entry, serves reads; POST /admin/promote promotes)",
+    )
+    serve.add_argument(
+        "--follow-poll", type=float, default=0.2, metavar="SECONDS",
+        help="how often a follower polls its source's journal (default 0.2)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
+
+    router = commands.add_parser(
+        "route", help="start the health-routing front tier over service backends"
+    )
+    router.add_argument(
+        "--backend", action="append", required=True, metavar="URL", dest="backends",
+        help="a backend service base URL (repeat for each primary/follower)",
+    )
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=8076)
+    router.add_argument(
+        "--health-interval", type=float, default=0.5, metavar="SECONDS",
+        help="how often each backend's /healthz is polled (default 0.5)",
+    )
+    router.add_argument("--verbose", action="store_true", help="log every request")
 
     return parser
 
@@ -223,6 +270,10 @@ def _cmd_catalog_gc(args) -> int:
         checkpoint_max_age_seconds=args.checkpoint_max_age,
         result_max_age_seconds=args.result_max_age,
         result_keep_versions=args.keep_result_versions,
+        chain_max_age_seconds=args.chain_max_age,
+        chain_keep_versions=args.keep_chain_versions,
+        journal_max_segments=args.journal_max_segments,
+        journal_max_age_seconds=args.journal_max_age,
         grace_seconds=args.grace,
         dry_run=args.dry_run,
     )
@@ -230,16 +281,17 @@ def _cmd_catalog_gc(args) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
     verb = "would remove" if args.dry_run else "removed"
-    ckpt = report["checkpoints"]
-    res = report["results"]
-    print(
-        f"checkpoints: {verb} {ckpt['removed']}, retained {ckpt['retained']} "
-        f"(examined {ckpt['examined']})"
-    )
-    print(
-        f"results:     {verb} {res['removed']}, retained {res['retained']} "
-        f"(examined {res['examined']})"
-    )
+    for label, key in (
+        ("checkpoints", "checkpoints"),
+        ("results", "results"),
+        ("chains", "chains"),
+        ("journal", "journal"),
+    ):
+        section = report[key]
+        print(
+            f"{label + ':':<13}{verb} {section['removed']}, "
+            f"retained {section['retained']} (examined {section['examined']})"
+        )
     return 0
 
 
@@ -306,7 +358,13 @@ def _cmd_compose(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.service import CompositionService, ServiceConfig, ServiceHTTPServer
+    from repro.service import (
+        CompositionService,
+        ReplicationFollower,
+        ServiceConfig,
+        ServiceHTTPServer,
+        open_source,
+    )
 
     catalog = _open_catalog(args)
     service = CompositionService(
@@ -329,11 +387,22 @@ def _cmd_serve(args) -> int:
             lease_wait_seconds=args.lease_wait,
         ),
     )
+    follower = None
+    if args.follow:
+        follower = ReplicationFollower(
+            catalog,
+            open_source(args.follow),
+            poll_interval_seconds=args.follow_poll,
+        ).start()
     service.start()
-    server = ServiceHTTPServer(service, host=args.host, port=args.port, verbose=args.verbose)
+    server = ServiceHTTPServer(
+        service, host=args.host, port=args.port, verbose=args.verbose, follower=follower
+    )
     host, port = server.address
     print(f"repro composition service on http://{host}:{port}", flush=True)
     print(f"catalog root: {catalog.root}", flush=True)
+    if follower is not None:
+        print(f"following: {follower.source.origin}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -344,7 +413,32 @@ def _cmd_serve(args) -> int:
         # close here too (idempotent) — otherwise the socket leaks while
         # service.stop() drains the queue.
         server.close()
+        if follower is not None and not follower.promoted:
+            follower.stop()
         service.stop()
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro.service import RouterHTTPServer
+
+    router = RouterHTTPServer(
+        args.backends,
+        host=args.host,
+        port=args.port,
+        health_interval_seconds=args.health_interval,
+        verbose=args.verbose,
+    )
+    host, port = router.address
+    print(f"repro router on http://{host}:{port}", flush=True)
+    for backend in router.backends:
+        print(f"backend: {backend.url}", flush=True)
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.close()
     return 0
 
 
@@ -361,6 +455,8 @@ def main(argv: Optional[list] = None) -> int:
             return _cmd_catalog_show(args)
         if args.command == "compose":
             return _cmd_compose(args)
+        if args.command == "route":
+            return _cmd_route(args)
         return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

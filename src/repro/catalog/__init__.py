@@ -11,7 +11,11 @@ Two pieces form the durability layer under :mod:`repro.service`:
   reuse survives process restarts;
 * :mod:`repro.catalog.leases` — :class:`LeaseTable`, cross-process work
   claims with heartbeat renewal and stale-lease takeover, so two service
-  processes fed the identical request do the work once.
+  processes fed the identical request do the work once;
+* :mod:`repro.catalog.journal` — :class:`CatalogJournal`, the append-only,
+  checksummed per-shard change log every index mutation is written to
+  (fsynced, write-ahead) so replicas on other hosts can tail and mirror a
+  catalog root.
 
 All writes are atomic and rename-durable, and multi-process writers are
 serialized with per-shard file locks (:mod:`repro.catalog.storage` —
@@ -23,12 +27,14 @@ carries :mod:`repro.faults` injection points exercised by the chaos suite.
 
 from repro.catalog.catalog import KINDS, CatalogEntry, MappingCatalog
 from repro.catalog.checkpoints import PersistentCheckpointStore
+from repro.catalog.journal import CatalogJournal, decode_entry, encode_entry, scan_entries
 from repro.catalog.leases import Lease, LeaseTable
 from repro.catalog.storage import FileLock, atomic_write_bytes, atomic_write_text
 
 __all__ = [
     "KINDS",
     "CatalogEntry",
+    "CatalogJournal",
     "MappingCatalog",
     "FileLock",
     "Lease",
@@ -36,4 +42,7 @@ __all__ = [
     "PersistentCheckpointStore",
     "atomic_write_bytes",
     "atomic_write_text",
+    "decode_entry",
+    "encode_entry",
+    "scan_entries",
 ]

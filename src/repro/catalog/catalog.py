@@ -62,6 +62,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro import faults
 from repro.algebra.digest import DIGEST_SIZE
 from repro.catalog.checkpoints import PersistentCheckpointStore
+from repro.catalog.journal import CatalogJournal
 from repro.catalog.storage import FileLock, atomic_write_text
 from repro.compose.result import CompositionResult
 from repro.retry import RetryPolicy, RetryStats
@@ -184,6 +185,7 @@ class MappingCatalog:
         checkpoint_max_entries: int = DEFAULT_MAX_CHECKPOINTS,
         lock_timeout_seconds: Optional[float] = DEFAULT_LOCK_TIMEOUT_SECONDS,
         retry_policy: Optional[RetryPolicy] = None,
+        journal: bool = True,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -195,6 +197,12 @@ class MappingCatalog:
         self.retry_stats = RetryStats()
         self._checkpoint_max_entries = checkpoint_max_entries
         self._checkpoints: Optional[PersistentCheckpointStore] = None
+        #: Write-ahead replication journal: every index mutation is journaled
+        #: (fsynced) before it is published, so replicas can tail and mirror
+        #: this root.  ``journal=False`` disables the writes (the journal can
+        #: still be *read* through :attr:`journal`).
+        self._journal_enabled = journal
+        self._journal: Optional[CatalogJournal] = None
         #: Per-shard cache: shard id -> (file stat stamp, entries).  A stale
         #: stamp means another process wrote the shard; it is then re-read.
         self._shards: Dict[int, Tuple[Optional[tuple], _ShardEntries]] = {}
@@ -338,8 +346,59 @@ class MappingCatalog:
                     shard = shards.setdefault(self._shard_id(kind, name), {})
                     shard.setdefault(kind, {})[name] = versions
             for shard_id, entries in shards.items():
+                # Migrated records are journaled like fresh puts, so a replica
+                # tailing this root mirrors the pre-migration history too.
+                for kind, by_name in entries.items():
+                    for name, versions in by_name.items():
+                        for record in versions:
+                            try:
+                                text = (self.root / record["path"]).read_text(
+                                    encoding="utf-8"
+                                )
+                            except OSError:
+                                continue  # a missing object file: index-only entry
+                            self._journal_append(
+                                shard_id,
+                                {
+                                    "op": "put",
+                                    "kind": kind,
+                                    "name": name,
+                                    "record": dict(record),
+                                    "text": text,
+                                },
+                            )
                 self._write_shard(shard_id, entries)
             legacy.rename(legacy.with_name(_LEGACY_INDEX_FILE + ".migrated"))
+
+    # -- replication journal -------------------------------------------------------
+
+    @property
+    def journal(self) -> CatalogJournal:
+        """The catalog's replication journal (created lazily)."""
+        with self._lock:
+            if self._journal is None:
+                self._journal = CatalogJournal(
+                    self.root / "journal", num_shards=_NUM_SHARDS
+                )
+            return self._journal
+
+    def _journal_append(
+        self, shard: int, payload: dict, seq: Optional[int] = None
+    ) -> None:
+        """Journal one mutation (write-ahead: before the index publish).
+
+        Called from inside :meth:`_mutate_shard`'s locked cycle, so sequence
+        assignment is serialized across processes.  Retried under the retry
+        policy: a torn first attempt leaves a torn tail that the retry's
+        rescan heals before appending cleanly.
+        """
+        if not self._journal_enabled:
+            return
+        self._retry.run(
+            lambda: self.journal.append(shard, payload, seq=seq),
+            stats=self.retry_stats,
+            description=f"journal append shard {shard}",
+        )
 
     # -- checkpoints ---------------------------------------------------------------
 
@@ -396,6 +455,7 @@ class MappingCatalog:
         self._check_kind(kind)
         self._check_name(name)
         digest = fingerprint.hex()
+        shard = self._shard_id(kind, name)
 
         def mutate(entries: _ShardEntries) -> Tuple[CatalogEntry, bool]:
             versions = entries.setdefault(kind, {}).setdefault(name, [])
@@ -417,10 +477,25 @@ class MappingCatalog:
                 "path": relative,
             }
             record.update(extra)
+            # Write-ahead order: object file, then the fsynced journal entry,
+            # then the index publish (after this mutate returns).  A crash
+            # between journal and publish leaves an unacknowledged extra
+            # journal entry — harmless, replay is fingerprint-idempotent —
+            # and never an acknowledged version missing from the journal.
+            self._journal_append(
+                shard,
+                {
+                    "op": "put",
+                    "kind": kind,
+                    "name": name,
+                    "record": dict(record),
+                    "text": text,
+                },
+            )
             versions.append(record)
             return self._entry_from_record(kind, name, record), True
 
-        return self._mutate_shard(self._shard_id(kind, name), mutate)
+        return self._mutate_shard(shard, mutate)
 
     def _put_text(self, kind: str, name: str, text: str, fingerprint: bytes) -> CatalogEntry:
         return self._put(kind, name, fingerprint, lambda versions: (text, {}))
@@ -672,10 +747,14 @@ class MappingCatalog:
         checkpoint_max_age_seconds: Optional[float] = None,
         result_max_age_seconds: Optional[float] = None,
         result_keep_versions: Optional[int] = None,
+        chain_max_age_seconds: Optional[float] = None,
+        chain_keep_versions: Optional[int] = None,
+        journal_max_segments: Optional[int] = None,
+        journal_max_age_seconds: Optional[float] = None,
         grace_seconds: float = 0.0,
         dry_run: bool = False,
     ) -> dict:
-        """Bound the catalog's disk growth (checkpoints and result history).
+        """Bound the catalog's disk growth (checkpoints, history, journal).
 
         * ``checkpoint_max_files`` / ``checkpoint_max_age_seconds`` evict hop
           checkpoints least-recently-used first (mtimes are freshened on
@@ -685,22 +764,33 @@ class MappingCatalog:
           *result* versions: the newest ``result_keep_versions`` versions of
           each name are always retained (default 1 — the latest version is
           never pruned), and with an age bound only older versions beyond
-          that are removed.  Schemas, mappings, chains and problems are
-          never pruned — they are the modeled history, and chain deltas may
-          reference any earlier chain version.
+          that are removed.
+        * ``chain_max_age_seconds`` / ``chain_keep_versions`` prune stored
+          *chain* versions the same way, with one extra guard: a version that
+          any retained version still references — directly or transitively —
+          through its ``delta_base`` is never evicted, whatever the age and
+          keep policies say, so every surviving delta remains materializable.
+          Schemas, mappings and problems are never pruned — they are the
+          modeled history.
+        * ``journal_max_segments`` / ``journal_max_age_seconds`` drop old
+          replication-journal segments per shard (the active tail always
+          survives); a follower older than the retention window must re-seed.
 
         Parameters left at ``None`` disable that policy.  ``grace_seconds``
-        is the multi-process age floor: checkpoints used and result versions
-        created within the last ``grace_seconds`` are never evicted, no
-        matter what the other policies say — so a sweep in one process
-        cannot race a peer that wrote (and is about to reuse) an entry
-        microseconds ago.  ``dry_run`` reports what would be removed without
-        touching disk.  Safe to run concurrently with other processes: index
-        pruning happens under the shard locks (record files are unlinked
-        after the index no longer references them).
+        is the multi-process age floor: checkpoints used and versions created
+        within the last ``grace_seconds`` are never evicted, no matter what
+        the other policies say — so a sweep in one process cannot race a
+        peer that wrote (and is about to reuse) an entry microseconds ago.
+        ``dry_run`` reports what would be removed without touching disk.
+        Safe to run concurrently with other processes: index pruning happens
+        under the shard locks (record files are unlinked after the index no
+        longer references them), and every eviction is journaled so replicas
+        mirror the pruning too.
         """
         if result_keep_versions is not None and result_keep_versions < 1:
             raise CatalogError("result_keep_versions must be positive")
+        if chain_keep_versions is not None and chain_keep_versions < 1:
+            raise CatalogError("chain_keep_versions must be positive")
         if grace_seconds < 0:
             raise CatalogError("grace_seconds must be non-negative")
         report: dict = {"dry_run": dry_run, "grace_seconds": grace_seconds}
@@ -714,18 +804,55 @@ class MappingCatalog:
         else:
             report["checkpoints"] = {"examined": 0, "removed": 0, "retained": 0}
 
-        removed_results = 0
-        examined_results = 0
-        if result_max_age_seconds is not None or result_keep_versions is not None:
-            keep = result_keep_versions if result_keep_versions is not None else 1
-            now = time.time()
+        now = time.time()
+        report["results"] = self._prune_versions(
+            "result", result_keep_versions, result_max_age_seconds,
+            grace_seconds, now, dry_run,
+        )
+        report["chains"] = self._prune_versions(
+            "chain", chain_keep_versions, chain_max_age_seconds,
+            grace_seconds, now, dry_run,
+        )
+        if journal_max_segments is not None or journal_max_age_seconds is not None:
+            report["journal"] = self.journal.gc(
+                max_segments=journal_max_segments,
+                max_age_seconds=journal_max_age_seconds,
+                dry_run=dry_run,
+            )
+        else:
+            report["journal"] = {"examined": 0, "removed": 0, "retained": 0}
+        return report
 
-            def prune(entries: _ShardEntries):
+    def _prune_versions(
+        self,
+        kind: str,
+        keep_versions: Optional[int],
+        max_age_seconds: Optional[float],
+        grace_seconds: float,
+        now: float,
+        dry_run: bool,
+    ) -> dict:
+        """Prune one kind's version history under the shard locks.
+
+        Returns the per-kind GC report section.  Disabled (all zeros) when
+        both policies are ``None``.
+        """
+        if keep_versions is None and max_age_seconds is None:
+            return {"examined": 0, "removed": 0, "retained": 0}
+        keep = keep_versions if keep_versions is not None else 1
+        removed_total = 0
+        examined_total = 0
+        for shard in range(_NUM_SHARDS):
+
+            def prune(entries: _ShardEntries, shard: int = shard):
                 examined = 0
                 doomed: List[Tuple[str, dict]] = []
-                for result_name, versions in entries.get("result", {}).items():
+                for name, versions in entries.get(kind, {}).items():
                     examined += len(versions)
-                    for record in versions[:-keep] if len(versions) > keep else []:
+                    if len(versions) <= keep:
+                        continue
+                    candidates = []
+                    for record in versions[:-keep]:
                         created = _created_at_epoch(record)
                         if (
                             grace_seconds > 0
@@ -735,33 +862,165 @@ class MappingCatalog:
                             # Age floor: a version written moments ago may still
                             # be mid-handoff to a peer process — never evict it.
                             continue
-                        if result_max_age_seconds is not None:
-                            if created is None or now - created <= result_max_age_seconds:
+                        if max_age_seconds is not None:
+                            if created is None or now - created <= max_age_seconds:
                                 continue
-                        doomed.append((result_name, record))
+                        candidates.append(record)
+                    if kind == "chain" and candidates:
+                        # Delta guard: walk the delta_base references of every
+                        # version that survives and rescue any candidate the
+                        # walk reaches — evicting a live base would make the
+                        # versions built on it unmaterializable.
+                        protected = _delta_protected_versions(
+                            versions, {record["version"] for record in candidates}
+                        )
+                        candidates = [
+                            record
+                            for record in candidates
+                            if record["version"] not in protected
+                        ]
+                    doomed.extend((name, record) for record in candidates)
                 if dry_run or not doomed:
                     return (examined, doomed), False
-                by_name = entries["result"]
-                for result_name, record in doomed:
-                    by_name[result_name].remove(record)
+                by_name = entries[kind]
+                for name, record in doomed:
+                    by_name[name].remove(record)
+                    self._journal_append(
+                        shard,
+                        {
+                            "op": "evict",
+                            "kind": kind,
+                            "name": name,
+                            "version": record["version"],
+                            "fingerprint": record["fingerprint"],
+                            "path": record["path"],
+                        },
+                    )
                 return (examined, doomed), True
 
-            for shard in range(_NUM_SHARDS):
-                examined, doomed = self._mutate_shard(shard, prune)
-                examined_results += examined
-                removed_results += len(doomed)
-                if not dry_run:
-                    for _, record in doomed:
-                        try:
-                            (self.root / record["path"]).unlink()
-                        except OSError:
-                            pass
-        report["results"] = {
-            "examined": examined_results,
-            "removed": removed_results,
-            "retained": examined_results - removed_results,
+            examined, doomed = self._mutate_shard(shard, prune)
+            examined_total += examined
+            removed_total += len(doomed)
+            if not dry_run:
+                for _, record in doomed:
+                    try:
+                        (self.root / record["path"]).unlink()
+                    except OSError:
+                        pass
+        return {
+            "examined": examined_total,
+            "removed": removed_total,
+            "retained": examined_total - removed_total,
         }
-        return report
+
+    # -- replication apply ---------------------------------------------------------
+
+    def apply_journal_entry(self, entry: dict) -> str:
+        """Apply one replicated journal entry into this catalog (idempotent).
+
+        The follower's half of the protocol: entries read from a primary's
+        journal are applied *verbatim* — the stored text, index record (with
+        its ``created_at`` and delta bookkeeping) and sequence number are
+        preserved, so a caught-up replica is fingerprint- and byte-identical
+        to its source.  Replay is keyed on content fingerprints: an entry
+        whose (version, fingerprint) is already present is skipped, and a
+        version number re-assigned by the primary after a crash-before-
+        publish replaces the stale record.  Applied entries are re-journaled
+        with their original sequence numbers, so a promoted replica's
+        journal continues seamlessly and can itself be tailed.
+
+        Returns ``"applied"``, ``"skipped"``, ``"replaced"`` or ``"evicted"``.
+        """
+        op = entry.get("op")
+        kind = entry.get("kind")
+        name = entry.get("name")
+        self._check_kind(kind)
+        self._check_name(name)
+        shard = self._shard_id(kind, name)
+        seq = entry.get("seq")
+
+        if op == "put":
+            record = dict(entry["record"])
+            text = entry["text"]
+
+            def mutate(entries: _ShardEntries) -> Tuple[str, bool]:
+                versions = entries.setdefault(kind, {}).setdefault(name, [])
+                existing = next(
+                    (r for r in versions if r["version"] == record["version"]), None
+                )
+                if (
+                    existing is not None
+                    and existing["fingerprint"] == record["fingerprint"]
+                ):
+                    self._journal_append(shard, entry, seq=seq)
+                    return "skipped", False
+                self._retry.run(
+                    lambda: atomic_write_text(self.root / record["path"], text),
+                    stats=self.retry_stats,
+                    description=f"mirror {record['path']}",
+                )
+                self._journal_append(shard, entry, seq=seq)
+                if existing is not None:
+                    versions[versions.index(existing)] = record
+                    return "replaced", True
+                versions.append(record)
+                versions.sort(key=lambda item: item["version"])
+                return "applied", True
+
+            return self._mutate_shard(shard, mutate)
+
+        if op == "evict":
+            version = entry.get("version")
+
+            def mutate(entries: _ShardEntries) -> Tuple[str, bool]:
+                versions = entries.get(kind, {}).get(name, [])
+                existing = next(
+                    (r for r in versions if r["version"] == version), None
+                )
+                self._journal_append(shard, entry, seq=seq)
+                if existing is None:
+                    return "skipped", False
+                versions.remove(existing)
+                return "evicted", True
+
+            outcome = self._mutate_shard(shard, mutate)
+            if outcome == "evicted" and entry.get("path"):
+                try:
+                    (self.root / entry["path"]).unlink()
+                except OSError:
+                    pass
+            return outcome
+
+        raise CatalogError(f"unknown journal entry op {op!r}")
+
+    def verify(self, kind: str, name: str, version: Optional[int] = None) -> bool:
+        """Recompute one stored version's content fingerprint; ``True`` if it matches.
+
+        Reads the version back from disk (materializing chain deltas),
+        re-derives the fingerprint the way the original ``put_*`` did, and
+        compares it to the index record — the replica's post-apply check
+        that mirrored bytes reproduce the content the primary acknowledged.
+        """
+        record = self._record(kind, name, version)
+        expected = record["fingerprint"]
+        if kind == "chain":
+            actual = chain_fingerprint(
+                self._chain_from_record(name, self._versions(kind, name), record)
+            ).hex()
+            return actual == expected
+        text = self.text(kind, name, record["version"])
+        try:
+            if kind == "schema":
+                actual = signature_from_text(text).fingerprint().hex()
+            elif kind == "mapping":
+                actual = mapping_from_text(text).fingerprint().hex()
+            elif kind == "problem":
+                actual = problem_from_text(text).fingerprint().hex()
+            else:  # result: the structural fingerprint over the parsed record
+                actual = _result_fingerprint(result_from_text(text)).hex()
+        except ParseError:
+            return False
+        return actual == expected
 
     # -- queries -------------------------------------------------------------------
 
@@ -825,11 +1084,38 @@ class MappingCatalog:
         stats: Dict[str, object] = {"kinds": per_kind, "total_versions": total}
         if self._checkpoints is not None:
             stats["checkpoints"] = self._checkpoints.stats()
+        if self._journal is not None:
+            stats["journal"] = self._journal.stats()
         stats["retries"] = self.retry_stats.snapshot()
         return stats
 
     def __repr__(self) -> str:
         return f"<MappingCatalog at {str(self.root)!r}: {len(self)} stored versions>"
+
+
+def _delta_protected_versions(versions: List[dict], doomed: set) -> set:
+    """Version numbers that GC must not evict because a survivor depends on them.
+
+    Walks the ``delta_base`` reference chain starting from every version
+    *not* in ``doomed`` and collects each version the walk reaches — the
+    walk deliberately continues *through* doomed versions, so a transitive
+    base (survivor → doomed delta → doomed base) is rescued too.
+    """
+    by_version = {record["version"]: record for record in versions}
+    protected: set = set()
+    for record in versions:
+        if record["version"] in doomed:
+            continue
+        current = record
+        while True:
+            base_version = current.get("delta_base")
+            if base_version is None or base_version in protected:
+                break
+            protected.add(base_version)
+            current = by_version.get(base_version)
+            if current is None:
+                break
+    return protected
 
 
 def _record_name(text: str) -> str:

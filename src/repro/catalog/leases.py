@@ -138,6 +138,8 @@ class LeaseTable:
         self._contested = 0
         self._renewals = 0
         self._lost = 0
+        self._heartbeat_failures = 0
+        self._heartbeat_consecutive_failures = 0
 
     # -- file layout -----------------------------------------------------------------
 
@@ -336,8 +338,15 @@ class LeaseTable:
                 except Exception:  # noqa: BLE001 - heartbeat must never die
                     # A failed renewal round (disk hiccup, injected fault) is
                     # survivable: the next round retries, and a lease only
-                    # expires after ttl — three missed rounds.
-                    pass
+                    # expires after ttl — three missed rounds.  Counted, not
+                    # swallowed: /metrics reports the tally and /healthz
+                    # flags a heartbeat that keeps failing.
+                    with self._mutex:
+                        self._heartbeat_failures += 1
+                        self._heartbeat_consecutive_failures += 1
+                else:
+                    with self._mutex:
+                        self._heartbeat_consecutive_failures = 0
 
         self._heartbeat = threading.Thread(
             target=beat, name="repro-lease-heartbeat", daemon=True
@@ -372,6 +381,8 @@ class LeaseTable:
                 "contested": self._contested,
                 "renewals": self._renewals,
                 "lost": self._lost,
+                "heartbeat_failures": self._heartbeat_failures,
+                "heartbeat_consecutive_failures": self._heartbeat_consecutive_failures,
             }
 
     def __repr__(self) -> str:

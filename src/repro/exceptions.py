@@ -110,6 +110,17 @@ class CatalogError(ReproError):
     """
 
 
+class JournalError(CatalogError):
+    """A replication-journal entry or segment is malformed or misused.
+
+    Raised for truncated/corrupt entries (bad length prefix, CRC mismatch,
+    undecodable payload — what a torn tail presents to a reader), malformed
+    segment names, and invalid journal parameters.  Torn *tails* are healed
+    silently by the append path; this error surfaces only genuine corruption
+    or misuse.
+    """
+
+
 class CatalogLockTimeoutError(CatalogError):
     """A shard/lease file lock could not be acquired within its timeout.
 
@@ -136,6 +147,18 @@ class ServiceError(ReproError):
 
     Carries the failure detail of the underlying batch item (the original
     traceback text for crashed compositions, or a timeout notice).
+    """
+
+
+class ReplicationError(ServiceError):
+    """A replication follower could not tail or apply its source's journal.
+
+    Raised when the replication source is malformed (an unusable URL or
+    root), or when an applied entry fails its post-apply fingerprint
+    verification — the mirrored bytes do not reproduce the content the
+    primary acknowledged.  Transient source unavailability is *not* an
+    error: the follower keeps polling and reports reachability in its
+    status instead.
     """
 
 

@@ -28,6 +28,17 @@ Fault points currently instrumented
 ``checkpoint.persist``           mirroring a checkpoint to disk
                                  (``eio``/``slow``)
 ``lease.write``                  writing a lease claim (``eio``/``slow``)
+``journal.append.torn``          tear a journal append: a prefix of the
+                                 entry lands, then ``EIO`` — the next append
+                                 truncates the torn tail (``torn``)
+``journal.append.fsync``         before the journal fsync
+                                 (``eio``/``slow``/``crash``)
+``journal.replay``               reading journal entries back
+                                 (``eio``/``slow``)
+``replica.apply``                a follower applying one journal entry
+                                 (``eio``/``slow``/``crash``)
+``router.backend``               the router proxying one request to one
+                                 backend (``eio``/``slow``)
 ===============================  ==============================================
 
 Schedules

@@ -14,21 +14,42 @@
   to memory-only serving instead of wedging it, and a background probe
   closes the breaker when storage recovers;
 * :mod:`repro.service.http` — a stdlib HTTP front-end exposing ``/compose``,
-  ``/catalog``, ``/metrics`` and a truthful ``/healthz`` (the CLI's
-  ``repro serve``).
+  ``/catalog``, ``/metrics``, ``/journal/<shard>`` and a truthful
+  ``/healthz`` (the CLI's ``repro serve``);
+* :mod:`repro.service.replica` — :class:`ReplicationFollower`, the follower
+  mode behind ``repro serve --follow``: tail a primary's catalog journal
+  (local root or HTTP), mirror it with post-apply fingerprint verification,
+  report replication lag, promote on demand;
+* :mod:`repro.service.router` — :class:`RouterHTTPServer`, the
+  health-routing front tier behind ``repro route``: reads to healthy
+  followers, writes to the primary, retries of idempotent requests on dead
+  backends, automatic failover to a promoted replica.
 """
 
 from repro.service.breaker import CircuitBreaker
 from repro.service.http import ServiceHTTPServer, serve
 from repro.service.metrics import ServiceMetrics
+from repro.service.replica import (
+    HTTPJournalSource,
+    LocalJournalSource,
+    ReplicationFollower,
+    open_source,
+)
+from repro.service.router import RouterHTTPServer, route
 from repro.service.server import CompositionService, ServiceConfig, Ticket
 
 __all__ = [
     "CircuitBreaker",
     "CompositionService",
+    "HTTPJournalSource",
+    "LocalJournalSource",
+    "ReplicationFollower",
+    "RouterHTTPServer",
     "ServiceConfig",
     "ServiceHTTPServer",
     "ServiceMetrics",
     "Ticket",
+    "open_source",
+    "route",
     "serve",
 ]

@@ -15,6 +15,11 @@ text-first — everything speaks the plain-text record formats of
   (``?kind=mapping`` filters).
 * ``GET /catalog/<kind>/<name>`` — the stored record text
   (``?version=N`` selects an old version).
+* ``GET /journal/<shard>?since=<seq>`` — the catalog's replication journal
+  entries of one index shard with sequence numbers past ``since``
+  (``&limit=N`` bounds the page; ``limit=0`` asks only for ``last_seq``) —
+  the endpoint a :class:`~repro.service.replica.ReplicationFollower` tails
+  over HTTP.
 * ``POST /compose`` — body is a record text: a composition problem (the
   paper's task format) is composed and answered with a ``result`` record; a
   ``chain`` record is chain-composed and answered with a ``mapping`` record
@@ -22,24 +27,39 @@ text-first — everything speaks the plain-text record formats of
   plus ``X-Repro-*`` headers with hop-reuse counts.  ``?order=cost`` serves
   the request through the cost-guided planner; ``?store=<name>`` also
   registers the result in the catalog.
+* ``POST /admin/promote`` — on a follower (``repro serve --follow``), stop
+  tailing and become the primary; answers the promotion report.  ``409`` on
+  a server that is not a follower.
+
+A server given a follower reports its role (``primary`` or ``follower``) and
+replication status in ``/healthz`` and ``/metrics`` — the router keys its
+read/write routing on the role — and rejects ``?store=`` writes with ``409``
+while still following (a follower's catalog mirrors its primary; writing to
+it locally would fork the replicated sequence space).
 
 Requests funnel through the shared :class:`CompositionService`, so HTTP
 clients get the same admission control, deduplication, micro-batching and
 metrics as in-process callers.  Overload answers ``429``, malformed records
-``400``, unknown entries ``404``.
+``400``, unknown entries ``404``; ``429`` and degraded ``503`` responses
+carry a ``Retry-After`` header derived from the breaker probe interval so
+clients and routers back off instead of hammering a recovering node.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.compose.config import ComposerConfig
 from repro.exceptions import CatalogError, ParseError, ReproError, ServiceOverloadedError
 from repro.service.server import CompositionService
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replica imports catalog)
+    from repro.service.replica import ReplicationFollower
 from repro.textio.format import problem_from_text
 from repro.textio.records import chain_from_text, detect_kind, mapping_to_text, result_to_text
 
@@ -70,9 +90,19 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_text(self, status: int, text: str, headers: Tuple[Tuple[str, str], ...] = ()) -> None:
         self._send(status, text.encode("utf-8"), "text/plain; charset=utf-8", headers)
 
-    def _send_json(self, status: int, payload: object) -> None:
+    def _send_json(self, status: int, payload: object, headers: Tuple[Tuple[str, str], ...] = ()) -> None:
         body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        self._send(status, body.encode("utf-8"), "application/json")
+        self._send(status, body.encode("utf-8"), "application/json", headers)
+
+    def _retry_after(self) -> Tuple[Tuple[str, str], ...]:
+        """A ``Retry-After`` of one breaker probe interval (never below 1s).
+
+        Attached to degraded ``503``s and overload/breaker rejections: the
+        probe interval is exactly how often the node re-checks whether it
+        recovered, so it is the soonest a retry could see a different answer.
+        """
+        seconds = self.server.service.config.breaker_recovery_seconds
+        return (("Retry-After", str(max(1, math.ceil(seconds)))),)
 
     # -- routes --------------------------------------------------------------------
 
@@ -81,20 +111,80 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [part for part in url.path.split("/") if part]
         try:
             if parts == ["healthz"]:
-                health = self.server.service.health()
-                self._send_json(200 if health["status"] == "ok" else 503, health)
+                health = self._health()
+                if health["status"] == "ok":
+                    self._send_json(200, health)
+                else:
+                    self._send_json(503, health, headers=self._retry_after())
             elif parts == ["metrics"]:
-                self._send_json(200, self.server.service.metrics())
+                metrics = self.server.service.metrics()
+                follower = self.server.follower
+                metrics["role"] = self.server.role
+                if follower is not None:
+                    metrics["replication"] = follower.status()
+                self._send_json(200, metrics)
             elif parts == ["catalog"]:
                 self._get_catalog_listing(parse_qs(url.query))
             elif len(parts) == 3 and parts[0] == "catalog":
                 self._get_catalog_record(parts[1], parts[2], parse_qs(url.query))
+            elif len(parts) == 2 and parts[0] == "journal":
+                self._get_journal(parts[1], parse_qs(url.query))
             else:
                 self._send_text(404, f"unknown path {url.path!r}\n")
         except CatalogError as exc:
             self._send_text(404, f"{exc}\n")
         except ReproError as exc:
             self._send_text(400, f"{exc}\n")
+
+    def _health(self) -> dict:
+        """The service health, extended with this server's replication view."""
+        health = self.server.service.health()
+        health["role"] = self.server.role
+        follower = self.server.follower
+        if follower is not None:
+            status = follower.status()
+            health["replication"] = status
+            # A follower with an unreachable source stays *healthy* — it is
+            # the failover target and must keep serving reads — but one whose
+            # applied entries failed verification is lying about its data.
+            if status["verify_failures"]:
+                health["reasons"] = list(health["reasons"]) + [
+                    f"replication verify failures: {status['verify_failures']}"
+                ]
+                health["status"] = "degraded"
+        return health
+
+    def _get_journal(self, shard_text: str, query) -> None:
+        catalog = self.server.service.catalog
+        if catalog is None:
+            self._send_text(404, "this service has no catalog attached\n")
+            return
+        try:
+            shard = int(shard_text)
+        except ValueError:
+            self._send_text(400, "journal shard must be an integer\n")
+            return
+        since = 0
+        limit: Optional[int] = None
+        try:
+            if "since" in query:
+                since = int(query["since"][0])
+            if "limit" in query:
+                limit = int(query["limit"][0])
+        except ValueError:
+            self._send_text(400, "since and limit must be integers\n")
+            return
+        journal = catalog.journal
+        entries = [] if limit == 0 else journal.read_since(shard, since, limit=limit)
+        self._send_json(
+            200,
+            {
+                "shard": shard,
+                "since": since,
+                "entries": entries,
+                "last_seq": journal.last_seq(shard),
+            },
+        )
 
     def _get_catalog_listing(self, query) -> None:
         catalog = self.server.service.catalog
@@ -130,6 +220,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         url = urlsplit(self.path)
+        if url.path.rstrip("/") == "/admin/promote":
+            self._promote()
+            return
         if url.path.rstrip("/") != "/compose":
             self._send_text(404, f"unknown path {url.path!r}\n")
             return
@@ -147,12 +240,33 @@ class _Handler(BaseHTTPRequestHandler):
         if query.get("order", [None])[0] == "cost":
             config = ComposerConfig.cost_guided()
         store_as = query.get("store", [None])[0]
+        if store_as and self.server.role == "follower":
+            # A follower's catalog mirrors its primary; a local write would
+            # fork the replicated sequence space.  Composing without storing
+            # is fine — that is what followers are for.
+            self._send_text(
+                409,
+                "this server is a replication follower; "
+                "write through the primary (or promote this follower first)\n",
+            )
+            return
         try:
             self._compose(text, config, store_as)
         except ServiceOverloadedError as exc:
-            self._send_text(429, f"{exc}\n")
+            self._send_text(429, f"{exc}\n", headers=self._retry_after())
         except (ParseError, ReproError) as exc:
             self._send_text(400, f"{exc}\n")
+
+    def _promote(self) -> None:
+        follower = self.server.follower
+        if follower is None:
+            self._send_text(409, "this server is not a replication follower\n")
+            return
+        if follower.promoted:
+            self._send_json(200, {"promoted": True, "already": True})
+            return
+        report = follower.promote()
+        self._send_json(200, report)
 
     def _compose(self, text: str, config: Optional[ComposerConfig], store_as: Optional[str]) -> None:
         service = self.server.service
@@ -168,6 +282,7 @@ class _Handler(BaseHTTPRequestHandler):
                 # still answers the composition, it just could not store it.
                 if not service.store_result(store_as, result):
                     headers.append(("X-Repro-Store-Dropped", "1"))
+                    headers.extend(self._retry_after())
             self._send_text(
                 200, result_to_text(result, name=store_as or ""), headers=tuple(headers)
             )
@@ -182,6 +297,7 @@ class _Handler(BaseHTTPRequestHandler):
             if store_as and service.catalog is not None:
                 if not service.store_mapping(store_as, composed):
                     headers.append(("X-Repro-Store-Dropped", "1"))
+                    headers.extend(self._retry_after())
             self._send_text(
                 200, mapping_to_text(composed, name=store_as or ""), headers=tuple(headers)
             )
@@ -191,8 +307,33 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
 
+class _ServiceHTTPD(ThreadingHTTPServer):
+    """The stdlib server plus the attributes handlers reach through ``self.server``."""
+
+    service: CompositionService
+    verbose: bool
+    follower: "Optional[ReplicationFollower]" = None
+
+    @property
+    def role(self) -> str:
+        """``follower`` while tailing a primary, ``primary`` otherwise.
+
+        A promoted follower flips to ``primary`` — the router's health loop
+        observes the flip on its next ``/healthz`` poll and routes writes
+        here.
+        """
+        if self.follower is not None and not self.follower.promoted:
+            return "follower"
+        return "primary"
+
+
 class ServiceHTTPServer:
-    """Owns a :class:`ThreadingHTTPServer` bound to one composition service."""
+    """Owns a :class:`ThreadingHTTPServer` bound to one composition service.
+
+    With a ``follower``, the server reports the ``follower`` role (until
+    promotion), exposes its replication status, and rejects local catalog
+    writes — the HTTP face of ``repro serve --follow``.
+    """
 
     def __init__(
         self,
@@ -200,14 +341,17 @@ class ServiceHTTPServer:
         host: str = "127.0.0.1",
         port: int = 8075,
         verbose: bool = False,
+        follower: "Optional[ReplicationFollower]" = None,
     ):
         self.service = service
+        self.follower = follower
         self._closed = False
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _ServiceHTTPD((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Handlers reach the service through their ``server`` attribute.
-        self._httpd.service = service  # type: ignore[attr-defined]
-        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.service = service
+        self._httpd.verbose = verbose
+        self._httpd.follower = follower
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -261,6 +405,9 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8075,
     verbose: bool = False,
+    follower: "Optional[ReplicationFollower]" = None,
 ) -> ServiceHTTPServer:
     """Convenience: build and start a :class:`ServiceHTTPServer`."""
-    return ServiceHTTPServer(service, host=host, port=port, verbose=verbose).start()
+    return ServiceHTTPServer(
+        service, host=host, port=port, verbose=verbose, follower=follower
+    ).start()

@@ -47,6 +47,9 @@ class ServiceMetrics:
         self.gc_sweeps = 0
         self.gc_checkpoints_removed = 0
         self.gc_results_removed = 0
+        self.gc_chains_removed = 0
+        self.gc_sweep_failures = 0
+        self._gc_sweep_failure_types: Dict[str, int] = {}
         self.batches = 0
         self.batched_items = 0
         self.queue_seconds = 0.0
@@ -93,6 +96,15 @@ class ServiceMetrics:
             self.gc_sweeps += 1
             self.gc_checkpoints_removed += report.get("checkpoints", {}).get("removed", 0)
             self.gc_results_removed += report.get("results", {}).get("removed", 0)
+            self.gc_chains_removed += report.get("chains", {}).get("removed", 0)
+
+    def record_gc_sweep_failure(self, error_type: str) -> None:
+        """One background GC sweep raised (the loop survives; this counts it)."""
+        with self._lock:
+            self.gc_sweep_failures += 1
+            self._gc_sweep_failure_types[error_type] = (
+                self._gc_sweep_failure_types.get(error_type, 0) + 1
+            )
 
     def record_batch(self, size: int, backend: str, cache_stats: Optional[dict]) -> None:
         with self._lock:
@@ -221,6 +233,11 @@ class ServiceMetrics:
                     "sweeps": self.gc_sweeps,
                     "checkpoints_removed": self.gc_checkpoints_removed,
                     "results_removed": self.gc_results_removed,
+                    "chains_removed": self.gc_chains_removed,
+                    "gc_sweep_failures": self.gc_sweep_failures,
+                    "gc_sweep_failure_types": dict(
+                        sorted(self._gc_sweep_failure_types.items())
+                    ),
                 },
                 "degradation": {
                     "batch_failures": self.batch_failures,

@@ -1,0 +1,366 @@
+"""Catalog replication: followers that tail a primary's journal and mirror it.
+
+:class:`ReplicationFollower` is the consumer half of the replication protocol
+whose producer is :class:`~repro.catalog.journal.CatalogJournal`: it polls a
+*source* — the primary's catalog root on a shared/local filesystem
+(:class:`LocalJournalSource`) or a running primary's HTTP endpoint
+``GET /journal/<shard>?since=<seq>`` (:class:`HTTPJournalSource`) — applies
+every new entry into its own catalog through
+:meth:`~repro.catalog.MappingCatalog.apply_journal_entry`, and verifies each
+applied version's content fingerprint afterwards, so mirrored bytes are
+checked to reproduce the content the primary acknowledged.
+
+The follower's replay cursor is its *own* journal: applied entries are
+re-journaled with their original per-shard sequence numbers, so a restarted
+follower resumes from ``catalog.journal.last_seq(shard)`` without any extra
+cursor file, and a *promoted* follower's journal continues the primary's
+sequence space seamlessly — the next follower can tail it in turn.
+
+Promotion (:meth:`ReplicationFollower.promote`) runs one final catch-up pass
+against the source (best-effort: a dead primary is the normal case), stops
+the tailing thread, and leaves the catalog writable as the new primary.
+
+Transient source unavailability is not an error: the follower keeps polling,
+counts the failures, and reports reachability through :meth:`status` — a
+follower whose primary just died must stay *healthy* (it is the failover
+target), merely lagged.
+
+Fault point: ``replica.apply`` fires before each entry is applied.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+from urllib.error import HTTPError, URLError
+from urllib.parse import quote, urlsplit
+from urllib.request import urlopen
+
+from repro import faults
+from repro.catalog.catalog import MappingCatalog
+from repro.catalog.journal import CatalogJournal
+from repro.exceptions import CatalogError, JournalError, ReplicationError
+
+__all__ = [
+    "JournalSource",
+    "LocalJournalSource",
+    "HTTPJournalSource",
+    "ReplicationFollower",
+    "open_source",
+]
+
+#: How long the tailing thread sleeps between polls by default.
+DEFAULT_POLL_INTERVAL_SECONDS = 0.2
+
+
+class JournalSource:
+    """Where a follower reads a primary's journal entries from."""
+
+    #: Human-readable origin (a path or URL), for status reporting.
+    origin: str = ""
+
+    def read_since(self, shard: int, since: int, limit: Optional[int] = None) -> List[dict]:
+        raise NotImplementedError
+
+    def last_seqs(self) -> Dict[int, int]:
+        raise NotImplementedError
+
+
+class LocalJournalSource(JournalSource):
+    """Tail the journal of a catalog root on the local (or shared) filesystem.
+
+    Strictly read-only: the primary may be alive and appending, so this
+    source never heals torn tails — it stops at them and sees the completed
+    entry on the next poll.
+    """
+
+    def __init__(self, root: Union[str, Path], num_shards: int = 16):
+        self.root = Path(root)
+        self.origin = str(self.root)
+        self._journal = CatalogJournal(self.root / "journal", num_shards=num_shards)
+        self.num_shards = num_shards
+
+    def read_since(self, shard: int, since: int, limit: Optional[int] = None) -> List[dict]:
+        return self._journal.read_since(shard, since, limit=limit)
+
+    def last_seqs(self) -> Dict[int, int]:
+        return self._journal.last_seqs()
+
+
+class HTTPJournalSource(JournalSource):
+    """Tail a running primary over its ``GET /journal/<shard>`` endpoint."""
+
+    def __init__(self, base_url: str, num_shards: int = 16, timeout_seconds: float = 5.0):
+        self.base_url = base_url.rstrip("/")
+        self.origin = self.base_url
+        self.num_shards = num_shards
+        self.timeout_seconds = timeout_seconds
+
+    def _fetch(self, shard: int, since: int, limit: Optional[int]) -> dict:
+        url = f"{self.base_url}/journal/{quote(str(shard))}?since={since}"
+        if limit is not None:
+            url += f"&limit={limit}"
+        with urlopen(url, timeout=self.timeout_seconds) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ReplicationError(
+                f"journal endpoint {url} answered a malformed payload"
+            )
+        return payload
+
+    def read_since(self, shard: int, since: int, limit: Optional[int] = None) -> List[dict]:
+        return list(self._fetch(shard, since, limit)["entries"])
+
+    def last_seqs(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for shard in range(self.num_shards):
+            payload = self._fetch(shard, since=0, limit=0)
+            out[shard] = int(payload.get("last_seq", 0))
+        return out
+
+
+def open_source(target: Union[str, Path], num_shards: int = 16) -> JournalSource:
+    """A :class:`JournalSource` for a primary's root directory or base URL."""
+    text = str(target)
+    scheme = urlsplit(text).scheme
+    if scheme in ("http", "https"):
+        return HTTPJournalSource(text, num_shards=num_shards)
+    if scheme and scheme not in ("file", ""):
+        raise ReplicationError(
+            f"cannot follow {text!r}: expected a catalog root path or an http(s) URL"
+        )
+    if scheme == "file":
+        text = urlsplit(text).path
+    path = Path(text)
+    if not path.exists():
+        raise ReplicationError(
+            f"cannot follow {text!r}: the catalog root does not exist"
+        )
+    return LocalJournalSource(path, num_shards=num_shards)
+
+
+class ReplicationFollower:
+    """Continuously mirror a primary's journal into one local catalog.
+
+    The follower applies entries shard by shard, oldest first, verifying
+    each applied ``put``'s content fingerprint; counters and per-shard lag
+    are surfaced through :meth:`status` (wired into the serving process's
+    ``/metrics`` and ``/healthz``).
+    """
+
+    def __init__(
+        self,
+        catalog: MappingCatalog,
+        source: JournalSource,
+        poll_interval_seconds: float = DEFAULT_POLL_INTERVAL_SECONDS,
+        batch_limit: int = 256,
+        verify: bool = True,
+    ):
+        if poll_interval_seconds <= 0:
+            raise ReplicationError("poll_interval_seconds must be positive")
+        if batch_limit < 1:
+            raise ReplicationError("batch_limit must be positive")
+        self.catalog = catalog
+        self.source = source
+        self.poll_interval_seconds = poll_interval_seconds
+        self.batch_limit = batch_limit
+        self.verify = verify
+        self.num_shards = getattr(source, "num_shards", 16)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._promoted = False
+        # The restart-safe replay cursor: this catalog's own journal already
+        # holds every entry applied before (re-journaled with preserved seq).
+        self._applied: Dict[int, int] = {
+            shard: catalog.journal.last_seq(shard) for shard in range(self.num_shards)
+        }
+        self.entries_applied = 0
+        self.entries_skipped = 0
+        self.apply_failures = 0
+        self.verify_failures = 0
+        self.polls = 0
+        self.poll_failures = 0
+        self._source_reachable: Optional[bool] = None
+        self._last_caught_up_monotonic: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "ReplicationFollower":
+        """Start the tailing thread (idempotent); returns ``self``."""
+        with self._lock:
+            if self._promoted:
+                raise ReplicationError("this follower was promoted; it no longer tails")
+            if self._thread is None or not self._thread.is_alive():
+                self._stop.clear()
+                self._thread = threading.Thread(
+                    target=self._tail_loop, name="repro-replica", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+        with self._lock:
+            self._thread = None
+
+    def __enter__(self) -> "ReplicationFollower":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def promoted(self) -> bool:
+        return self._promoted
+
+    def _tail_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.catch_up()
+            except Exception:  # noqa: BLE001 - a bad poll must not kill the tail
+                self.poll_failures += 1
+                self._source_reachable = False
+            self._stop.wait(self.poll_interval_seconds)
+
+    # -- catching up ---------------------------------------------------------------
+
+    def catch_up(self) -> int:
+        """One synchronous pass over every shard; returns entries applied.
+
+        Raises nothing on per-entry verification failures (counted instead);
+        source-level I/O errors propagate to the caller — the tail loop
+        counts them, a promotion treats them as "the primary is gone".
+        """
+        applied = 0
+        self.polls += 1
+        for shard in range(self.num_shards):
+            while True:
+                try:
+                    entries = self.source.read_since(
+                        shard, self._applied.get(shard, 0), limit=self.batch_limit
+                    )
+                except (OSError, URLError, HTTPError, JournalError) as exc:
+                    self._source_reachable = False
+                    raise ReplicationError(
+                        f"cannot read journal shard {shard} from "
+                        f"{self.source.origin}: {exc}"
+                    ) from exc
+                self._source_reachable = True
+                if not entries:
+                    break
+                for entry in entries:
+                    applied += self._apply(shard, entry)
+                if len(entries) < self.batch_limit:
+                    break
+        self._last_caught_up_monotonic = time.monotonic()
+        return applied
+
+    def _apply(self, shard: int, entry: dict) -> int:
+        seq = int(entry.get("seq", 0))
+        faults.fire("replica.apply", shard=shard, seq=seq, op=entry.get("op"))
+        try:
+            outcome = self.catalog.apply_journal_entry(entry)
+        except (CatalogError, OSError) as exc:
+            self.apply_failures += 1
+            raise ReplicationError(
+                f"cannot apply journal entry seq {seq} (shard {shard}): {exc}"
+            ) from exc
+        # Whatever the outcome, the entry is now in our journal: advance.
+        self._applied[shard] = max(self._applied.get(shard, 0), seq)
+        if outcome == "skipped":
+            self.entries_skipped += 1
+            return 0
+        self.entries_applied += 1
+        if self.verify and entry.get("op") == "put":
+            record = entry.get("record", {})
+            if not self.catalog.verify(
+                entry["kind"], entry["name"], record.get("version")
+            ):
+                self.verify_failures += 1
+                raise ReplicationError(
+                    f"applied {entry['kind']}/{entry['name']} "
+                    f"v{record.get('version')} failed fingerprint verification"
+                )
+        return 1
+
+    # -- promotion -----------------------------------------------------------------
+
+    def promote(self) -> dict:
+        """Stop following and become the primary; returns a promotion report.
+
+        Runs one last best-effort catch-up pass (a dead source — the normal
+        failover trigger — is tolerated), then stops the tail.  The catalog's
+        journal already continues the primary's sequence space, so writes
+        after promotion journal seamlessly and the next follower can tail
+        this root.
+        """
+        final_error: Optional[str] = None
+        try:
+            self.catch_up()
+        except ReplicationError as exc:
+            final_error = str(exc)
+        self.stop()
+        with self._lock:
+            self._promoted = True
+        return {
+            "promoted": True,
+            "final_catch_up_error": final_error,
+            "applied_seqs": {
+                str(shard): seq for shard, seq in sorted(self._applied.items()) if seq
+            },
+            "entries_applied": self.entries_applied,
+        }
+
+    # -- introspection -------------------------------------------------------------
+
+    def lag(self) -> Optional[int]:
+        """Total entries the source holds that we have not applied (``None``
+        when the source cannot be reached to ask)."""
+        try:
+            source_seqs = self.source.last_seqs()
+        except (OSError, URLError, HTTPError, JournalError):
+            return None
+        return sum(
+            max(0, int(last) - self._applied.get(shard, 0))
+            for shard, last in source_seqs.items()
+        )
+
+    def status(self) -> dict:
+        """A JSON-serializable snapshot of the follower's replication state."""
+        age: Optional[float] = None
+        if self._last_caught_up_monotonic is not None:
+            age = time.monotonic() - self._last_caught_up_monotonic
+        return {
+            "role": "primary" if self._promoted else "follower",
+            "source": self.source.origin,
+            "source_reachable": self._source_reachable,
+            "running": self.is_running,
+            "promoted": self._promoted,
+            "lag_entries": self.lag(),
+            "last_catch_up_age_seconds": age,
+            "entries_applied": self.entries_applied,
+            "entries_skipped": self.entries_skipped,
+            "apply_failures": self.apply_failures,
+            "verify_failures": self.verify_failures,
+            "polls": self.polls,
+            "poll_failures": self.poll_failures,
+            "applied_seqs": {
+                str(shard): seq for shard, seq in sorted(self._applied.items()) if seq
+            },
+        }
+
+    def __repr__(self) -> str:
+        state = "promoted" if self._promoted else ("running" if self.is_running else "stopped")
+        return f"<ReplicationFollower of {self.source.origin!r} ({state})>"

@@ -168,6 +168,10 @@ class ServiceConfig:
     gc_checkpoint_max_age_seconds: Optional[float] = None
     gc_result_max_age_seconds: Optional[float] = None
     gc_result_keep_versions: Optional[int] = None
+    gc_chain_max_age_seconds: Optional[float] = None
+    gc_chain_keep_versions: Optional[int] = None
+    gc_journal_max_segments: Optional[int] = None
+    gc_journal_max_age_seconds: Optional[float] = None
     gc_grace_seconds: float = 5.0
     breaker_failure_threshold: int = 3
     breaker_recovery_seconds: float = 1.0
@@ -193,6 +197,10 @@ class ServiceConfig:
             raise EngineError("gc_checkpoint_max_files must be non-negative")
         if self.gc_result_keep_versions is not None and self.gc_result_keep_versions < 1:
             raise EngineError("gc_result_keep_versions must be positive")
+        if self.gc_chain_keep_versions is not None and self.gc_chain_keep_versions < 1:
+            raise EngineError("gc_chain_keep_versions must be positive")
+        if self.gc_journal_max_segments is not None and self.gc_journal_max_segments < 1:
+            raise EngineError("gc_journal_max_segments must be positive")
         if self.gc_grace_seconds < 0:
             raise EngineError("gc_grace_seconds must be non-negative")
         if self.breaker_failure_threshold < 1:
@@ -294,6 +302,7 @@ class CompositionService:
         self._stopping = False
         self._last_gc_monotonic: Optional[float] = None
         self._started_monotonic: Optional[float] = None
+        self._gc_consecutive_failures = 0
         # Graceful degradation: the breaker gates every catalog disk write;
         # while open the service serves memory-only and /healthz says so.
         self.breaker = CircuitBreaker(
@@ -731,6 +740,10 @@ class CompositionService:
             checkpoint_max_age_seconds=self.config.gc_checkpoint_max_age_seconds,
             result_max_age_seconds=self.config.gc_result_max_age_seconds,
             result_keep_versions=self.config.gc_result_keep_versions,
+            chain_max_age_seconds=self.config.gc_chain_max_age_seconds,
+            chain_keep_versions=self.config.gc_chain_keep_versions,
+            journal_max_segments=self.config.gc_journal_max_segments,
+            journal_max_age_seconds=self.config.gc_journal_max_age_seconds,
             grace_seconds=self.config.gc_grace_seconds,
         )
         self._last_gc_monotonic = time.monotonic()
@@ -742,8 +755,13 @@ class CompositionService:
         while not self._gc_stop.wait(interval):
             try:
                 self.run_gc()
-            except Exception:  # noqa: BLE001 - a failed sweep must not kill the loop
+            except Exception as exc:  # noqa: BLE001 - a failed sweep must not kill the loop
+                # Counted, not swallowed: /metrics tallies the failures by
+                # type and /healthz flags a sweep that keeps failing.
+                self.metrics_store.record_gc_sweep_failure(type(exc).__name__)
+                self._gc_consecutive_failures += 1
                 continue
+            self._gc_consecutive_failures = 0
 
     # -- graceful degradation --------------------------------------------------------
 
@@ -845,6 +863,16 @@ class CompositionService:
                     reasons.append("gc sweep overdue")
             elif last_gc_age > 2 * interval:
                 reasons.append("gc sweep overdue")
+        if self._gc_consecutive_failures:
+            reasons.append(
+                f"gc sweep failing ({self._gc_consecutive_failures} consecutive)"
+            )
+        lease_stats = self.leases.stats() if self.leases is not None else None
+        if lease_stats and lease_stats.get("heartbeat_consecutive_failures"):
+            reasons.append(
+                "lease heartbeat failing "
+                f"({lease_stats['heartbeat_consecutive_failures']} consecutive)"
+            )
         snapshot = self.metrics_store
         health: dict = {
             "status": "degraded" if reasons else "ok",
@@ -854,6 +882,8 @@ class CompositionService:
                 "last_sweep_age_seconds": last_gc_age,
                 "interval_seconds": interval,
                 "sweeps": snapshot.gc_sweeps,
+                "sweep_failures": snapshot.gc_sweep_failures,
+                "consecutive_failures": self._gc_consecutive_failures,
             },
             "storage": {
                 "catalog_writes": snapshot.catalog_writes,
@@ -863,8 +893,8 @@ class CompositionService:
                 "probe_failures": snapshot.probe_failures,
             },
         }
-        if self.leases is not None:
-            health["leases"] = self.leases.stats()
+        if lease_stats is not None:
+            health["leases"] = lease_stats
         return health
 
     def metrics(self) -> dict:

@@ -184,3 +184,43 @@ class TestCrashTakeover:
         assert payload["owner"] == "alice"
         assert payload["key"] == "job-1"
         assert payload["expires_at"] > payload["acquired_at"]
+
+
+class TestHeartbeatFailureCounters:
+    def _wait_for(self, predicate, timeout=10.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_failing_heartbeat_is_counted_not_fatal(self, tmp_path):
+        table = LeaseTable(tmp_path, owner="alice", ttl_seconds=30.0)
+        table.acquire("job-1")
+
+        def broken_renew_all():
+            raise OSError("injected heartbeat failure")
+
+        table.renew_all = broken_renew_all
+        table.start_heartbeat(interval_seconds=0.01)
+        try:
+            assert self._wait_for(lambda: table.stats()["heartbeat_failures"] >= 2)
+            stats = table.stats()
+            assert stats["heartbeat_consecutive_failures"] >= 1
+            assert table._heartbeat.is_alive()  # the thread survived
+            # Recovery: a working renewal round resets the consecutive count
+            # (the lifetime tally keeps growing monotonically).
+            del table.renew_all
+            assert self._wait_for(
+                lambda: table.stats()["heartbeat_consecutive_failures"] == 0
+            )
+            assert table.stats()["heartbeat_failures"] >= 2
+        finally:
+            table.stop_heartbeat()
+            table.release_all()
+
+    def test_stats_expose_heartbeat_counters_from_the_start(self, tmp_path):
+        stats = LeaseTable(tmp_path, owner="alice").stats()
+        assert stats["heartbeat_failures"] == 0
+        assert stats["heartbeat_consecutive_failures"] == 0

@@ -155,3 +155,115 @@ class TestEndpoints:
             assert response.status == 400
         finally:
             connection.close()
+
+
+class TestRetryAfter:
+    """Degraded answers tell clients *when* to come back (satellite of PR 8)."""
+
+    def test_degraded_healthz_carries_retry_after(self, stack):
+        import math
+
+        _, service, base = stack
+        service.breaker.force_open("test: storage down")
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base + "/healthz")
+            assert excinfo.value.code == 503
+            expected = max(1, math.ceil(service.config.breaker_recovery_seconds))
+            assert int(excinfo.value.headers["Retry-After"]) == expected
+        finally:
+            service.breaker.record_success()
+
+    def test_store_dropped_carries_retry_after(self, stack):
+        _, service, base = stack
+        problem = problem_by_name("example1_movies").problem
+        service.breaker.force_open("test: storage down")
+        try:
+            status, _, headers = _post(
+                base + "/compose?store=dropped", problem_to_text(problem)
+            )
+            # The composition still succeeds; only durability degraded.
+            assert status == 200
+            assert headers["X-Repro-Store-Dropped"] == "1"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            service.breaker.record_success()
+
+    def test_overloaded_submission_carries_retry_after(self, tmp_path):
+        from repro.catalog import MappingCatalog
+        from repro.service import CompositionService, ServiceConfig, ServiceHTTPServer
+
+        catalog = MappingCatalog(tmp_path / "cat")
+        service = CompositionService(
+            catalog,
+            ServiceConfig(micro_batch_wait_seconds=0.0, max_pending=1),
+        )
+        # Deliberately NOT started: the queue never drains, so the second
+        # submission over HTTP is rejected at admission.
+        server = ServiceHTTPServer(service, port=0)
+        server.start()
+        try:
+            host, port = server.address
+            base = f"http://{host}:{port}"
+            service.submit_problem(problem_by_name("example1_movies").problem)
+            # A *different* problem: an identical one would coalesce with the
+            # in-flight ticket instead of being admission-rejected.
+            other = problem_by_name("example3_inclusion_chain").problem
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base + "/compose", problem_to_text(other))
+            assert excinfo.value.code == 429
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+        finally:
+            server.stop()
+
+
+class TestThreadFailureCounters:
+    def test_gc_sweep_failures_surface_in_health_and_metrics(self, stack):
+        _, service, base = stack
+        service.metrics_store.record_gc_sweep_failure("OSError")
+        service._gc_consecutive_failures = 2
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base + "/healthz")
+            assert excinfo.value.code == 503
+            health = json.loads(excinfo.value.read().decode())
+            assert any("gc sweep failing (2 consecutive)" in r for r in health["reasons"])
+            assert health["gc"]["sweep_failures"] == 1
+            assert health["gc"]["consecutive_failures"] == 2
+            _, body = _get(base + "/metrics")
+            metrics = json.loads(body)
+            assert metrics["gc"]["gc_sweep_failures"] == 1
+            assert metrics["gc"]["gc_sweep_failure_types"] == {"OSError": 1}
+        finally:
+            service._gc_consecutive_failures = 0
+
+    def test_failing_gc_sweep_keeps_the_loop_alive(self, tmp_path):
+        from repro.catalog import MappingCatalog
+        from repro.service import CompositionService, ServiceConfig
+
+        catalog = MappingCatalog(tmp_path / "cat")
+        service = CompositionService(
+            catalog,
+            ServiceConfig(micro_batch_wait_seconds=0.0, gc_interval_seconds=0.01),
+        )
+
+        def broken_gc(**kwargs):
+            raise OSError("injected sweep failure")
+
+        catalog.gc = broken_gc
+        service.start()
+        try:
+            import time as _time
+
+            deadline = _time.monotonic() + 10
+            while _time.monotonic() < deadline:
+                if service.metrics_store.gc_sweep_failures >= 2:
+                    break
+                _time.sleep(0.01)
+            assert service.metrics_store.gc_sweep_failures >= 2
+            assert service._gc_thread.is_alive()
+            health = service.health()
+            assert health["status"] == "degraded"
+            assert any("gc sweep failing" in r for r in health["reasons"])
+        finally:
+            service.stop()

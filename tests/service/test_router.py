@@ -1,0 +1,292 @@
+"""Tests for the health-routing front tier (``repro route``)."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.catalog import MappingCatalog
+from repro.engine import ChainGrower
+from repro.exceptions import ServiceError
+from repro.literature.problems import problem_by_name
+from repro.service import (
+    CompositionService,
+    HTTPJournalSource,
+    ReplicationFollower,
+    RouterHTTPServer,
+    ServiceConfig,
+    ServiceHTTPServer,
+)
+from repro.service.router import BackendState
+from repro.textio.format import problem_to_text
+
+
+def _wait_for(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class _Stack:
+    """One backend: catalog + service + HTTP server, with optional follower."""
+
+    def __init__(self, root, follower=None):
+        self.catalog = MappingCatalog(root)
+        self.follower = follower
+        self.service = CompositionService(
+            self.catalog, ServiceConfig(micro_batch_wait_seconds=0.0)
+        )
+        self.service.start()
+        self.server = ServiceHTTPServer(self.service, port=0, follower=follower)
+        self.server.start()
+        host, port = self.server.address
+        self.base = f"http://{host}:{port}"
+
+    def stop(self):
+        self.server.stop()
+        self.service.stop()
+        if self.follower is not None and not self.follower.promoted:
+            self.follower.stop()
+
+
+@pytest.fixture()
+def primary(tmp_path):
+    stack = _Stack(tmp_path / "primary")
+    yield stack
+    stack.stop()
+
+
+@pytest.fixture()
+def follower_stack(primary, tmp_path):
+    catalog = MappingCatalog(tmp_path / "follower")
+    follower = ReplicationFollower(
+        catalog, HTTPJournalSource(primary.base), poll_interval_seconds=0.02
+    ).start()
+    stack = _Stack.__new__(_Stack)
+    stack.catalog = catalog
+    stack.follower = follower
+    stack.service = CompositionService(
+        catalog, ServiceConfig(micro_batch_wait_seconds=0.0)
+    )
+    stack.service.start()
+    stack.server = ServiceHTTPServer(stack.service, port=0, follower=follower)
+    stack.server.start()
+    host, port = stack.server.address
+    stack.base = f"http://{host}:{port}"
+    yield stack
+    stack.stop()
+
+
+def _get(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode(), dict(response.headers)
+
+
+def _post(url, body=b"", timeout=60):
+    request = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read().decode(), dict(response.headers)
+
+
+class TestCandidateSelection:
+    def _backend(self, url, healthy=True, reachable=True, role="primary"):
+        state = BackendState(url)
+        state.healthy = healthy
+        state.reachable = reachable
+        state.role = role
+        return state
+
+    def _router(self, backends):
+        router = RouterHTTPServer.__new__(RouterHTTPServer)
+        router.backends = backends
+        import threading
+
+        router._lock = threading.Lock()
+        router._rotation = 0
+        return router
+
+    def test_reads_prefer_followers_then_primary_then_degraded(self):
+        follower = self._backend("http://f", role="follower")
+        primary = self._backend("http://p")
+        degraded = self._backend("http://d", healthy=False)
+        router = self._router([degraded, primary, follower])
+        order = [b.url for b in router._read_candidates()]
+        assert order == ["http://f", "http://p", "http://d"]
+
+    def test_reads_rotate_among_followers(self):
+        followers = [
+            self._backend(f"http://f{n}", role="follower") for n in range(3)
+        ]
+        router = self._router(followers)
+        first = [b.url for b in router._read_candidates()]
+        second = [b.url for b in router._read_candidates()]
+        assert sorted(first) == sorted(second)
+        assert first != second  # the rotation moved
+
+    def test_writes_only_go_to_primaries(self):
+        follower = self._backend("http://f", role="follower")
+        primary = self._backend("http://p")
+        degraded_primary = self._backend("http://dp", healthy=False)
+        router = self._router([follower, degraded_primary, primary])
+        order = [b.url for b in router._write_candidates()]
+        assert order == ["http://p", "http://dp"]
+
+    def test_unreachable_backends_are_never_candidates(self):
+        dead = self._backend("http://dead", healthy=False, reachable=False)
+        router = self._router([dead])
+        assert router._read_candidates() == []
+        assert router._write_candidates() == []
+
+    def test_idempotency_rules(self):
+        assert RouterHTTPServer._idempotent("GET", "/metrics")
+        assert RouterHTTPServer._idempotent("POST", "/compose")
+        assert RouterHTTPServer._idempotent("POST", "/compose?store=x")
+        assert not RouterHTTPServer._idempotent("POST", "/admin/promote")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ServiceError):
+            RouterHTTPServer([])
+        with pytest.raises(ServiceError):
+            RouterHTTPServer(["http://x"], health_interval_seconds=0)
+
+
+class TestRouting:
+    def test_routes_reads_and_writes(self, primary, follower_stack):
+        with RouterHTTPServer(
+            [primary.base, follower_stack.base], port=0, health_interval_seconds=0.05
+        ) as router:
+            host, port = router.address
+            base = f"http://{host}:{port}"
+            # Reads go to the healthy follower first.
+            status, _, headers = _get(base + "/healthz")
+            assert status == 200
+            assert headers["x-repro-backend"] == follower_stack.base
+            # Writes (a stored composition) go to the primary.
+            problem = problem_by_name("example1_movies").problem
+            status, _, headers = _post(
+                base + "/compose?store=routed", problem_to_text(problem).encode()
+            )
+            assert status == 200
+            assert headers["x-repro-backend"] == primary.base
+            assert "routed" in primary.catalog.names("result")
+            # ... and the stored problem replicates to the follower.
+            assert _wait_for(
+                lambda: "routed" in follower_stack.catalog.names("result")
+            )
+
+    def test_router_status_reports_backends(self, primary):
+        with RouterHTTPServer([primary.base], port=0) as router:
+            host, port = router.address
+            _, body, _ = _get(f"http://{host}:{port}/router/status")
+            status = json.loads(body)
+            (backend,) = status["backends"]
+            assert backend["url"] == primary.base
+            assert backend["healthy"] is True
+            assert backend["role"] == "primary"
+            assert status["failovers_observed"] == 0
+
+    def test_backend_errors_are_relayed_verbatim(self, primary):
+        with RouterHTTPServer([primary.base], port=0) as router:
+            host, port = router.address
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://{host}:{port}/no/such/endpoint")
+            assert excinfo.value.code == 404
+            # An answering backend is authoritative: no retry was counted.
+            assert router.request_retries == 0
+
+    def test_dead_backend_read_retries_to_survivor(self, primary, tmp_path):
+        doomed = _Stack(tmp_path / "doomed")
+        with RouterHTTPServer(
+            [doomed.base, primary.base], port=0, health_interval_seconds=30
+        ) as router:
+            doomed.stop()
+            host, port = router.address
+            # The health loop races the stop() above (start() runs one
+            # synchronous pass and the loop thread runs another before its
+            # first wait), so halt it and pin the router's belief — doomed
+            # healthy, tried first.  The request itself is then what
+            # discovers the death.
+            router._health_stop.set()
+            router._health_thread.join()
+            state = next(b for b in router.backends if b.url == doomed.base)
+            state.healthy = True
+            state.reachable = True
+            router.backends.sort(key=lambda b: b.url != doomed.base)
+            status, _, headers = _get(f"http://{host}:{port}/healthz")
+            assert status == 200
+            assert headers["x-repro-backend"] == primary.base
+            assert headers["x-repro-retries"] == "1"
+            assert router.request_retries == 1
+            # The failed backend was marked down immediately.
+            state = next(b for b in router.backends if b.url == doomed.base)
+            assert state.reachable is False
+
+    def test_no_backend_means_503_with_retry_after(self, tmp_path):
+        stack = _Stack(tmp_path / "gone")
+        base = stack.base
+        stack.stop()
+        with RouterHTTPServer([base], port=0, health_interval_seconds=30) as router:
+            host, port = router.address
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://{host}:{port}/healthz")
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            assert router.requests_failed == 1
+
+    def test_non_idempotent_post_is_not_retried(self, primary, tmp_path):
+        doomed = _Stack(tmp_path / "doomed")
+        with RouterHTTPServer(
+            [doomed.base, primary.base], port=0, health_interval_seconds=30
+        ) as router:
+            doomed.stop()
+            # Halt the health loop and pin the router's belief, as in
+            # test_dead_backend_read_retries_to_survivor above.
+            router._health_stop.set()
+            router._health_thread.join()
+            state = next(b for b in router.backends if b.url == doomed.base)
+            state.healthy = True
+            state.reachable = True
+            router.backends.sort(key=lambda b: b.url != doomed.base)
+            host, port = router.address
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"http://{host}:{port}/admin/promote")
+            assert excinfo.value.code == 503
+            assert router.request_retries == 0
+
+
+class TestFailover:
+    def test_promotion_is_observed_and_writes_flow(self, primary, follower_stack):
+        with RouterHTTPServer(
+            [primary.base, follower_stack.base], port=0, health_interval_seconds=0.05
+        ) as router:
+            host, port = router.address
+            base = f"http://{host}:{port}"
+            assert _wait_for(
+                lambda: any(b.role == "follower" for b in router.backends)
+            )
+            # The primary dies; the operator promotes the follower directly.
+            primary.stop()
+            _post(follower_stack.base + "/admin/promote")
+            assert _wait_for(
+                lambda: any(
+                    b.role == "primary" and b.healthy and b.url == follower_stack.base
+                    for b in router.backends
+                )
+            )
+            assert router.failovers >= 1
+            # Writes flow again — through the promoted replica.
+            problem = problem_by_name("example1_movies").problem
+            status, _, headers = _post(
+                base + "/compose?store=after-failover",
+                problem_to_text(problem).encode(),
+            )
+            assert status == 200
+            assert headers["x-repro-backend"] == follower_stack.base
+            assert "after-failover" in follower_stack.catalog.names("result")
+            _, body, _ = _get(base + "/router/status")
+            assert json.loads(body)["failovers_observed"] >= 1
