@@ -79,6 +79,14 @@ EXACT_METRICS = {
         "lost_versions",
         "failovers_observed",
     ),
+    "service_election": (
+        "processes",
+        "writes_total",
+        "writes_acknowledged",
+        "outputs_identical",
+        "lost_versions",
+        "stale_epoch_rejected",
+    ),
 }
 
 #: Metrics gated as ratios: current must be >= baseline * (1 - tolerance).
@@ -146,6 +154,7 @@ def main(argv) -> int:
             "swarm_seconds",
             "chaos_seconds",
             "failover_seconds",
+            "election_seconds",
         ):
             if record.get(metric) is not None:
                 return record[metric]

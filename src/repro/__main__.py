@@ -12,6 +12,9 @@ Subcommands::
     repro serve --follow TARGET          start as a replication follower that
                                          tails TARGET (a primary's catalog root
                                          or its http:// URL) and mirrors it
+    repro serve --follow T --election    also run leader election: self-promote
+                                         (with a fresh fencing epoch) when the
+                                         primary goes silent — no operator call
     repro route --backend URL ...        start the health-routing front tier
                                          over one primary and its followers
 
@@ -188,6 +191,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--follow-poll", type=float, default=0.2, metavar="SECONDS",
         help="how often a follower polls its source's journal (default 0.2)",
     )
+    serve.add_argument(
+        "--election", nargs="?", const="", default=None, metavar="DIR",
+        help="run lease-based leader election: a follower self-promotes when "
+        "the primary goes silent; a primary holds the leader lease.  DIR is "
+        "the shared election directory (default: <root>/election)",
+    )
+    serve.add_argument(
+        "--election-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="primary silence threshold before candidates race to promote "
+        "(default 5.0)",
+    )
+    serve.add_argument(
+        "--ack-level", choices=("journal", "replica"), default="journal",
+        help="write acks: 'journal' after the local WAL fsync (default), "
+        "'replica' once a follower confirms the entry applied (degrades to "
+        "202 + x-repro-ack-pending past the ack timeout)",
+    )
+    serve.add_argument(
+        "--replica-ack-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="with --ack-level replica: how long a write waits for a "
+        "follower's confirmation (default 2.0)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every request")
 
     router = commands.add_parser(
@@ -202,6 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
     router.add_argument(
         "--health-interval", type=float, default=0.5, metavar="SECONDS",
         help="how often each backend's /healthz is polled (default 0.5)",
+    )
+    router.add_argument(
+        "--min-consecutive-ok", type=int, default=2, metavar="N",
+        help="flap damping: healthy polls in a row a recovering backend needs "
+        "before re-entering rotation (default 2)",
     )
     router.add_argument("--verbose", action="store_true", help="log every request")
 
@@ -360,6 +390,7 @@ def _cmd_compose(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import (
         CompositionService,
+        LeaderElector,
         ReplicationFollower,
         ServiceConfig,
         ServiceHTTPServer,
@@ -385,6 +416,8 @@ def _cmd_serve(args) -> int:
             gc_grace_seconds=args.gc_grace,
             lease_ttl_seconds=args.lease_ttl,
             lease_wait_seconds=args.lease_wait,
+            ack_level=args.ack_level,
+            replica_ack_timeout_seconds=args.replica_ack_timeout,
         ),
     )
     follower = None
@@ -394,15 +427,40 @@ def _cmd_serve(args) -> int:
             open_source(args.follow),
             poll_interval_seconds=args.follow_poll,
         ).start()
+    elector = None
+    if args.election is not None:
+        source_root = None
+        primary_url = None
+        if args.follow:
+            target = str(args.follow)
+            if target.startswith(("http://", "https://")):
+                primary_url = target
+            else:
+                source_root = Path(target)
+        elector = LeaderElector(
+            catalog,
+            follower=follower,
+            election_dir=Path(args.election) if args.election else None,
+            source_root=source_root,
+            primary_url=primary_url,
+            election_timeout_seconds=args.election_timeout,
+        ).start()
     service.start()
     server = ServiceHTTPServer(
-        service, host=args.host, port=args.port, verbose=args.verbose, follower=follower
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        follower=follower,
+        elector=elector,
     )
     host, port = server.address
     print(f"repro composition service on http://{host}:{port}", flush=True)
     print(f"catalog root: {catalog.root}", flush=True)
     if follower is not None:
         print(f"following: {follower.source.origin}", flush=True)
+    if elector is not None:
+        print(f"election: {elector.leases.directory}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -413,6 +471,8 @@ def _cmd_serve(args) -> int:
         # close here too (idempotent) — otherwise the socket leaks while
         # service.stop() drains the queue.
         server.close()
+        if elector is not None:
+            elector.stop()
         if follower is not None and not follower.promoted:
             follower.stop()
         service.stop()
@@ -427,6 +487,7 @@ def _cmd_route(args) -> int:
         host=args.host,
         port=args.port,
         health_interval_seconds=args.health_interval,
+        min_consecutive_ok=args.min_consecutive_ok,
         verbose=args.verbose,
     )
     host, port = router.address

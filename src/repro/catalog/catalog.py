@@ -54,7 +54,7 @@ import os
 import re
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from hashlib import blake2b
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -68,7 +68,7 @@ from repro.compose.result import CompositionResult
 from repro.retry import RetryPolicy, RetryStats
 from repro.engine.checkpoint import DEFAULT_MAX_CHECKPOINTS
 from repro.engine.fingerprint import chain_fingerprint
-from repro.exceptions import CatalogError, ParseError
+from repro.exceptions import CatalogError, JournalError, ParseError, StaleEpochError
 from repro.mapping.composition_problem import CompositionProblem
 from repro.mapping.mapping import Mapping
 from repro.schema.signature import Signature
@@ -125,6 +125,12 @@ class CatalogEntry:
     fingerprint: str
     created_at: str
     path: str  # record file, relative to the catalog root
+    #: The journal sequence this put appended (``None`` for deduped puts —
+    #: identical content was already journaled — and for plain reads).  The
+    #: service's ack-on-replica path waits on exactly this number.  Excluded
+    #: from equality: the same stored version compares equal however it was
+    #: obtained.
+    journal_seq: Optional[int] = field(default=None, compare=False)
 
     def __repr__(self) -> str:
         return (
@@ -203,6 +209,10 @@ class MappingCatalog:
         #: still be *read* through :attr:`journal`).
         self._journal_enabled = journal
         self._journal: Optional[CatalogJournal] = None
+        #: The fencing epoch this handle writes at (lazily adopted from the
+        #: persisted ``EPOCH`` marker on first use; raised by promotion and
+        #: by applying higher-epoch journal entries).
+        self._epoch: Optional[int] = None
         #: Per-shard cache: shard id -> (file stat stamp, entries).  A stale
         #: stamp means another process wrote the shard; it is then re-read.
         self._shards: Dict[int, Tuple[Optional[tuple], _ShardEntries]] = {}
@@ -384,21 +394,103 @@ class MappingCatalog:
 
     def _journal_append(
         self, shard: int, payload: dict, seq: Optional[int] = None
-    ) -> None:
+    ) -> Optional[int]:
         """Journal one mutation (write-ahead: before the index publish).
 
         Called from inside :meth:`_mutate_shard`'s locked cycle, so sequence
         assignment is serialized across processes.  Retried under the retry
         policy: a torn first attempt leaves a torn tail that the retry's
-        rescan heals before appending cleanly.
+        rescan heals before appending cleanly.  Returns the appended sequence
+        number (``None`` with journaling disabled).
+
+        A *local* write (``seq=None``) is fenced: if this root carries a
+        higher-epoch ``FENCED`` tombstone or the persisted epoch has outrun
+        this handle's, :class:`~repro.exceptions.StaleEpochError` is raised
+        before anything lands — the write-ahead order then guarantees the
+        index is never published either.  Mirrored appends (``seq`` given)
+        are exempt, so a fenced root can still be re-seeded as a follower.
         """
         if not self._journal_enabled:
-            return
-        self._retry.run(
+            return None
+        if seq is None:
+            payload = self._fence_check_and_stamp(payload)
+        return self._retry.run(
             lambda: self.journal.append(shard, payload, seq=seq),
             stats=self.retry_stats,
             description=f"journal append shard {shard}",
         )
+
+    def _fence_check_and_stamp(self, payload: dict) -> dict:
+        """Refuse a stale-epoch local write; stamp the adopted epoch otherwise."""
+        journal = self.journal
+        epoch = self.epoch
+        fenced = journal.fenced_epoch()
+        if fenced is not None and fenced > epoch:
+            raise StaleEpochError(
+                f"catalog root {self.root} is fenced at epoch {fenced}; this "
+                f"writer's epoch {epoch} is stale — a replica was promoted "
+                "past it"
+            )
+        persisted = journal.read_epoch()
+        if persisted > epoch:
+            raise StaleEpochError(
+                f"catalog root {self.root} is at epoch {persisted}; this "
+                f"writer adopted epoch {epoch} and must not write anymore"
+            )
+        if epoch > 0:
+            payload = dict(payload)
+            payload["epoch"] = epoch
+        return payload
+
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch this handle writes at (0 = never promoted)."""
+        with self._lock:
+            if self._epoch is None:
+                self._epoch = self.journal.read_epoch()
+            return self._epoch
+
+    def adopt_epoch(self) -> int:
+        """Re-read the persisted epoch and raise this handle's to match."""
+        with self._lock:
+            persisted = self.journal.read_epoch()
+            if self._epoch is None or persisted > self._epoch:
+                self._epoch = persisted
+            return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Mint the next fencing epoch (persisted, then adopted); returns it.
+
+        The promotion path: the new primary calls this once, after which its
+        journal entries and write acks carry the new epoch and every stale
+        writer sharing (or fenced on) a root is rejected.
+        """
+        epoch = self.journal.bump_epoch()
+        with self._lock:
+            if self._epoch is None or epoch > self._epoch:
+                self._epoch = epoch
+        return epoch
+
+    def _note_epoch(self, epoch: int) -> None:
+        """Adopt a higher epoch observed in a replicated journal entry.
+
+        Raises the handle's epoch immediately (authoritative: the entry came
+        from a promoted primary) and persists it best-effort, so a later
+        promotion of *this* root mints a strictly higher epoch even across
+        restarts.
+        """
+        if epoch <= 0:
+            return
+        with self._lock:
+            if self._epoch is None:
+                self._epoch = self.journal.read_epoch()
+            if epoch > self._epoch:
+                self._epoch = epoch
+        if epoch > self.journal.read_epoch():
+            try:
+                self.journal.write_epoch(epoch)
+            except (OSError, JournalError):
+                pass  # persistence is best-effort; the handle's epoch rose
 
     # -- checkpoints ---------------------------------------------------------------
 
@@ -428,7 +520,9 @@ class MappingCatalog:
                 "from [A-Za-z0-9._-] and start with a letter or digit"
             )
 
-    def _entry_from_record(self, kind: str, name: str, record: dict) -> CatalogEntry:
+    def _entry_from_record(
+        self, kind: str, name: str, record: dict, journal_seq: Optional[int] = None
+    ) -> CatalogEntry:
         return CatalogEntry(
             kind=kind,
             name=name,
@@ -436,6 +530,7 @@ class MappingCatalog:
             fingerprint=record["fingerprint"],
             created_at=record["created_at"],
             path=record["path"],
+            journal_seq=journal_seq,
         )
 
     def _put(
@@ -482,7 +577,7 @@ class MappingCatalog:
             # between journal and publish leaves an unacknowledged extra
             # journal entry — harmless, replay is fingerprint-idempotent —
             # and never an acknowledged version missing from the journal.
-            self._journal_append(
+            seq = self._journal_append(
                 shard,
                 {
                     "op": "put",
@@ -493,7 +588,7 @@ class MappingCatalog:
                 },
             )
             versions.append(record)
-            return self._entry_from_record(kind, name, record), True
+            return self._entry_from_record(kind, name, record, journal_seq=seq), True
 
         return self._mutate_shard(shard, mutate)
 
@@ -938,6 +1033,12 @@ class MappingCatalog:
         self._check_name(name)
         shard = self._shard_id(kind, name)
         seq = entry.get("seq")
+        # A higher epoch in a replicated entry is authoritative: the source
+        # was promoted past whatever this handle believed.
+        try:
+            self._note_epoch(int(entry.get("epoch", 0)))
+        except (TypeError, ValueError):
+            pass
 
         if op == "put":
             record = dict(entry["record"])
@@ -1086,6 +1187,7 @@ class MappingCatalog:
             stats["checkpoints"] = self._checkpoints.stats()
         if self._journal is not None:
             stats["journal"] = self._journal.stats()
+            stats["epoch"] = self.epoch
         stats["retries"] = self.retry_stats.snapshot()
         return stats
 

@@ -45,9 +45,24 @@ Replay is idempotent: entries carry the content fingerprint of the version
 they describe, and :meth:`~repro.catalog.MappingCatalog.apply_journal_entry`
 skips entries whose (version, fingerprint) is already present.
 
+Fencing epochs
+--------------
+
+Failover needs more than replay: a SIGKILLed primary can *come back*.  The
+journal therefore persists a monotonically increasing **fencing epoch** in
+``<journal>/EPOCH`` (absent = epoch 0, the never-promoted state).  Promotion
+bumps it under a file lock; every local write stamps the writer's adopted
+epoch into its journal entry, and the catalog refuses local writes once the
+persisted epoch outruns the handle's (or once a ``FENCED`` tombstone names a
+higher authority) — the zombie ex-primary gets
+:class:`~repro.exceptions.StaleEpochError` instead of split-braining the
+store.  Mirroring through ``apply_journal_entry`` stays allowed on a fenced
+root, so it can be re-seeded as a follower of the new primary.
+
 Fault points: ``journal.append.torn`` (a prefix of the entry lands and the
-append dies), ``journal.append.fsync`` (the fsync fails or stalls), and
-``journal.replay`` (reading entries back).
+append dies), ``journal.append.fsync`` (the fsync fails or stalls),
+``journal.replay`` (reading entries back), and ``journal.epoch.write``
+(persisting the epoch or the fence tombstone).
 """
 
 from __future__ import annotations
@@ -62,6 +77,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro import faults
+from repro.catalog.storage import FileLock, atomic_write_text
 from repro.exceptions import JournalError
 
 __all__ = [
@@ -83,6 +99,16 @@ DEFAULT_MAX_SEGMENT_BYTES = 1 << 20
 _MAX_ENTRY_BYTES = 64 << 20
 
 _SEGMENT_SUFFIX = ".seg"
+
+#: The persisted fencing epoch (absent = 0) and the fence tombstone.
+_EPOCH_FILE = "EPOCH"
+_FENCED_FILE = "FENCED"
+_EPOCH_LOCK_FILE = "EPOCH.lock"
+_EPOCH_LOCK_TIMEOUT_SECONDS = 10.0
+
+#: Follower applied-seq metadata persisted by an ``ack_level=replica``
+#: primary; its presence activates the GC retention floor.
+_REPLICA_ACKS_FILE = "replica-acks.json"
 
 
 def encode_entry(payload: dict) -> bytes:
@@ -175,6 +201,10 @@ class CatalogJournal:
         # Tail cache: shard -> (tail path, size, last seq).  Revalidated by a
         # stat on every append, so another process's appends are picked up.
         self._tails: Dict[int, Tuple[Path, int, int]] = {}
+        # Epoch/fence caches: (stat signature, value).  Revalidated by a stat
+        # per read, so another process's promotion is observed promptly.
+        self._epoch_cache: Optional[Tuple[Tuple[int, int], int]] = None
+        self._fenced_cache: Optional[Tuple[Tuple[int, int], int]] = None
 
     # -- layout --------------------------------------------------------------------
 
@@ -349,7 +379,124 @@ class CatalogJournal:
         """Every shard's newest sequence number."""
         return {shard: self.last_seq(shard) for shard in range(self.num_shards)}
 
+    # -- fencing epochs ------------------------------------------------------------
+
+    def _stat_cached_int(self, name: str, cache_attr: str) -> Optional[int]:
+        """Read an integer marker file next to the shards, cached by stat."""
+        path = self.directory / name
+        try:
+            st = os.stat(path)
+        except OSError:
+            setattr(self, cache_attr, None)
+            return None
+        signature = (st.st_mtime_ns, st.st_size)
+        cached = getattr(self, cache_attr)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        try:
+            value = int(path.read_text(encoding="utf-8").strip() or "0")
+        except OSError:
+            return None
+        except ValueError as exc:
+            raise JournalError(f"malformed epoch marker {path}: {exc}") from exc
+        setattr(self, cache_attr, (signature, value))
+        return value
+
+    def read_epoch(self) -> int:
+        """The persisted fencing epoch (0 when this root was never promoted)."""
+        value = self._stat_cached_int(_EPOCH_FILE, "_epoch_cache")
+        return 0 if value is None else value
+
+    def write_epoch(self, epoch: int) -> int:
+        """Persist ``epoch`` (must not regress); returns it.
+
+        Fault point: ``journal.epoch.write``.
+        """
+        if epoch < 1:
+            raise JournalError("epoch must be positive")
+        current = self.read_epoch()
+        if epoch < current:
+            raise JournalError(
+                f"fencing epoch is monotonic: cannot write {epoch} over {current}"
+            )
+        path = self.directory / _EPOCH_FILE
+        faults.fire("journal.epoch.write", path=str(path), epoch=epoch)
+        atomic_write_text(path, f"{epoch}\n")
+        self._epoch_cache = None
+        return epoch
+
+    def bump_epoch(self) -> int:
+        """Atomically increment and persist the epoch; returns the new value.
+
+        Serialized by a file lock so two racing promotions (the election's
+        losing candidate finishing a beat late) still mint distinct epochs.
+        """
+        with FileLock(
+            self.directory / _EPOCH_LOCK_FILE, timeout=_EPOCH_LOCK_TIMEOUT_SECONDS
+        ):
+            return self.write_epoch(self.read_epoch() + 1)
+
+    def fence(self, epoch: int) -> int:
+        """Fence this root off at ``epoch``: local writes must fail from now on.
+
+        A promoted replica calls this on its dead source's root, so a zombie
+        ex-primary that resurrects there observes the tombstone and raises
+        :class:`~repro.exceptions.StaleEpochError` instead of accepting
+        writes.  Mirrored applies stay allowed — the fenced root can be
+        re-seeded as a follower of the new primary.
+        """
+        if epoch < 1:
+            raise JournalError("epoch must be positive")
+        current = self.fenced_epoch()
+        if current is not None and epoch < current:
+            return current
+        path = self.directory / _FENCED_FILE
+        faults.fire("journal.epoch.write", path=str(path), epoch=epoch)
+        atomic_write_text(path, f"{epoch}\n")
+        self._fenced_cache = None
+        return epoch
+
+    def fenced_epoch(self) -> Optional[int]:
+        """The epoch this root was fenced at, or ``None`` (not fenced)."""
+        return self._stat_cached_int(_FENCED_FILE, "_fenced_cache")
+
     # -- retention -----------------------------------------------------------------
+
+    def replica_ack_floor(self) -> Optional[Dict[int, int]]:
+        """Per-shard minimum follower-acknowledged seq, or ``None``.
+
+        Reads the ``replica-acks.json`` an ``ack_level=replica`` primary
+        persists next to the shards.  ``None`` means no ack metadata is
+        present (``ack_level=journal`` deployments) — retention falls back to
+        the tail-protection rule alone.  A follower that has never reported a
+        shard floors it at 0, and unreadable metadata floors *every* shard at
+        0: both maximally conservative, nothing is dropped past them.
+        """
+        path = self.directory / _REPLICA_ACKS_FILE
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        zeros = {shard: 0 for shard in range(self.num_shards)}
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return zeros
+        if not isinstance(payload, dict):
+            return zeros
+        followers = payload.get("followers")
+        if not isinstance(followers, dict) or not followers:
+            return zeros
+        try:
+            return {
+                shard: min(
+                    int(follower.get("applied", {}).get(str(shard), 0))
+                    for follower in followers.values()
+                )
+                for shard in range(self.num_shards)
+            }
+        except (AttributeError, TypeError, ValueError):
+            return zeros
 
     def gc(
         self,
@@ -365,13 +512,21 @@ class CatalogJournal:
         sequence counter.  Dropping a segment shortens how far back a
         follower can catch up from this journal; a follower older than the
         retention window must re-seed from a fresh copy of the root.
+
+        With ``ack_level=replica`` metadata present (``replica-acks.json``
+        next to the shards), segments holding any entry **above** the minimum
+        follower-acknowledged seq are additionally protected, whatever the
+        count/age policy says — a slow follower's unacknowledged entries are
+        never collected out from under it (``ack_protected`` in the report
+        counts the reprieves).
         """
         if max_segments is not None and max_segments < 1:
             raise JournalError("max_segments must be positive")
         if max_age_seconds is not None and max_age_seconds < 0:
             raise JournalError("max_age_seconds must be non-negative")
         now = time.time()
-        examined = removed = 0
+        ack_floor = self.replica_ack_floor()
+        examined = removed = ack_protected = 0
         for shard in range(self.num_shards):
             segments = self.segments(shard)
             examined += len(segments)
@@ -389,6 +544,19 @@ class CatalogJournal:
                         continue
                     if age > max_age_seconds and path not in doomed:
                         doomed.append(path)
+            if ack_floor is not None and doomed:
+                # A candidate's newest entry is the seq just before the next
+                # segment starts; dropping it would lose entries a replica
+                # has not acknowledged applying yet.
+                floor = ack_floor.get(shard, 0)
+                survivors = []
+                for path in doomed:
+                    index = segments.index(path)
+                    if self._first_seq(segments[index + 1]) - 1 > floor:
+                        ack_protected += 1
+                    else:
+                        survivors.append(path)
+                doomed = survivors
             if dry_run:
                 removed += len(doomed)
                 continue
@@ -402,6 +570,7 @@ class CatalogJournal:
             "examined": examined,
             "removed": removed,
             "retained": examined - removed,
+            "ack_protected": ack_protected,
             "dry_run": dry_run,
         }
 

@@ -142,6 +142,19 @@ class LeaseUnavailableError(CatalogError):
     """
 
 
+class StaleEpochError(CatalogError):
+    """A local write was attempted with a fencing epoch the root has outgrown.
+
+    Raised on the write path when the catalog root carries a ``FENCED``
+    tombstone (a promoted replica fenced this root off) or when the persisted
+    epoch next to the journal is higher than the epoch this handle adopted —
+    both mean another process was promoted past this writer.  A zombie
+    ex-primary that wakes up after failover hits this instead of
+    split-braining the store.  Journal *mirroring* is exempt: a fenced root
+    may still be re-seeded as a follower of the new primary.
+    """
+
+
 class ServiceError(ReproError):
     """A composition request submitted to the service failed.
 

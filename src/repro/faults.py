@@ -39,6 +39,12 @@ Fault points currently instrumented
                                  (``eio``/``slow``/``crash``)
 ``router.backend``               the router proxying one request to one
                                  backend (``eio``/``slow``)
+``election.acquire``             an elector claiming/racing for the
+                                 ``leader`` lease (``eio``/``slow``/``crash``)
+``election.renew``               a leader renewing its ``leader`` lease
+                                 (``eio``/``slow``/``stall``)
+``journal.epoch.write``          persisting a fencing epoch or ``FENCED``
+                                 tombstone (``eio``/``slow``/``crash``)
 ===============================  ==============================================
 
 Schedules

@@ -22,11 +22,16 @@
   report replication lag, promote on demand;
 * :mod:`repro.service.router` — :class:`RouterHTTPServer`, the
   health-routing front tier behind ``repro route``: reads to healthy
-  followers, writes to the primary, retries of idempotent requests on dead
-  backends, automatic failover to a promoted replica.
+  followers, writes to the highest-epoch primary, retries of idempotent
+  requests on dead backends, automatic failover to a promoted replica;
+* :mod:`repro.service.election` — :class:`LeaderElector`, unattended
+  failover behind ``repro serve --election``: candidates watch primary
+  health, race for the ``leader`` lease when it goes silent, and the winner
+  self-promotes with a fresh fencing epoch (no ``/admin/promote`` needed).
 """
 
 from repro.service.breaker import CircuitBreaker
+from repro.service.election import LeaderElector
 from repro.service.http import ServiceHTTPServer, serve
 from repro.service.metrics import ServiceMetrics
 from repro.service.replica import (
@@ -42,6 +47,7 @@ __all__ = [
     "CircuitBreaker",
     "CompositionService",
     "HTTPJournalSource",
+    "LeaderElector",
     "LocalJournalSource",
     "ReplicationFollower",
     "RouterHTTPServer",

@@ -19,17 +19,27 @@ text-first — everything speaks the plain-text record formats of
   entries of one index shard with sequence numbers past ``since``
   (``&limit=N`` bounds the page; ``limit=0`` asks only for ``last_seq``) —
   the endpoint a :class:`~repro.service.replica.ReplicationFollower` tails
-  over HTTP.
+  over HTTP.  Pollers piggyback ``&follower=<id>&applied=<seq>``; the
+  server feeds that into the service's replica-ack table, which is how
+  ``ack_level="replica"`` writes learn they are mirrored.
 * ``POST /compose`` — body is a record text: a composition problem (the
   paper's task format) is composed and answered with a ``result`` record; a
   ``chain`` record is chain-composed and answered with a ``mapping`` record
   of the composed output (residual symbols folded into the input signature),
   plus ``X-Repro-*`` headers with hop-reuse counts.  ``?order=cost`` serves
   the request through the cost-guided planner; ``?store=<name>`` also
-  registers the result in the catalog.
+  registers the result in the catalog.  Stored writes carry an
+  ``x-repro-epoch`` header (the writer's fencing epoch); a write rejected
+  because this node's epoch is stale (a fenced zombie ex-primary) answers
+  ``409``.  With ``ServiceConfig(ack_level="replica")`` the ack is held
+  until a follower confirms the entry applied — a confirmation that misses
+  its deadline degrades to ``202`` with ``x-repro-ack-pending: 1`` (the
+  write is journal-durable, its mirroring just unconfirmed).
 * ``POST /admin/promote`` — on a follower (``repro serve --follow``), stop
-  tailing and become the primary; answers the promotion report.  ``409`` on
-  a server that is not a follower.
+  tailing and become the primary, minting the next fencing epoch; answers
+  the promotion report.  ``409`` on a server that is not a follower.  With
+  ``repro serve --election`` this endpoint remains as a manual override —
+  the elector notices the promotion and assumes leader duties.
 
 A server given a follower reports its role (``primary`` or ``follower``) and
 replication status in ``/healthz`` and ``/metrics`` — the router keys its
@@ -55,10 +65,17 @@ from typing import TYPE_CHECKING, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.compose.config import ComposerConfig
-from repro.exceptions import CatalogError, ParseError, ReproError, ServiceOverloadedError
+from repro.exceptions import (
+    CatalogError,
+    ParseError,
+    ReproError,
+    ServiceOverloadedError,
+    StaleEpochError,
+)
 from repro.service.server import CompositionService
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replica imports catalog)
+    from repro.service.election import LeaderElector
     from repro.service.replica import ReplicationFollower
 from repro.textio.format import problem_from_text
 from repro.textio.records import chain_from_text, detect_kind, mapping_to_text, result_to_text
@@ -120,8 +137,13 @@ class _Handler(BaseHTTPRequestHandler):
                 metrics = self.server.service.metrics()
                 follower = self.server.follower
                 metrics["role"] = self.server.role
+                metrics["epoch"] = self._epoch()
                 if follower is not None:
-                    metrics["replication"] = follower.status()
+                    replication = dict(metrics.get("replication", {}))
+                    replication.update(follower.status())
+                    metrics["replication"] = replication
+                if self.server.elector is not None:
+                    metrics["election"] = self.server.elector.status()
                 self._send_json(200, metrics)
             elif parts == ["catalog"]:
                 self._get_catalog_listing(parse_qs(url.query))
@@ -136,10 +158,21 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_text(400, f"{exc}\n")
 
+    def _epoch(self) -> int:
+        """The catalog's fencing epoch (0 without a catalog or before any)."""
+        catalog = self.server.service.catalog
+        if catalog is None:
+            return 0
+        try:
+            return catalog.epoch
+        except (CatalogError, OSError):  # pragma: no cover - unreadable marker
+            return 0
+
     def _health(self) -> dict:
         """The service health, extended with this server's replication view."""
         health = self.server.service.health()
         health["role"] = self.server.role
+        health["epoch"] = self._epoch()
         follower = self.server.follower
         if follower is not None:
             status = follower.status()
@@ -150,6 +183,18 @@ class _Handler(BaseHTTPRequestHandler):
             if status["verify_failures"]:
                 health["reasons"] = list(health["reasons"]) + [
                     f"replication verify failures: {status['verify_failures']}"
+                ]
+                health["status"] = "degraded"
+        elector = self.server.elector
+        if elector is not None:
+            status = elector.status()
+            health["election"] = status
+            if status["deposed"]:
+                # A deposed leader's lease was taken over: a newer leader
+                # exists and writes here would be fenced — degrade so the
+                # router routes writes away.
+                health["reasons"] = list(health["reasons"]) + [
+                    "leader lease lost (deposed by a newer leader)"
                 ]
                 health["status"] = "degraded"
         return health
@@ -174,6 +219,15 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             self._send_text(400, "since and limit must be integers\n")
             return
+        follower_id = query.get("follower", [None])[0]
+        if follower_id:
+            # The poller's applied-seq piggyback: its replay cursor *is* its
+            # ack.  Feeds ack_level="replica" write waits and the GC floor.
+            try:
+                applied = int(query.get("applied", [str(since)])[0])
+            except ValueError:
+                applied = since
+            self.server.service.record_follower_applied(follower_id, shard, applied)
         journal = catalog.journal
         entries = [] if limit == 0 else journal.read_since(shard, since, limit=limit)
         self._send_json(
@@ -254,6 +308,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._compose(text, config, store_as)
         except ServiceOverloadedError as exc:
             self._send_text(429, f"{exc}\n", headers=self._retry_after())
+        except StaleEpochError as exc:
+            # Fencing: this node's epoch has been outranked by a promoted
+            # replica — it must not accept writes anymore.
+            self._send_text(409, f"{exc}\n")
         except (ParseError, ReproError) as exc:
             self._send_text(400, f"{exc}\n")
 
@@ -265,8 +323,39 @@ class _Handler(BaseHTTPRequestHandler):
         if follower.promoted:
             self._send_json(200, {"promoted": True, "already": True})
             return
-        report = follower.promote()
+        report = dict(follower.promote())
+        catalog = self.server.service.catalog
+        if catalog is not None:
+            # Promotion mints the next fencing epoch: from here on this
+            # node's journal entries and write acks outrank the old
+            # primary's, and its zombie (if it ever wakes) is rejected.
+            try:
+                report["epoch"] = catalog.bump_epoch()
+            except (CatalogError, OSError) as exc:
+                report["epoch_error"] = str(exc)
         self._send_json(200, report)
+
+    def _store(self, catalog_kind: str, store_as: str, store_op, headers: list) -> int:
+        """Run one breaker-gated catalog store; returns the response status.
+
+        A stored write stamps ``x-repro-epoch``; a dropped one (breaker
+        open) flags ``X-Repro-Store-Dropped``.  With ``ack_level="replica"``
+        the call then blocks for a follower's applied confirmation and
+        degrades to ``202 + x-repro-ack-pending`` when none arrives in time.
+        :class:`StaleEpochError` propagates to ``do_POST``'s 409 handler.
+        """
+        service = self.server.service
+        entry = store_op()
+        if entry is None:
+            headers.append(("X-Repro-Store-Dropped", "1"))
+            headers.extend(self._retry_after())
+            return 200
+        headers.append(("x-repro-epoch", str(self._epoch())))
+        if service.config.ack_level == "replica":
+            if not service.await_replica_ack(catalog_kind, store_as, entry):
+                headers.append(("x-repro-ack-pending", "1"))
+                return 202
+        return 200
 
     def _compose(self, text: str, config: Optional[ComposerConfig], store_as: Optional[str]) -> None:
         service = self.server.service
@@ -277,14 +366,18 @@ class _Handler(BaseHTTPRequestHandler):
                 ("X-Repro-Eliminated", str(len(result.eliminated_symbols))),
                 ("X-Repro-Residual", str(len(result.remaining_symbols))),
             ]
+            status = 200
             if store_as and service.catalog is not None:
                 # Routed through the breaker-gated write: a degraded service
                 # still answers the composition, it just could not store it.
-                if not service.store_result(store_as, result):
-                    headers.append(("X-Repro-Store-Dropped", "1"))
-                    headers.extend(self._retry_after())
+                status = self._store(
+                    "result",
+                    store_as,
+                    lambda: service.store_result_entry(store_as, result),
+                    headers,
+                )
             self._send_text(
-                200, result_to_text(result, name=store_as or ""), headers=tuple(headers)
+                status, result_to_text(result, name=store_as or ""), headers=tuple(headers)
             )
         elif kind == "chain":
             chain_result = service.compose_chain(chain_from_text(text), config)
@@ -294,12 +387,16 @@ class _Handler(BaseHTTPRequestHandler):
                 ("X-Repro-Reused-Hops", str(chain_result.reused_hops)),
                 ("X-Repro-Residual", str(len(chain_result.residual_signature))),
             ]
+            status = 200
             if store_as and service.catalog is not None:
-                if not service.store_mapping(store_as, composed):
-                    headers.append(("X-Repro-Store-Dropped", "1"))
-                    headers.extend(self._retry_after())
+                status = self._store(
+                    "mapping",
+                    store_as,
+                    lambda: service.store_mapping_entry(store_as, composed),
+                    headers,
+                )
             self._send_text(
-                200, mapping_to_text(composed, name=store_as or ""), headers=tuple(headers)
+                status, mapping_to_text(composed, name=store_as or ""), headers=tuple(headers)
             )
         else:
             self._send_text(
@@ -313,6 +410,7 @@ class _ServiceHTTPD(ThreadingHTTPServer):
     service: CompositionService
     verbose: bool
     follower: "Optional[ReplicationFollower]" = None
+    elector: "Optional[LeaderElector]" = None
 
     @property
     def role(self) -> str:
@@ -342,9 +440,11 @@ class ServiceHTTPServer:
         port: int = 8075,
         verbose: bool = False,
         follower: "Optional[ReplicationFollower]" = None,
+        elector: "Optional[LeaderElector]" = None,
     ):
         self.service = service
         self.follower = follower
+        self.elector = elector
         self._closed = False
         self._httpd = _ServiceHTTPD((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -352,6 +452,7 @@ class ServiceHTTPServer:
         self._httpd.service = service
         self._httpd.verbose = verbose
         self._httpd.follower = follower
+        self._httpd.elector = elector
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -406,8 +507,9 @@ def serve(
     port: int = 8075,
     verbose: bool = False,
     follower: "Optional[ReplicationFollower]" = None,
+    elector: "Optional[LeaderElector]" = None,
 ) -> ServiceHTTPServer:
     """Convenience: build and start a :class:`ServiceHTTPServer`."""
     return ServiceHTTPServer(
-        service, host=host, port=port, verbose=verbose, follower=follower
+        service, host=host, port=port, verbose=verbose, follower=follower, elector=elector
     ).start()

@@ -20,7 +20,10 @@ output.  Collected:
 * degradation — batch-execution failures *by exception type* (a blanket
   ``except`` that only bumped one opaque counter hid which failure mode was
   firing), catalog writes dropped by the open circuit breaker or failed
-  against the disk, storage health probes, and lease-claim failures.
+  against the disk, storage health probes, and lease-claim failures; and
+* replication — replica acks satisfied vs timed out (``ack_level="replica"``
+  writes) and local writes rejected with a stale fencing epoch (a fenced
+  zombie ex-primary trying to write past a newer leader).
 """
 
 from __future__ import annotations
@@ -68,6 +71,9 @@ class ServiceMetrics:
         self.probes = 0
         self.probe_failures = 0
         self.lease_claim_failures = 0
+        self.replica_acks_satisfied = 0
+        self.replica_acks_timed_out = 0
+        self.stale_epoch_rejected = 0
 
     # -- recording -----------------------------------------------------------------
 
@@ -156,6 +162,19 @@ class ServiceMetrics:
         """A cross-process lease claim failed; work proceeded unclaimed."""
         with self._lock:
             self.lease_claim_failures += 1
+
+    def record_replica_ack(self, satisfied: bool) -> None:
+        """One ``ack_level="replica"`` wait resolved (confirmed or timed out)."""
+        with self._lock:
+            if satisfied:
+                self.replica_acks_satisfied += 1
+            else:
+                self.replica_acks_timed_out += 1
+
+    def record_stale_epoch_rejected(self) -> None:
+        """A local write was refused because this writer's epoch is stale."""
+        with self._lock:
+            self.stale_epoch_rejected += 1
 
     def record_completed(
         self,
@@ -252,6 +271,11 @@ class ServiceMetrics:
                     "probes": self.probes,
                     "probe_failures": self.probe_failures,
                     "lease_claim_failures": self.lease_claim_failures,
+                },
+                "replication": {
+                    "replica_acks_satisfied": self.replica_acks_satisfied,
+                    "replica_acks_timed_out": self.replica_acks_timed_out,
+                    "stale_epoch_rejected": self.stale_epoch_rejected,
                 },
                 "breaker": dict(breaker) if breaker else {},
                 "leases": dict(leases) if leases else {},

@@ -31,6 +31,7 @@ Fault point: ``replica.apply`` fires before each entry is applied.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from pathlib import Path
@@ -42,6 +43,7 @@ from urllib.request import urlopen
 from repro import faults
 from repro.catalog.catalog import MappingCatalog
 from repro.catalog.journal import CatalogJournal
+from repro.catalog.leases import default_owner_id
 from repro.exceptions import CatalogError, JournalError, ReplicationError
 
 __all__ = [
@@ -91,18 +93,35 @@ class LocalJournalSource(JournalSource):
 
 
 class HTTPJournalSource(JournalSource):
-    """Tail a running primary over its ``GET /journal/<shard>`` endpoint."""
+    """Tail a running primary over its ``GET /journal/<shard>`` endpoint.
 
-    def __init__(self, base_url: str, num_shards: int = 16, timeout_seconds: float = 5.0):
+    Each poll piggybacks this follower's identity and applied seq for the
+    shard (``&follower=<id>&applied=<seq>``), which is how the primary's
+    ``ack_level="replica"`` mode learns that an entry is durably mirrored —
+    no extra ack round-trip, the replication pull *is* the ack.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        num_shards: int = 16,
+        timeout_seconds: float = 5.0,
+        follower_id: Optional[str] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.origin = self.base_url
         self.num_shards = num_shards
         self.timeout_seconds = timeout_seconds
+        self.follower_id = follower_id or default_owner_id()
 
-    def _fetch(self, shard: int, since: int, limit: Optional[int]) -> dict:
+    def _fetch(
+        self, shard: int, since: int, limit: Optional[int], report_applied: bool = False
+    ) -> dict:
         url = f"{self.base_url}/journal/{quote(str(shard))}?since={since}"
         if limit is not None:
             url += f"&limit={limit}"
+        if report_applied:
+            url += f"&follower={quote(self.follower_id)}&applied={since}"
         with urlopen(url, timeout=self.timeout_seconds) as response:
             payload = json.loads(response.read().decode("utf-8"))
         if not isinstance(payload, dict) or "entries" not in payload:
@@ -112,7 +131,7 @@ class HTTPJournalSource(JournalSource):
         return payload
 
     def read_since(self, shard: int, since: int, limit: Optional[int] = None) -> List[dict]:
-        return list(self._fetch(shard, since, limit)["entries"])
+        return list(self._fetch(shard, since, limit, report_applied=True)["entries"])
 
     def last_seqs(self) -> Dict[int, int]:
         out: Dict[int, int] = {}
@@ -232,7 +251,10 @@ class ReplicationFollower:
             except Exception:  # noqa: BLE001 - a bad poll must not kill the tail
                 self.poll_failures += 1
                 self._source_reachable = False
-            self._stop.wait(self.poll_interval_seconds)
+            # Full jitter: uniform in (0, interval], so a fleet of followers
+            # restarted together spreads out instead of thundering-herding
+            # the primary's /journal endpoint on every beat.
+            self._stop.wait(self.poll_interval_seconds * (1.0 - random.random()))
 
     # -- catching up ---------------------------------------------------------------
 

@@ -12,7 +12,16 @@ same "curl is a complete client" contract as the service itself:
   spread load), then the healthy primary, then — rather than failing — any
   backend that still answers, even degraded;
 * **writes** (every ``POST``) go only to backends reporting the ``primary``
-  role, so a follower never forks the replicated sequence space;
+  role, so a follower never forks the replicated sequence space; among
+  several primaries the *highest fencing epoch* wins — after an election a
+  resurrected zombie ex-primary may still call itself ``primary``, but the
+  freshly promoted backend's higher epoch (learned from the same health
+  polls) routes writes away from it;
+* **flap damping**: a backend that dropped off the network must answer
+  ``min_consecutive_ok`` consecutive healthy polls (default 2) before it
+  re-enters rotation, so a flapping backend does not oscillate traffic;
+  ``/router/status`` exposes each backend's ``consecutive_ok`` streak and
+  last-poll timestamp;
 * **retries**: idempotent requests — ``GET``, and ``POST /compose`` (the
   composition is deterministic in its inputs) — are transparently retried on
   the next candidate when a backend drops the connection, so clients of a
@@ -60,8 +69,11 @@ class BackendState:
         "reachable",
         "role",
         "status",
+        "epoch",
         "consecutive_failures",
+        "consecutive_ok",
         "last_checked_monotonic",
+        "last_poll_at",
         "last_error",
     )
 
@@ -71,8 +83,11 @@ class BackendState:
         self.reachable = False
         self.role = "primary"
         self.status = "unknown"
+        self.epoch = 0
         self.consecutive_failures = 0
+        self.consecutive_ok = 0
         self.last_checked_monotonic: Optional[float] = None
+        self.last_poll_at: Optional[float] = None
         self.last_error: Optional[str] = None
 
     def snapshot(self) -> dict:
@@ -85,8 +100,11 @@ class BackendState:
             "reachable": self.reachable,
             "role": self.role,
             "status": self.status,
+            "epoch": self.epoch,
             "consecutive_failures": self.consecutive_failures,
+            "consecutive_ok": self.consecutive_ok,
             "last_checked_age_seconds": age,
+            "last_poll_at": self.last_poll_at,
             "last_error": self.last_error,
         }
 
@@ -171,16 +189,20 @@ class RouterHTTPServer:
         health_interval_seconds: float = 0.5,
         health_timeout_seconds: float = 2.0,
         request_timeout_seconds: float = 60.0,
+        min_consecutive_ok: int = 2,
         verbose: bool = False,
     ):
         if not backends:
             raise ServiceError("the router needs at least one --backend URL")
         if health_interval_seconds <= 0:
             raise ServiceError("health_interval_seconds must be positive")
+        if min_consecutive_ok < 1:
+            raise ServiceError("min_consecutive_ok must be positive")
         self.backends = [BackendState(url) for url in backends]
         self.health_interval_seconds = health_interval_seconds
         self.health_timeout_seconds = health_timeout_seconds
         self.request_timeout_seconds = request_timeout_seconds
+        self.min_consecutive_ok = min_consecutive_ok
         self._lock = threading.Lock()
         self._rotation = 0
         self._closed = False
@@ -210,6 +232,7 @@ class RouterHTTPServer:
     def check_backend(self, backend: BackendState) -> None:
         """One health probe of one backend; updates its state in place."""
         backend.last_checked_monotonic = time.monotonic()
+        backend.last_poll_at = time.time()
         try:
             with urlopen(
                 f"{backend.url}/healthz", timeout=self.health_timeout_seconds
@@ -229,17 +252,31 @@ class RouterHTTPServer:
             backend.healthy = False
             backend.status = "unreachable"
             backend.consecutive_failures += 1
+            backend.consecutive_ok = 0
             backend.last_error = str(exc)
             return
         backend.reachable = True
-        backend.healthy = status_code == 200
+        ok = status_code == 200
+        backend.consecutive_ok = backend.consecutive_ok + 1 if ok else 0
         backend.status = str(payload.get("status", "unknown"))
+        try:
+            backend.epoch = int(payload.get("epoch", backend.epoch) or 0)
+        except (TypeError, ValueError):
+            pass
         new_role = str(payload.get("role", "primary"))
         if new_role != backend.role and new_role == "primary":
             # A follower reported itself primary: a promotion happened.
             with self._lock:
                 self.failovers += 1
         backend.role = new_role
+        if ok and backend.consecutive_failures and backend.consecutive_ok < self.min_consecutive_ok:
+            # Flap damping: a backend coming back from unreachable must
+            # string together min_consecutive_ok healthy polls before it
+            # re-enters rotation, so a flapping process does not oscillate
+            # traffic.  It stays reachable (last-resort read routable).
+            backend.healthy = False
+            return
+        backend.healthy = ok
         backend.consecutive_failures = 0
         backend.last_error = None
 
@@ -278,6 +315,12 @@ class RouterHTTPServer:
         primaries = [b for b in self.backends if b.role == "primary"]
         healthy = [b for b in primaries if b.healthy]
         degraded = [b for b in primaries if b.reachable and not b.healthy]
+        # The highest fencing epoch is authoritative: after an election the
+        # promoted backend outranks a zombie ex-primary that still answers
+        # and still calls itself primary.  Stable sort: all-zero epochs (no
+        # election ever) keep the configured order.
+        healthy.sort(key=lambda b: -b.epoch)
+        degraded.sort(key=lambda b: -b.epoch)
         return healthy + degraded
 
     # -- forwarding ----------------------------------------------------------------

@@ -35,6 +35,11 @@ all of them at once.  :class:`CompositionService` is that front-end:
   previously persisted prefixes) but hops they record stay worker-local —
   the engine's usual process-isolation trade
   (:attr:`~repro.engine.batch.BatchConfig.share_checkpoints`);
+* **tunable write acknowledgements** — ``ServiceConfig(ack_level)`` picks
+  what a write ack promises: ``"journal"`` (fsynced into the local WAL) or
+  ``"replica"`` (additionally confirmed applied by at least one follower,
+  learned from the applied-seq followers piggyback on their journal polls,
+  with a bounded wait degrading to an explicit pending ack);
 * **bounded disk growth** — with a catalog attached and
   ``gc_interval_seconds`` set, a background sweep runs
   :meth:`~repro.catalog.MappingCatalog.gc` periodically (checkpoint age/LRU
@@ -53,6 +58,7 @@ under concurrent overlapping load).
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections import deque
@@ -64,7 +70,7 @@ from repro.algebra.digest import DIGEST_SIZE
 from repro.catalog.catalog import MappingCatalog
 from repro.catalog.checkpoints import PersistentCheckpointStore
 from repro.catalog.leases import Lease, LeaseTable
-from repro.catalog.storage import atomic_write_bytes
+from repro.catalog.storage import atomic_write_bytes, atomic_write_text
 from repro.compose.config import ComposerConfig
 from repro.engine.batch import BatchComposer, BatchConfig, BatchItemResult, ProblemStatus
 from repro.engine.checkpoint import CheckpointStore
@@ -76,6 +82,7 @@ from repro.exceptions import (
     ServiceDeadlineError,
     ServiceError,
     ServiceOverloadedError,
+    StaleEpochError,
 )
 from repro.mapping.composition_problem import CompositionProblem
 from repro.mapping.mapping import Mapping
@@ -150,6 +157,17 @@ class ServiceConfig:
         work itself anyway (the result is deterministic, so a duplicated
         composition is wasted CPU, never a wrong answer).  Defaults to
         ``4 * lease_ttl_seconds``.
+    ack_level:
+        Durability level of write acknowledgements: ``"journal"`` (the
+        default) acks once the entry is fsynced into the local WAL;
+        ``"replica"`` additionally holds the ack until at least one follower
+        reports the entry's seq applied (followers piggyback their applied
+        seq on journal poll requests).  A write whose replica ack does not
+        arrive within ``replica_ack_timeout_seconds`` is *degraded*, not
+        failed: the HTTP layer answers ``202`` with ``x-repro-ack-pending``.
+    replica_ack_timeout_seconds:
+        How long an ``ack_level="replica"`` write waits for a follower to
+        confirm before falling back to the degraded journal-only ack.
     """
 
     max_pending: int = 1024
@@ -177,6 +195,8 @@ class ServiceConfig:
     breaker_recovery_seconds: float = 1.0
     lease_ttl_seconds: Optional[float] = None
     lease_wait_seconds: Optional[float] = None
+    ack_level: str = "journal"
+    replica_ack_timeout_seconds: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -211,6 +231,12 @@ class ServiceConfig:
             raise EngineError("lease_ttl_seconds must be positive")
         if self.lease_wait_seconds is not None and self.lease_wait_seconds < 0:
             raise EngineError("lease_wait_seconds must be non-negative")
+        if self.ack_level not in ("journal", "replica"):
+            raise EngineError(
+                f"ack_level must be 'journal' or 'replica', not {self.ack_level!r}"
+            )
+        if self.replica_ack_timeout_seconds <= 0:
+            raise EngineError("replica_ack_timeout_seconds must be positive")
 
 
 class Ticket:
@@ -323,6 +349,13 @@ class CompositionService:
             self.leases = LeaseTable(
                 catalog.root / "leases", ttl_seconds=self.config.lease_ttl_seconds
             )
+        # Replica acknowledgements: follower-id -> {"applied": {shard: seq}}.
+        # Fed by followers piggybacking applied-seq on journal polls; waited
+        # on by ack_level="replica" writes, persisted (throttled) next to the
+        # journal so GC keeps unmirrored segments.
+        self._ack_cond = threading.Condition()
+        self._replica_acks: Dict[str, dict] = {}
+        self._acks_persisted_monotonic: Optional[float] = None
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -783,12 +816,40 @@ class CompositionService:
             return False
         return self._catalog_write(lambda: self.catalog.put_mapping(name, mapping))
 
+    def store_result_entry(self, name: str, result):
+        """Like :meth:`store_result` but returns the :class:`CatalogEntry`.
+
+        ``None`` means the write was dropped (breaker open) or failed; the
+        entry's ``journal_seq`` is what an ``ack_level="replica"`` caller
+        waits on.  :class:`~repro.exceptions.StaleEpochError` propagates.
+        """
+        if self.catalog is None:
+            return None
+        box: list = []
+        ok = self._catalog_write(lambda: box.append(self.catalog.put_result(name, result)))
+        return box[0] if ok and box else None
+
+    def store_mapping_entry(self, name: str, mapping):
+        """Like :meth:`store_mapping` but returns the :class:`CatalogEntry`."""
+        if self.catalog is None:
+            return None
+        box: list = []
+        ok = self._catalog_write(lambda: box.append(self.catalog.put_mapping(name, mapping)))
+        return box[0] if ok and box else None
+
     def _catalog_write(self, op) -> bool:
         if not self.breaker.allow():
             self.metrics_store.record_catalog_write_dropped()
             return False
         try:
             op()
+        except StaleEpochError:
+            # A fencing rejection, not storage sickness: the disk is fine,
+            # this *writer* has been outranked.  Propagate (the HTTP layer
+            # answers 409) without tripping the breaker into memory-only
+            # mode.
+            self.metrics_store.record_stale_epoch_rejected()
+            raise
         except (CatalogError, OSError) as exc:
             self.breaker.record_failure(exc)
             self.metrics_store.record_catalog_write_failure(type(exc).__name__)
@@ -796,6 +857,105 @@ class CompositionService:
         self.breaker.record_success()
         self.metrics_store.record_catalog_write()
         return True
+
+    # -- replica acknowledgements ----------------------------------------------------
+
+    def journal_shard(self, kind: str, name: str) -> int:
+        """The journal shard a ``kind/name`` write lands in."""
+        return MappingCatalog._shard_id(kind, name)
+
+    def record_follower_applied(self, follower_id: str, shard: int, applied: int) -> None:
+        """A follower reported it has applied ``shard`` up to seq ``applied``.
+
+        Called by the HTTP layer for every journal poll carrying the
+        ``follower``/``applied`` piggyback.  Wakes every write waiting on a
+        replica ack and (throttled) persists the floor next to the journal
+        for GC's retention rule.
+        """
+        with self._ack_cond:
+            follower = self._replica_acks.setdefault(follower_id, {"applied": {}})
+            previous = int(follower["applied"].get(shard, 0))
+            if applied > previous:
+                follower["applied"][shard] = int(applied)
+            follower["updated_at"] = time.time()
+            self._ack_cond.notify_all()
+        self._persist_replica_acks()
+
+    def replica_applied_seq(self, shard: int) -> int:
+        """The highest seq *any* follower has confirmed applied for ``shard``."""
+        with self._ack_cond:
+            return self._replica_applied_locked(shard)
+
+    def _replica_applied_locked(self, shard: int) -> int:
+        best = 0
+        for follower in self._replica_acks.values():
+            best = max(best, int(follower.get("applied", {}).get(shard, 0)))
+        return best
+
+    def await_replica_ack(
+        self, kind: str, name: str, entry, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until a follower confirms ``entry``'s journal seq; ``True`` if acked.
+
+        ``False`` means the ack did not arrive within the budget — the write
+        is journal-durable but not yet known mirrored (the HTTP layer's
+        ``202 + x-repro-ack-pending`` degraded ack).  Entries that never
+        journaled (deduped writes, no catalog) are trivially acked.
+        """
+        seq = getattr(entry, "journal_seq", None)
+        if seq is None:
+            return True
+        shard = self.journal_shard(kind, name)
+        budget = (
+            timeout if timeout is not None else self.config.replica_ack_timeout_seconds
+        )
+        deadline = time.monotonic() + budget
+        with self._ack_cond:
+            while self._replica_applied_locked(shard) < seq:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.metrics_store.record_replica_ack(satisfied=False)
+                    return False
+                self._ack_cond.wait(remaining)
+        self.metrics_store.record_replica_ack(satisfied=True)
+        return True
+
+    def _persist_replica_acks(self, min_interval_seconds: float = 0.25) -> None:
+        """Throttled write of ``replica-acks.json`` next to the journal.
+
+        Only an ``ack_level="replica"`` primary persists: the file's presence
+        is what activates :meth:`CatalogJournal.replica_ack_floor`'s GC
+        retention rule, and a journal-ack deployment must not pay that floor.
+        """
+        if self.catalog is None or self.config.ack_level != "replica":
+            return
+        now = time.monotonic()
+        with self._ack_cond:
+            last = self._acks_persisted_monotonic
+            if last is not None and now - last < min_interval_seconds:
+                return
+            self._acks_persisted_monotonic = now
+            payload = {
+                "followers": {
+                    follower_id: {
+                        "applied": {
+                            str(shard): seq
+                            for shard, seq in sorted(state.get("applied", {}).items())
+                        },
+                        "updated_at": state.get("updated_at"),
+                    }
+                    for follower_id, state in self._replica_acks.items()
+                }
+            }
+        try:
+            directory = self.catalog.journal.directory
+            directory.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                directory / "replica-acks.json",
+                json.dumps(payload, sort_keys=True) + "\n",
+            )
+        except (CatalogError, OSError):  # pragma: no cover - best-effort metadata
+            pass
 
     def probe_storage(self) -> bool:
         """Write-and-read a probe file under the catalog root; feeds the breaker.

@@ -1,0 +1,199 @@
+"""Fencing epochs: monotonic promotion markers that stop zombie ex-primaries.
+
+Promotion mints a strictly increasing epoch persisted next to the journal;
+local writes stamp it into every entry, a ``FENCED`` tombstone (or a higher
+persisted epoch) turns further local writes into
+:class:`~repro.exceptions.StaleEpochError`, and *mirroring* stays exempt so
+a fenced root can be re-seeded as a follower of the new primary.  The GC
+retention rule additionally never drops segments a replica has not
+acknowledged when ``replica-acks.json`` is present (the ``ack_level=replica``
+metadata the service persists).
+"""
+
+import json
+
+import pytest
+
+from repro.catalog import MappingCatalog
+from repro.catalog.journal import CatalogJournal
+from repro.engine import ChainGrower
+from repro.exceptions import JournalError, StaleEpochError
+
+
+def _mappings(count, seed=3, schema_size=4):
+    return list(ChainGrower(seed=seed, schema_size=schema_size).grow_many(count))
+
+
+class TestJournalEpochs:
+    def test_epoch_starts_at_zero_and_is_monotonic(self, tmp_path):
+        journal = CatalogJournal(tmp_path / "journal", num_shards=1)
+        assert journal.read_epoch() == 0
+        assert journal.bump_epoch() == 1
+        assert journal.bump_epoch() == 2
+        assert journal.read_epoch() == 2
+        with pytest.raises(JournalError):
+            journal.write_epoch(1)  # going backwards is corruption
+        with pytest.raises(JournalError):
+            journal.write_epoch(0)
+
+    def test_epoch_is_shared_across_handles(self, tmp_path):
+        a = CatalogJournal(tmp_path / "journal", num_shards=1)
+        b = CatalogJournal(tmp_path / "journal", num_shards=1)
+        a.bump_epoch()
+        assert b.read_epoch() == 1
+        assert b.bump_epoch() == 2
+        assert a.read_epoch() == 2
+
+    def test_fence_is_monotonic_and_readable(self, tmp_path):
+        journal = CatalogJournal(tmp_path / "journal", num_shards=1)
+        assert journal.fenced_epoch() is None
+        assert journal.fence(3) == 3
+        assert journal.fenced_epoch() == 3
+        # A lower fence does not regress the tombstone.
+        assert journal.fence(2) == 3
+        assert journal.fenced_epoch() == 3
+        assert journal.fence(5) == 5
+
+
+class TestCatalogFencing:
+    def test_epoch_zero_entries_are_unstamped(self, tmp_path):
+        """A never-promoted deployment journals byte-identically to before."""
+        catalog = MappingCatalog(tmp_path / "cat")
+        (mapping,) = _mappings(1)
+        catalog.put_mapping("m", mapping)
+        shard = catalog._shard_id("mapping", "m")
+        (entry,) = catalog.journal.read_since(shard)
+        assert "epoch" not in entry
+
+    def test_bumped_epoch_is_stamped_into_entries(self, tmp_path):
+        catalog = MappingCatalog(tmp_path / "cat")
+        assert catalog.bump_epoch() == 1
+        (mapping,) = _mappings(1)
+        catalog.put_mapping("m", mapping)
+        shard = catalog._shard_id("mapping", "m")
+        (entry,) = catalog.journal.read_since(shard)
+        assert entry["epoch"] == 1
+        assert catalog.stats()["epoch"] == 1
+
+    def test_fenced_root_rejects_local_writes(self, tmp_path):
+        catalog = MappingCatalog(tmp_path / "cat")
+        first, second = _mappings(2)
+        catalog.put_mapping("before", first)
+        # A promoted replica fences this root past our epoch (0).
+        catalog.journal.fence(1)
+        with pytest.raises(StaleEpochError):
+            catalog.put_mapping("after", second)
+        # The refused write never landed: neither index nor journal grew.
+        assert [e.name for e in catalog.entries("mapping")] == ["before"]
+
+    def test_shared_root_zombie_is_rejected(self, tmp_path):
+        """Two handles on one root: the promoted one outranks the stale one."""
+        zombie = MappingCatalog(tmp_path / "cat")
+        promoted = MappingCatalog(tmp_path / "cat")
+        first, second, third = _mappings(3)
+        zombie.put_mapping("a", first)  # zombie adopts epoch 0
+        promoted.bump_epoch()
+        promoted.put_mapping("b", second)
+        with pytest.raises(StaleEpochError):
+            zombie.put_mapping("c", third)  # persisted epoch outran its handle
+
+    def test_mirroring_is_exempt_from_fencing(self, tmp_path):
+        """A fenced root can still be re-seeded as a follower."""
+        primary = MappingCatalog(tmp_path / "primary")
+        primary.bump_epoch()
+        (mapping,) = _mappings(1)
+        primary.put_mapping("m", mapping)
+        shard = primary._shard_id("mapping", "m")
+        (entry,) = primary.journal.read_since(shard)
+
+        follower = MappingCatalog(tmp_path / "follower")
+        follower.journal.fence(1)  # fenced off after the old primary died
+        assert follower.apply_journal_entry(entry) == "applied"
+        assert follower.get_mapping("m").fingerprint() == mapping.fingerprint()
+
+    def test_follower_adopts_higher_epoch_from_entries(self, tmp_path):
+        primary = MappingCatalog(tmp_path / "primary")
+        primary.bump_epoch()
+        primary.bump_epoch()
+        (mapping,) = _mappings(1)
+        primary.put_mapping("m", mapping)
+        shard = primary._shard_id("mapping", "m")
+        (entry,) = primary.journal.read_since(shard)
+
+        follower = MappingCatalog(tmp_path / "follower")
+        follower.apply_journal_entry(entry)
+        # The entry's epoch is authoritative: adopted in memory and persisted,
+        # so promoting *this* root later mints a strictly higher epoch.
+        assert follower.epoch == 2
+        assert follower.journal.read_epoch() == 2
+        assert follower.bump_epoch() == 3
+
+    def test_put_returns_journal_seq(self, tmp_path):
+        catalog = MappingCatalog(tmp_path / "cat")
+        first, second = _mappings(2)
+        entry = catalog.put_mapping("m", first)
+        assert entry.journal_seq == 1
+        # A content-identical re-put dedupes: no new journal entry, no seq.
+        again = catalog.put_mapping("m", first)
+        assert again.journal_seq is None
+        assert catalog.put_mapping("m", second).journal_seq == 2
+
+
+class TestReplicaAckRetention:
+    def _journal_with_segments(self, tmp_path, entries=6):
+        journal = CatalogJournal(tmp_path / "journal", num_shards=1, max_segment_bytes=1)
+        for n in range(entries):
+            journal.append(0, {"n": n})
+        assert len(journal.segments(0)) == entries
+        return journal
+
+    def _write_acks(self, journal, applied):
+        (journal.directory / "replica-acks.json").write_text(
+            json.dumps({"followers": {"f1": {"applied": {"0": applied}}}})
+        )
+
+    def test_unacked_segments_survive_gc(self, tmp_path):
+        journal = self._journal_with_segments(tmp_path)
+        self._write_acks(journal, applied=2)
+        report = journal.gc(max_segments=1)
+        # Segments holding seqs 3.. are not follower-acknowledged: protected.
+        assert report["ack_protected"] > 0
+        seqs = [e["seq"] for e in journal.read_since(0, since=0)]
+        assert seqs == [3, 4, 5, 6]
+
+    def test_fully_acked_segments_are_collectable(self, tmp_path):
+        journal = self._journal_with_segments(tmp_path)
+        self._write_acks(journal, applied=6)
+        report = journal.gc(max_segments=2)
+        assert report["removed"] == 4
+        assert report["ack_protected"] == 0
+        assert len(journal.segments(0)) == 2
+
+    def test_min_over_followers_is_the_floor(self, tmp_path):
+        journal = self._journal_with_segments(tmp_path)
+        (journal.directory / "replica-acks.json").write_text(
+            json.dumps(
+                {
+                    "followers": {
+                        "fast": {"applied": {"0": 6}},
+                        "slow": {"applied": {"0": 1}},
+                    }
+                }
+            )
+        )
+        journal.gc(max_segments=1)
+        # The slow follower still needs seq 2: everything from there stays.
+        assert [e["seq"] for e in journal.read_since(0, since=0)] == [2, 3, 4, 5, 6]
+
+    def test_malformed_acks_protect_everything(self, tmp_path):
+        journal = self._journal_with_segments(tmp_path)
+        (journal.directory / "replica-acks.json").write_text("{not json")
+        report = journal.gc(max_segments=1)
+        assert report["removed"] == 0
+        assert report["ack_protected"] > 0
+
+    def test_absent_acks_fall_back_to_tail_rule(self, tmp_path):
+        journal = self._journal_with_segments(tmp_path)
+        report = journal.gc(max_segments=2)
+        assert report["removed"] == 4
+        assert len(journal.segments(0)) == 2

@@ -1,0 +1,65 @@
+"""A stalled lease holder must *observe* losing its lease (satellite of PR 9).
+
+The scenario leader election depends on: a process holding the ``leader``
+lease is SIGSTOPped (debugger, GC pause, cgroup freeze) past its TTL, a peer
+takes the key over, and when the victim wakes up its next ``renew()`` MUST
+return ``False`` and drop the key from its held table — a zombie that still
+believed it held the lease would keep claiming leadership, and only fencing
+epochs would stand between it and split-brain.
+"""
+
+import os
+import signal
+import time
+
+from repro.catalog.leases import LeaseTable
+
+_VICTIM = """
+import sys, time
+from repro.catalog.leases import LeaseTable
+
+table = LeaseTable(sys.argv[1], owner="victim", ttl_seconds=1.0)
+assert table.acquire("leader") is not None
+print("held", flush=True)
+# The stall window: SIGSTOP lands here, and the kernel keeps the sleep's
+# deadline ticking while the process is stopped — exactly a real stall.
+time.sleep(2.5)
+print(f"renew {table.renew('leader')}", flush=True)
+print(f"held-after {len(table.held())}", flush=True)
+print(f"lost {table.stats()['lost']}", flush=True)
+"""
+
+
+class TestLeaseLostUnderStall:
+    def test_sigstopped_holder_observes_renew_false(self, tmp_path, run_python):
+        lease_dir = tmp_path / "leases"
+        victim = run_python(_VICTIM, str(lease_dir), wait=False)
+        try:
+            assert victim.stdout.readline().strip() == "held"
+            os.kill(victim.pid, signal.SIGSTOP)
+
+            # Let the victim's TTL (1s) lapse while it is frozen, then take
+            # the key over from this process — the takeover must succeed
+            # because the lease on disk is expired, not because we forced it.
+            time.sleep(1.6)
+            usurper = LeaseTable(lease_dir, owner="usurper", ttl_seconds=30)
+            lease = usurper.acquire("leader")
+            assert lease is not None
+            assert usurper.stats()["takeovers"] == 1
+
+            os.kill(victim.pid, signal.SIGCONT)
+            out, err = victim.communicate(timeout=60)
+            assert victim.returncode == 0, f"victim failed:\n{out}\n{err}"
+            lines = out.splitlines()
+            assert "renew False" in lines
+            assert "held-after 0" in lines  # exclusivity is known to be gone
+            assert "lost 1" in lines
+
+            # The usurper's claim survived the victim's wake-up untouched.
+            current = usurper.peek("leader")
+            assert current is not None and current.owner == "usurper"
+        finally:
+            if victim.poll() is None:
+                os.kill(victim.pid, signal.SIGCONT)
+                victim.kill()
+                victim.communicate()

@@ -217,6 +217,95 @@ class TestRetryAfter:
             server.stop()
 
 
+class TestReplicaAcks:
+    """``ack_level=replica``: acks wait for a follower, or degrade to 202."""
+
+    @pytest.fixture()
+    def rstack(self, tmp_path):
+        catalog = MappingCatalog(tmp_path / "cat")
+        service = CompositionService(
+            catalog,
+            ServiceConfig(
+                micro_batch_wait_seconds=0.0,
+                ack_level="replica",
+                replica_ack_timeout_seconds=0.2,
+            ),
+        )
+        service.start()
+        server = ServiceHTTPServer(service, port=0)
+        server.start()
+        host, port = server.address
+        yield catalog, service, f"http://{host}:{port}"
+        server.stop()
+        service.stop()
+
+    def test_ack_level_validation(self):
+        from repro.exceptions import EngineError
+
+        with pytest.raises(EngineError):
+            ServiceConfig(ack_level="paxos")
+        with pytest.raises(EngineError):
+            ServiceConfig(replica_ack_timeout_seconds=0)
+
+    def test_store_without_followers_degrades_to_202(self, rstack):
+        catalog, _, base = rstack
+        problem = problem_by_name("example1_movies").problem
+        status, _, headers = _post(
+            base + "/compose?store=pending", problem_to_text(problem)
+        )
+        assert status == 202
+        assert headers["x-repro-ack-pending"] == "1"
+        assert headers["x-repro-epoch"] == "0"
+        # The write is durable on the primary either way.
+        assert "pending" in catalog.names("result")
+
+    def test_store_with_caught_up_follower_acks_200(self, rstack):
+        catalog, service, base = rstack
+        # A follower far ahead on every shard: the ack wait is satisfied
+        # the moment the entry lands.
+        for shard in range(16):
+            service.record_follower_applied("f1", shard, 10**9)
+        problem = problem_by_name("example1_movies").problem
+        status, _, headers = _post(
+            base + "/compose?store=acked", problem_to_text(problem)
+        )
+        assert status == 200
+        assert "x-repro-ack-pending" not in headers
+        assert headers["x-repro-epoch"] == "0"
+        metrics = service.metrics()
+        assert metrics["replication"]["replica_acks_satisfied"] >= 1
+
+    def test_journal_poll_piggybacks_the_ack(self, rstack):
+        catalog, service, base = rstack
+        status, _ = _get(base + "/journal/3?since=0&follower=f1&applied=7")
+        assert status == 200
+        assert service.replica_applied_seq(3) == 7
+        # ... and the floor is persisted for GC retention.
+        acks = json.loads((catalog.journal.directory / "replica-acks.json").read_text())
+        assert acks["followers"]["f1"]["applied"]["3"] == 7
+
+    def test_stale_epoch_store_is_409(self, rstack):
+        catalog, service, base = rstack
+        catalog.journal.fence(1)  # a promoted replica outranks this root
+        problem = problem_by_name("example1_movies").problem
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base + "/compose?store=zombie", problem_to_text(problem))
+        assert excinfo.value.code == 409
+        assert "zombie" not in catalog.names("result")
+        # Fencing is not storage sickness: the breaker stays closed.
+        assert service.breaker.state == "closed"
+        metrics = service.metrics()
+        assert metrics["replication"]["stale_epoch_rejected"] == 1
+
+    def test_metrics_and_health_report_the_epoch(self, stack):
+        catalog, _, base = stack
+        catalog.bump_epoch()
+        _, body = _get(base + "/metrics")
+        assert json.loads(body)["epoch"] == 1
+        _, body = _get(base + "/healthz")
+        assert json.loads(body)["epoch"] == 1
+
+
 class TestThreadFailureCounters:
     def test_gc_sweep_failures_surface_in_health_and_metrics(self, stack):
         _, service, base = stack

@@ -142,6 +142,22 @@ class TestCandidateSelection:
         assert router._read_candidates() == []
         assert router._write_candidates() == []
 
+    def test_writes_prefer_the_highest_epoch_primary(self):
+        old = self._backend("http://old")
+        promoted = self._backend("http://promoted")
+        promoted.epoch = 2
+        old.epoch = 1
+        router = self._router([old, promoted])
+        order = [b.url for b in router._write_candidates()]
+        assert order == ["http://promoted", "http://old"]
+
+    def test_equal_epochs_preserve_configured_order(self):
+        first = self._backend("http://first")
+        second = self._backend("http://second")
+        router = self._router([first, second])
+        order = [b.url for b in router._write_candidates()]
+        assert order == ["http://first", "http://second"]
+
     def test_idempotency_rules(self):
         assert RouterHTTPServer._idempotent("GET", "/metrics")
         assert RouterHTTPServer._idempotent("POST", "/compose")
@@ -153,6 +169,8 @@ class TestCandidateSelection:
             RouterHTTPServer([])
         with pytest.raises(ServiceError):
             RouterHTTPServer(["http://x"], health_interval_seconds=0)
+        with pytest.raises(ServiceError):
+            RouterHTTPServer(["http://x"], min_consecutive_ok=0)
 
 
 class TestRouting:
@@ -257,6 +275,48 @@ class TestRouting:
                 _post(f"http://{host}:{port}/admin/promote")
             assert excinfo.value.code == 503
             assert router.request_retries == 0
+
+
+class TestFlapDamping:
+    def test_recovering_backend_needs_consecutive_ok_polls(self, primary):
+        with RouterHTTPServer(
+            [primary.base], port=0, health_interval_seconds=30
+        ) as router:
+            # Halt the health loop so the polls below are the only ones.
+            router._health_stop.set()
+            router._health_thread.join()
+            (backend,) = router.backends
+            # Pretend the backend just came back from an unreachable streak.
+            backend.healthy = False
+            backend.consecutive_failures = 3
+            backend.consecutive_ok = 0
+            router.check_backend(backend)
+            assert backend.consecutive_ok == 1
+            assert backend.healthy is False  # one OK poll is not enough
+            router.check_backend(backend)
+            assert backend.consecutive_ok == 2
+            assert backend.healthy is True
+            assert backend.consecutive_failures == 0
+            assert backend.last_poll_at is not None
+
+    def test_cold_start_backend_is_healthy_on_first_poll(self, primary):
+        with RouterHTTPServer(
+            [primary.base], port=0, health_interval_seconds=30, min_consecutive_ok=3
+        ) as router:
+            # start() runs a synchronous check_all: never-failed backends
+            # enter rotation on their very first OK poll.
+            (backend,) = router.backends
+            assert backend.healthy is True
+            assert backend.consecutive_ok >= 1
+
+    def test_status_exposes_damping_fields(self, primary):
+        with RouterHTTPServer([primary.base], port=0) as router:
+            host, port = router.address
+            _, body, _ = _get(f"http://{host}:{port}/router/status")
+            (backend,) = json.loads(body)["backends"]
+            assert backend["consecutive_ok"] >= 1
+            assert backend["last_poll_at"] is not None
+            assert backend["epoch"] == 0
 
 
 class TestFailover:

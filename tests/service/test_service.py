@@ -411,7 +411,7 @@ class TestMetrics:
         metrics = service.metrics()
         assert set(metrics) == {
             "requests", "batching", "latency", "phases", "expression_cache",
-            "checkpoints", "gc", "degradation", "breaker", "leases",
+            "checkpoints", "gc", "degradation", "replication", "breaker", "leases",
         }
         assert metrics["requests"]["completed"] == 1
         assert metrics["batching"]["batches"] == 1
