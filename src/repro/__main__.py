@@ -17,6 +17,13 @@ Subcommands::
                                          primary goes silent — no operator call
     repro route --backend URL ...        start the health-routing front tier
                                          over one primary and its followers
+    repro metrics URL                    fetch and pretty-print a running
+                                         service's /metrics (and, on a router,
+                                         /router/status)
+    repro trace FILE [FILE ...]          merge trace JSONL sinks (router,
+                                         primary, followers) into one tree per
+                                         trace id; --verify asserts every tree
+                                         is complete and orphan-free
 
 Every subcommand operates on one catalog root directory (``--root``,
 defaulting to ``$REPRO_CATALOG_ROOT`` or ``./repro-catalog``).  ``compose``
@@ -214,6 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
         "follower's confirmation (default 2.0)",
     )
     serve.add_argument("--verbose", action="store_true", help="log every request")
+    serve.add_argument(
+        "--access-log", metavar="FILE", default=None,
+        help="append one JSONL access record per request (method, path, "
+        "status, duration, trace id) to FILE; off by default",
+    )
+    serve.add_argument(
+        "--slow-trace", type=float, default=None, metavar="SECONDS",
+        help="dump the full span tree of any request slower than this to "
+        "stderr (also counted in tracing.slow_requests)",
+    )
+    serve.add_argument(
+        "--trace-log", metavar="FILE", default=None,
+        help="append every recorded span to FILE as JSONL (default: "
+        "$REPRO_TRACE_LOG); merge sinks later with `repro trace`",
+    )
 
     router = commands.add_parser(
         "route", help="start the health-routing front tier over service backends"
@@ -234,6 +256,44 @@ def build_parser() -> argparse.ArgumentParser:
         "before re-entering rotation (default 2)",
     )
     router.add_argument("--verbose", action="store_true", help="log every request")
+    router.add_argument(
+        "--trace-log", metavar="FILE", default=None,
+        help="append every recorded span to FILE as JSONL (default: "
+        "$REPRO_TRACE_LOG); merge sinks later with `repro trace`",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", help="fetch and pretty-print a running service's metrics"
+    )
+    metrics.add_argument("url", metavar="URL", help="service or router base URL")
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="fetch the Prometheus text exposition instead of JSON",
+    )
+    metrics.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-request HTTP timeout (default 5.0)",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="merge per-process trace JSONL sinks into trees"
+    )
+    trace.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="trace sink files (REPRO_TRACE_LOG / --trace-log output) from "
+        "router, primary, and follower processes",
+    )
+    trace.add_argument("--trace-id", default=None, help="show only this trace")
+    trace.add_argument(
+        "--verify", action="store_true",
+        help="exit 1 unless every merged trace tree is orphan-free",
+    )
+    trace.add_argument(
+        "--require", action="append", default=None, metavar="SPAN",
+        help="with --verify: at least one trace must contain ALL of these "
+        "span names (repeatable)",
+    )
+    trace.add_argument("--json", action="store_true", help="machine-readable output")
 
     return parser
 
@@ -387,6 +447,20 @@ def _cmd_compose(args) -> int:
     return 0
 
 
+def _configure_tracing(default_service: str, trace_log: Optional[str]) -> None:
+    """Point the process trace recorder at its sink before serving starts.
+
+    The CLI flag wins over ``$REPRO_TRACE_LOG``; the service label defaults
+    to ``$REPRO_TRACE_SERVICE`` so drill harnesses can name each process.
+    """
+    import os
+
+    from repro import obs
+
+    service = os.environ.get(obs.SERVICE_ENV_VAR) or default_service
+    obs.configure(service=service, log_path=trace_log)
+
+
 def _cmd_serve(args) -> int:
     from repro.service import (
         CompositionService,
@@ -397,6 +471,7 @@ def _cmd_serve(args) -> int:
         open_source,
     )
 
+    _configure_tracing(f"serve:{args.port}", args.trace_log)
     catalog = _open_catalog(args)
     service = CompositionService(
         catalog,
@@ -418,6 +493,7 @@ def _cmd_serve(args) -> int:
             lease_wait_seconds=args.lease_wait,
             ack_level=args.ack_level,
             replica_ack_timeout_seconds=args.replica_ack_timeout,
+            slow_trace_seconds=args.slow_trace,
         ),
     )
     follower = None
@@ -453,6 +529,7 @@ def _cmd_serve(args) -> int:
         verbose=args.verbose,
         follower=follower,
         elector=elector,
+        access_log=args.access_log,
     )
     host, port = server.address
     print(f"repro composition service on http://{host}:{port}", flush=True)
@@ -482,6 +559,7 @@ def _cmd_serve(args) -> int:
 def _cmd_route(args) -> int:
     from repro.service import RouterHTTPServer
 
+    _configure_tracing(f"router:{args.port}", args.trace_log)
     router = RouterHTTPServer(
         args.backends,
         host=args.host,
@@ -503,6 +581,79 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    base = args.url.rstrip("/")
+    if args.prometheus:
+        try:
+            with urlopen(
+                f"{base}/metrics?format=prometheus", timeout=args.timeout
+            ) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except (HTTPError, URLError, OSError) as exc:
+            print(f"error: cannot fetch {base}/metrics: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    # A service answers /metrics; a router additionally answers its own
+    # /router/status (and proxies /metrics to a backend).  Print whatever
+    # the target actually serves.
+    printed = False
+    for path in ("/metrics", "/router/status"):
+        try:
+            with urlopen(base + path, timeout=args.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except HTTPError:
+            continue
+        except (URLError, OSError, ValueError) as exc:
+            print(f"error: cannot fetch {base}{path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"# {path}")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        printed = True
+    if not printed:
+        print(f"error: {base} answers neither /metrics nor /router/status", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    spans = obs.load_spans(args.files)
+    traces = obs.merge_spans(spans)
+    if args.trace_id is not None:
+        traces = {k: v for k, v in traces.items() if k == args.trace_id}
+        if not traces:
+            print(f"error: trace {args.trace_id} not found in the sinks", file=sys.stderr)
+            return 1
+    if args.verify:
+        problems = obs.verify(traces, require=args.require)
+        if problems:
+            for problem in problems:
+                print(f"verify: {problem}", file=sys.stderr)
+            print(
+                f"verify: FAILED ({len(problems)} problems across "
+                f"{len(traces)} traces)",
+                file=sys.stderr,
+            )
+            return 1
+        total = sum(len(records) for records in traces.values())
+        print(f"verify: ok — {len(traces)} traces, {total} spans, no orphans")
+        return 0
+    if args.json:
+        print(json.dumps(traces, indent=2, sort_keys=True))
+        return 0
+    if not traces:
+        print("no traces in the given sinks", file=sys.stderr)
+        return 0
+    for trace_id, records in sorted(traces.items()):
+        print(obs.format_trace(trace_id, records))
+        print()
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -518,6 +669,10 @@ def main(argv: Optional[list] = None) -> int:
             return _cmd_compose(args)
         if args.command == "route":
             return _cmd_route(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

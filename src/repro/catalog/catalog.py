@@ -59,7 +59,7 @@ from hashlib import blake2b
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro import faults
+from repro import faults, obs
 from repro.algebra.digest import DIGEST_SIZE
 from repro.catalog.checkpoints import PersistentCheckpointStore
 from repro.catalog.journal import CatalogJournal
@@ -305,9 +305,10 @@ class MappingCatalog:
         """
         with self._lock:
             lock = FileLock(self._shard_lock_path(shard), timeout=self._lock_timeout)
-            self._retry.run(
-                lock.acquire, stats=self.retry_stats, description=f"lock shard {shard}"
-            )
+            with obs.span("catalog.shard_lock", shard=shard):
+                self._retry.run(
+                    lock.acquire, stats=self.retry_stats, description=f"lock shard {shard}"
+                )
             try:
                 stamp, entries = self._read_shard(shard)
                 result, changed = mutate(entries)
@@ -414,6 +415,17 @@ class MappingCatalog:
             return None
         if seq is None:
             payload = self._fence_check_and_stamp(payload)
+            context = obs.current()
+            if context is not None and "trace" not in payload:
+                # Stamp the request's trace identity into the entry (same
+                # copy-then-add pattern as the epoch stamp): mirrored appends
+                # replay the dict verbatim, so a follower's apply can join
+                # the originating write's trace across the process boundary.
+                payload = dict(payload)
+                payload["trace"] = {
+                    "trace_id": context.trace_id,
+                    "span_id": context.span_id,
+                }
         return self._retry.run(
             lambda: self.journal.append(shard, payload, seq=seq),
             stats=self.retry_stats,

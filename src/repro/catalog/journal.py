@@ -76,7 +76,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro import faults
+from repro import faults, obs
 from repro.catalog.storage import FileLock, atomic_write_text
 from repro.exceptions import JournalError
 
@@ -287,21 +287,25 @@ class CatalogJournal:
         entry is already journaled.
         """
         self._check_shard(shard)
-        path, size, last = self._tail_state(shard)
-        if seq is None:
-            seq = last + 1
-        elif seq <= last:
+        # The span covers the whole durable append — tail rescan, write, and
+        # fsync — which is the store's true durability latency.  No-op when
+        # the request is untraced.
+        with obs.span("journal.append", shard=shard):
+            path, size, last = self._tail_state(shard)
+            if seq is None:
+                seq = last + 1
+            elif seq <= last:
+                return seq
+            entry = dict(payload)
+            entry["seq"] = seq
+            entry["shard"] = shard
+            data = encode_entry(entry)
+            if path is None or size >= self.max_segment_bytes:
+                path = self.shard_dir(shard) / f"{seq:020d}{_SEGMENT_SUFFIX}"
+                size = 0
+            self._append_bytes(shard, path, data)
+            self._tails[shard] = (path, size + len(data), seq)
             return seq
-        entry = dict(payload)
-        entry["seq"] = seq
-        entry["shard"] = shard
-        data = encode_entry(entry)
-        if path is None or size >= self.max_segment_bytes:
-            path = self.shard_dir(shard) / f"{seq:020d}{_SEGMENT_SUFFIX}"
-            size = 0
-        self._append_bytes(shard, path, data)
-        self._tails[shard] = (path, size + len(data), seq)
-        return seq
 
     def _append_bytes(self, shard: int, path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -37,7 +37,7 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
-from repro import faults
+from repro import faults, obs
 from repro.exceptions import CatalogLockTimeoutError
 
 try:  # POSIX
@@ -84,33 +84,36 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
     ``os.replace`` but before the directory fsync).
     """
     path = Path(path)
-    faults.fire("storage.write.begin", path=str(path))
-    path.parent.mkdir(parents=True, exist_ok=True)
-    # The temp file must live on the same filesystem as the destination for
-    # os.replace to be atomic, hence dir=parent rather than the default tmpdir.
-    fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
-    try:
-        torn = faults.torn_data("storage.write.torn", data)
-        with os.fdopen(fd, "wb") as handle:
-            if torn is not None:
-                # A torn write: some bytes land, then the writer dies.  The
-                # destination is untouched because the rename never happens.
-                handle.write(torn)
-                handle.flush()
-                raise OSError(errno.EIO, f"injected torn write to {path}")
-            handle.write(data)
-            handle.flush()
-            faults.fire("storage.fsync", path=str(path))
-            os.fsync(handle.fileno())
-        os.replace(temp_name, path)
-        faults.fire("storage.write.after_rename", path=str(path))
-        fsync_directory(path.parent)
-    except BaseException:
+    # Spans the full durable cycle (temp write, fsync, rename, dir fsync);
+    # a no-op unless the enclosing request is traced.
+    with obs.span("storage.write", file=path.name):
+        faults.fire("storage.write.begin", path=str(path))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The temp file must live on the same filesystem as the destination for
+        # os.replace to be atomic, hence dir=parent rather than the default tmpdir.
+        fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
         try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
+            torn = faults.torn_data("storage.write.torn", data)
+            with os.fdopen(fd, "wb") as handle:
+                if torn is not None:
+                    # A torn write: some bytes land, then the writer dies.  The
+                    # destination is untouched because the rename never happens.
+                    handle.write(torn)
+                    handle.flush()
+                    raise OSError(errno.EIO, f"injected torn write to {path}")
+                handle.write(data)
+                handle.flush()
+                faults.fire("storage.fsync", path=str(path))
+                os.fsync(handle.fileno())
+            os.replace(temp_name, path)
+            faults.fire("storage.write.after_rename", path=str(path))
+            fsync_directory(path.parent)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:

@@ -31,7 +31,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-__all__ = ["PHASES", "charge", "collect_phases", "timed"]
+__all__ = ["PHASES", "SPAN_PREFIX", "charge", "collect_phases", "span_name", "timed"]
 
 #: The bucket names the composition pipeline charges (see module docstring for
 #: the nesting).  ``timed`` accepts any name; this tuple documents the ones
@@ -46,6 +46,21 @@ PHASES = (
     "deskolemize",
     "simplify",
 )
+
+#: Phase buckets bridged into request traces carry this span-name prefix
+#: (``compose.phase.normalize`` etc.) — see :func:`span_name`.
+SPAN_PREFIX = "compose.phase."
+
+
+def span_name(phase: str) -> str:
+    """The trace span name of one phase bucket.
+
+    The service bridges each served request's buckets into its span tree as
+    children of the execution span; keeping the name derivation here means
+    the tracing layer and any future consumer agree on the mapping.
+    """
+    return SPAN_PREFIX + phase
+
 
 _local = threading.local()
 

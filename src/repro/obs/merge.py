@@ -1,0 +1,149 @@
+"""Merge per-process trace sinks into one tree per trace id.
+
+Router, primary, and followers each write their own JSONL sink; after a
+drill (or an incident) the sinks are merged here.  Dedup prefers the
+completed record over the start event for the same span id — a process
+SIGKILLed mid-request leaves only the start event behind, which is
+exactly enough to keep its children parented.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+def load_spans(paths: Iterable[str]) -> List[Dict[str, Any]]:
+    """Read spans from JSONL sink files, skipping unparseable lines."""
+    spans: List[Dict[str, Any]] = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict) and record.get("span_id"):
+                        spans.append(record)
+        except OSError:
+            continue
+    return spans
+
+
+def merge_spans(spans: Iterable[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Group spans by trace id, deduplicating span ids.
+
+    A span may appear twice in the sinks (start event + completed
+    record); the completed record — the one carrying ``duration`` —
+    wins.
+    """
+    by_span: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for record in spans:
+        trace_id = record.get("trace_id")
+        span_id = record.get("span_id")
+        if not trace_id or not span_id:
+            continue
+        key = (trace_id, span_id)
+        existing = by_span.get(key)
+        if existing is None or ("duration" in record and "duration" not in existing):
+            by_span[key] = record
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for (trace_id, _), record in by_span.items():
+        traces.setdefault(trace_id, []).append(record)
+    for records in traces.values():
+        records.sort(key=lambda r: (r.get("start") or 0.0, r.get("span_id") or ""))
+    return traces
+
+
+def build_tree(
+    records: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Arrange one trace's spans into (roots, orphans).
+
+    Each returned node is the span record plus a ``children`` list.  An
+    orphan names a parent span id that no record in the trace carries —
+    the signature of a lost sink or a broken propagation hop.
+    """
+    nodes = {r["span_id"]: dict(r, children=[]) for r in records}
+    roots: List[Dict[str, Any]] = []
+    orphans: List[Dict[str, Any]] = []
+    for node in nodes.values():
+        parent_id = node.get("parent_id")
+        if parent_id is None:
+            roots.append(node)
+        elif parent_id in nodes:
+            nodes[parent_id]["children"].append(node)
+        else:
+            orphans.append(node)
+    for node in nodes.values():
+        node["children"].sort(
+            key=lambda n: (n.get("start") or 0.0, n.get("span_id") or "")
+        )
+    roots.sort(key=lambda n: (n.get("start") or 0.0, n.get("span_id") or ""))
+    return roots, orphans
+
+
+def span_names(records: List[Dict[str, Any]]) -> List[str]:
+    return [str(r.get("name") or "") for r in records]
+
+
+def format_trace(trace_id: str, records: List[Dict[str, Any]]) -> str:
+    """Render one trace as an indented tree, one span per line."""
+    roots, orphans = build_tree(records)
+    lines = [f"trace {trace_id} ({len(records)} spans)"]
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        duration = node.get("duration")
+        timing = f" {duration * 1000:.2f}ms" if duration is not None else " (incomplete)"
+        service = node.get("service") or "?"
+        status = node.get("status")
+        flag = " !" if status == "error" else ""
+        lines.append(
+            f"{'  ' * depth}- {node.get('name')} [{service}]{timing}{flag}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 1)
+    for orphan in orphans:
+        lines.append(
+            f"  ? orphan {orphan.get('name')} [{orphan.get('service') or '?'}]"
+            f" (missing parent {orphan.get('parent_id')})"
+        )
+    return "\n".join(lines)
+
+
+def verify(
+    traces: Dict[str, List[Dict[str, Any]]],
+    require: Optional[List[str]] = None,
+) -> List[str]:
+    """Check merged traces for completeness; return human-readable problems.
+
+    Every trace must be orphan-free.  If ``require`` names spans, at
+    least one trace must contain ALL of them — the drill's proof that an
+    acknowledged write produced a tree spanning every process.
+    """
+    problems: List[str] = []
+    for trace_id, records in sorted(traces.items()):
+        _, orphans = build_tree(records)
+        for orphan in orphans:
+            problems.append(
+                f"trace {trace_id}: span {orphan.get('name')}"
+                f" ({orphan.get('span_id')}) references missing parent"
+                f" {orphan.get('parent_id')}"
+            )
+    if require:
+        satisfied = any(
+            all(name in span_names(records) for name in require)
+            for records in traces.values()
+        )
+        if not satisfied:
+            problems.append(
+                "no trace contains all required spans: " + ", ".join(require)
+            )
+    return problems

@@ -8,7 +8,10 @@
   checkpoints when backed by a :class:`~repro.catalog.MappingCatalog`;
 * :mod:`repro.service.metrics` — the metrics the service aggregates
   (hit rates, per-phase timings, queue/batch statistics, degradation
-  counters);
+  counters, labeled latency histograms with a Prometheus text exposition);
+  request-scoped tracing lives in :mod:`repro.obs` and is threaded through
+  every layer here — HTTP ingress spans, queue/execution spans, journal and
+  shard-lock spans, follower applies joining the originating write's trace;
 * :mod:`repro.service.breaker` — :class:`CircuitBreaker`, the storage
   circuit breaker behind graceful degradation: a sick disk flips the service
   to memory-only serving instead of wedging it, and a background probe

@@ -43,7 +43,7 @@ from typing import Optional, Union
 from urllib.error import HTTPError, URLError
 from urllib.request import urlopen
 
-from repro import faults
+from repro import faults, obs
 from repro.catalog.catalog import MappingCatalog
 from repro.catalog.journal import CatalogJournal
 from repro.catalog.leases import LeaseTable
@@ -255,7 +255,10 @@ class LeaderElector:
     def _candidate_tick(self) -> None:
         if self.follower is not None and self.follower.promoted:
             # Manual /admin/promote override: assume leader duties.
-            self._assume_leadership(promote=False)
+            with obs.span(
+                "election.transition", new_trace=True, trigger="manual-promote"
+            ):
+                self._assume_leadership(promote=False)
             return
         now = time.monotonic()
         if self._primary_alive():
@@ -267,19 +270,25 @@ class LeaderElector:
 
     def _run_election(self) -> None:
         self.elections_started += 1
-        faults.fire("election.acquire", key=LEADER_LEASE_KEY, role="candidate")
-        try:
-            self.leases.wait_acquire(
-                LEADER_LEASE_KEY, timeout=self.election_timeout_seconds
-            )
-        except (LeaseUnavailableError, CatalogLockTimeoutError, OSError):
-            # Someone else won (or the lease dir hiccuped): back to
-            # watching.  The winner now counts as the live primary.
-            self.elections_lost += 1
-            self._last_alive_monotonic = time.monotonic()
-            return
-        self.elections_won += 1
-        self._assume_leadership(promote=True)
+        # The span is the election's wall clock — lease race through
+        # promotion and fencing — and starts its own trace: elections are
+        # triggered by silence, not by a traced request.
+        with obs.span("election.transition", new_trace=True, trigger="timeout") as handle:
+            faults.fire("election.acquire", key=LEADER_LEASE_KEY, role="candidate")
+            try:
+                self.leases.wait_acquire(
+                    LEADER_LEASE_KEY, timeout=self.election_timeout_seconds
+                )
+            except (LeaseUnavailableError, CatalogLockTimeoutError, OSError):
+                # Someone else won (or the lease dir hiccuped): back to
+                # watching.  The winner now counts as the live primary.
+                self.elections_lost += 1
+                self._last_alive_monotonic = time.monotonic()
+                handle.set("won", False)
+                return
+            self.elections_won += 1
+            handle.set("won", True)
+            self._assume_leadership(promote=True)
 
     def _assume_leadership(self, promote: bool) -> None:
         if promote and self.follower is not None and not self.follower.promoted:

@@ -10,7 +10,13 @@ text-first — everything speaks the plain-text record formats of
   overdue), the breaker snapshot, the last GC sweep age, and the storage
   error counters.  Load balancers key on the status code; operators read the
   body.
-* ``GET /metrics`` — the service's metrics snapshot as JSON.
+* ``GET /metrics`` — the service's metrics snapshot as JSON;
+  ``?format=prometheus`` answers the Prometheus text exposition instead
+  (labeled counters plus ``repro_*_seconds`` histogram bucket/sum/count
+  triples).
+* ``GET /trace`` — the in-memory span ring as JSON (``?trace_id=...``
+  filters to one trace) — the live window into :mod:`repro.obs`; the JSONL
+  sinks (``REPRO_TRACE_LOG``) are the durable one.
 * ``GET /catalog`` — JSON listing of the latest catalog entries
   (``?kind=mapping`` filters).
 * ``GET /catalog/<kind>/<name>`` — the stored record text
@@ -59,11 +65,14 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.compose.config import ComposerConfig
 from repro.exceptions import (
     CatalogError,
@@ -96,13 +105,83 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send(self, status: int, body: bytes, content_type: str, headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for key, value in headers:
             self.send_header(key, value)
+        context = obs.current()
+        if context is not None:
+            # Echo the request's trace identity so clients (and the router's
+            # relay loop) can correlate the response with the span tree.
+            self.send_header(obs.TRACE_ID_HEADER, context.trace_id)
+            self.send_header(obs.SPAN_ID_HEADER, context.span_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _traced(self, method: str, inner: Callable[[], None]) -> None:
+        """Run one request inside an ingress span.
+
+        A POST with no incoming context starts a fresh trace (it is the
+        write path — the thing worth explaining after the fact); a GET only
+        joins a trace that rode in on the headers, so router health polls
+        and follower journal tails stay out of the sinks entirely.
+        """
+        self._last_status = 0
+        incoming = obs.extract_context(self.headers)
+        started = time.perf_counter()
+        with obs.span(
+            "http.request",
+            parent=incoming,
+            new_trace=(method == "POST"),
+            record_start=True,
+            method=method,
+            path=self.path,
+        ) as handle:
+            context = handle.context
+            try:
+                inner()
+            finally:
+                handle.set("status", self._last_status)
+        duration = time.perf_counter() - started
+        self._access_record(method, duration, context)
+        self._slow_trace(duration, context)
+
+    def _access_record(self, method: str, duration: float, context) -> None:
+        sink = self.server.access_sink
+        if sink is None:
+            return
+        sink.write(
+            {
+                "ts": time.time(),
+                "method": method,
+                "path": self.path,
+                "status": self._last_status,
+                "duration": duration,
+                "trace_id": context.trace_id if context is not None else None,
+                "client": self.client_address[0],
+            }
+        )
+
+    def _slow_trace(self, duration: float, context) -> None:
+        """Dump the full span tree of an over-threshold request to stderr."""
+        threshold = self.server.service.config.slow_trace_seconds
+        if threshold is None or duration < threshold or context is None:
+            return
+        self.server.service.metrics_store.record_slow_request()
+        records = obs.recorder().spans(context.trace_id)
+        traces = obs.merge_spans(records)
+        try:
+            sys.stderr.write(
+                f"slow request ({duration:.3f}s >= {threshold:.3f}s):\n"
+                + obs.format_trace(
+                    context.trace_id, traces.get(context.trace_id, records)
+                )
+                + "\n"
+            )
+        except OSError:  # pragma: no cover - stderr gone; telemetry stays silent
+            pass
 
     def _send_text(self, status: int, text: str, headers: Tuple[Tuple[str, str], ...] = ()) -> None:
         self._send(status, text.encode("utf-8"), "text/plain; charset=utf-8", headers)
@@ -124,6 +203,9 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._traced("GET", self._do_get)
+
+    def _do_get(self) -> None:
         url = urlsplit(self.path)
         parts = [part for part in url.path.split("/") if part]
         try:
@@ -134,6 +216,14 @@ class _Handler(BaseHTTPRequestHandler):
                 else:
                     self._send_json(503, health, headers=self._retry_after())
             elif parts == ["metrics"]:
+                query = parse_qs(url.query)
+                if query.get("format", [None])[0] == "prometheus":
+                    self._send(
+                        200,
+                        self.server.service.metrics_prometheus().encode("utf-8"),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                    return
                 metrics = self.server.service.metrics()
                 follower = self.server.follower
                 metrics["role"] = self.server.role
@@ -145,6 +235,11 @@ class _Handler(BaseHTTPRequestHandler):
                 if self.server.elector is not None:
                     metrics["election"] = self.server.elector.status()
                 self._send_json(200, metrics)
+            elif parts == ["trace"]:
+                query = parse_qs(url.query)
+                trace_id = query.get("trace_id", [None])[0]
+                spans = obs.recorder().spans(trace_id)
+                self._send_json(200, {"spans": spans, "count": len(spans)})
             elif parts == ["catalog"]:
                 self._get_catalog_listing(parse_qs(url.query))
             elif len(parts) == 3 and parts[0] == "catalog":
@@ -273,6 +368,9 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_text(200, catalog.text(kind, name, version))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._traced("POST", self._do_post)
+
+    def _do_post(self) -> None:
         url = urlsplit(self.path)
         if url.path.rstrip("/") == "/admin/promote":
             self._promote()
@@ -404,6 +502,42 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
 
+class _AccessSink:
+    """Append-only JSONL access log with the fault-audit fail-silent contract.
+
+    One record per finished request.  Any OSError silences the sink for
+    the rest of the process — the access log is an audit convenience and
+    must never turn request serving into an I/O casualty.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = None
+        self._failed = False
+
+    def write(self, record: dict) -> None:
+        with self._lock:
+            if self._failed:
+                return
+            try:
+                if self._handle is None:
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+                self._handle.flush()
+            except OSError:
+                self._failed = True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+
 class _ServiceHTTPD(ThreadingHTTPServer):
     """The stdlib server plus the attributes handlers reach through ``self.server``."""
 
@@ -411,6 +545,7 @@ class _ServiceHTTPD(ThreadingHTTPServer):
     verbose: bool
     follower: "Optional[ReplicationFollower]" = None
     elector: "Optional[LeaderElector]" = None
+    access_sink: Optional[_AccessSink] = None
 
     @property
     def role(self) -> str:
@@ -441,11 +576,13 @@ class ServiceHTTPServer:
         verbose: bool = False,
         follower: "Optional[ReplicationFollower]" = None,
         elector: "Optional[LeaderElector]" = None,
+        access_log: Optional[str] = None,
     ):
         self.service = service
         self.follower = follower
         self.elector = elector
         self._closed = False
+        self._access_sink = _AccessSink(access_log) if access_log else None
         self._httpd = _ServiceHTTPD((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Handlers reach the service through their ``server`` attribute.
@@ -453,6 +590,7 @@ class ServiceHTTPServer:
         self._httpd.verbose = verbose
         self._httpd.follower = follower
         self._httpd.elector = elector
+        self._httpd.access_sink = self._access_sink
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -486,6 +624,8 @@ class ServiceHTTPServer:
         if not self._closed:
             self._closed = True
             self._httpd.server_close()
+            if self._access_sink is not None:
+                self._access_sink.close()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (the CLI's ``serve``)."""
@@ -508,8 +648,15 @@ def serve(
     verbose: bool = False,
     follower: "Optional[ReplicationFollower]" = None,
     elector: "Optional[LeaderElector]" = None,
+    access_log: Optional[str] = None,
 ) -> ServiceHTTPServer:
     """Convenience: build and start a :class:`ServiceHTTPServer`."""
     return ServiceHTTPServer(
-        service, host=host, port=port, verbose=verbose, follower=follower, elector=elector
+        service,
+        host=host,
+        port=port,
+        verbose=verbose,
+        follower=follower,
+        elector=elector,
+        access_log=access_log,
     ).start()

@@ -28,10 +28,73 @@ output.  Collected:
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["ServiceMetrics"]
+__all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKETS"]
+
+# Prometheus-style cumulative latency buckets (seconds).  Spanning 1ms to
+# 30s covers everything from an expression-cache hit to an election under
+# a fault schedule; +Inf is implicit in the rendering.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``counts[i]`` tallies observations ``<= bounds[i]``; observations
+    past the last bound only land in the implicit +Inf bucket (``count``
+    minus the last cumulative count).  Not internally locked — callers
+    observe under the owning :class:`ServiceMetrics` lock.
+    """
+
+    __slots__ = ("bounds", "_bucket_counts", "count", "total")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        value = max(0.0, value)
+        self.count += 1
+        self.total += value
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self._bucket_counts):
+            self._bucket_counts[index] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` per bucket, +Inf excluded."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._bucket_counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "buckets": {f"{bound:g}": c for bound, c in self.cumulative()},
+        }
 
 
 class ServiceMetrics:
@@ -74,6 +137,17 @@ class ServiceMetrics:
         self.replica_acks_satisfied = 0
         self.replica_acks_timed_out = 0
         self.stale_epoch_rejected = 0
+        self.slow_requests = 0
+        # Labeled latency histograms; keys double as the Prometheus metric
+        # stems (``repro_<key>`` with _bucket/_sum/_count samples).
+        self.histograms: Dict[str, LatencyHistogram] = {
+            "queue_seconds": LatencyHistogram(),
+            "execution_seconds": LatencyHistogram(),
+            "journal_fsync_seconds": LatencyHistogram(),
+            "shard_lock_seconds": LatencyHistogram(),
+            "replication_lag_seconds": LatencyHistogram(),
+            "election_seconds": LatencyHistogram(),
+        }
 
     # -- recording -----------------------------------------------------------------
 
@@ -176,6 +250,23 @@ class ServiceMetrics:
         with self._lock:
             self.stale_epoch_rejected += 1
 
+    def record_slow_request(self) -> None:
+        """One request crossed ``slow_trace_seconds`` and had its trace dumped."""
+        with self._lock:
+            self.slow_requests += 1
+
+    def observe(self, histogram: str, value: float) -> None:
+        """Feed one observation into a labeled histogram (unknown names ignored).
+
+        Unknown names are dropped rather than raised: observations arrive
+        from span listeners bridging other layers, and a misnamed span
+        must not take down the serving loop.
+        """
+        with self._lock:
+            hist = self.histograms.get(histogram)
+            if hist is not None:
+                hist.observe(value)
+
     def record_completed(
         self,
         status: str,
@@ -193,6 +284,8 @@ class ServiceMetrics:
                 self.failed += 1
             self.queue_seconds += queue_seconds
             self.execution_seconds += execution_seconds
+            self.histograms["queue_seconds"].observe(queue_seconds)
+            self.histograms["execution_seconds"].observe(execution_seconds)
             for phase, seconds in phase_seconds:
                 self._phase_seconds[phase] = self._phase_seconds.get(phase, 0.0) + seconds
 
@@ -279,4 +372,84 @@ class ServiceMetrics:
                 },
                 "breaker": dict(breaker) if breaker else {},
                 "leases": dict(leases) if leases else {},
+                "tracing": {
+                    "slow_requests": self.slow_requests,
+                },
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self.histograms.items())
+                },
             }
+
+    def render_prometheus(
+        self,
+        pending: int = 0,
+        in_flight: int = 0,
+        checkpoint_stats: Optional[dict] = None,
+        breaker: Optional[dict] = None,
+        leases: Optional[dict] = None,
+    ) -> str:
+        """The Prometheus text exposition format (``/metrics?format=prometheus``).
+
+        Flat counters become ``repro_<section>_<name>``; dict-valued
+        tallies become one labeled sample per key; each histogram renders
+        the conventional ``_bucket``/``_sum``/``_count`` triple with an
+        explicit ``+Inf`` bucket.
+        """
+        snap = self.snapshot(
+            pending=pending,
+            in_flight=in_flight,
+            checkpoint_stats=checkpoint_stats,
+            breaker=breaker,
+            leases=leases,
+        )
+        with self._lock:
+            histograms = {
+                name: (hist.cumulative(), hist.count, hist.total)
+                for name, hist in sorted(self.histograms.items())
+            }
+        lines: List[str] = []
+
+        def escape(value: str) -> str:
+            return value.replace("\\", "\\\\").replace('"', '\\"')
+
+        def emit(section: str, name: str, value) -> None:
+            metric = f"repro_{section}_{name}"
+            if isinstance(value, bool):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {int(value)}")
+            elif isinstance(value, (int, float)):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {value}")
+            elif isinstance(value, dict):
+                if not value:
+                    return
+                samples = [
+                    (k, v) for k, v in sorted(value.items())
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                ]
+                if not samples:
+                    return
+                lines.append(f"# TYPE {metric} gauge")
+                for key, v in samples:
+                    lines.append(f'{metric}{{key="{escape(str(key))}"}} {v}')
+
+        for section, content in snap.items():
+            if section == "histograms":
+                continue
+            if isinstance(content, dict):
+                for name, value in content.items():
+                    emit(section, name, value)
+            else:
+                emit("service", section, content)
+
+        for name, (cumulative, count, total) in histograms.items():
+            metric = f"repro_{name}"
+            lines.append(f"# TYPE {metric} histogram")
+            for bound, bucket_count in cumulative:
+                lines.append(f'{metric}_bucket{{le="{bound:g}"}} {bucket_count}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{metric}_sum {total}")
+            lines.append(f"{metric}_count {count}")
+
+        return "\n".join(lines) + "\n"

@@ -40,7 +40,7 @@ from urllib.error import HTTPError, URLError
 from urllib.parse import quote, urlsplit
 from urllib.request import urlopen
 
-from repro import faults
+from repro import faults, obs
 from repro.catalog.catalog import MappingCatalog
 from repro.catalog.journal import CatalogJournal
 from repro.catalog.leases import default_owner_id
@@ -292,13 +292,19 @@ class ReplicationFollower:
     def _apply(self, shard: int, entry: dict) -> int:
         seq = int(entry.get("seq", 0))
         faults.fire("replica.apply", shard=shard, seq=seq, op=entry.get("op"))
+        started_wall = time.time()
+        started = time.perf_counter()
+        status = "ok"
         try:
             outcome = self.catalog.apply_journal_entry(entry)
         except (CatalogError, OSError) as exc:
             self.apply_failures += 1
+            status = "error"
+            self._record_apply_span(entry, shard, seq, started_wall, started, status)
             raise ReplicationError(
                 f"cannot apply journal entry seq {seq} (shard {shard}): {exc}"
             ) from exc
+        self._record_apply_span(entry, shard, seq, started_wall, started, status)
         # Whatever the outcome, the entry is now in our journal: advance.
         self._applied[shard] = max(self._applied.get(shard, 0), seq)
         if outcome == "skipped":
@@ -316,6 +322,38 @@ class ReplicationFollower:
                     f"v{record.get('version')} failed fingerprint verification"
                 )
         return 1
+
+    @staticmethod
+    def _record_apply_span(
+        entry: dict,
+        shard: int,
+        seq: int,
+        started_wall: float,
+        started: float,
+        status: str,
+    ) -> None:
+        """Join the originating write's trace, if the entry carries one.
+
+        The primary stamped ``entry["trace"]`` at journal-append time; the
+        mirrored entry arrives verbatim, so this span is the cross-process
+        hop that completes the write's tree — recorded retroactively because
+        the apply runs far from the traced request's thread.
+        """
+        stamp = entry.get("trace")
+        if not isinstance(stamp, dict) or not stamp.get("trace_id"):
+            return
+        parent = obs.SpanContext(
+            trace_id=str(stamp["trace_id"]), span_id=str(stamp.get("span_id") or "")
+        )
+        obs.record_span(
+            "replica.apply",
+            parent=parent,
+            started_at=started_wall,
+            duration=time.perf_counter() - started,
+            status=status,
+            shard=shard,
+            seq=seq,
+        )
 
     # -- promotion -----------------------------------------------------------------
 

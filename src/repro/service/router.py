@@ -49,7 +49,7 @@ from typing import Dict, List, Optional, Tuple
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
-from repro import faults
+from repro import faults, obs
 from repro.exceptions import ServiceError
 
 __all__ = ["BackendState", "RouterHTTPServer", "route"]
@@ -156,26 +156,45 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     def _proxy(self, method: str, body: Optional[bytes]) -> None:
         router: "RouterHTTPServer" = self.server.router
-        try:
-            status, payload, headers = router.forward(
-                method,
-                self.path,
-                body,
-                content_type=self.headers.get("Content-Type"),
+        # Trace ingress for the tier: a POST arriving without a context is a
+        # fresh write — the router starts the trace, and every relay attempt
+        # (including retries onto other backends) becomes a child span whose
+        # identity rides the outbound x-repro-trace-id/span-id headers.
+        incoming = obs.extract_context(self.headers)
+        with obs.span(
+            "router.request",
+            parent=incoming,
+            new_trace=(method == "POST"),
+            record_start=True,
+            method=method,
+            path=self.path,
+        ):
+            try:
+                status, payload, headers = router.forward(
+                    method,
+                    self.path,
+                    body,
+                    content_type=self.headers.get("Content-Type"),
+                )
+            except ServiceError as exc:
+                self._send_text(
+                    503,
+                    f"{exc}\n",
+                    headers=(("Retry-After", router.retry_after_value()),),
+                )
+                return
+            context = obs.current()
+            if context is not None:
+                # Overwrite any backend echo: the client correlates with the
+                # router's ingress span, the root of the merged tree.
+                headers[obs.TRACE_ID_HEADER] = context.trace_id
+                headers[obs.SPAN_ID_HEADER] = context.span_id
+            self._send(
+                status,
+                payload,
+                headers.pop("content-type", "text/plain; charset=utf-8"),
+                tuple(headers.items()),
             )
-        except ServiceError as exc:
-            self._send_text(
-                503,
-                f"{exc}\n",
-                headers=(("Retry-After", router.retry_after_value()),),
-            )
-            return
-        self._send(
-            status,
-            payload,
-            headers.pop("content-type", "text/plain; charset=utf-8"),
-            tuple(headers.items()),
-        )
 
 
 class RouterHTTPServer:
@@ -213,6 +232,7 @@ class RouterHTTPServer:
         self.request_retries = 0
         self.requests_failed = 0
         self.failovers = 0
+        self.poll_failures = 0
         self._last_write_backend: Optional[str] = None
         self._httpd = ThreadingHTTPServer((host, port), _RouterHandler)
         self._httpd.daemon_threads = True
@@ -289,7 +309,10 @@ class RouterHTTPServer:
             try:
                 self.check_all()
             except Exception:  # noqa: BLE001 - a bad probe must not kill the loop
-                pass
+                # Counted, not just swallowed: a poll loop that keeps blowing
+                # up would otherwise leave the backend table silently stale.
+                with self._lock:
+                    self.poll_failures += 1
             self._health_stop.wait(self.health_interval_seconds)
 
     # -- candidate selection -------------------------------------------------------
@@ -352,43 +375,54 @@ class RouterHTTPServer:
         retriable = self._idempotent(method, path)
         last_error: Optional[str] = None
         for attempt, backend in enumerate(candidates):
-            try:
-                faults.fire("router.backend", url=backend.url, path=path)
-                request = Request(backend.url + path, data=body, method=method)
-                if content_type:
-                    request.add_header("Content-Type", content_type)
-                with urlopen(request, timeout=self.request_timeout_seconds) as response:
-                    payload = response.read()
+            # One span per relay attempt: retries share the trace id but get
+            # fresh span ids, and each attempt's identity is what rides the
+            # outbound headers — so the backend that finally answers parents
+            # its ingress span on the exact attempt that reached it.
+            with obs.span(
+                "router.attempt", backend=backend.url, attempt=attempt
+            ) as handle:
+                try:
+                    faults.fire("router.backend", url=backend.url, path=path)
+                    request = Request(backend.url + path, data=body, method=method)
+                    if content_type:
+                        request.add_header("Content-Type", content_type)
+                    if handle.context is not None:
+                        for key, value in handle.context.headers().items():
+                            request.add_header(key, value)
+                    with urlopen(request, timeout=self.request_timeout_seconds) as response:
+                        payload = response.read()
+                        headers = {
+                            key.lower(): value
+                            for key, value in response.headers.items()
+                            if key.lower() not in _HOP_HEADERS
+                        }
+                        status = response.status
+                except HTTPError as exc:
+                    # The backend answered: relay its error verbatim — it is the
+                    # authoritative response (a 400 is the client's problem, a
+                    # 429/503 carries the backend's own Retry-After).
+                    payload = exc.read()
                     headers = {
                         key.lower(): value
-                        for key, value in response.headers.items()
+                        for key, value in exc.headers.items()
                         if key.lower() not in _HOP_HEADERS
                     }
-                    status = response.status
-            except HTTPError as exc:
-                # The backend answered: relay its error verbatim — it is the
-                # authoritative response (a 400 is the client's problem, a
-                # 429/503 carries the backend's own Retry-After).
-                payload = exc.read()
-                headers = {
-                    key.lower(): value
-                    for key, value in exc.headers.items()
-                    if key.lower() not in _HOP_HEADERS
-                }
-                status = exc.code
-            except (URLError, OSError) as exc:
-                # The backend is gone mid-request.  Mark it down immediately
-                # (no waiting for the next health tick) and move on.
-                backend.reachable = False
-                backend.healthy = False
-                backend.status = "unreachable"
-                backend.consecutive_failures += 1
-                backend.last_error = last_error = str(exc)
-                if retriable:
-                    with self._lock:
-                        self.request_retries += 1
-                    continue
-                break
+                    status = exc.code
+                except (URLError, OSError) as exc:
+                    # The backend is gone mid-request.  Mark it down immediately
+                    # (no waiting for the next health tick) and move on.
+                    backend.reachable = False
+                    backend.healthy = False
+                    backend.status = "unreachable"
+                    backend.consecutive_failures += 1
+                    backend.last_error = last_error = str(exc)
+                    handle.set("unreachable", True)
+                    if retriable:
+                        with self._lock:
+                            self.request_retries += 1
+                        continue
+                    break
             with self._lock:
                 self.requests_routed += 1
                 if method == "POST":
@@ -413,6 +447,7 @@ class RouterHTTPServer:
                 "request_retries": self.request_retries,
                 "requests_failed": self.requests_failed,
                 "failovers_observed": self.failovers,
+                "poll_failures": self.poll_failures,
                 "last_write_backend": self._last_write_backend,
             }
         return {

@@ -84,10 +84,22 @@ from repro.exceptions import (
     ServiceOverloadedError,
     StaleEpochError,
 )
+from repro import obs
+from repro.compose import phases
 from repro.mapping.composition_problem import CompositionProblem
 from repro.mapping.mapping import Mapping
 from repro.service.breaker import CircuitBreaker
 from repro.service.metrics import ServiceMetrics
+
+# Span names whose durations the service mirrors into its labeled latency
+# histograms.  The catalog and election layers record the spans without
+# knowing about ServiceMetrics; the recorder listener registered in
+# ``CompositionService.start()`` is the only coupling point.
+_SPAN_HISTOGRAMS = {
+    "journal.append": "journal_fsync_seconds",
+    "catalog.shard_lock": "shard_lock_seconds",
+    "election.transition": "election_seconds",
+}
 
 __all__ = ["ServiceConfig", "Ticket", "CompositionService"]
 
@@ -168,6 +180,11 @@ class ServiceConfig:
     replica_ack_timeout_seconds:
         How long an ``ack_level="replica"`` write waits for a follower to
         confirm before falling back to the degraded journal-only ack.
+    slow_trace_seconds:
+        When set, any HTTP request whose wall-clock crosses this threshold
+        has its full span tree dumped to stderr (and counted in
+        ``tracing.slow_requests``) — the always-on flight recorder for tail
+        latency.  ``None`` (default) disables the hook.
     """
 
     max_pending: int = 1024
@@ -197,6 +214,7 @@ class ServiceConfig:
     lease_wait_seconds: Optional[float] = None
     ack_level: str = "journal"
     replica_ack_timeout_seconds: float = 2.0
+    slow_trace_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -237,6 +255,8 @@ class ServiceConfig:
             )
         if self.replica_ack_timeout_seconds <= 0:
             raise EngineError("replica_ack_timeout_seconds must be positive")
+        if self.slow_trace_seconds is not None and self.slow_trace_seconds < 0:
+            raise EngineError("slow_trace_seconds must be non-negative")
 
 
 class Ticket:
@@ -280,7 +300,7 @@ class Ticket:
 class _WorkItem:
     """One distinct queued computation and every ticket coalesced onto it."""
 
-    __slots__ = ("key", "kind", "payload", "config", "tickets", "enqueued_at")
+    __slots__ = ("key", "kind", "payload", "config", "tickets", "enqueued_at", "enqueued_wall", "trace")
 
     def __init__(self, key: bytes, kind: str, payload: object, config: ComposerConfig):
         self.key = key
@@ -289,6 +309,11 @@ class _WorkItem:
         self.config = config
         self.tickets: List[Ticket] = []
         self.enqueued_at = time.perf_counter()
+        # The submitting thread's span context (if the request rode in under
+        # a trace): the serving loop runs in another thread, so queue-wait
+        # and execution spans are recorded retroactively against this parent.
+        self.enqueued_wall = time.time()
+        self.trace = obs.current()
 
 
 class CompositionService:
@@ -357,6 +382,20 @@ class CompositionService:
         self._replica_acks: Dict[str, dict] = {}
         self._acks_persisted_monotonic: Optional[float] = None
 
+    # -- telemetry bridge ----------------------------------------------------------
+
+    def _span_listener(self, record: dict) -> None:
+        """Mirror catalog/election span durations into labeled histograms.
+
+        Those layers record spans without importing ServiceMetrics; this
+        listener (registered on the process recorder while the service
+        runs) is the only coupling point.
+        """
+        histogram = _SPAN_HISTOGRAMS.get(record.get("name"))
+        duration = record.get("duration")
+        if histogram is not None and duration is not None:
+            self.metrics_store.observe(histogram, duration)
+
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> "CompositionService":
@@ -390,6 +429,7 @@ class CompositionService:
                 self._probe_thread.start()
         if self.leases is not None:
             self.leases.start_heartbeat()
+        obs.recorder().add_listener(self._span_listener)
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -401,6 +441,7 @@ class CompositionService:
         :class:`ServiceError` (the service is stopping, space will never
         free for them).
         """
+        obs.recorder().remove_listener(self._span_listener)
         self._gc_stop.set()
         self._probe_stop.set()
         with self._lock:
@@ -749,12 +790,41 @@ class CompositionService:
                 ticket._deliver(payload)
             else:
                 ticket._fail(error)
+        queue_seconds = max(0.0, time.perf_counter() - item.enqueued_at - execution_seconds)
         self.metrics_store.record_completed(
             status=status,
-            queue_seconds=max(0.0, time.perf_counter() - item.enqueued_at - execution_seconds),
+            queue_seconds=queue_seconds,
             execution_seconds=execution_seconds,
             phase_seconds=_phase_seconds(payload),
         )
+        if item.trace is not None:
+            # The serving loop is not the submitting thread, so these spans
+            # are recorded retroactively against the submitter's context:
+            # queue wait, then execution, with the composition's per-phase
+            # buckets bridged as children of the execution span.
+            obs.record_span(
+                "service.queue",
+                parent=item.trace,
+                started_at=item.enqueued_wall,
+                duration=queue_seconds,
+                kind=item.kind,
+            )
+            execute = obs.record_span(
+                "service.execute",
+                parent=item.trace,
+                started_at=item.enqueued_wall + queue_seconds,
+                duration=execution_seconds,
+                kind=item.kind,
+                status_value=status,
+            )
+            phase_start = item.enqueued_wall + queue_seconds
+            for phase, seconds in _phase_seconds(payload):
+                obs.record_span(
+                    phases.span_name(phase),
+                    parent=execute,
+                    started_at=phase_start,
+                    duration=seconds,
+                )
 
     # -- garbage collection --------------------------------------------------------
 
@@ -909,15 +979,20 @@ class CompositionService:
         budget = (
             timeout if timeout is not None else self.config.replica_ack_timeout_seconds
         )
-        deadline = time.monotonic() + budget
+        started = time.monotonic()
+        deadline = started + budget
         with self._ack_cond:
             while self._replica_applied_locked(shard) < seq:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     self.metrics_store.record_replica_ack(satisfied=False)
+                    self.metrics_store.observe(
+                        "replication_lag_seconds", time.monotonic() - started
+                    )
                     return False
                 self._ack_cond.wait(remaining)
         self.metrics_store.record_replica_ack(satisfied=True)
+        self.metrics_store.observe("replication_lag_seconds", time.monotonic() - started)
         return True
 
     def _persist_replica_acks(self, min_interval_seconds: float = 0.25) -> None:
@@ -1063,6 +1138,19 @@ class CompositionService:
             pending = len(self._queue)
             in_flight = len(self._in_flight)
         return self.metrics_store.snapshot(
+            pending=pending,
+            in_flight=in_flight,
+            checkpoint_stats=self.checkpoints.stats(),
+            breaker=self.breaker.snapshot(),
+            leases=self.leases.stats() if self.leases is not None else None,
+        )
+
+    def metrics_prometheus(self) -> str:
+        """The metrics snapshot in the Prometheus text exposition format."""
+        with self._lock:
+            pending = len(self._queue)
+            in_flight = len(self._in_flight)
+        return self.metrics_store.render_prometheus(
             pending=pending,
             in_flight=in_flight,
             checkpoint_stats=self.checkpoints.stats(),

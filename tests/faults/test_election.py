@@ -22,7 +22,7 @@ import urllib.request
 
 import pytest
 
-from repro import faults
+from repro import faults, obs
 from repro.catalog import MappingCatalog
 from repro.engine import compose_chain
 from repro.engine.workloads import WorkloadConfig, generate_workload
@@ -131,6 +131,15 @@ class TestUnattendedFailoverDrill:
         primary_log = chaos_log_dir / "election-primary.jsonl"
         candidate_log = chaos_log_dir / "election-candidate.jsonl"
 
+        # Trace sinks land next to the fault logs so CI uploads them and can
+        # reassemble any acknowledged write (and the election transition
+        # itself) with ``repro trace --verify``.
+        def _trace_env(role):
+            return {
+                obs.LOG_ENV_VAR: str(chaos_log_dir / f"election-trace-{role}.jsonl"),
+                obs.SERVICE_ENV_VAR: role,
+            }
+
         # Chaos on both sides of the failover: the primary's journal appends
         # tear (~10%, bounded; the retry policy heals them, so acknowledged
         # still means journaled), and the candidate's lease writes and
@@ -140,6 +149,7 @@ class TestUnattendedFailoverDrill:
                 f"seed={CHAOS_SEED};journal.append.torn:torn:p=0.1:limit=3"
             ),
             faults.LOG_ENV_VAR: str(primary_log),
+            **_trace_env("primary"),
         }
         candidate_env = {
             faults.ENV_VAR: (
@@ -149,6 +159,7 @@ class TestUnattendedFailoverDrill:
                 "journal.epoch.write:slow:p=0.5:ms=5"
             ),
             faults.LOG_ENV_VAR: str(candidate_log),
+            **_trace_env("candidate"),
         }
         procs = []
         try:
@@ -176,7 +187,13 @@ class TestUnattendedFailoverDrill:
             procs.append(candidate)
             candidate_base = f"http://127.0.0.1:{_await_ready(candidate)}"
 
-            router = run_python(_ROUTER, primary_base, candidate_base, wait=False)
+            router = run_python(
+                _ROUTER,
+                primary_base,
+                candidate_base,
+                env_extra=_trace_env("router"),
+                wait=False,
+            )
             procs.append(router)
             router_base = f"http://127.0.0.1:{_await_ready(router)}"
 

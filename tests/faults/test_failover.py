@@ -25,7 +25,7 @@ import urllib.request
 
 import pytest
 
-from repro import faults
+from repro import faults, obs
 from repro.catalog import MappingCatalog
 from repro.engine.workloads import WorkloadConfig, generate_workload
 from repro.textio.records import chain_to_text
@@ -115,6 +115,20 @@ class TestFailoverDrill:
         follower_root = tmp_path / "follower"
         primary_log = chaos_log_dir / "failover-primary.jsonl"
 
+        # Every process sinks its spans next to the fault logs, so the drill
+        # can reassemble an acknowledged write's full cross-process trace —
+        # and CI can carry the sinks along as artifacts.
+        trace_sinks = {
+            role: chaos_log_dir / f"failover-trace-{role}.jsonl"
+            for role in ("router", "primary", "follower")
+        }
+
+        def _trace_env(role):
+            return {
+                obs.LOG_ENV_VAR: str(trace_sinks[role]),
+                obs.SERVICE_ENV_VAR: role,
+            }
+
         # The primary runs under a seeded schedule tearing ~10% of journal
         # appends: the catalog's retry policy heals every tear, so writes
         # still succeed — acknowledged means journaled, whatever the chaos.
@@ -123,6 +137,7 @@ class TestFailoverDrill:
                 f"seed={CHAOS_SEED};journal.append.torn:torn:p=0.1:limit=3"
             ),
             faults.LOG_ENV_VAR: str(primary_log),
+            **_trace_env("primary"),
         }
         procs = []
         try:
@@ -134,13 +149,23 @@ class TestFailoverDrill:
             primary_base = f"http://127.0.0.1:{primary_port}"
 
             follower = run_python(
-                _FOLLOWER, str(follower_root), str(primary_root), wait=False
+                _FOLLOWER,
+                str(follower_root),
+                str(primary_root),
+                env_extra=_trace_env("follower"),
+                wait=False,
             )
             procs.append(follower)
             follower_port = _await_ready(follower)
             follower_base = f"http://127.0.0.1:{follower_port}"
 
-            router = run_python(_ROUTER, primary_base, follower_base, wait=False)
+            router = run_python(
+                _ROUTER,
+                primary_base,
+                follower_base,
+                env_extra=_trace_env("router"),
+                wait=False,
+            )
             procs.append(router)
             router_port = _await_ready(router)
             router_base = f"http://127.0.0.1:{router_port}"
@@ -155,7 +180,10 @@ class TestFailoverDrill:
             )
 
             # Phase 1: load through the router while everything is healthy.
+            # The router answers with the trace id it minted at ingress —
+            # the key for reassembling each write's cross-process tree.
             acknowledged = []
+            acknowledged_traces = []
             for index, problem in enumerate(problems[:4]):
                 name = f"drill-{index}"
                 status, _, headers = _post(
@@ -165,6 +193,9 @@ class TestFailoverDrill:
                 assert status == 200
                 if "X-Repro-Store-Dropped" not in headers:
                     acknowledged.append(name)
+                    trace_id = headers.get(obs.TRACE_ID_HEADER)
+                    assert trace_id, f"router acknowledged {name} without a trace id"
+                    acknowledged_traces.append(trace_id)
             assert acknowledged, "no write was acknowledged before the kill"
 
             # Phase 2: SIGKILL the primary mid-load — no cleanup, no flush.
@@ -250,6 +281,48 @@ class TestFailoverDrill:
                         chaos_log_dir / f"failover-journal-{label}",
                         dirs_exist_ok=True,
                     )
+
+            # Phase 5: the telemetry headline.  Merging the three sinks must
+            # reconstruct, for at least one acknowledged write, a single
+            # orphan-free tree spanning router relay → primary ingress →
+            # journal append → follower apply.  The follower records its
+            # apply span right after the catalog mutation, so give the last
+            # flush a moment rather than racing it.
+            sink_paths = [str(path) for path in trace_sinks.values()]
+            required = {
+                "router.request",
+                "http.request",
+                "journal.append",
+                "replica.apply",
+            }
+
+            def complete_acknowledged_traces():
+                traces = obs.merge_spans(obs.load_spans(sink_paths))
+                return [
+                    trace_id
+                    for trace_id in acknowledged_traces
+                    if trace_id in traces
+                    and required <= {r.get("name") for r in traces[trace_id]}
+                ]
+
+            assert _wait_for(complete_acknowledged_traces), (
+                "no acknowledged write produced a full router→primary→"
+                "journal→follower trace tree; sinks: "
+                + ", ".join(sink_paths)
+            )
+            traces = obs.merge_spans(obs.load_spans(sink_paths))
+            for trace_id in complete_acknowledged_traces():
+                _, orphans = obs.build_tree(traces[trace_id])
+                assert not orphans, f"trace {trace_id} has orphans: {orphans}"
+
+            # The CLI agrees — this is exactly the check CI runs over the
+            # uploaded sink artifacts.
+            from repro.__main__ import main as repro_main
+
+            argv = ["trace", *sink_paths, "--verify"]
+            for name in sorted(required):
+                argv += ["--require", name]
+            assert repro_main(argv) == 0
         finally:
             for proc in procs:
                 if proc.poll() is None:

@@ -350,3 +350,73 @@ class TestFailover:
             assert "after-failover" in follower_stack.catalog.names("result")
             _, body, _ = _get(base + "/router/status")
             assert json.loads(body)["failovers_observed"] >= 1
+
+
+class TestTracing:
+    def test_trace_id_survives_idempotent_retry(self, primary, tmp_path):
+        """A write retried onto the second backend keeps its trace id.
+
+        The router starts the trace at ingress; each forwarding attempt is
+        its own span carrying the same trace id in the outbound headers, so
+        the attempt that dies and the attempt that succeeds — and the
+        backend's own spans — all land in one tree.
+        """
+        from repro import obs
+
+        doomed = _Stack(tmp_path / "doomed")
+        with RouterHTTPServer(
+            [doomed.base, primary.base], port=0, health_interval_seconds=30
+        ) as router:
+            doomed.stop()
+            # Halt the health loop and pin the router's belief, as in
+            # test_dead_backend_read_retries_to_survivor above.
+            router._health_stop.set()
+            router._health_thread.join()
+            state = next(b for b in router.backends if b.url == doomed.base)
+            state.healthy = True
+            state.reachable = True
+            router.backends.sort(key=lambda b: b.url != doomed.base)
+            host, port = router.address
+            problem = problem_by_name("example1_movies").problem
+            status, _, headers = _post(
+                f"http://{host}:{port}/compose", problem_to_text(problem).encode()
+            )
+            assert status == 200
+            assert headers["x-repro-retries"] == "1"
+            trace_id = headers[obs.TRACE_ID_HEADER]
+            assert trace_id
+            # Router and backend run in this process, so the process-global
+            # ring holds both sides of the story.
+            records = obs.recorder().spans(trace_id)
+            attempts = [r for r in records if r["name"] == "router.attempt"]
+            assert len(attempts) == 2  # the death and the survivor
+            assert len({a["span_id"] for a in attempts}) == 2
+            assert {a["attrs"]["backend"] for a in attempts} == {
+                doomed.base,
+                primary.base,
+            }
+            dead = next(a for a in attempts if a["attrs"]["backend"] == doomed.base)
+            assert dead["attrs"].get("unreachable") is True
+            # The surviving backend's ingress span joined the router's trace,
+            # parented on the attempt that reached it.
+            ingress = [r for r in records if r["name"] == "http.request"]
+            assert ingress, "backend recorded no http.request span in the trace"
+            survivor = next(
+                a for a in attempts if a["attrs"]["backend"] == primary.base
+            )
+            assert any(r["parent_id"] == survivor["span_id"] for r in ingress)
+
+    def test_poll_loop_failure_bumps_the_status_counter(self, primary):
+        with RouterHTTPServer(
+            [primary.base], port=0, health_interval_seconds=0.01
+        ) as router:
+            # Patch the started instance: start()'s own synchronous pass has
+            # already run, so only the background loop sees the explosion.
+            def exploding_check_all():
+                raise RuntimeError("probe exploded")
+
+            router.check_all = exploding_check_all
+            host, port = router.address
+            assert _wait_for(lambda: router.poll_failures >= 1)
+            _, body, _ = _get(f"http://{host}:{port}/router/status")
+            assert json.loads(body)["poll_failures"] >= 1

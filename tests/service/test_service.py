@@ -412,6 +412,7 @@ class TestMetrics:
         assert set(metrics) == {
             "requests", "batching", "latency", "phases", "expression_cache",
             "checkpoints", "gc", "degradation", "replication", "breaker", "leases",
+            "tracing", "histograms",
         }
         assert metrics["requests"]["completed"] == 1
         assert metrics["batching"]["batches"] == 1
